@@ -1,0 +1,43 @@
+//! End-to-end simulation throughput: simulated instructions per second of
+//! wall-clock time for the assembled CMP, the number that bounds how long
+//! each figure regeneration takes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use osoffload_system::{PolicyKind, Simulation, SystemConfig};
+use osoffload_workload::Profile;
+
+fn bench_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+
+    const INSN: u64 = 200_000;
+    for (name, profile, policy) in [
+        ("apache_baseline", Profile::apache(), PolicyKind::Baseline),
+        (
+            "apache_hi_offload",
+            Profile::apache(),
+            PolicyKind::HardwarePredictor { threshold: 500 },
+        ),
+        ("compute_baseline", Profile::blackscholes(), PolicyKind::Baseline),
+    ] {
+        g.throughput(Throughput::Elements(INSN));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = SystemConfig::builder()
+                    .profile(profile.clone())
+                    .policy(policy)
+                    .migration_latency(1_000)
+                    .instructions(INSN)
+                    .warmup(0)
+                    .seed(42)
+                    .build();
+                black_box(Simulation::new(cfg).run())
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

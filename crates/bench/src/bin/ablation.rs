@@ -1,0 +1,62 @@
+//! Predictor design ablation: the full §III-A predictor vs variants with
+//! one idea removed each — no per-AState table (global-only), and no
+//! confidence filter / fallback (infinite last-value) — plus the two
+//! hardware organisations. Attributes the predictor's accuracy and the
+//! resulting throughput to its parts.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin ablation [quick|full|paper]`
+
+use osoffload_bench::{pct, render_table, scale_from_args};
+use osoffload_system::experiments::run_single;
+use osoffload_system::PolicyKind;
+use osoffload_workload::Profile;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Predictor design ablation (Apache, N = 500, 1,000-cycle migration)\n");
+    let variants: &[(&str, PolicyKind)] = &[
+        ("full CAM (paper)", PolicyKind::HardwarePredictor { threshold: 500 }),
+        ("direct-mapped", PolicyKind::HardwarePredictorDirectMapped { threshold: 500 }),
+        ("set-assoc 64x4", PolicyKind::HardwarePredictorSetAssoc { threshold: 500, sets: 64, ways: 4 }),
+        ("global-only", PolicyKind::HardwarePredictorGlobalOnly { threshold: 500 }),
+        ("last-value (no confidence)", PolicyKind::HardwarePredictorLastValue { threshold: 500 }),
+        ("oracle", PolicyKind::Oracle { threshold: 500 }),
+    ];
+    let base = run_single(Profile::apache(), PolicyKind::Baseline, 0, 1, scale);
+    let mut table = Vec::new();
+    for &(name, policy) in variants {
+        let r = run_single(Profile::apache(), policy, 1_000, 1, scale);
+        let (exact, close) = r
+            .predictor
+            .as_ref()
+            .map(|p| (pct(p.exact), pct(p.within_5pct)))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        let bin1000 = if r.predictor.is_some() {
+            r.binary_accuracy
+                .iter()
+                .find(|b| b.threshold == 1_000)
+                .map(|b| pct(b.accuracy))
+                .unwrap_or_else(|| "-".into())
+        } else {
+            "-".into()
+        };
+        table.push(vec![
+            name.to_string(),
+            format!("{:.3}", r.normalized_to(&base)),
+            exact,
+            close,
+            bin1000,
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["variant", "normalized tput", "exact", "within ±5%", "binary@1000"],
+            &table
+        )
+    );
+    println!("\nReading: the per-AState table supplies most of the exactness; the");
+    println!("confidence/fallback pair mainly protects noisy entries; the 200-entry");
+    println!("CAM tracks the unbounded last-value table closely (the paper's");
+    println!("\"close to optimal (infinite history) performance\" claim).");
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 1: runtime overhead of dynamic software
+//! instrumentation for all possible OS off-loading points.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin fig1 [quick|full|paper]`
+
+use osoffload_bench::{render_table, scale_from_args};
+use osoffload_system::experiments::fig1;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 1: overhead of software-instrumenting every OS entry point");
+    println!("(off-loading disabled; overhead relative to uninstrumented baseline)\n");
+    let costs = [50u64, 100, 200, 400];
+    let rows = fig1(scale, &costs);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{} cyc", r.cost),
+                format!("{:+.2}%", r.overhead_pct),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["workload", "per-entry cost", "slowdown"], &table));
+    println!("\nExpected shape: overhead scales with per-entry cost and OS-entry");
+    println!("frequency — apache suffers most, compute least.");
+}

@@ -1,0 +1,50 @@
+//! Dumps the per-invocation trace of one run as CSV (stdout) plus a
+//! per-entry-point summary table (stderr), for off-line analysis.
+//!
+//! Usage:
+//! `cargo run --release -p osoffload-bench --bin invocation_trace [quick|full|paper] > trace.csv`
+
+use osoffload_bench::{render_table, scale_from_args};
+use osoffload_system::{PolicyKind, Simulation, SystemConfig};
+use osoffload_workload::Profile;
+
+fn main() {
+    let scale = scale_from_args();
+    let cfg = SystemConfig::builder()
+        .profile(Profile::apache())
+        .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+        .migration_latency(1_000)
+        .instructions(scale.instructions)
+        .warmup(scale.warmup)
+        .seed(scale.seed)
+        .trace(50_000)
+        .build();
+    let (report, trace) = Simulation::new(cfg).run_traced();
+
+    // CSV to stdout (pipe into a file), human summary to stderr.
+    print!("{}", trace.to_csv());
+
+    eprintln!("{report}");
+    eprintln!("{trace}\n");
+    let rows: Vec<Vec<String>> = trace
+        .summarize()
+        .iter()
+        .map(|s| {
+            vec![
+                s.syscall.to_string(),
+                s.count.to_string(),
+                s.offloaded.to_string(),
+                format!("{:.0}", s.mean_len),
+                format!("{:.0}", s.mean_abs_error),
+                format!("{:.0}", s.mean_cycles),
+            ]
+        })
+        .collect();
+    eprint!(
+        "{}",
+        render_table(
+            &["syscall", "count", "offloaded", "mean len", "mean |err|", "mean cycles"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,36 @@
+//! Ablation of the off-load transport (§II "Migration Implementations"):
+//! full thread migration (the paper's scheme, user core reserved for the
+//! round trip) vs RPC-style message passing (user core freed — the
+//! design point the paper notes "we do not consider ... in this study").
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin mechanism [quick|full|paper]`
+
+use osoffload_bench::{render_table, scale_from_args};
+use osoffload_system::experiments::mechanism_ablation;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Off-load transport ablation (N = 100)\n");
+    let rows = mechanism_ablation(scale, &[100, 1_000, 5_000]);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{} cyc", r.latency),
+                format!("{:.3}", r.thread_migration),
+                format!("{:.3}", r.remote_call),
+                format!("{:+.1}%", (r.remote_call / r.thread_migration - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["workload", "latency", "thread migration", "remote call", "RPC gain"],
+            &table
+        )
+    );
+    println!("\nRPC frees the user core during remote execution, letting the sibling");
+    println!("thread overlap — the benefit grows with OS share and migration latency.");
+}

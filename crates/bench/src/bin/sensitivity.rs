@@ -1,0 +1,31 @@
+//! Sensitivity of the off-loading benefit to the memory-system
+//! parameters around it: L2 capacity, DRAM latency, and the
+//! cache-to-cache transfer cost (the knob §IV says must be modelled
+//! independently). Both the baseline and the off-loading run share each
+//! varied substrate, so the ratio isolates the policy's benefit.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin sensitivity [quick|full|paper]`
+
+use osoffload_bench::{render_table, scale_from_args};
+use osoffload_system::experiments::sensitivity;
+use osoffload_workload::Profile;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Sensitivity of the Apache off-loading benefit (HI, N=100, 1,000 cyc)\n");
+    let rows = sensitivity(scale, Profile::apache());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let value = match r.parameter.as_str() {
+                "l2_kb" => format!("{} KB", r.value),
+                _ => format!("{} cyc", r.value),
+            };
+            vec![r.parameter.clone(), value, format!("{:.3}", r.normalized)]
+        })
+        .collect();
+    print!("{}", render_table(&["parameter", "value", "normalized IPC"], &table));
+    println!("\nReading: the benefit is largest exactly when caches are precious —");
+    println!("small L2s and slow DRAM amplify it, abundant L2 erases it — and cheaper");
+    println!("cache-to-cache transfers help, confirming coherence is the main tax.");
+}

@@ -1,0 +1,19 @@
+//! Regenerates the paper's Table I: number of distinct system calls in
+//! various operating systems — the scale argument for why manual
+//! instrumentation of every entry point is infeasible (§II).
+
+use osoffload_bench::render_table;
+use osoffload_workload::OS_SYSCALL_TABLE;
+
+fn main() {
+    println!("Table I: Number of distinct system calls in various operating systems\n");
+    let rows: Vec<Vec<String>> = OS_SYSCALL_TABLE
+        .iter()
+        .map(|r| vec![r.os.to_string(), r.syscalls.to_string()])
+        .collect();
+    print!("{}", render_table(&["Operating system", "# Syscalls"], &rows));
+    println!(
+        "\nModelled synthetic-kernel entry points: {}",
+        osoffload_workload::CATALOG.len()
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates the §III-B dynamic-threshold-estimation behaviour: the
+//! epoch-by-epoch decision log of the tuner on Apache.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin tuner_trace [quick|full|paper]`
+
+use osoffload_bench::{render_table, scale_from_args};
+use osoffload_system::experiments::tuner_trace;
+use osoffload_workload::Profile;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Section III-B: dynamic estimation of N (Apache, 1,000-cycle overhead)\n");
+    let (report, trace) = tuner_trace(scale, Profile::apache());
+    let table: Vec<Vec<String>> = trace
+        .iter()
+        .map(|e| {
+            vec![
+                e.epoch.to_string(),
+                format!("N={}", e.threshold),
+                format!("{:.4}", e.l2_hit_rate),
+                if e.adopted { "ADOPTED".to_string() } else { String::new() },
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["epoch", "sampled", "mean L2 hit rate", ""], &table));
+    println!(
+        "\nfinal threshold: N={}   throughput: {:.4} insn/cyc   epochs: {}",
+        report.final_threshold.unwrap_or(0),
+        report.throughput,
+        report.tuner_events
+    );
+}

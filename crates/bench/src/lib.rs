@@ -1,0 +1,136 @@
+//! Shared helpers for the `osoffload-bench` experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md`'s experiment index). This library holds the
+//! bits they share: scale-argument parsing and plain-text table
+//! rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use osoffload_system::experiments::Scale;
+
+/// Parses the experiment scale from the process arguments.
+///
+/// Accepts `quick`, `full`, or `paper` (with or without a `--` prefix);
+/// defaults to [`Scale::full`]. Unknown arguments abort with usage help
+/// so a typo cannot silently fall back to a different experiment length.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first() {
+        None => Scale::full(),
+        Some(arg) => Scale::from_arg(arg).unwrap_or_else(|| {
+            eprintln!("usage: <bin> [quick|full|paper]   (default: full)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Renders rows as an aligned plain-text table with a header rule.
+///
+/// # Examples
+///
+/// ```
+/// let table = osoffload_bench::render_table(
+///     &["name", "value"],
+///     &[vec!["alpha".to_string(), "1".to_string()]],
+/// );
+/// assert!(table.contains("alpha"));
+/// assert!(table.contains("name"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        line.push_str(&format!("{h:<w$}  "));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{cell:<w$}  "));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Renders values as a unicode sparkline, scaled to `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// let s = osoffload_bench::spark(&[0.0, 0.5, 1.0], 0.0, 1.0);
+/// assert_eq!(s.chars().count(), 3);
+/// assert!(s.starts_with('▁') && s.ends_with('█'));
+/// ```
+pub fn spark(values: &[f64], lo: f64, hi: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let span = (hi - lo).max(f64::EPSILON);
+    values
+        .iter()
+        .map(|&v| {
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            BARS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     long-header"));
+        assert!(lines[2].starts_with("xxxx  1"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.4575), "45.75%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+
+    #[test]
+    fn spark_scales_and_clamps() {
+        let s = spark(&[-1.0, 0.0, 0.5, 1.0, 2.0], 0.0, 1.0);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 5);
+        assert_eq!(chars[0], '▁', "below range clamps low");
+        assert_eq!(chars[4], '█', "above range clamps high");
+        assert!(chars[2] > chars[1] && chars[2] < chars[3]);
+    }
+
+    #[test]
+    fn spark_flat_range_does_not_panic() {
+        let s = spark(&[1.0, 1.0], 1.0, 1.0);
+        assert_eq!(s.chars().count(), 2);
+    }
+}

@@ -1,0 +1,382 @@
+//! Hand-rolled argument parsing for the `osoffload` binary.
+//!
+//! Kept dependency-free on purpose: the parser is a couple of hundred
+//! lines, fully unit-tested, and easier to audit than a derive macro.
+
+use osoffload_system::PolicyKind;
+use osoffload_workload::Profile;
+use std::fmt;
+
+/// Which subcommand was requested.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `osoffload run …` — one simulation, full report.
+    Run(RunArgs),
+    /// `osoffload compare …` — baseline vs SI vs DI vs HI.
+    Compare(RunArgs),
+    /// `osoffload sweep …` — threshold sweep for one workload/latency.
+    Sweep(RunArgs),
+    /// `osoffload trace …` — per-invocation CSV trace to stdout.
+    Trace(RunArgs),
+    /// `osoffload list` — available profiles and policies.
+    List,
+    /// `osoffload help` (or `-h`/`--help`).
+    Help,
+}
+
+/// Parameters shared by the simulation subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Workload profile name.
+    pub profile: String,
+    /// Decision policy.
+    pub policy: PolicyKind,
+    /// One-way migration latency in cycles.
+    pub latency: u64,
+    /// Measured instructions.
+    pub instructions: u64,
+    /// Warm-up instructions.
+    pub warmup: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// User cores.
+    pub cores: usize,
+    /// Enable the §III-B dynamic threshold estimator.
+    pub tuner: bool,
+    /// RPC transport instead of thread migration.
+    pub rpc: bool,
+    /// Resource-adaptation slowdown in milli-units (no OS core).
+    pub adapt_milli: Option<u64>,
+    /// Score energy/EDP after the run.
+    pub energy: bool,
+    /// Emit the report as JSON instead of prose (`run` only).
+    pub json: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            profile: "apache".to_string(),
+            policy: PolicyKind::HardwarePredictor { threshold: 500 },
+            latency: 1_000,
+            instructions: 1_000_000,
+            warmup: 500_000,
+            seed: 42,
+            cores: 1,
+            tuner: false,
+            rpc: false,
+            adapt_milli: None,
+            energy: false,
+            json: false,
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+fn err(msg: impl Into<String>) -> ParseArgsError {
+    ParseArgsError(msg.into())
+}
+
+fn parse_u64(flag: &str, v: Option<&str>) -> Result<u64, ParseArgsError> {
+    let v = v.ok_or_else(|| err(format!("{flag} needs a value")))?;
+    v.replace('_', "")
+        .parse()
+        .map_err(|_| err(format!("{flag}: '{v}' is not a number")))
+}
+
+/// Parses the policy spec: `baseline`, `always`, `hi[:N]`, `hi-dm[:N]`,
+/// `di[:N[:COST]]`, `si[:STUB]`, `oracle[:N]`.
+pub fn parse_policy(spec: &str) -> Result<PolicyKind, ParseArgsError> {
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default();
+    let p1 = parts.next();
+    let p2 = parts.next();
+    if parts.next().is_some() {
+        return Err(err(format!("policy '{spec}': too many ':' fields")));
+    }
+    let num = |s: Option<&str>, default: u64| -> Result<u64, ParseArgsError> {
+        match s {
+            None => Ok(default),
+            Some(v) => v
+                .replace('_', "")
+                .parse()
+                .map_err(|_| err(format!("policy '{spec}': '{v}' is not a number"))),
+        }
+    };
+    match name {
+        "baseline" | "none" => Ok(PolicyKind::Baseline),
+        "always" => Ok(PolicyKind::AlwaysOffload),
+        "hi" => Ok(PolicyKind::HardwarePredictor { threshold: num(p1, 500)? }),
+        "hi-dm" => Ok(PolicyKind::HardwarePredictorDirectMapped { threshold: num(p1, 500)? }),
+        "hi-sa" => Ok(PolicyKind::HardwarePredictorSetAssoc {
+            threshold: num(p1, 500)?,
+            sets: 64,
+            ways: num(p2, 4)? as usize,
+        }),
+        "hi-global" => Ok(PolicyKind::HardwarePredictorGlobalOnly { threshold: num(p1, 500)? }),
+        "hi-lastvalue" => Ok(PolicyKind::HardwarePredictorLastValue { threshold: num(p1, 500)? }),
+        "di" => Ok(PolicyKind::DynamicInstrumentation {
+            threshold: num(p1, 500)?,
+            cost: num(p2, 120)?,
+        }),
+        "si" => Ok(PolicyKind::StaticInstrumentation { stub_cost: num(p1, 25)? }),
+        "oracle" => Ok(PolicyKind::Oracle { threshold: num(p1, 500)? }),
+        other => Err(err(format!(
+            "unknown policy '{other}' (expected baseline|always|hi|hi-dm|hi-sa|hi-global|hi-lastvalue|di|si|oracle)"
+        ))),
+    }
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, ParseArgsError> {
+    let mut out = RunArgs::default();
+    let mut explicit_warmup = false;
+    let mut it = args.iter().map(String::as_str).peekable();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--profile" | "-p" => {
+                let v = it.next().ok_or_else(|| err("--profile needs a value"))?;
+                if Profile::by_name(v).is_none() {
+                    let names: Vec<&str> = Profile::all_server()
+                        .iter()
+                        .chain(Profile::all_compute().iter())
+                        .map(|p| p.name)
+                        .collect();
+                    return Err(err(format!(
+                        "unknown profile '{v}' (available: {})",
+                        names.join(", ")
+                    )));
+                }
+                out.profile = v.to_string();
+            }
+            "--policy" => {
+                let v = it.next().ok_or_else(|| err("--policy needs a value"))?;
+                out.policy = parse_policy(v)?;
+            }
+            "--latency" | "-l" => out.latency = parse_u64(flag, it.next())?,
+            "--instructions" | "-n" => out.instructions = parse_u64(flag, it.next())?,
+            "--warmup" => {
+                out.warmup = parse_u64(flag, it.next())?;
+                explicit_warmup = true;
+            }
+            "--seed" => out.seed = parse_u64(flag, it.next())?,
+            "--cores" => out.cores = parse_u64(flag, it.next())? as usize,
+            "--tuner" => out.tuner = true,
+            "--rpc" => out.rpc = true,
+            "--adapt" => out.adapt_milli = Some(parse_u64(flag, it.next())?),
+            "--energy" => out.energy = true,
+            "--json" => out.json = true,
+            other => return Err(err(format!("unknown flag '{other}'"))),
+        }
+    }
+    if !explicit_warmup {
+        out.warmup = out.instructions / 2;
+    }
+    if out.instructions == 0 {
+        return Err(err("--instructions must be positive"));
+    }
+    if out.cores == 0 {
+        return Err(err("--cores must be positive"));
+    }
+    Ok(out)
+}
+
+/// Parses the whole command line (excluding `argv[0]`).
+pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("-h") | Some("--help") => Ok(Command::Help),
+        Some("list") => Ok(Command::List),
+        Some("run") => Ok(Command::Run(parse_run_args(&args[1..])?)),
+        Some("compare") => Ok(Command::Compare(parse_run_args(&args[1..])?)),
+        Some("sweep") => Ok(Command::Sweep(parse_run_args(&args[1..])?)),
+        Some("trace") => Ok(Command::Trace(parse_run_args(&args[1..])?)),
+        Some(other) => Err(err(format!(
+            "unknown subcommand '{other}' (expected run|compare|sweep|trace|list|help)"
+        ))),
+    }
+}
+
+/// The `help` text.
+pub const USAGE: &str = "\
+osoffload — selective off-loading of OS functionality (Nellans et al., WIOSCA 2010)
+
+USAGE:
+    osoffload <run|compare|sweep|list|help> [flags]
+
+SUBCOMMANDS:
+    run       simulate one configuration and print the full report
+    compare   baseline vs SI vs DI vs HI on one workload
+    sweep     sweep the off-load threshold N for one workload/latency
+    trace     per-invocation CSV trace to stdout (summary on stderr)
+    list      available workload profiles and policy specs
+    help      this text
+
+FLAGS (run/compare/sweep):
+    -p, --profile <name>        workload profile        [apache]
+        --policy <spec>         decision policy         [hi:500]
+                                  baseline | always | hi[:N] | hi-dm[:N] |
+                                  hi-sa[:N[:WAYS]] | hi-global[:N] | hi-lastvalue[:N] |
+                                  di[:N[:COST]] | si[:STUB] | oracle[:N]
+    -l, --latency <cycles>      one-way migration cost  [1000]
+    -n, --instructions <count>  measured instructions   [1000000]
+        --warmup <count>        warm-up instructions    [instructions/2]
+        --seed <n>              master seed             [42]
+        --cores <n>             user cores              [1]
+        --tuner                 enable the dynamic-N estimator (paper §III-B)
+        --rpc                   RPC transport instead of thread migration
+        --adapt <milli>         resource adaptation: run long OS sequences
+                                locally, throttled by milli/1000 (no OS core)
+        --energy                also score energy and EDP
+        --json                  emit the report as JSON (run only)
+
+EXAMPLES:
+    osoffload run -p apache --policy hi:500 -l 1000 --energy
+    osoffload compare -p specjbb2005 -l 5000
+    osoffload sweep -p derby -l 100 -n 2000000
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&argv("--help")), Ok(Command::Help));
+        assert_eq!(parse(&argv("help")), Ok(Command::Help));
+    }
+
+    #[test]
+    fn list_parses() {
+        assert_eq!(parse(&argv("list")), Ok(Command::List));
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(a) = parse(&argv("run")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(a.profile, "apache");
+        assert_eq!(a.policy, PolicyKind::HardwarePredictor { threshold: 500 });
+        assert_eq!(a.warmup, a.instructions / 2);
+    }
+
+    #[test]
+    fn run_full_flag_set() {
+        let cmd = parse(&argv(
+            "run -p derby --policy di:1000:200 -l 5000 -n 500000 --warmup 100000 \
+             --seed 7 --cores 2 --tuner --rpc --energy",
+        ))
+        .unwrap();
+        let Command::Run(a) = cmd else { panic!("expected run") };
+        assert_eq!(a.profile, "derby");
+        assert_eq!(
+            a.policy,
+            PolicyKind::DynamicInstrumentation { threshold: 1_000, cost: 200 }
+        );
+        assert_eq!(a.latency, 5_000);
+        assert_eq!(a.instructions, 500_000);
+        assert_eq!(a.warmup, 100_000);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.cores, 2);
+        assert!(a.tuner && a.rpc && a.energy);
+    }
+
+    #[test]
+    fn json_flag() {
+        let Command::Run(a) = parse(&argv("run --json")).unwrap() else {
+            panic!()
+        };
+        assert!(a.json);
+    }
+
+    #[test]
+    fn adapt_flag() {
+        let Command::Run(a) = parse(&argv("run --adapt 1250")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.adapt_milli, Some(1_250));
+    }
+
+    #[test]
+    fn numbers_accept_underscores() {
+        let Command::Run(a) = parse(&argv("run -n 2_000_000")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.instructions, 2_000_000);
+    }
+
+    #[test]
+    fn policy_specs() {
+        assert_eq!(parse_policy("baseline"), Ok(PolicyKind::Baseline));
+        assert_eq!(parse_policy("always"), Ok(PolicyKind::AlwaysOffload));
+        assert_eq!(
+            parse_policy("hi"),
+            Ok(PolicyKind::HardwarePredictor { threshold: 500 })
+        );
+        assert_eq!(
+            parse_policy("hi:10_000"),
+            Ok(PolicyKind::HardwarePredictor { threshold: 10_000 })
+        );
+        assert_eq!(
+            parse_policy("hi-dm:100"),
+            Ok(PolicyKind::HardwarePredictorDirectMapped { threshold: 100 })
+        );
+        assert_eq!(
+            parse_policy("si:30"),
+            Ok(PolicyKind::StaticInstrumentation { stub_cost: 30 })
+        );
+        assert_eq!(
+            parse_policy("oracle:900"),
+            Ok(PolicyKind::Oracle { threshold: 900 })
+        );
+        assert!(parse_policy("bogus").is_err());
+        assert!(parse_policy("hi:x").is_err());
+        assert!(parse_policy("di:1:2:3").is_err());
+    }
+
+    #[test]
+    fn unknown_profile_lists_alternatives() {
+        let e = parse(&argv("run -p nginx")).unwrap_err();
+        assert!(e.0.contains("apache"), "{e}");
+        assert!(e.0.contains("canneal"), "{e}");
+    }
+
+    #[test]
+    fn unknown_flag_and_subcommand_error() {
+        assert!(parse(&argv("run --bogus")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run -n 0")).is_err());
+        assert!(parse(&argv("run --cores 0")).is_err());
+    }
+
+    #[test]
+    fn compare_and_sweep_share_parsing() {
+        assert!(matches!(
+            parse(&argv("compare -p apache")).unwrap(),
+            Command::Compare(_)
+        ));
+        assert!(matches!(
+            parse(&argv("sweep -l 100")).unwrap(),
+            Command::Sweep(_)
+        ));
+        assert!(matches!(
+            parse(&argv("trace -p derby")).unwrap(),
+            Command::Trace(_)
+        ));
+    }
+}

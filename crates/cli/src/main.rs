@@ -1,0 +1,29 @@
+//! `osoffload` — command-line front end for the simulator.
+//!
+//! See `osoffload help` (or [`args::USAGE`]) for the interface.
+
+mod args;
+mod commands;
+
+use args::Command;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args::parse(&argv) {
+        Ok(Command::Help) => {
+            print!("{}", args::USAGE);
+            0
+        }
+        Ok(Command::List) => commands::list(),
+        Ok(Command::Run(a)) => commands::run(&a),
+        Ok(Command::Compare(a)) => commands::compare(&a),
+        Ok(Command::Sweep(a)) => commands::sweep(&a),
+        Ok(Command::Trace(a)) => commands::trace(&a),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run 'osoffload help' for usage");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,66 @@
+//! The paper's contribution: hardware-assisted decision making for
+//! selective off-loading of OS functionality.
+//!
+//! This crate implements §III of *"Improving Server Performance on
+//! Multi-Cores via Selective Off-loading of OS Functionality"* (Nellans
+//! et al., WIOSCA 2010):
+//!
+//! * [`astate`] — the 64-bit XOR hash of `PSTATE`/`%g0`/`%g1`/`%i0`/`%i1`
+//!   sampled at every user→privileged transition;
+//! * [`predictor`] — the OS run-length predictor in both hardware
+//!   organisations (200-entry CAM ≈ 2 KB, 1,500-entry direct-mapped RAM
+//!   ≈ 3.3 KB), with 2-bit confidence and the last-three-invocations
+//!   global fallback;
+//! * [`policy`] — the decision policies compared in Figure 5: baseline,
+//!   static instrumentation (SI), dynamic instrumentation (DI), the
+//!   hardware predictor (HI), plus always-off-load and oracle ablations;
+//! * [`tuner`] — the §III-B epoch-based dynamic estimator of the
+//!   threshold `N`, driven by mean L2 hit-rate feedback.
+//!
+//! # Examples
+//!
+//! ```
+//! use osoffload_core::{AState, CamPredictor, RunLengthPredictor};
+//! use osoffload_cpu::ArchState;
+//!
+//! let mut predictor = CamPredictor::paper_default();
+//! let mut arch = ArchState::new();
+//!
+//! // A thread issues the same syscall twice; the second time the
+//! // predictor knows its length.
+//! arch.set_syscall_registers(0x103, 4, 8192);
+//! arch.enter_privileged();
+//! let astate = AState::from_arch(&arch);
+//! let p = predictor.predict(astate);
+//! predictor.learn(astate, p, 3_307);
+//! arch.exit_privileged();
+//!
+//! arch.enter_privileged();
+//! assert_eq!(predictor.predict(AState::from_arch(&arch)).length, 3_307);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod astate;
+pub mod policy;
+pub mod predictor;
+pub mod setassoc;
+pub mod tuner;
+
+#[cfg(test)]
+mod proptests;
+
+pub use ablation::{GlobalOnlyPredictor, LastValuePredictor};
+pub use astate::AState;
+pub use policy::{
+    AlwaysOffload, Decision, DynamicInstrumentation, HardwarePredictor, NeverOffload,
+    OffloadPolicy, OraclePolicy, OsEntry, RoutineId, StaticInstrumentation,
+};
+pub use predictor::{
+    BinaryAccuracyTracker, CamPredictor, DirectMappedPredictor, Prediction, PredictionSource,
+    PredictorStats, RunLengthPredictor, CLOSE_FRACTION,
+};
+pub use setassoc::SetAssocPredictor;
+pub use tuner::{ThresholdTuner, TunerConfig, TunerDirective, TunerEvent};

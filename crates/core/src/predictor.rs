@@ -1,0 +1,679 @@
+//! The OS run-length predictor (§III-A) — the heart of the paper.
+//!
+//! Two hardware organisations are modelled:
+//!
+//! * [`CamPredictor`] — a 200-entry fully-associative table (CAM) with
+//!   LRU replacement, ~2 KB of storage; the paper's primary design.
+//! * [`DirectMappedPredictor`] — a 1,500-entry tag-less direct-mapped RAM
+//!   indexed by the low AState bits, ~3.3 KB; the paper's alternative.
+//!
+//! Both share the update rules:
+//!
+//! * each entry stores the run length observed the *last* time its AState
+//!   was seen, plus a 2-bit saturating confidence counter;
+//! * confidence is incremented when a prediction lands within ±5% of the
+//!   actual length and decremented otherwise;
+//! * at confidence 0 (or on a table miss) the predictor falls back to a
+//!   "global" prediction: the mean run length of the last **three**
+//!   completed invocations regardless of AState — "OS invocation lengths
+//!   tend to be clustered and a global prediction can be better than a
+//!   low-confidence local prediction".
+
+use crate::astate::AState;
+use core::fmt;
+use osoffload_sim::{Ratio, WindowedMean};
+
+/// Relative error treated as a "close" prediction, for confidence updates
+/// and accuracy accounting (±5%, §III-A).
+pub const CLOSE_FRACTION: f64 = 0.05;
+
+/// Where a prediction's value came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictionSource {
+    /// A confident per-AState table entry.
+    Local,
+    /// The global last-three-invocations mean (low confidence or miss).
+    Global,
+}
+
+/// A run-length prediction, in instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted run length of the upcoming invocation.
+    pub length: u64,
+    /// Local table hit or global fallback.
+    pub source: PredictionSource,
+}
+
+/// Accuracy accounting shared by both organisations.
+///
+/// Mirrors the paper's reporting: "this simple predictor is able to
+/// precisely predict the run length of 73.6% of all privileged
+/// instruction invocations, and predict within ±5% the actual run length
+/// an additional 24.8% of the time."
+#[derive(Debug, Clone, Default)]
+pub struct PredictorStats {
+    /// Predictions exactly equal to the actual run length.
+    pub exact: Ratio,
+    /// Predictions within ±5% (including exact).
+    pub within_close: Ratio,
+    /// Predictions that underestimated the actual length (the paper's
+    /// dominant error mode, caused by interrupt extensions).
+    pub underestimates: Ratio,
+    /// Local-source predictions (vs global fallback).
+    pub local_source: Ratio,
+}
+
+impl PredictorStats {
+    fn record(&mut self, prediction: Prediction, actual: u64) {
+        let exact = prediction.length == actual;
+        self.exact.record(exact);
+        self.within_close.record(is_close(prediction.length, actual));
+        self.underestimates.record(prediction.length < actual);
+        self.local_source
+            .record(prediction.source == PredictionSource::Local);
+    }
+}
+
+impl fmt::Display for PredictorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exact={:.1}% close={:.1}% under={:.1}% local={:.1}%",
+            self.exact.rate() * 100.0,
+            self.within_close.rate() * 100.0,
+            self.underestimates.rate() * 100.0,
+            self.local_source.rate() * 100.0
+        )
+    }
+}
+
+/// Whether `predicted` is within ±[`CLOSE_FRACTION`] of `actual`.
+#[inline]
+pub fn is_close(predicted: u64, actual: u64) -> bool {
+    let tolerance = (actual as f64 * CLOSE_FRACTION).max(1.0);
+    (predicted as f64 - actual as f64).abs() <= tolerance
+}
+
+/// Run lengths are stored in 16 bits (saturating), which is what keeps
+/// the 200-entry CAM at ~2 KB.
+const LEN_BITS: u32 = 16;
+const LEN_MAX: u64 = (1 << LEN_BITS) - 1;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    astate: AState,
+    last_len: u16,
+    confidence: u8, // 2-bit saturating: 0..=3
+    last_use: u64,
+    valid: bool,
+}
+
+impl Entry {
+    fn invalid() -> Entry {
+        Entry {
+            astate: AState::default(),
+            last_len: 0,
+            confidence: 0,
+            last_use: 0,
+            valid: false,
+        }
+    }
+}
+
+/// Interface shared by the two predictor organisations.
+///
+/// The canonical flow is:
+///
+/// 1. at a user→privileged transition, call [`predict`](Self::predict);
+/// 2. decide off-loading by comparing the prediction to the threshold;
+/// 3. when the invocation retires, call [`learn`](Self::learn) with the
+///    prediction from step 1 and the observed length.
+pub trait RunLengthPredictor {
+    /// Predicts the run length of an invocation entering with `astate`.
+    fn predict(&mut self, astate: AState) -> Prediction;
+
+    /// Trains the predictor with the completed invocation's `actual`
+    /// length, given the `prediction` issued at entry.
+    fn learn(&mut self, astate: AState, prediction: Prediction, actual: u64);
+
+    /// Accuracy statistics accumulated by `learn`.
+    fn stats(&self) -> &PredictorStats;
+
+    /// Zeroes the accuracy statistics without untraining the table (used
+    /// when discarding warm-up measurements).
+    fn reset_stats(&mut self);
+
+    /// Hardware storage cost of this organisation in bytes.
+    fn storage_bytes(&self) -> usize;
+
+    /// Human-readable organisation name.
+    fn organization(&self) -> &'static str;
+}
+
+fn clamp_len(actual: u64) -> u16 {
+    actual.min(LEN_MAX) as u16
+}
+
+/// The paper's primary organisation: a fully-associative 200-entry CAM.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_core::{AState, CamPredictor, RunLengthPredictor};
+///
+/// let mut p = CamPredictor::paper_default();
+/// let a = AState::from(0x1234u64);
+/// // Teach it: two same-length invocations at the same AState.
+/// let pr = p.predict(a);
+/// p.learn(a, pr, 2000);
+/// let pr = p.predict(a);
+/// p.learn(a, pr, 2000);
+/// assert_eq!(p.predict(a).length, 2000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CamPredictor {
+    entries: Vec<Entry>,
+    clock: u64,
+    global: WindowedMean,
+    stats: PredictorStats,
+}
+
+impl CamPredictor {
+    /// Creates a CAM with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CamPredictor: capacity must be positive");
+        CamPredictor {
+            entries: vec![Entry::invalid(); capacity],
+            clock: 0,
+            global: WindowedMean::new(3),
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// The paper's 200-entry, ~2 KB configuration, which "yields close to
+    /// optimal (infinite history) performance".
+    pub fn paper_default() -> Self {
+        CamPredictor::new(200)
+    }
+
+    /// Number of entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of valid entries currently held.
+    pub fn resident(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    fn global_prediction(&self) -> Prediction {
+        Prediction {
+            length: self.global.mean().round() as u64,
+            source: PredictionSource::Global,
+        }
+    }
+
+    fn find(&self, astate: AState) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.valid && e.astate == astate)
+    }
+}
+
+impl RunLengthPredictor for CamPredictor {
+    fn predict(&mut self, astate: AState) -> Prediction {
+        self.clock += 1;
+        match self.find(astate) {
+            Some(i) => {
+                self.entries[i].last_use = self.clock;
+                if self.entries[i].confidence == 0 {
+                    // Low confidence: trust the global estimate instead.
+                    self.global_prediction()
+                } else {
+                    Prediction {
+                        length: self.entries[i].last_len as u64,
+                        source: PredictionSource::Local,
+                    }
+                }
+            }
+            None => self.global_prediction(),
+        }
+    }
+
+    fn learn(&mut self, astate: AState, prediction: Prediction, actual: u64) {
+        self.stats.record(prediction, actual);
+        self.clock += 1;
+        let close = is_close(prediction.length, actual);
+        match self.find(astate) {
+            Some(i) => {
+                let e = &mut self.entries[i];
+                if close {
+                    if e.confidence < 3 {
+                        e.confidence += 1;
+                    }
+                } else if e.confidence > 0 {
+                    e.confidence -= 1;
+                }
+                e.last_len = clamp_len(actual);
+                e.last_use = self.clock;
+            }
+            None => {
+                // Allocate, evicting the LRU entry if necessary.
+                let slot = self
+                    .entries
+                    .iter()
+                    .position(|e| !e.valid)
+                    .unwrap_or_else(|| {
+                        self.entries
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.last_use)
+                            .map(|(i, _)| i)
+                            .expect("capacity > 0")
+                    });
+                self.entries[slot] = Entry {
+                    astate,
+                    last_len: clamp_len(actual),
+                    confidence: 1,
+                    last_use: self.clock,
+                    valid: true,
+                };
+            }
+        }
+        self.global.record(actual as f64);
+    }
+
+    fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PredictorStats::default();
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // Per entry: 64-bit AState tag + 16-bit length + 2-bit confidence.
+        (self.entries.len() * (64 + LEN_BITS as usize + 2)).div_ceil(8)
+    }
+
+    fn organization(&self) -> &'static str {
+        "fully-associative CAM"
+    }
+}
+
+impl fmt::Display for CamPredictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-entry CAM ({} B): {}",
+            self.entries.len(),
+            self.storage_bytes(),
+            self.stats
+        )
+    }
+}
+
+/// The paper's alternative organisation: a tag-less direct-mapped RAM
+/// ("A direct-mapped RAM structure with 1500 entries also provides
+/// similar accuracy and has a storage requirement of 3.3 KB", §III-A).
+///
+/// Being tag-less, distinct AStates that alias to the same index simply
+/// share (and fight over) an entry — cheaper hardware bought with
+/// destructive aliasing, exactly the trade the paper describes.
+#[derive(Debug, Clone)]
+pub struct DirectMappedPredictor {
+    lens: Vec<u16>,
+    confidence: Vec<u8>,
+    valid: Vec<bool>,
+    global: WindowedMean,
+    stats: PredictorStats,
+}
+
+impl DirectMappedPredictor {
+    /// Creates a direct-mapped table with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "DirectMappedPredictor: entries must be positive");
+        DirectMappedPredictor {
+            lens: vec![0; entries],
+            confidence: vec![0; entries],
+            valid: vec![false; entries],
+            global: WindowedMean::new(3),
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// The paper's 1,500-entry, ~3.3 KB configuration.
+    pub fn paper_default() -> Self {
+        DirectMappedPredictor::new(1500)
+    }
+
+    /// Number of entries.
+    pub fn capacity(&self) -> usize {
+        self.lens.len()
+    }
+
+    fn global_prediction(&self) -> Prediction {
+        Prediction {
+            length: self.global.mean().round() as u64,
+            source: PredictionSource::Global,
+        }
+    }
+}
+
+impl RunLengthPredictor for DirectMappedPredictor {
+    fn predict(&mut self, astate: AState) -> Prediction {
+        let i = astate.index_bits(self.lens.len());
+        if self.valid[i] && self.confidence[i] > 0 {
+            Prediction {
+                length: self.lens[i] as u64,
+                source: PredictionSource::Local,
+            }
+        } else {
+            self.global_prediction()
+        }
+    }
+
+    fn learn(&mut self, astate: AState, prediction: Prediction, actual: u64) {
+        self.stats.record(prediction, actual);
+        let i = astate.index_bits(self.lens.len());
+        let close = is_close(prediction.length, actual);
+        if self.valid[i] {
+            if close {
+                if self.confidence[i] < 3 {
+                    self.confidence[i] += 1;
+                }
+            } else if self.confidence[i] > 0 {
+                self.confidence[i] -= 1;
+            }
+        } else {
+            self.valid[i] = true;
+            self.confidence[i] = 1;
+        }
+        self.lens[i] = clamp_len(actual);
+        self.global.record(actual as f64);
+    }
+
+    fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PredictorStats::default();
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // Tag-less: 16-bit length + 2-bit confidence per entry.
+        (self.lens.len() * (LEN_BITS as usize + 2)).div_ceil(8)
+    }
+
+    fn organization(&self) -> &'static str {
+        "tag-less direct-mapped RAM"
+    }
+}
+
+impl fmt::Display for DirectMappedPredictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-entry direct-mapped ({} B): {}",
+            self.lens.len(),
+            self.storage_bytes(),
+            self.stats
+        )
+    }
+}
+
+/// Tracks *binary* decision accuracy — whether `(predicted > N)` agrees
+/// with `(actual > N)` — across a grid of thresholds. Regenerates the
+/// paper's Figure 3.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_core::BinaryAccuracyTracker;
+///
+/// let mut t = BinaryAccuracyTracker::new(&[100, 500, 1000]);
+/// t.record(80, 90);      // both sides of every threshold agree
+/// t.record(600, 400);    // disagrees at N = 500
+/// assert_eq!(t.accuracy(100), 1.0);
+/// assert_eq!(t.accuracy(500), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryAccuracyTracker {
+    thresholds: Vec<u64>,
+    ratios: Vec<Ratio>,
+}
+
+impl BinaryAccuracyTracker {
+    /// Creates a tracker for the given thresholds.
+    pub fn new(thresholds: &[u64]) -> Self {
+        BinaryAccuracyTracker {
+            thresholds: thresholds.to_vec(),
+            ratios: vec![Ratio::new(); thresholds.len()],
+        }
+    }
+
+    /// The paper's Figure 3 grid.
+    pub fn paper_grid() -> Self {
+        BinaryAccuracyTracker::new(&[100, 500, 1_000, 5_000, 10_000])
+    }
+
+    /// Records one (prediction, actual) pair.
+    pub fn record(&mut self, predicted: u64, actual: u64) {
+        for (n, r) in self.thresholds.iter().zip(self.ratios.iter_mut()) {
+            r.record((predicted > *n) == (actual > *n));
+        }
+    }
+
+    /// Binary accuracy at threshold `n` (must be one of the configured
+    /// thresholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` was not configured.
+    pub fn accuracy(&self, n: u64) -> f64 {
+        let i = self
+            .thresholds
+            .iter()
+            .position(|&t| t == n)
+            .expect("threshold not tracked");
+        self.ratios[i].rate()
+    }
+
+    /// Iterates `(threshold, accuracy)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.thresholds
+            .iter()
+            .zip(self.ratios.iter())
+            .map(|(&t, r)| (t, r.rate()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u64) -> AState {
+        AState::from(v)
+    }
+
+    fn teach<P: RunLengthPredictor>(p: &mut P, astate: AState, len: u64, times: usize) {
+        for _ in 0..times {
+            let pr = p.predict(astate);
+            p.learn(astate, pr, len);
+        }
+    }
+
+    #[test]
+    fn cam_learns_per_astate_lengths() {
+        let mut p = CamPredictor::paper_default();
+        teach(&mut p, a(1), 500, 3);
+        teach(&mut p, a(2), 9_000, 3);
+        assert_eq!(p.predict(a(1)).length, 500);
+        assert_eq!(p.predict(a(2)).length, 9_000);
+        assert_eq!(p.predict(a(1)).source, PredictionSource::Local);
+    }
+
+    #[test]
+    fn cold_prediction_is_global() {
+        let mut p = CamPredictor::paper_default();
+        let pr = p.predict(a(42));
+        assert_eq!(pr.source, PredictionSource::Global);
+        assert_eq!(pr.length, 0, "empty global window predicts 0");
+    }
+
+    #[test]
+    fn global_is_mean_of_last_three() {
+        let mut p = CamPredictor::paper_default();
+        teach(&mut p, a(1), 100, 1);
+        teach(&mut p, a(2), 200, 1);
+        teach(&mut p, a(3), 600, 1);
+        teach(&mut p, a(4), 700, 1); // window now holds 200, 600, 700
+        let pr = p.predict(a(99));
+        assert_eq!(pr.source, PredictionSource::Global);
+        assert_eq!(pr.length, 500);
+    }
+
+    #[test]
+    fn confidence_gates_local_predictions() {
+        let mut p = CamPredictor::paper_default();
+        // First observation: entry allocated at confidence 1.
+        teach(&mut p, a(7), 1_000, 1);
+        assert_eq!(p.predict(a(7)).source, PredictionSource::Local);
+        // A wildly different length knocks confidence back to 0...
+        let pr = p.predict(a(7));
+        p.learn(a(7), pr, 50_000);
+        // ...so the next prediction falls back to global.
+        assert_eq!(p.predict(a(7)).source, PredictionSource::Global);
+        // Consistent observations refill the global window and then the
+        // confidence counter, restoring local predictions.
+        for _ in 0..3 {
+            let pr = p.predict(a(7));
+            p.learn(a(7), pr, 50_000);
+        }
+        let pr = p.predict(a(7));
+        assert_eq!(pr.source, PredictionSource::Local);
+        assert_eq!(pr.length, 50_000);
+    }
+
+    #[test]
+    fn confidence_saturates_at_three() {
+        let mut p = CamPredictor::new(4);
+        teach(&mut p, a(1), 100, 10);
+        // After saturation, three bad observations must empty confidence.
+        for _ in 0..3 {
+            let pr = p.predict(a(1));
+            p.learn(a(1), pr, 100_000);
+        }
+        assert_eq!(p.predict(a(1)).source, PredictionSource::Global);
+    }
+
+    #[test]
+    fn cam_capacity_bounded_with_lru_eviction() {
+        let mut p = CamPredictor::new(8);
+        for i in 0..100 {
+            teach(&mut p, a(i), 100 + i, 1);
+        }
+        assert_eq!(p.resident(), 8);
+        // Most recent AStates survive.
+        assert_eq!(p.predict(a(99)).source, PredictionSource::Local);
+        assert_eq!(p.predict(a(0)).source, PredictionSource::Global);
+    }
+
+    #[test]
+    fn paper_storage_budgets() {
+        let cam = CamPredictor::paper_default();
+        let bytes = cam.storage_bytes();
+        assert!(
+            (1_900..=2_200).contains(&bytes),
+            "CAM storage = {bytes} B, paper says ~2 KB"
+        );
+        let dm = DirectMappedPredictor::paper_default();
+        let bytes = dm.storage_bytes();
+        assert!(
+            (3_200..=3_500).contains(&bytes),
+            "DM storage = {bytes} B, paper says ~3.3 KB"
+        );
+    }
+
+    #[test]
+    fn lengths_saturate_at_16_bits() {
+        let mut p = CamPredictor::new(4);
+        // One observation allocates the entry at confidence 1 with the
+        // stored length clamped to the 16-bit field.
+        teach(&mut p, a(1), 1_000_000, 1);
+        let pr = p.predict(a(1));
+        assert_eq!(pr.source, PredictionSource::Local);
+        assert_eq!(pr.length, 65_535);
+    }
+
+    #[test]
+    fn direct_mapped_learns_and_aliases() {
+        let mut p = DirectMappedPredictor::new(16);
+        teach(&mut p, a(3), 700, 3);
+        assert_eq!(p.predict(a(3)).length, 700);
+        // a(3 + 16) aliases to the same slot: tag-less sharing.
+        let aliased = p.predict(a(3 + 16));
+        assert_eq!(aliased.length, 700);
+        assert_eq!(aliased.source, PredictionSource::Local);
+    }
+
+    #[test]
+    fn stats_track_exact_and_close() {
+        let mut p = CamPredictor::paper_default();
+        teach(&mut p, a(1), 1_000, 1); // cold: global 0 vs 1000 = miss
+        teach(&mut p, a(1), 1_000, 3); // exact hits
+        let s = p.stats();
+        assert_eq!(s.exact.total(), 4);
+        assert_eq!(s.exact.hits(), 3);
+        assert!(s.within_close.rate() >= s.exact.rate());
+    }
+
+    #[test]
+    fn underestimates_recorded() {
+        let mut p = CamPredictor::paper_default();
+        teach(&mut p, a(1), 1_000, 2);
+        // Interrupt-extended invocation: actual exceeds prediction.
+        let pr = p.predict(a(1));
+        p.learn(a(1), pr, 5_000);
+        assert!(p.stats().underestimates.hits() >= 1);
+    }
+
+    #[test]
+    fn is_close_boundaries() {
+        assert!(is_close(100, 100));
+        assert!(is_close(95, 100));
+        assert!(is_close(105, 100));
+        assert!(!is_close(94, 100));
+        assert!(!is_close(106, 100));
+        // Tolerance floor of 1 for tiny lengths.
+        assert!(is_close(21, 22));
+        assert!(!is_close(19, 22));
+    }
+
+    #[test]
+    fn binary_tracker_paper_grid() {
+        let mut t = BinaryAccuracyTracker::paper_grid();
+        t.record(600, 550);
+        t.record(90, 12_000);
+        let at_100: Vec<(u64, f64)> = t.iter().collect();
+        assert_eq!(at_100.len(), 5);
+        assert!((t.accuracy(100) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!CamPredictor::paper_default().to_string().is_empty());
+        assert!(!DirectMappedPredictor::paper_default().to_string().is_empty());
+        assert!(!PredictorStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the predictor, policies and tuner.
+
+use crate::astate::AState;
+use crate::policy::{
+    DynamicInstrumentation, HardwarePredictor, OffloadPolicy, OsEntry,
+};
+use crate::predictor::{
+    is_close, CamPredictor, DirectMappedPredictor, PredictionSource, RunLengthPredictor,
+};
+use crate::tuner::{ThresholdTuner, TunerConfig};
+use osoffload_sim::Instret;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `is_close` is reflexive and symmetric-in-direction around the
+    /// ±5% band of the actual value.
+    #[test]
+    fn close_band_properties(actual in 1u64..100_000) {
+        prop_assert!(is_close(actual, actual));
+        let band = ((actual as f64) * 0.05).max(1.0) as u64;
+        prop_assert!(is_close(actual + band, actual));
+        prop_assert!(!is_close(actual + 2 * band + 2, actual));
+    }
+
+    /// Both organisations give identical answers to identical histories
+    /// whenever aliasing cannot occur (few AStates, large tables).
+    #[test]
+    fn organisations_agree_without_aliasing(
+        pairs in prop::collection::vec((0u64..8, 50u64..5_000), 1..200)
+    ) {
+        let mut cam = CamPredictor::new(256);
+        let mut dm = DirectMappedPredictor::new(4096);
+        for &(a, len) in &pairs {
+            // Spread AStates so the direct-mapped index bits differ.
+            let astate = AState::from(a.wrapping_mul(0x100) + 7);
+            let pc = cam.predict(astate);
+            let pd = dm.predict(astate);
+            prop_assert_eq!(pc.length, pd.length);
+            prop_assert_eq!(pc.source, pd.source);
+            cam.learn(astate, pc, len);
+            dm.learn(astate, pd, len);
+        }
+    }
+
+    /// Stats accounting is conserved: totals equal learn() calls, and
+    /// `exact <= within_close`.
+    #[test]
+    fn predictor_stats_conserved(
+        pairs in prop::collection::vec((0u64..30, 1u64..10_000), 1..300)
+    ) {
+        let mut p = CamPredictor::paper_default();
+        for &(a, len) in &pairs {
+            let astate = AState::from(a);
+            let pred = p.predict(astate);
+            p.learn(astate, pred, len);
+        }
+        let s = p.stats();
+        prop_assert_eq!(s.exact.total(), pairs.len() as u64);
+        prop_assert!(s.exact.hits() <= s.within_close.hits());
+        prop_assert_eq!(s.underestimates.total(), pairs.len() as u64);
+    }
+
+    /// HI and DI make identical off-load decisions from identical
+    /// histories — "DI is the functional equivalent of the hardware
+    /// prediction engine" — differing only in overhead.
+    #[test]
+    fn di_is_functionally_equivalent_to_hi(
+        invocations in prop::collection::vec((0u64..20, 10u64..20_000), 1..200),
+        threshold in 0u64..10_000,
+    ) {
+        let mut hi = HardwarePredictor::new(CamPredictor::paper_default(), threshold);
+        let mut di = DynamicInstrumentation::new(CamPredictor::paper_default(), threshold, 150);
+        for &(a, len) in &invocations {
+            let entry = OsEntry { astate: AState::from(a), routine: a };
+            let dh = hi.decide(entry);
+            let dd = di.decide(entry);
+            prop_assert_eq!(dh.offload, dd.offload);
+            prop_assert!(dd.overhead_cycles > dh.overhead_cycles);
+            hi.complete(entry, &dh, len);
+            di.complete(entry, &dd, len);
+        }
+    }
+
+    /// The tuner always directs thresholds from its candidate grid and
+    /// epoch lengths within [sample, cap].
+    #[test]
+    fn tuner_outputs_stay_on_grid(
+        rates in prop::collection::vec(0.0f64..1.0, 1..200),
+        priv_frac in 0.0f64..1.0,
+    ) {
+        let cfg = TunerConfig {
+            candidates: vec![0, 100, 500, 1_000, 5_000, 10_000],
+            sample_epoch: Instret::new(100),
+            stable_base: Instret::new(400),
+            stable_cap: Instret::new(1_600),
+            improvement: 0.01,
+            os_heavy_pivot: 0.10,
+            initial_os_heavy: 1_000,
+            initial_os_light: 10_000,
+        };
+        let grid = cfg.candidates.clone();
+        let mut tuner = ThresholdTuner::new(cfg);
+        let d = tuner.initialize(priv_frac);
+        prop_assert!(grid.contains(&d.threshold));
+        for &r in &rates {
+            let d = tuner.on_epoch_end(r);
+            prop_assert!(grid.contains(&d.threshold), "off-grid threshold {}", d.threshold);
+            prop_assert!(d.epoch_len >= Instret::new(100) && d.epoch_len <= Instret::new(1_600));
+        }
+        prop_assert_eq!(tuner.history().len(), rates.len());
+    }
+
+    /// Cold predictors always fall back to the global source.
+    #[test]
+    fn cold_lookups_are_global(a in prop::num::u64::ANY) {
+        let mut p = CamPredictor::paper_default();
+        prop_assert_eq!(p.predict(AState::from(a)).source, PredictionSource::Global);
+    }
+}

@@ -1,0 +1,242 @@
+//! Architected register state.
+//!
+//! The hardware predictor's input is the *AState*: "the XOR of PSTATE,
+//! g0 and g1 (global registers), and i0 and i1 (input argument registers)"
+//! sampled at every switch to privileged mode (§III-A). [`ArchState`]
+//! models exactly the registers that participate, plus the program
+//! counter and the trap entry/exit protocol that updates them.
+//!
+//! On SPARC the syscall convention places the syscall number in `%g1` and
+//! the first arguments in `%o0`/`%o1` — which become the handler's
+//! `%i0`/`%i1` after the trap's register-window shift. The workload
+//! models set these registers before raising a trap, so the AState really
+//! does encode "the type of OS invocation, input values, and the
+//! execution environment".
+
+use crate::pstate::Pstate;
+use core::fmt;
+
+/// Architected register state of one hardware thread.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_cpu::ArchState;
+///
+/// let mut arch = ArchState::new();
+/// arch.set_syscall_registers(167 /* read */, 3, 8192);
+/// arch.enter_privileged();
+/// let a = arch.astate_inputs();
+/// arch.exit_privileged();
+/// assert!(!arch.pstate().is_privileged());
+/// // Same registers => same AState inputs on the next trap.
+/// arch.enter_privileged();
+/// assert_eq!(arch.astate_inputs(), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    pstate: Pstate,
+    globals: [u64; 8],
+    ins: [u64; 8],
+    pc: u64,
+    saved_user_pstate: Pstate,
+}
+
+impl ArchState {
+    /// Creates a thread in user mode with zeroed registers.
+    pub fn new() -> Self {
+        ArchState {
+            pstate: Pstate::user_default(),
+            globals: [0; 8],
+            ins: [0; 8],
+            pc: 0,
+            saved_user_pstate: Pstate::user_default(),
+        }
+    }
+
+    /// Current `PSTATE`.
+    pub fn pstate(&self) -> Pstate {
+        self.pstate
+    }
+
+    /// Mutable `PSTATE` (interrupt masking etc.).
+    pub fn pstate_mut(&mut self) -> &mut Pstate {
+        &mut self.pstate
+    }
+
+    /// Reads global register `%g<i>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn global(&self, i: usize) -> u64 {
+        self.globals[i]
+    }
+
+    /// Writes global register `%g<i>`. Writes to `%g0` are discarded —
+    /// it is hardwired to zero on SPARC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn set_global(&mut self, i: usize, value: u64) {
+        assert!(i < 8, "ArchState: global register index out of range");
+        if i != 0 {
+            self.globals[i] = value;
+        }
+    }
+
+    /// Reads input register `%i<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn input(&self, n: usize) -> u64 {
+        self.ins[n]
+    }
+
+    /// Writes input register `%i<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn set_input(&mut self, n: usize, value: u64) {
+        self.ins[n] = value;
+    }
+
+    /// Program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Convenience for the SPARC syscall convention: `%g1` = syscall
+    /// number, `%i0`/`%i1` = first two arguments (as seen by the handler
+    /// after the trap's window shift).
+    pub fn set_syscall_registers(&mut self, number: u64, arg0: u64, arg1: u64) {
+        self.set_global(1, number);
+        self.set_input(0, arg0);
+        self.set_input(1, arg1);
+    }
+
+    /// Enters privileged mode (trap taken): saves the user `PSTATE`,
+    /// sets `PRIV` and the alternate-globals bit.
+    pub fn enter_privileged(&mut self) {
+        self.saved_user_pstate = self.pstate;
+        self.pstate.set_privileged(true);
+        self.pstate.set_alternate_globals(true);
+    }
+
+    /// Exits privileged mode (trap return): restores the saved user
+    /// `PSTATE`.
+    pub fn exit_privileged(&mut self) {
+        self.pstate = self.saved_user_pstate;
+    }
+
+    /// The five register values the predictor XOR-hashes, in paper order:
+    /// `PSTATE`, `%g0`, `%g1`, `%i0`, `%i1` (§III-A).
+    pub fn astate_inputs(&self) -> [u64; 5] {
+        [
+            self.pstate.bits(),
+            self.globals[0],
+            self.globals[1],
+            self.ins[0],
+            self.ins[1],
+        ]
+    }
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for ArchState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pc={:#x} g1={:#x} i0={:#x} i1={:#x}",
+            self.pstate, self.pc, self.globals[1], self.ins[0], self.ins[1]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g0_is_hardwired_zero() {
+        let mut a = ArchState::new();
+        a.set_global(0, 0xdead);
+        assert_eq!(a.global(0), 0);
+        a.set_global(1, 0xdead);
+        assert_eq!(a.global(1), 0xdead);
+    }
+
+    #[test]
+    fn trap_entry_exit_restores_user_pstate() {
+        let mut a = ArchState::new();
+        a.pstate_mut().set_fpu_enabled(false);
+        let user = a.pstate();
+        a.enter_privileged();
+        assert!(a.pstate().is_privileged());
+        assert!(a.pstate().alternate_globals());
+        a.exit_privileged();
+        assert_eq!(a.pstate(), user);
+    }
+
+    #[test]
+    fn nested_interrupt_inside_trap_keeps_priv() {
+        let mut a = ArchState::new();
+        a.enter_privileged();
+        // An interrupt handler may mask interrupts while in the kernel.
+        a.pstate_mut().set_interrupts_enabled(false);
+        assert!(a.pstate().is_privileged());
+        a.exit_privileged();
+        assert!(a.pstate().interrupts_enabled(), "user IE restored");
+    }
+
+    #[test]
+    fn astate_inputs_track_syscall_registers() {
+        let mut a = ArchState::new();
+        a.set_syscall_registers(5, 100, 200);
+        a.enter_privileged();
+        let x = a.astate_inputs();
+        assert_eq!(x[1], 0, "g0 always zero");
+        assert_eq!(x[2], 5);
+        assert_eq!(x[3], 100);
+        assert_eq!(x[4], 200);
+        a.exit_privileged();
+
+        // Different args => different inputs.
+        a.set_syscall_registers(5, 100, 300);
+        a.enter_privileged();
+        assert_ne!(a.astate_inputs(), x);
+    }
+
+    #[test]
+    fn astate_distinguishes_user_and_kernel_pstate() {
+        let mut a = ArchState::new();
+        let user_inputs = a.astate_inputs();
+        a.enter_privileged();
+        assert_ne!(a.astate_inputs()[0], user_inputs[0]);
+    }
+
+    #[test]
+    fn pc_round_trips() {
+        let mut a = ArchState::new();
+        a.set_pc(0x4_0000);
+        assert_eq!(a.pc(), 0x4_0000);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ArchState::new().to_string().is_empty());
+    }
+}

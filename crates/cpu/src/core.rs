@@ -1,0 +1,380 @@
+//! Per-core microarchitectural state.
+//!
+//! [`CoreState`] bundles the structures that belong to a *physical core*
+//! — TLB, branch predictor, retirement counters. Architected thread state
+//! ([`ArchState`](crate::arch::ArchState)) deliberately lives outside: it
+//! migrates with the thread during off-loading while the TLB and branch
+//! predictor stay put (which is precisely why off-loading changes their
+//! hit rates).
+//!
+//! The module also models SPARC register windows, whose spill/fill traps
+//! are the ultra-short privileged invocations §IV discusses excluding
+//! from the headline graphs.
+
+use crate::branch::BranchPredictor;
+use crate::tlb::Tlb;
+use core::fmt;
+use osoffload_sim::{Counter, Cycle, Instret};
+
+/// Fixed timing parameters of the in-order pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreParams {
+    /// Cycles consumed by any instruction before memory/branch penalties
+    /// (1 for the paper's single-issue in-order core).
+    pub base_cycles_per_instr: u64,
+    /// Number of register windows (SPARC implementations: 3–32; 8 is
+    /// typical of UltraSPARC-III).
+    pub register_windows: u32,
+}
+
+impl CoreParams {
+    /// The paper's Table II design point.
+    pub fn paper_default() -> Self {
+        CoreParams {
+            base_cycles_per_instr: 1,
+            register_windows: 8,
+        }
+    }
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Outcome of a call/return against the register-window file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowEvent {
+    /// The window shift succeeded without a trap.
+    Ok,
+    /// A `save` found no clean window: spill trap (privileged, ~20 insn).
+    SpillTrap,
+    /// A `restore` found no valid window: fill trap (privileged, ~20 insn).
+    FillTrap,
+}
+
+/// SPARC rotating register windows.
+///
+/// Tracks call depth against the physical window count; overflowing calls
+/// raise spill traps and underflowing returns raise fill traps, exactly
+/// the short (<25 instruction) privileged invocations the paper calls out
+/// as a SPARC artefact (§IV).
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_cpu::core::{RegisterWindows, WindowEvent};
+///
+/// let mut w = RegisterWindows::new(3);
+/// assert_eq!(w.call(), WindowEvent::Ok);
+/// assert_eq!(w.call(), WindowEvent::Ok);
+/// // Third call exceeds the 3-window file (one reserved): spill.
+/// assert_eq!(w.call(), WindowEvent::SpillTrap);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterWindows {
+    physical: u32,
+    /// Call frames currently backed by physical windows.
+    resident: u32,
+    /// Total call depth (frames spilled to memory are still on the stack).
+    depth: u64,
+    spills: Counter,
+    fills: Counter,
+}
+
+impl RegisterWindows {
+    /// Creates a window file with `physical` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical < 2` (SPARC requires one window reserved for
+    /// trap handlers).
+    pub fn new(physical: u32) -> Self {
+        assert!(physical >= 2, "RegisterWindows: need at least 2 windows");
+        RegisterWindows {
+            physical,
+            resident: 0,
+            depth: 0,
+            spills: Counter::new(),
+            fills: Counter::new(),
+        }
+    }
+
+    /// Executes a `save` (function call). Returns whether a spill trap
+    /// was raised.
+    pub fn call(&mut self) -> WindowEvent {
+        self.depth += 1;
+        // One window is reserved for the trap handler itself.
+        if self.resident + 1 >= self.physical {
+            self.spills.incr();
+            // The spill handler frees older windows; model half the file
+            // being written out, which is what Solaris does.
+            self.resident = self.physical / 2;
+            WindowEvent::SpillTrap
+        } else {
+            self.resident += 1;
+            WindowEvent::Ok
+        }
+    }
+
+    /// Executes a `restore` (function return). Returns whether a fill
+    /// trap was raised. Returns at depth zero are ignored (top frame).
+    pub fn ret(&mut self) -> WindowEvent {
+        if self.depth == 0 {
+            return WindowEvent::Ok;
+        }
+        self.depth -= 1;
+        if self.resident == 0 {
+            self.fills.incr();
+            // The fill handler reloads a batch of windows from memory.
+            self.resident = (self.physical / 2).min(self.depth.min(u32::MAX as u64) as u32);
+            WindowEvent::FillTrap
+        } else {
+            self.resident -= 1;
+            WindowEvent::Ok
+        }
+    }
+
+    /// Spill traps raised so far.
+    pub fn spills(&self) -> u64 {
+        self.spills.get()
+    }
+
+    /// Fill traps raised so far.
+    pub fn fills(&self) -> u64 {
+        self.fills.get()
+    }
+
+    /// Current call depth.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+}
+
+/// Microarchitectural state of one physical core.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_cpu::{CoreParams, CoreState};
+///
+/// let mut core = CoreState::new(CoreParams::paper_default());
+/// core.retire_user(100);
+/// core.retire_privileged(50);
+/// assert_eq!(core.retired_total().as_u64(), 150);
+/// assert!((core.privileged_fraction() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct CoreState {
+    params: CoreParams,
+    tlb: Tlb,
+    branch: BranchPredictor,
+    windows: RegisterWindows,
+    user_retired: Instret,
+    priv_retired: Instret,
+    busy: Cycle,
+}
+
+impl CoreState {
+    /// Creates a core with cold structures.
+    pub fn new(params: CoreParams) -> Self {
+        CoreState {
+            params,
+            tlb: Tlb::paper_default(),
+            branch: BranchPredictor::paper_default(),
+            windows: RegisterWindows::new(params.register_windows),
+            user_retired: Instret::ZERO,
+            priv_retired: Instret::ZERO,
+            busy: Cycle::ZERO,
+        }
+    }
+
+    /// Pipeline parameters.
+    pub fn params(&self) -> &CoreParams {
+        &self.params
+    }
+
+    /// The core's TLB.
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.tlb
+    }
+
+    /// TLB (read-only).
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// The core's branch predictor.
+    pub fn branch_mut(&mut self) -> &mut BranchPredictor {
+        &mut self.branch
+    }
+
+    /// Branch predictor (read-only).
+    pub fn branch(&self) -> &BranchPredictor {
+        &self.branch
+    }
+
+    /// The core's register-window file.
+    pub fn windows_mut(&mut self) -> &mut RegisterWindows {
+        &mut self.windows
+    }
+
+    /// Register windows (read-only).
+    pub fn windows(&self) -> &RegisterWindows {
+        &self.windows
+    }
+
+    /// Records `n` retired user-mode instructions.
+    pub fn retire_user(&mut self, n: u64) {
+        self.user_retired += n;
+    }
+
+    /// Records `n` retired privileged-mode instructions.
+    pub fn retire_privileged(&mut self, n: u64) {
+        self.priv_retired += n;
+    }
+
+    /// Total instructions retired on this core.
+    pub fn retired_total(&self) -> Instret {
+        self.user_retired + self.priv_retired
+    }
+
+    /// Privileged instructions retired on this core.
+    pub fn retired_privileged(&self) -> Instret {
+        self.priv_retired
+    }
+
+    /// Fraction of retired instructions that were privileged (0 when the
+    /// core has retired nothing).
+    pub fn privileged_fraction(&self) -> f64 {
+        let total = self.retired_total().as_u64();
+        if total == 0 {
+            0.0
+        } else {
+            self.priv_retired.as_f64() / total as f64
+        }
+    }
+
+    /// Cycles this core has spent executing (busy time, for OS-core
+    /// utilisation: Table III).
+    pub fn busy(&self) -> Cycle {
+        self.busy
+    }
+
+    /// Adds busy time.
+    pub fn add_busy(&mut self, c: Cycle) {
+        self.busy += c;
+    }
+
+    /// Zeroes retirement counters, busy time, and the TLB/branch
+    /// statistics, keeping all microarchitectural state warm (used when
+    /// discarding warm-up statistics).
+    pub fn reset_stats(&mut self) {
+        self.user_retired = Instret::ZERO;
+        self.priv_retired = Instret::ZERO;
+        self.busy = Cycle::ZERO;
+        self.tlb.reset_stats();
+        self.branch.reset_stats();
+    }
+}
+
+impl fmt::Display for CoreState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core: {} retired ({:.1}% priv), busy {}",
+            self.retired_total(),
+            self.privileged_fraction() * 100.0,
+            self.busy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_call_chain_spills() {
+        let mut w = RegisterWindows::new(8);
+        let mut spills = 0;
+        for _ in 0..20 {
+            if w.call() == WindowEvent::SpillTrap {
+                spills += 1;
+            }
+        }
+        assert!(spills >= 2, "spills = {spills}");
+        assert_eq!(w.depth(), 20);
+    }
+
+    #[test]
+    fn return_chain_fills() {
+        let mut w = RegisterWindows::new(8);
+        for _ in 0..20 {
+            w.call();
+        }
+        let mut fills = 0;
+        for _ in 0..20 {
+            if w.ret() == WindowEvent::FillTrap {
+                fills += 1;
+            }
+        }
+        assert!(fills >= 1, "fills = {fills}");
+        assert_eq!(w.depth(), 0);
+    }
+
+    #[test]
+    fn shallow_recursion_never_traps() {
+        let mut w = RegisterWindows::new(8);
+        for _ in 0..100 {
+            assert_eq!(w.call(), WindowEvent::Ok);
+            assert_eq!(w.call(), WindowEvent::Ok);
+            assert_eq!(w.ret(), WindowEvent::Ok);
+            assert_eq!(w.ret(), WindowEvent::Ok);
+        }
+        assert_eq!(w.spills(), 0);
+        assert_eq!(w.fills(), 0);
+    }
+
+    #[test]
+    fn return_at_depth_zero_is_noop() {
+        let mut w = RegisterWindows::new(4);
+        assert_eq!(w.ret(), WindowEvent::Ok);
+        assert_eq!(w.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_window_rejected() {
+        RegisterWindows::new(1);
+    }
+
+    #[test]
+    fn core_state_counters() {
+        let mut c = CoreState::new(CoreParams::paper_default());
+        assert_eq!(c.privileged_fraction(), 0.0);
+        c.retire_user(90);
+        c.retire_privileged(10);
+        assert!((c.privileged_fraction() - 0.1).abs() < 1e-12);
+        c.add_busy(Cycle::new(500));
+        assert_eq!(c.busy(), Cycle::new(500));
+        assert_eq!(c.retired_privileged().as_u64(), 10);
+    }
+
+    #[test]
+    fn core_structures_accessible() {
+        let mut c = CoreState::new(CoreParams::paper_default());
+        assert_eq!(c.tlb().capacity(), 128);
+        assert_eq!(c.branch().entries(), 4096);
+        c.tlb_mut().translate(0x1000);
+        c.branch_mut().execute(0x2000, true);
+        c.windows_mut().call();
+        assert_eq!(c.windows().depth(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!CoreState::new(CoreParams::default()).to_string().is_empty());
+    }
+}

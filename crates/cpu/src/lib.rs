@@ -1,0 +1,49 @@
+//! In-order core model for the `osoffload` CMP simulator.
+//!
+//! The paper simulates in-order UltraSPARC-III cores (§IV, Table II). This
+//! crate models the per-core microarchitectural state that matters to the
+//! off-loading study:
+//!
+//! * [`pstate`] — the SPARC `PSTATE` register, whose privileged-mode bit
+//!   defines what counts as "OS execution" (§IV) and which feeds the
+//!   AState hash;
+//! * [`arch`] — architected register state ([`ArchState`]): the globals
+//!   and input-argument registers the hardware predictor XOR-hashes at
+//!   every user→privileged transition (§III-A);
+//! * [`tlb`] — a 128-entry fully-associative TLB (Table II);
+//! * [`branch`] — a bimodal branch predictor, capturing the user/OS
+//!   aliasing interference that off-loading removes;
+//! * [`core`] — [`CoreState`], bundling the above per hardware thread,
+//!   plus the register-window spill/fill trap mechanics unique to SPARC
+//!   (§IV discusses excluding these ultra-short traps).
+//!
+//! # Examples
+//!
+//! ```
+//! use osoffload_cpu::{ArchState, Pstate};
+//!
+//! let mut arch = ArchState::new();
+//! arch.set_syscall_registers(4 /* write */, 0xbeef, 4096);
+//! arch.enter_privileged();
+//! assert!(arch.pstate().is_privileged());
+//! let inputs = arch.astate_inputs();
+//! assert_eq!(inputs.len(), 5); // PSTATE, g0, g1, i0, i1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod branch;
+pub mod core;
+pub mod pstate;
+pub mod tlb;
+
+#[cfg(test)]
+mod proptests;
+
+pub use arch::ArchState;
+pub use branch::{BranchPredictor, BranchStats};
+pub use core::{CoreParams, CoreState};
+pub use pstate::Pstate;
+pub use tlb::{Tlb, TlbStats};

@@ -1,0 +1,221 @@
+//! The SPARC V9 `PSTATE` processor-state register.
+//!
+//! `PSTATE` "holds the current state of the processor and contains
+//! information (in bit fields) such as floating-point enable, execution
+//! mode (user or privilege), memory model, interrupt enable, etc." (§IV).
+//! The paper's techniques use the execution-mode bit to delimit OS
+//! sequences, and the whole register participates in the AState XOR hash
+//! (§III-A) because it encodes the execution environment of the trap.
+//!
+//! Bit positions follow the SPARC Architecture Manual V9, Table 5-5.
+
+use core::fmt;
+
+/// The `PSTATE` register as a typed 64-bit value.
+///
+/// Only the fields the simulator manipulates get accessors; the raw value
+/// is what feeds the predictor hash.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_cpu::Pstate;
+///
+/// let mut p = Pstate::user_default();
+/// assert!(!p.is_privileged());
+/// p.set_privileged(true);
+/// p.set_interrupts_enabled(false);
+/// assert!(p.is_privileged());
+/// assert!(!p.interrupts_enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pstate(u64);
+
+impl Pstate {
+    /// AG — alternate globals active.
+    pub const AG: u64 = 1 << 0;
+    /// IE — interrupt enable.
+    pub const IE: u64 = 1 << 1;
+    /// PRIV — privileged execution mode.
+    pub const PRIV: u64 = 1 << 2;
+    /// AM — address masking (32-bit compatibility).
+    pub const AM: u64 = 1 << 3;
+    /// PEF — floating-point unit enabled.
+    pub const PEF: u64 = 1 << 4;
+    /// MM — memory-model field (2 bits: TSO/PSO/RMO).
+    pub const MM_SHIFT: u32 = 6;
+
+    /// A typical user-mode `PSTATE`: FP enabled, interrupts enabled, TSO.
+    pub fn user_default() -> Self {
+        Pstate(Self::IE | Self::PEF)
+    }
+
+    /// A typical trap-handler `PSTATE`: privileged, alternate globals,
+    /// interrupts still enabled (most SPARC syscall handlers re-enable
+    /// them immediately, which is what lets device interrupts extend OS
+    /// invocations — §III-A).
+    pub fn kernel_default() -> Self {
+        Pstate(Self::IE | Self::PEF | Self::PRIV | Self::AG)
+    }
+
+    /// Creates a `PSTATE` from raw bits.
+    pub const fn from_bits(bits: u64) -> Self {
+        Pstate(bits)
+    }
+
+    /// The raw register value (the predictor hashes this).
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the processor is in privileged (OS) mode.
+    pub const fn is_privileged(self) -> bool {
+        self.0 & Self::PRIV != 0
+    }
+
+    /// Sets or clears the privileged-mode bit.
+    pub fn set_privileged(&mut self, on: bool) {
+        if on {
+            self.0 |= Self::PRIV;
+        } else {
+            self.0 &= !Self::PRIV;
+        }
+    }
+
+    /// Whether maskable interrupts are enabled.
+    pub const fn interrupts_enabled(self) -> bool {
+        self.0 & Self::IE != 0
+    }
+
+    /// Sets or clears the interrupt-enable bit.
+    pub fn set_interrupts_enabled(&mut self, on: bool) {
+        if on {
+            self.0 |= Self::IE;
+        } else {
+            self.0 &= !Self::IE;
+        }
+    }
+
+    /// Whether the FPU is enabled.
+    pub const fn fpu_enabled(self) -> bool {
+        self.0 & Self::PEF != 0
+    }
+
+    /// Sets or clears the FPU-enable bit.
+    pub fn set_fpu_enabled(&mut self, on: bool) {
+        if on {
+            self.0 |= Self::PEF;
+        } else {
+            self.0 &= !Self::PEF;
+        }
+    }
+
+    /// Whether the alternate-globals set is active (trap handlers).
+    pub const fn alternate_globals(self) -> bool {
+        self.0 & Self::AG != 0
+    }
+
+    /// Sets or clears the alternate-globals bit.
+    pub fn set_alternate_globals(&mut self, on: bool) {
+        if on {
+            self.0 |= Self::AG;
+        } else {
+            self.0 &= !Self::AG;
+        }
+    }
+
+    /// The 2-bit memory-model field (0 = TSO, 1 = PSO, 2 = RMO).
+    pub const fn memory_model(self) -> u8 {
+        ((self.0 >> Self::MM_SHIFT) & 0b11) as u8
+    }
+
+    /// Sets the memory-model field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mm > 2`.
+    pub fn set_memory_model(&mut self, mm: u8) {
+        assert!(mm <= 2, "Pstate: memory model must be TSO(0)/PSO(1)/RMO(2)");
+        self.0 = (self.0 & !(0b11 << Self::MM_SHIFT)) | ((mm as u64) << Self::MM_SHIFT);
+    }
+}
+
+impl fmt::Display for Pstate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PSTATE[{}{}{}{} mm={}]",
+            if self.is_privileged() { "P" } else { "u" },
+            if self.interrupts_enabled() { "I" } else { "-" },
+            if self.fpu_enabled() { "F" } else { "-" },
+            if self.alternate_globals() { "A" } else { "-" },
+            self.memory_model()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_default_is_unprivileged() {
+        let p = Pstate::user_default();
+        assert!(!p.is_privileged());
+        assert!(p.interrupts_enabled());
+        assert!(p.fpu_enabled());
+        assert!(!p.alternate_globals());
+    }
+
+    #[test]
+    fn kernel_default_is_privileged_with_interrupts() {
+        let p = Pstate::kernel_default();
+        assert!(p.is_privileged());
+        // Interrupts stay enabled in handlers — the source of the paper's
+        // hard-to-predict invocation extensions.
+        assert!(p.interrupts_enabled());
+        assert!(p.alternate_globals());
+    }
+
+    #[test]
+    fn bit_toggles_round_trip() {
+        let mut p = Pstate::user_default();
+        p.set_privileged(true);
+        assert!(p.is_privileged());
+        p.set_privileged(false);
+        assert!(!p.is_privileged());
+        p.set_interrupts_enabled(false);
+        assert!(!p.interrupts_enabled());
+        p.set_fpu_enabled(false);
+        assert!(!p.fpu_enabled());
+        p.set_alternate_globals(true);
+        assert!(p.alternate_globals());
+    }
+
+    #[test]
+    fn memory_model_field_isolated() {
+        let mut p = Pstate::user_default();
+        p.set_memory_model(2);
+        assert_eq!(p.memory_model(), 2);
+        assert!(p.interrupts_enabled(), "MM write must not clobber IE");
+        p.set_memory_model(0);
+        assert_eq!(p.memory_model(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory model")]
+    fn invalid_memory_model_panics() {
+        Pstate::user_default().set_memory_model(3);
+    }
+
+    #[test]
+    fn distinct_modes_hash_differently() {
+        // The AState hash depends on PSTATE differing between contexts.
+        assert_ne!(Pstate::user_default().bits(), Pstate::kernel_default().bits());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Pstate::kernel_default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Energy and energy-delay-product modelling for OS off-loading.
+//!
+//! The paper's focus is performance, but §I frames off-loading's second
+//! benefit as "improved power efficiency due to smarter use of
+//! heterogeneous cores", and its conclusion names "the applicability of
+//! the predictor for OS energy optimizations" as future work. This crate
+//! builds that extension:
+//!
+//! * [`params`] — core types (aggressive vs Mogul-style efficiency
+//!   core), per-access memory energies, migration energy;
+//! * [`model`] — [`evaluate`]: score any finished simulation report for
+//!   total joules and EDP.
+//!
+//! The simulator side is already heterogeneous-ready: configure
+//! `SystemConfig::os_core_slowdown_milli` to stretch OS-core execution
+//! and pair it with [`EnergyParams::heterogeneous`] to study the
+//! performance/efficiency trade of a low-power OS core.
+//!
+//! # Examples
+//!
+//! ```
+//! use osoffload_energy::{evaluate, EnergyParams};
+//! use osoffload_system::{PolicyKind, Simulation, SystemConfig};
+//! use osoffload_workload::Profile;
+//!
+//! let report = Simulation::new(
+//!     SystemConfig::builder()
+//!         .profile(Profile::blackscholes())
+//!         .policy(PolicyKind::Baseline)
+//!         .instructions(50_000)
+//!         .seed(3)
+//!         .build(),
+//! )
+//! .run();
+//! let energy = evaluate(&report, &EnergyParams::homogeneous());
+//! println!("{energy}");
+//! assert!(energy.edp > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod params;
+
+pub use model::{evaluate, EnergyReport};
+pub use params::{CoreType, EnergyParams, MemoryEnergy};

@@ -1,0 +1,255 @@
+//! The energy/EDP evaluator.
+//!
+//! Consumes a finished [`SimReport`] plus [`EnergyParams`] and produces
+//! an [`EnergyReport`]: core energy (active + idle per core type),
+//! memory-system energy from the absolute access counts, migration
+//! energy, total joules, and energy-delay product. Because it works on
+//! the report, any simulation — baseline, off-loading, RPC-mechanism,
+//! heterogeneous OS core — can be scored without re-running it.
+
+use crate::params::EnergyParams;
+use core::fmt;
+use osoffload_system::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// Energy accounting for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Wall-clock seconds of the measured region.
+    pub seconds: f64,
+    /// Energy of the user cores (active + idle), joules.
+    pub user_core_joules: f64,
+    /// Energy of the OS core (0 for baseline topologies), joules.
+    pub os_core_joules: f64,
+    /// Cache (L1 + L2) access energy, joules.
+    pub cache_joules: f64,
+    /// DRAM access + writeback energy, joules.
+    pub dram_joules: f64,
+    /// Coherence-message energy, joules.
+    pub coherence_joules: f64,
+    /// Thread-migration energy, joules.
+    pub migration_joules: f64,
+    /// Total energy, joules.
+    pub total_joules: f64,
+    /// Energy-delay product, joule-seconds (the paper's efficiency
+    /// metric of interest, §III-B).
+    pub edp: f64,
+    /// Energy per retired instruction, nanojoules.
+    pub nj_per_instruction: f64,
+}
+
+impl EnergyReport {
+    /// This run's EDP normalized to a baseline run (< 1 means more
+    /// efficient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline EDP is zero.
+    pub fn edp_normalized_to(&self, baseline: &EnergyReport) -> f64 {
+        assert!(baseline.edp > 0.0, "baseline EDP is zero");
+        self.edp / baseline.edp
+    }
+
+    /// This run's total energy normalized to a baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline energy is zero.
+    pub fn energy_normalized_to(&self, baseline: &EnergyReport) -> f64 {
+        assert!(baseline.total_joules > 0.0, "baseline energy is zero");
+        self.total_joules / baseline.total_joules
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} mJ total ({:.3} user + {:.3} OS + {:.3} mem) over {:.3} ms, EDP {:.3e}",
+            self.total_joules * 1e3,
+            self.user_core_joules * 1e3,
+            self.os_core_joules * 1e3,
+            (self.cache_joules + self.dram_joules + self.coherence_joules) * 1e3,
+            self.seconds * 1e3,
+            self.edp
+        )
+    }
+}
+
+/// Evaluates a simulation report under an energy parameter set.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_energy::{evaluate, EnergyParams};
+/// use osoffload_system::{PolicyKind, Simulation, SystemConfig};
+/// use osoffload_workload::Profile;
+///
+/// let report = Simulation::new(
+///     SystemConfig::builder()
+///         .profile(Profile::apache())
+///         .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+///         .migration_latency(1_000)
+///         .instructions(100_000)
+///         .seed(1)
+///         .build(),
+/// )
+/// .run();
+/// let energy = evaluate(&report, &EnergyParams::homogeneous());
+/// assert!(energy.total_joules > 0.0);
+/// assert!(energy.os_core_joules > 0.0);
+/// ```
+pub fn evaluate(report: &SimReport, params: &EnergyParams) -> EnergyReport {
+    let seconds = report.cycles as f64 / params.frequency_hz;
+
+    // --- Cores -------------------------------------------------------
+    // "While system calls are executing on the low-power OS core, the
+    // aggressively designed user core can enter a low-power state"
+    // (§VI-B): a user core draws active power only while executing;
+    // during its thread's off-loaded excursions it clock-gates to idle
+    // power. The simulator reports both busy fractions directly.
+    let os_busy_s = report.os_core_busy_frac * seconds;
+    let os_idle_s = seconds - os_busy_s;
+    let os_core_joules = if report.os_cores == 0 {
+        0.0
+    } else {
+        os_busy_s * params.os_core.active_watts + os_idle_s * params.os_core.idle_watts
+    };
+    // Aggregate busy/idle seconds across all user cores; throttled
+    // (resource-adaptation) execution bills at the low-power mode
+    // instead of full active power.
+    let cores = report.user_cores as f64;
+    let busy_total_s = report.user_cores_busy_frac * seconds * cores;
+    let idle_total_s = seconds * cores - busy_total_s;
+    let throttled_s = (report.throttled_cycles as f64 / params.frequency_hz).min(busy_total_s);
+    let user_core_joules = (busy_total_s - throttled_s) * params.user_core.active_watts
+        + throttled_s * params.user_core.throttled_watts
+        + idle_total_s * params.user_core.idle_watts;
+
+    // --- Memory system -------------------------------------------------
+    let m = &params.memory;
+    let cache_joules = ((report.l1d_accesses + report.l1i_accesses) as f64 * m.l1_access_nj
+        + report.l2_accesses as f64 * m.l2_access_nj)
+        * 1e-9;
+    let dram_joules = report.dram_accesses as f64 * m.dram_access_nj * 1e-9;
+    let coherence_joules = (report.c2c_transfers + report.invalidation_rounds) as f64
+        * m.coherence_msg_nj
+        * 1e-9;
+    let migration_joules = report.offloads as f64 * 2.0 * params.migration_nj * 1e-9;
+
+    let total_joules = user_core_joules
+        + os_core_joules
+        + cache_joules
+        + dram_joules
+        + coherence_joules
+        + migration_joules;
+
+    EnergyReport {
+        seconds,
+        user_core_joules,
+        os_core_joules,
+        cache_joules,
+        dram_joules,
+        coherence_joules,
+        migration_joules,
+        total_joules,
+        edp: total_joules * seconds,
+        nj_per_instruction: total_joules * 1e9 / report.instructions.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osoffload_system::{PolicyKind, Simulation, SystemConfig};
+    use osoffload_workload::Profile;
+
+    fn run(policy: PolicyKind, slowdown: u64) -> SimReport {
+        Simulation::new(
+            SystemConfig::builder()
+                .profile(Profile::apache())
+                .policy(policy)
+                .migration_latency(1_000)
+                .os_core_slowdown_milli(slowdown)
+                .instructions(250_000)
+                .warmup(150_000)
+                .seed(5)
+                .build(),
+        )
+        .run()
+    }
+
+    #[test]
+    fn baseline_has_no_os_core_energy() {
+        let r = run(PolicyKind::Baseline, 1_000);
+        let e = evaluate(&r, &EnergyParams::homogeneous());
+        assert_eq!(e.os_core_joules, 0.0);
+        assert_eq!(e.migration_joules, 0.0);
+        assert!(e.total_joules > 0.0);
+        assert!(e.edp > 0.0);
+        assert!(e.nj_per_instruction > 0.0);
+    }
+
+    #[test]
+    fn offloading_adds_os_core_and_migration_energy() {
+        let r = run(PolicyKind::HardwarePredictor { threshold: 500 }, 1_000);
+        let e = evaluate(&r, &EnergyParams::homogeneous());
+        assert!(e.os_core_joules > 0.0);
+        assert!(e.migration_joules > 0.0);
+    }
+
+    #[test]
+    fn efficient_os_core_cuts_os_energy() {
+        let r = run(PolicyKind::HardwarePredictor { threshold: 500 }, 1_667);
+        let homo = evaluate(&r, &EnergyParams::homogeneous());
+        let hetero = evaluate(&r, &EnergyParams::heterogeneous());
+        assert!(
+            hetero.os_core_joules < homo.os_core_joules * 0.5,
+            "hetero {:.6} vs homo {:.6}",
+            hetero.os_core_joules,
+            homo.os_core_joules
+        );
+        assert!(hetero.total_joules < homo.total_joules);
+    }
+
+    #[test]
+    fn slow_os_core_stretches_execution() {
+        let fast = run(PolicyKind::HardwarePredictor { threshold: 100 }, 1_000);
+        let slow = run(PolicyKind::HardwarePredictor { threshold: 100 }, 2_000);
+        assert!(
+            slow.cycles > fast.cycles,
+            "2x slower OS core must lengthen the run: {} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let r = run(PolicyKind::HardwarePredictor { threshold: 500 }, 1_000);
+        let e = evaluate(&r, &EnergyParams::homogeneous());
+        let sum = e.user_core_joules
+            + e.os_core_joules
+            + e.cache_joules
+            + e.dram_joules
+            + e.coherence_joules
+            + e.migration_joules;
+        assert!((sum - e.total_joules).abs() < 1e-12);
+        assert!((e.edp - e.total_joules * e.seconds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalization_helpers() {
+        let r = run(PolicyKind::Baseline, 1_000);
+        let e = evaluate(&r, &EnergyParams::homogeneous());
+        assert!((e.edp_normalized_to(&e) - 1.0).abs() < 1e-12);
+        assert!((e.energy_normalized_to(&e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = run(PolicyKind::Baseline, 1_000);
+        let e = evaluate(&r, &EnergyParams::homogeneous());
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Energy-model parameters.
+//!
+//! Representative 32 nm values in the spirit of the paper's CACTI 6.0
+//! methodology (§IV): per-access energies for the storage structures and
+//! active/idle power for two core types — the aggressive user core and
+//! the efficiency core that Mogul et al. \[17\] (the paper's §VI-B) propose
+//! dedicating to the OS. Absolute joules are indicative; the experiments
+//! report *ratios* (normalized energy, EDP), which are robust to the
+//! exact constants.
+
+use serde::Serialize;
+
+/// Power characteristics of one core design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CoreType {
+    /// Human-readable label.
+    pub name: &'static str,
+    /// Power while executing, in watts.
+    pub active_watts: f64,
+    /// Power while idle (clock-gated), in watts.
+    pub idle_watts: f64,
+    /// Power while running in the throttled low-power mode Li & John
+    /// propose for OS sequences (§VI-B), in watts.
+    pub throttled_watts: f64,
+    /// Per-instruction slowdown relative to the aggressive core, in
+    /// milli-units (1,000 = same speed, 1,667 ≈ 0.6× frequency).
+    pub slowdown_milli: u64,
+}
+
+impl CoreType {
+    /// The aggressive general-purpose core the application runs on.
+    pub fn aggressive() -> Self {
+        CoreType {
+            name: "aggressive",
+            active_watts: 4.0,
+            idle_watts: 0.9,
+            throttled_watts: 1.6,
+            slowdown_milli: 1_000,
+        }
+    }
+
+    /// An efficiency core for OS execution: "OS code does not leverage
+    /// aggressive speculation and deep pipelines, so the power required
+    /// to implement these features results in little performance
+    /// advantage" (§VI-B). Roughly 0.6× the frequency at 0.3× the power.
+    pub fn efficient() -> Self {
+        CoreType {
+            name: "efficient",
+            active_watts: 1.2,
+            idle_watts: 0.25,
+            throttled_watts: 0.8,
+            slowdown_milli: 1_667,
+        }
+    }
+}
+
+/// Per-event energies of the memory system, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MemoryEnergy {
+    /// One L1 (I or D) lookup.
+    pub l1_access_nj: f64,
+    /// One L2 lookup.
+    pub l2_access_nj: f64,
+    /// One DRAM access (read or writeback).
+    pub dram_access_nj: f64,
+    /// One coherence message crossing the interconnect (c2c transfer or
+    /// invalidation round).
+    pub coherence_msg_nj: f64,
+}
+
+impl MemoryEnergy {
+    /// Representative 32 nm values (CACTI-6.0-flavoured).
+    pub fn paper_default() -> Self {
+        MemoryEnergy {
+            l1_access_nj: 0.05,
+            l2_access_nj: 0.45,
+            dram_access_nj: 18.0,
+            coherence_msg_nj: 0.6,
+        }
+    }
+}
+
+/// The complete parameter set for one energy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EnergyParams {
+    /// Core clock frequency in hertz (Table II: 3.5 GHz).
+    pub frequency_hz: f64,
+    /// The user cores' design.
+    pub user_core: CoreType,
+    /// The OS core's design ([`CoreType::aggressive`] for the paper's
+    /// homogeneous study, [`CoreType::efficient`] for the Mogul-style
+    /// heterogeneous variant).
+    pub os_core: CoreType,
+    /// Memory-system event energies.
+    pub memory: MemoryEnergy,
+    /// Energy of one thread migration (register save/restore plus the
+    /// interrupt on both cores), in nanojoules.
+    pub migration_nj: f64,
+}
+
+impl EnergyParams {
+    /// Homogeneous CMP: the OS core is another aggressive core (the
+    /// paper's own performance study).
+    pub fn homogeneous() -> Self {
+        EnergyParams {
+            frequency_hz: 3.5e9,
+            user_core: CoreType::aggressive(),
+            os_core: CoreType::aggressive(),
+            memory: MemoryEnergy::paper_default(),
+            migration_nj: 40.0,
+        }
+    }
+
+    /// Heterogeneous CMP: an efficiency core runs the OS (Mogul et al.,
+    /// the paper's stated future-work direction).
+    pub fn heterogeneous() -> Self {
+        EnergyParams {
+            os_core: CoreType::efficient(),
+            ..EnergyParams::homogeneous()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficient_core_trades_speed_for_power() {
+        let a = CoreType::aggressive();
+        let e = CoreType::efficient();
+        assert!(e.active_watts < a.active_watts / 2.0);
+        assert!(e.slowdown_milli > a.slowdown_milli);
+        assert!(e.idle_watts < a.idle_watts);
+    }
+
+    #[test]
+    fn parameter_presets_differ_only_in_os_core() {
+        let homo = EnergyParams::homogeneous();
+        let hetero = EnergyParams::heterogeneous();
+        assert_eq!(homo.user_core, hetero.user_core);
+        assert_ne!(homo.os_core, hetero.os_core);
+        assert_eq!(homo.memory, hetero.memory);
+    }
+
+    #[test]
+    fn memory_energy_ordering_is_physical() {
+        let m = MemoryEnergy::paper_default();
+        assert!(m.l1_access_nj < m.l2_access_nj);
+        assert!(m.l2_access_nj < m.dram_access_nj);
+    }
+}

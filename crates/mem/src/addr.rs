@@ -1,0 +1,203 @@
+//! Address and identifier newtypes.
+//!
+//! All simulator addresses are byte-granular physical addresses
+//! ([`Address`]); the coherence machinery works on 64-byte cache lines
+//! ([`LineAddr`]), matching the paper's Table II line size.
+
+use core::fmt;
+
+/// Cache line size in bytes (Table II: 64 B for both L1 and L2).
+pub const LINE_BYTES: u64 = 64;
+
+const LINE_SHIFT: u32 = LINE_BYTES.trailing_zeros();
+
+/// A byte-granular physical address in the simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_mem::{Address, LINE_BYTES};
+///
+/// let a = Address::new(0x1234);
+/// assert_eq!(a.line().base().as_u64() % LINE_BYTES, 0);
+/// assert_eq!(a.offset_in_line(), 0x34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte value.
+    #[inline]
+    pub const fn new(a: u64) -> Self {
+        Address(a)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Byte offset within the containing line.
+    #[inline]
+    pub const fn offset_in_line(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// Returns the address `bytes` later.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Address {
+        Address(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+impl From<u64> for Address {
+    #[inline]
+    fn from(a: u64) -> Address {
+        Address(a)
+    }
+}
+
+/// A cache-line-granular address (byte address divided by [`LINE_BYTES`]).
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_mem::{Address, LineAddr};
+///
+/// let l = Address::new(0x1000).line();
+/// assert_eq!(l, LineAddr::new(0x1000 / 64));
+/// assert_eq!(l.base(), Address::new(0x1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    #[inline]
+    pub const fn new(l: u64) -> Self {
+        LineAddr(l)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte in the line.
+    #[inline]
+    pub const fn base(self) -> Address {
+        Address(self.0 << LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+/// Identifies one core (and its private cache hierarchy) in the CMP.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_mem::CoreId;
+///
+/// let os_core = CoreId::new(1);
+/// assert_eq!(os_core.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(u8);
+
+impl CoreId {
+    /// Creates a core identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds 63 (the directory uses a 64-bit sharer
+    /// bitmask; the paper's systems have at most a handful of cores).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(index < 64, "CoreId: at most 64 cores supported");
+        CoreId(index as u8)
+    }
+
+    /// Returns the core's index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the single-bit mask for this core in a sharer set.
+    #[inline]
+    pub const fn bit(self) -> u64 {
+        1u64 << self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_mapping_round_trips() {
+        for raw in [0u64, 1, 63, 64, 65, 0x1fff, 0xdead_beef] {
+            let a = Address::new(raw);
+            let l = a.line();
+            assert_eq!(l.base().as_u64(), raw / LINE_BYTES * LINE_BYTES);
+            assert_eq!(l.base().as_u64() + a.offset_in_line(), raw);
+        }
+    }
+
+    #[test]
+    fn addresses_in_same_line_share_line_addr() {
+        let base = Address::new(0x8000);
+        for off in 0..LINE_BYTES {
+            assert_eq!(base.offset(off).line(), base.line());
+        }
+        assert_ne!(base.offset(LINE_BYTES).line(), base.line());
+    }
+
+    #[test]
+    fn core_id_bits_are_disjoint() {
+        let bits: Vec<u64> = (0..8).map(|i| CoreId::new(i).bit()).collect();
+        let mut acc = 0u64;
+        for b in bits {
+            assert_eq!(acc & b, 0);
+            acc |= b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn core_id_overflow_panics() {
+        CoreId::new(64);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!Address::new(0).to_string().is_empty());
+        assert!(!LineAddr::new(0).to_string().is_empty());
+        assert_eq!(CoreId::new(3).to_string(), "core3");
+    }
+}

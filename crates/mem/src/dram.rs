@@ -1,0 +1,122 @@
+//! Uniform-latency main memory.
+//!
+//! The paper uses a flat 350-cycle memory latency "based on real machine
+//! timings from Brown and Tullsen" (Table II / §IV). Banking and row
+//! buffers are deliberately out of scope — the evaluation isolates cache
+//! and coherence effects.
+
+use core::fmt;
+use osoffload_sim::{Counter, Cycle};
+
+/// Main memory with a single uniform access latency.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_mem::Dram;
+/// use osoffload_sim::Cycle;
+///
+/// let mut dram = Dram::paper_default();
+/// assert_eq!(dram.charge_access(), Cycle::new(350));
+/// assert_eq!(dram.accesses(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dram {
+    latency: u64,
+    accesses: Counter,
+    writebacks: Counter,
+}
+
+impl Dram {
+    /// Creates a memory with the given access latency in cycles.
+    pub fn new(latency: u64) -> Self {
+        Dram {
+            latency,
+            accesses: Counter::new(),
+            writebacks: Counter::new(),
+        }
+    }
+
+    /// The paper's 350-cycle design point.
+    pub fn paper_default() -> Self {
+        Dram::new(350)
+    }
+
+    /// Configured access latency.
+    pub fn latency(&self) -> Cycle {
+        Cycle::new(self.latency)
+    }
+
+    /// Charges one demand access and returns its latency.
+    #[inline]
+    pub fn charge_access(&mut self) -> Cycle {
+        self.accesses.incr();
+        Cycle::new(self.latency)
+    }
+
+    /// Records a writeback (off the critical path: no latency returned).
+    #[inline]
+    pub fn record_writeback(&mut self) {
+        self.writebacks.incr();
+    }
+
+    /// Demand accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Writebacks so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks.get()
+    }
+
+    /// Zeroes the access counters (used when discarding warm-up
+    /// statistics).
+    pub fn reset_stats(&mut self) {
+        self.accesses.take();
+        self.writebacks.take();
+    }
+}
+
+impl Default for Dram {
+    fn default() -> Self {
+        Dram::paper_default()
+    }
+}
+
+impl fmt::Display for Dram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}cyc uniform ({} reads, {} writebacks)",
+            self.latency,
+            self.accesses.get(),
+            self.writebacks.get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_350_cycles() {
+        assert_eq!(Dram::paper_default().latency(), Cycle::new(350));
+    }
+
+    #[test]
+    fn accesses_and_writebacks_count_independently() {
+        let mut d = Dram::new(100);
+        d.charge_access();
+        d.charge_access();
+        d.record_writeback();
+        assert_eq!(d.accesses(), 2);
+        assert_eq!(d.writebacks(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Dram::paper_default().to_string().is_empty());
+    }
+}

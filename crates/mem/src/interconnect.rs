@@ -1,0 +1,158 @@
+//! Point-to-point interconnect latency model.
+//!
+//! The paper models "a simple point-to-point interconnect fabric" between
+//! the private L2s, the directory, and memory (§IV), with directory
+//! lookup, cache-to-cache transfer, and invalidation costed independently.
+//! This module owns those three cost constants and the per-message-class
+//! traffic counters.
+
+use core::fmt;
+use osoffload_sim::{Counter, Cycle};
+
+/// Latency parameters of the coherence fabric, in core cycles.
+///
+/// Defaults are derived from CACTI 6.0-style wire estimates at the
+/// paper's 3.5 GHz / 32 nm design point: a directory tag lookup costs
+/// about as much as an L2 tag access, and a line transfer between two
+/// adjacent private L2s costs a couple of router traversals plus the
+/// remote L2 read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interconnect {
+    /// Cost of consulting the directory on an L2 miss or upgrade.
+    pub directory_lookup: u64,
+    /// Cost of moving one line from a remote L2 to the requester.
+    pub cache_to_cache: u64,
+    /// Cost of an invalidation round (sent in parallel, acknowledged).
+    pub invalidation: u64,
+    c2c_transfers: Counter,
+    invalidation_rounds: Counter,
+    directory_messages: Counter,
+}
+
+impl Interconnect {
+    /// Creates an interconnect with explicit latencies.
+    pub fn new(directory_lookup: u64, cache_to_cache: u64, invalidation: u64) -> Self {
+        Interconnect {
+            directory_lookup,
+            cache_to_cache,
+            invalidation,
+            c2c_transfers: Counter::new(),
+            invalidation_rounds: Counter::new(),
+            directory_messages: Counter::new(),
+        }
+    }
+
+    /// The default design point used throughout the evaluation.
+    pub fn paper_default() -> Self {
+        Interconnect::new(12, 40, 20)
+    }
+
+    /// Charges a directory consultation.
+    #[inline]
+    pub fn charge_directory(&mut self) -> Cycle {
+        self.directory_messages.incr();
+        Cycle::new(self.directory_lookup)
+    }
+
+    /// Charges a cache-to-cache line transfer.
+    #[inline]
+    pub fn charge_c2c(&mut self) -> Cycle {
+        self.c2c_transfers.incr();
+        Cycle::new(self.cache_to_cache)
+    }
+
+    /// Charges one invalidation round covering `targets` remote copies.
+    ///
+    /// Invalidations are sent in parallel; one round costs a fixed latency
+    /// regardless of fan-out, but each message is counted for traffic
+    /// statistics. A round with zero targets is free.
+    #[inline]
+    pub fn charge_invalidation(&mut self, targets: usize) -> Cycle {
+        if targets == 0 {
+            return Cycle::ZERO;
+        }
+        self.invalidation_rounds.add(1);
+        Cycle::new(self.invalidation)
+    }
+
+    /// Total cache-to-cache transfers charged.
+    pub fn c2c_transfers(&self) -> u64 {
+        self.c2c_transfers.get()
+    }
+
+    /// Total invalidation rounds charged.
+    pub fn invalidation_rounds(&self) -> u64 {
+        self.invalidation_rounds.get()
+    }
+
+    /// Total directory consultations charged.
+    pub fn directory_messages(&self) -> u64 {
+        self.directory_messages.get()
+    }
+
+    /// Zeroes the traffic counters (used when discarding warm-up
+    /// statistics); latencies are unchanged.
+    pub fn reset_stats(&mut self) {
+        self.c2c_transfers.take();
+        self.invalidation_rounds.take();
+        self.directory_messages.take();
+    }
+}
+
+impl Default for Interconnect {
+    fn default() -> Self {
+        Interconnect::paper_default()
+    }
+}
+
+impl fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dir={}cyc c2c={}cyc inval={}cyc (msgs: dir={} c2c={} inval={})",
+            self.directory_lookup,
+            self.cache_to_cache,
+            self.invalidation,
+            self.directory_messages.get(),
+            self.c2c_transfers.get(),
+            self.invalidation_rounds.get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_return_configured_latency() {
+        let mut ic = Interconnect::new(10, 30, 15);
+        assert_eq!(ic.charge_directory(), Cycle::new(10));
+        assert_eq!(ic.charge_c2c(), Cycle::new(30));
+        assert_eq!(ic.charge_invalidation(3), Cycle::new(15));
+    }
+
+    #[test]
+    fn empty_invalidation_round_is_free() {
+        let mut ic = Interconnect::paper_default();
+        assert_eq!(ic.charge_invalidation(0), Cycle::ZERO);
+        assert_eq!(ic.invalidation_rounds(), 0);
+    }
+
+    #[test]
+    fn traffic_counters_track_charges() {
+        let mut ic = Interconnect::paper_default();
+        ic.charge_directory();
+        ic.charge_directory();
+        ic.charge_c2c();
+        ic.charge_invalidation(2);
+        assert_eq!(ic.directory_messages(), 2);
+        assert_eq!(ic.c2c_transfers(), 1);
+        assert_eq!(ic.invalidation_rounds(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Interconnect::paper_default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! The MESI cache-line state machine.
+//!
+//! The paper keeps the user core's and OS core's private L2 caches
+//! coherent with a directory-based MESI protocol (Table II). This module
+//! defines the per-line state and its legal transitions; the
+//! [`Directory`](crate::directory::Directory) enforces the global
+//! invariants (at most one M/E copy, S copies never coexist with M/E).
+
+use core::fmt;
+
+/// The coherence state of one cache line in one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// Modified: this cache holds the only, dirty copy.
+    Modified,
+    /// Exclusive: this cache holds the only, clean copy.
+    Exclusive,
+    /// Shared: one or more caches hold clean copies.
+    Shared,
+    /// Invalid: the line is not present (tombstone state).
+    Invalid,
+}
+
+impl MesiState {
+    /// Whether a store may proceed without a coherence transaction.
+    #[inline]
+    pub fn can_write(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// Whether a load may proceed without a coherence transaction.
+    #[inline]
+    pub fn can_read(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+
+    /// Whether the line must be written back when evicted or invalidated.
+    #[inline]
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MesiState::Modified)
+    }
+
+    /// State after this cache observes a remote read of the line.
+    ///
+    /// M and E downgrade to S (supplying the data); S and I are unchanged.
+    #[inline]
+    pub fn on_remote_read(self) -> MesiState {
+        match self {
+            MesiState::Modified | MesiState::Exclusive => MesiState::Shared,
+            s => s,
+        }
+    }
+
+    /// State after this cache observes a remote write (invalidation).
+    #[inline]
+    pub fn on_remote_write(self) -> MesiState {
+        MesiState::Invalid
+    }
+
+    /// State after a local store completes (requires prior ownership or an
+    /// upgrade transaction; the directory grants it).
+    #[inline]
+    pub fn on_local_write(self) -> MesiState {
+        MesiState::Modified
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MesiState::Modified => 'M',
+            MesiState::Exclusive => 'E',
+            MesiState::Shared => 'S',
+            MesiState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MesiState::*;
+
+    #[test]
+    fn write_permission_only_in_m_and_e() {
+        assert!(Modified.can_write());
+        assert!(Exclusive.can_write());
+        assert!(!Shared.can_write());
+        assert!(!Invalid.can_write());
+    }
+
+    #[test]
+    fn read_permission_everywhere_but_invalid() {
+        assert!(Modified.can_read());
+        assert!(Exclusive.can_read());
+        assert!(Shared.can_read());
+        assert!(!Invalid.can_read());
+    }
+
+    #[test]
+    fn only_modified_is_dirty() {
+        assert!(Modified.is_dirty());
+        assert!(!Exclusive.is_dirty());
+        assert!(!Shared.is_dirty());
+        assert!(!Invalid.is_dirty());
+    }
+
+    #[test]
+    fn remote_read_downgrades_owners() {
+        assert_eq!(Modified.on_remote_read(), Shared);
+        assert_eq!(Exclusive.on_remote_read(), Shared);
+        assert_eq!(Shared.on_remote_read(), Shared);
+        assert_eq!(Invalid.on_remote_read(), Invalid);
+    }
+
+    #[test]
+    fn remote_write_invalidates_everything() {
+        for s in [Modified, Exclusive, Shared, Invalid] {
+            assert_eq!(s.on_remote_write(), Invalid);
+        }
+    }
+
+    #[test]
+    fn local_write_produces_modified() {
+        for s in [Modified, Exclusive, Shared, Invalid] {
+            assert_eq!(s.on_local_write(), Modified);
+        }
+    }
+
+    #[test]
+    fn display_single_letters() {
+        assert_eq!(Modified.to_string(), "M");
+        assert_eq!(Exclusive.to_string(), "E");
+        assert_eq!(Shared.to_string(), "S");
+        assert_eq!(Invalid.to_string(), "I");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the memory hierarchy.
+
+use crate::addr::{Address, CoreId, LineAddr};
+use crate::cache::{Cache, CacheGeometry, ReplacementPolicy};
+use crate::directory::Directory;
+use crate::hierarchy::{Access, MemConfig, MemorySystem};
+use crate::mesi::MesiState;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn any_state() -> impl Strategy<Value = MesiState> {
+    prop_oneof![
+        Just(MesiState::Modified),
+        Just(MesiState::Exclusive),
+        Just(MesiState::Shared),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cache never holds more lines than its capacity, never holds the
+    /// same tag twice, and every resident line maps to its correct set.
+    #[test]
+    fn cache_structural_invariants(
+        ops in prop::collection::vec((0u64..128, any_state(), prop::bool::ANY), 1..500)
+    ) {
+        let mut c = Cache::new(CacheGeometry::new(1024, 2), ReplacementPolicy::Lru, 9);
+        for (line, state, invalidate) in ops {
+            let line = LineAddr::new(line);
+            if invalidate {
+                c.invalidate(line);
+            } else {
+                c.insert(line, state);
+            }
+            prop_assert!(c.resident_lines() <= c.geometry().capacity_lines());
+            let mut seen = HashSet::new();
+            for (l, s) in c.iter() {
+                prop_assert!(s != MesiState::Invalid);
+                prop_assert!(seen.insert(l), "duplicate tag {l}");
+            }
+            prop_assert_eq!(c.resident_lines() as usize, c.iter().count());
+        }
+    }
+
+    /// Whatever was inserted most recently is always still resident
+    /// (the victim is never the incoming line).
+    #[test]
+    fn cache_never_evicts_the_incoming_line(
+        lines in prop::collection::vec(0u64..64, 1..200),
+        policy in prop_oneof![
+            Just(ReplacementPolicy::Lru),
+            Just(ReplacementPolicy::Nmru),
+            Just(ReplacementPolicy::Random)
+        ],
+    ) {
+        let mut c = Cache::new(CacheGeometry::new(512, 2), policy, 5);
+        for line in lines {
+            let line = LineAddr::new(line);
+            c.insert(line, MesiState::Shared);
+            prop_assert!(c.state_of(line).is_some(), "{line} missing right after insert");
+        }
+    }
+
+    /// Directory invariants (single dirty owner, owner is a sharer) hold
+    /// under arbitrary miss/upgrade/evict interleavings.
+    #[test]
+    fn directory_invariants_hold(
+        ops in prop::collection::vec((0usize..3, 0usize..4, 0u64..32), 1..400)
+    ) {
+        let mut dir = Directory::new();
+        for (op, core, line) in ops {
+            let core = CoreId::new(core);
+            let line = LineAddr::new(line);
+            match op {
+                0 => { dir.read_miss(line, core); }
+                1 => { dir.write_miss(line, core); }
+                _ => { dir.evicted(line, core); }
+            }
+            dir.check_invariants();
+        }
+    }
+
+    /// Write-then-read returns the data path through coherence: after
+    /// any traffic, a core that just wrote a line reads it at L1 speed.
+    #[test]
+    fn writer_reads_its_own_data_fast(
+        noise in prop::collection::vec((0u64..2, 0u64..2, 0u64..32), 0..100),
+        target in 0u64..32,
+    ) {
+        let mut cfg = MemConfig::paper_baseline(2);
+        cfg.l1d = CacheGeometry::new(2048, 2);
+        cfg.l2 = CacheGeometry::new(8192, 4);
+        let mut mem = MemorySystem::new(cfg);
+        for (w, core, line) in noise {
+            let addr = Address::new(line * 64);
+            let a = if w == 1 { Access::write(addr) } else { Access::read(addr) };
+            mem.access(CoreId::new(core as usize), a);
+        }
+        let addr = Address::new(target * 64);
+        mem.access(CoreId::new(0), Access::write(addr));
+        let read = mem.access(CoreId::new(0), Access::read(addr));
+        prop_assert_eq!(read.latency.as_u64(), 1, "own dirty line must be an L1 hit");
+        mem.check_invariants();
+    }
+}

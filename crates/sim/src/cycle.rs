@@ -1,0 +1,376 @@
+//! Strongly-typed simulation time ([`Cycle`]) and retired-instruction
+//! counts ([`Instret`]).
+//!
+//! The timing simulator advances many independent clocks (one per hardware
+//! thread, one per shared resource). Newtypes keep cycle arithmetic and
+//! instruction arithmetic from being mixed up, which the paper's metrics
+//! (IPC = instructions / cycles) make an easy mistake.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, measured in core clock
+/// cycles at the simulated 3.5 GHz frequency (Table II of the paper).
+///
+/// `Cycle` is an absolute timestamp when returned by clocks and a duration
+/// when produced by subtraction; both views share the representation, as
+/// with `std::time::Duration`-style arithmetic on a single monotonic
+/// domain.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::Cycle;
+///
+/// let start = Cycle::new(1_000);
+/// let end = start + 350; // a DRAM access later
+/// assert_eq!(end - start, Cycle::new(350));
+/// assert!(end > start);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero timestamp — the instant simulation begins.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable timestamp, used as "never" / "idle
+    /// forever" sentinel by schedulers.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a timestamp (or duration) of `n` cycles.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Cycle(n)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw cycle count as `f64`, for ratio metrics.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction: returns `self - rhs`, or zero when `rhs`
+    /// is later than `self`.
+    ///
+    /// Used when computing queueing delays where an arrival may precede
+    /// resource availability in either order.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (clock under-flow indicates
+    /// a causality bug in the simulator).
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(n: u64) -> Cycle {
+        Cycle(n)
+    }
+}
+
+impl From<Cycle> for u64 {
+    #[inline]
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+/// A count of retired (dynamic) instructions.
+///
+/// The paper uses instruction counts both as the unit of OS invocation
+/// *run length* (the predictor's output, §III-A) and as the unit of epoch
+/// length for the dynamic threshold estimator (§III-B).
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::Instret;
+///
+/// let warmup = Instret::new(50_000_000); // paper's 50 M warm-up
+/// assert_eq!((warmup + Instret::new(1)).as_u64(), 50_000_001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instret(u64);
+
+impl Instret {
+    /// Zero instructions.
+    pub const ZERO: Instret = Instret(0);
+
+    /// Creates a count of `n` instructions.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Instret(n)
+    }
+
+    /// Returns the raw instruction count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw instruction count as `f64`, for IPC computation.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Instret) -> Instret {
+        Instret(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Instret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} insn", self.0)
+    }
+}
+
+impl Add for Instret {
+    type Output = Instret;
+    #[inline]
+    fn add(self, rhs: Instret) -> Instret {
+        Instret(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Instret {
+    type Output = Instret;
+    #[inline]
+    fn add(self, rhs: u64) -> Instret {
+        Instret(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Instret {
+    #[inline]
+    fn add_assign(&mut self, rhs: Instret) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Instret {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Instret {
+    type Output = Instret;
+    #[inline]
+    fn sub(self, rhs: Instret) -> Instret {
+        Instret(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Instret {
+    fn sum<I: Iterator<Item = Instret>>(iter: I) -> Instret {
+        iter.fold(Instret::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Instret {
+    #[inline]
+    fn from(n: u64) -> Instret {
+        Instret(n)
+    }
+}
+
+impl From<Instret> for u64 {
+    #[inline]
+    fn from(i: Instret) -> u64 {
+        i.0
+    }
+}
+
+/// Instructions-per-cycle over a measured interval.
+///
+/// Returns `0.0` for an empty interval rather than dividing by zero, so
+/// metrics code does not have to special-case unstarted cores.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::cycle::ipc;
+/// use osoffload_sim::{Cycle, Instret};
+///
+/// assert_eq!(ipc(Instret::new(500), Cycle::new(1000)), 0.5);
+/// assert_eq!(ipc(Instret::new(500), Cycle::ZERO), 0.0);
+/// ```
+#[inline]
+pub fn ipc(instructions: Instret, cycles: Cycle) -> f64 {
+    if cycles == Cycle::ZERO {
+        0.0
+    } else {
+        instructions.as_f64() / cycles.as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_round_trips() {
+        let a = Cycle::new(100);
+        let b = a + 250;
+        assert_eq!(b, Cycle::new(350));
+        assert_eq!(b - a, Cycle::new(250));
+        let mut c = a;
+        c += 10;
+        c += Cycle::new(5);
+        assert_eq!(c.as_u64(), 115);
+    }
+
+    #[test]
+    fn cycle_saturating_sub_clamps_to_zero() {
+        assert_eq!(Cycle::new(5).saturating_sub(Cycle::new(9)), Cycle::ZERO);
+        assert_eq!(Cycle::new(9).saturating_sub(Cycle::new(5)), Cycle::new(4));
+    }
+
+    #[test]
+    fn cycle_min_max() {
+        let (a, b) = (Cycle::new(3), Cycle::new(7));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(a), a);
+    }
+
+    #[test]
+    fn cycle_ordering_and_sentinels() {
+        assert!(Cycle::ZERO < Cycle::MAX);
+        assert!(Cycle::new(1) > Cycle::ZERO);
+    }
+
+    #[test]
+    fn cycle_sum_over_iterator() {
+        let total: Cycle = (1..=4u64).map(Cycle::new).sum();
+        assert_eq!(total, Cycle::new(10));
+    }
+
+    #[test]
+    fn instret_arithmetic() {
+        let mut n = Instret::new(10);
+        n += 5;
+        n += Instret::new(1);
+        assert_eq!(n.as_u64(), 16);
+        assert_eq!(n - Instret::new(6), Instret::new(10));
+        assert_eq!(Instret::new(3).saturating_sub(Instret::new(9)), Instret::ZERO);
+    }
+
+    #[test]
+    fn instret_sum_over_iterator() {
+        let total: Instret = vec![Instret::new(1), Instret::new(2)].into_iter().sum();
+        assert_eq!(total, Instret::new(3));
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(ipc(Instret::new(100), Cycle::ZERO), 0.0);
+        assert!((ipc(Instret::new(100), Cycle::new(400)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_from_u64() {
+        assert_eq!(Cycle::from(9u64).as_u64(), 9);
+        assert_eq!(u64::from(Cycle::new(9)), 9);
+        assert_eq!(Instret::from(9u64).as_u64(), 9);
+        assert_eq!(u64::from(Instret::new(9)), 9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(3).to_string(), "3 cyc");
+        assert_eq!(Instret::new(3).to_string(), "3 insn");
+    }
+}

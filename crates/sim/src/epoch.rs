@@ -1,0 +1,206 @@
+//! Epoch framework for coarse-grained adaptive mechanisms.
+//!
+//! The paper's dynamic threshold estimator (§III-B) operates on *epochs*:
+//! fixed-length instruction intervals at whose boundaries the software
+//! layer inspects performance counters and possibly reconfigures the
+//! off-loading threshold. [`EpochClock`] tracks instruction progress and
+//! reports boundary crossings; the policy logic that *reacts* to epochs
+//! lives in `osoffload-core::tuner`.
+
+use crate::cycle::Instret;
+use core::fmt;
+
+/// What happened when instructions were reported to an [`EpochClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochEvent {
+    /// Still inside the current epoch.
+    Within,
+    /// The epoch boundary was crossed; the payload is the index of the
+    /// epoch that just *completed* (starting from 0).
+    Boundary(u64),
+}
+
+/// Tracks retired instructions against a configurable epoch length.
+///
+/// The epoch length can be changed at any boundary — the paper's estimator
+/// starts with 25 M-instruction sampling epochs, runs 100 M-instruction
+/// stable epochs, and doubles the stable length while the chosen threshold
+/// remains optimal.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::{EpochClock, EpochEvent, Instret};
+///
+/// let mut clock = EpochClock::new(Instret::new(1000));
+/// assert_eq!(clock.advance(Instret::new(999)), EpochEvent::Within);
+/// assert_eq!(clock.advance(Instret::new(1)), EpochEvent::Boundary(0));
+/// assert_eq!(clock.advance(Instret::new(1000)), EpochEvent::Boundary(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochClock {
+    epoch_len: Instret,
+    into_epoch: Instret,
+    completed: u64,
+    total: Instret,
+}
+
+impl EpochClock {
+    /// Creates a clock with the given epoch length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn new(epoch_len: Instret) -> Self {
+        assert!(epoch_len > Instret::ZERO, "EpochClock: epoch length must be positive");
+        EpochClock {
+            epoch_len,
+            into_epoch: Instret::ZERO,
+            completed: 0,
+            total: Instret::ZERO,
+        }
+    }
+
+    /// Reports `n` retired instructions; returns whether a boundary was
+    /// crossed.
+    ///
+    /// If `n` spans *multiple* epochs the clock still reports a single
+    /// boundary (for the first epoch completed) and folds the remainder
+    /// into the next epoch; adaptive mechanisms only care that a boundary
+    /// occurred, and per-instruction reporting never spans more than one.
+    pub fn advance(&mut self, n: Instret) -> EpochEvent {
+        self.total += n;
+        self.into_epoch += n;
+        if self.into_epoch >= self.epoch_len {
+            let index = self.completed;
+            self.completed += 1;
+            // Carry the overshoot into the new epoch.
+            self.into_epoch = self.into_epoch - self.epoch_len;
+            // Clamp pathological overshoot (epoch shortened mid-flight).
+            if self.into_epoch >= self.epoch_len {
+                self.into_epoch = Instret::ZERO;
+            }
+            EpochEvent::Boundary(index)
+        } else {
+            EpochEvent::Within
+        }
+    }
+
+    /// Changes the epoch length, effective immediately.
+    ///
+    /// Progress within the current epoch is preserved; if the new length
+    /// is already exceeded the next `advance` reports a boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn set_epoch_len(&mut self, epoch_len: Instret) {
+        assert!(epoch_len > Instret::ZERO, "EpochClock: epoch length must be positive");
+        self.epoch_len = epoch_len;
+    }
+
+    /// Current epoch length.
+    pub fn epoch_len(&self) -> Instret {
+        self.epoch_len
+    }
+
+    /// Number of epochs fully completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total instructions reported over the clock's lifetime.
+    pub fn total(&self) -> Instret {
+        self.total
+    }
+
+    /// Instructions into the current (incomplete) epoch.
+    pub fn into_epoch(&self) -> Instret {
+        self.into_epoch
+    }
+
+    /// Restarts the current epoch (progress returns to zero) without
+    /// changing the epoch counter or total.
+    pub fn restart_epoch(&mut self) {
+        self.into_epoch = Instret::ZERO;
+    }
+}
+
+impl fmt::Display for EpochClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch {} ({} / {} insn)",
+            self.completed,
+            self.into_epoch.as_u64(),
+            self.epoch_len.as_u64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_fire_in_sequence() {
+        let mut c = EpochClock::new(Instret::new(10));
+        for i in 0..3u64 {
+            for _ in 0..9 {
+                assert_eq!(c.advance(Instret::new(1)), EpochEvent::Within);
+            }
+            assert_eq!(c.advance(Instret::new(1)), EpochEvent::Boundary(i));
+        }
+        assert_eq!(c.completed(), 3);
+        assert_eq!(c.total(), Instret::new(30));
+    }
+
+    #[test]
+    fn overshoot_carries_into_next_epoch() {
+        let mut c = EpochClock::new(Instret::new(10));
+        assert_eq!(c.advance(Instret::new(15)), EpochEvent::Boundary(0));
+        assert_eq!(c.into_epoch(), Instret::new(5));
+        assert_eq!(c.advance(Instret::new(5)), EpochEvent::Boundary(1));
+    }
+
+    #[test]
+    fn epoch_length_change_preserves_progress() {
+        let mut c = EpochClock::new(Instret::new(100));
+        c.advance(Instret::new(40));
+        c.set_epoch_len(Instret::new(50));
+        assert_eq!(c.advance(Instret::new(9)), EpochEvent::Within);
+        assert_eq!(c.advance(Instret::new(1)), EpochEvent::Boundary(0));
+    }
+
+    #[test]
+    fn shrinking_epoch_below_progress_fires_next_advance() {
+        let mut c = EpochClock::new(Instret::new(100));
+        c.advance(Instret::new(80));
+        c.set_epoch_len(Instret::new(10));
+        assert_eq!(c.advance(Instret::new(1)), EpochEvent::Boundary(0));
+        // Overshoot was clamped, not carried as 71 instructions.
+        assert_eq!(c.into_epoch(), Instret::ZERO);
+    }
+
+    #[test]
+    fn restart_epoch_zeroes_progress_only() {
+        let mut c = EpochClock::new(Instret::new(10));
+        c.advance(Instret::new(10));
+        c.advance(Instret::new(7));
+        c.restart_epoch();
+        assert_eq!(c.into_epoch(), Instret::ZERO);
+        assert_eq!(c.completed(), 1);
+        assert_eq!(c.total(), Instret::new(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_epoch_rejected() {
+        EpochClock::new(Instret::ZERO);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!EpochClock::new(Instret::new(5)).to_string().is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the simulation kernel.
+
+use crate::cycle::{ipc, Cycle, Instret};
+use crate::epoch::{EpochClock, EpochEvent};
+use crate::rng::Rng64;
+use crate::stats::{Histogram, Ratio, RunningStats, WindowedMean};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Epoch boundaries fire exactly `total / len` times under
+    /// per-instruction advancement, in strictly increasing order.
+    #[test]
+    fn epoch_boundaries_are_exact(len in 1u64..100, total in 1u64..2_000) {
+        let mut clock = EpochClock::new(Instret::new(len));
+        let mut boundaries = Vec::new();
+        for _ in 0..total {
+            if let EpochEvent::Boundary(i) = clock.advance(Instret::new(1)) {
+                boundaries.push(i);
+            }
+        }
+        prop_assert_eq!(boundaries.len() as u64, total / len);
+        prop_assert!(boundaries.windows(2).all(|w| w[1] == w[0] + 1));
+        prop_assert_eq!(clock.total(), Instret::new(total));
+    }
+
+    /// The running-stats merge is associative with sequential recording
+    /// for any 3-way split of the data.
+    #[test]
+    fn welford_merge_matches_sequential(
+        data in prop::collection::vec(-1e6f64..1e6, 3..200),
+        cut1 in 0usize..100,
+        cut2 in 0usize..100,
+    ) {
+        let a = cut1 % data.len();
+        let b = a + (cut2 % (data.len() - a));
+        let mut all = RunningStats::new();
+        data.iter().for_each(|&x| all.record(x));
+        let mut s1 = RunningStats::new();
+        let mut s2 = RunningStats::new();
+        let mut s3 = RunningStats::new();
+        data[..a].iter().for_each(|&x| s1.record(x));
+        data[a..b].iter().for_each(|&x| s2.record(x));
+        data[b..].iter().for_each(|&x| s3.record(x));
+        s1.merge(&s2);
+        s1.merge(&s3);
+        prop_assert_eq!(s1.count(), all.count());
+        prop_assert!((s1.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        prop_assert!(
+            (s1.population_variance() - all.population_variance()).abs()
+                < 1e-4 * (1.0 + all.population_variance())
+        );
+    }
+
+    /// Histogram counts are conserved and the percentile function is
+    /// monotone in `p`.
+    #[test]
+    fn histogram_conservation_and_monotonicity(
+        values in prop::collection::vec(0u64..1 << 40, 1..300)
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.iter().map(|(_, n)| n).sum::<u64>(), values.len() as u64);
+        let mut last = 0u64;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last, "percentile must be monotone");
+            last = v;
+        }
+    }
+
+    /// A windowed mean over the last k items equals the arithmetic mean
+    /// of the suffix.
+    #[test]
+    fn windowed_mean_matches_suffix(
+        data in prop::collection::vec(-1e4f64..1e4, 1..100),
+        k in 1usize..16,
+    ) {
+        let mut w = WindowedMean::new(k);
+        data.iter().for_each(|&x| w.record(x));
+        let suffix = &data[data.len().saturating_sub(k)..];
+        let expect = suffix.iter().sum::<f64>() / suffix.len() as f64;
+        prop_assert!((w.mean() - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+        prop_assert_eq!(w.len(), suffix.len());
+    }
+
+    /// Ratio bulk recording equals item-by-item recording.
+    #[test]
+    fn ratio_bulk_equals_itemized(outcomes in prop::collection::vec(prop::bool::ANY, 0..200)) {
+        let mut a = Ratio::new();
+        outcomes.iter().for_each(|&o| a.record(o));
+        let hits = outcomes.iter().filter(|&&o| o).count() as u64;
+        let mut b = Ratio::new();
+        b.record_bulk(hits, outcomes.len() as u64);
+        prop_assert_eq!(a.hits(), b.hits());
+        prop_assert_eq!(a.total(), b.total());
+        prop_assert_eq!(a.rate(), b.rate());
+    }
+
+    /// gen_range over any non-empty range stays in bounds; ipc is the
+    /// exact ratio.
+    #[test]
+    fn rng_range_and_ipc(seed in prop::num::u64::ANY, lo in 0u64..1000, span in 1u64..1000) {
+        let mut rng = Rng64::seed_from(seed);
+        for _ in 0..50 {
+            let x = rng.gen_range(lo..lo + span);
+            prop_assert!((lo..lo + span).contains(&x));
+        }
+        let v = ipc(Instret::new(span), Cycle::new(span * 2));
+        prop_assert!((v - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,420 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic decision in the simulator — workload address streams,
+//! syscall run-length noise, interrupt arrivals — flows from a single
+//! `u64` seed through [`Rng64`], a `xoshiro256**` generator seeded via
+//! SplitMix64. We implement these two tiny, public-domain algorithms
+//! directly so the per-instruction hot path stays inlined; the `rand`
+//! crate is still used by the workload crate for distribution adaptors
+//! that are off the hot path.
+//!
+//! Independent simulation components derive *streams* from the master seed
+//! with [`Rng64::split`], so adding a consumer never perturbs the draws
+//! seen by existing consumers (a property the regression tests rely on).
+
+use core::fmt;
+
+/// SplitMix64 step: the standard seeding/stream-derivation mixer.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic `xoshiro256**` pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::Rng64;
+///
+/// let mut a = Rng64::seed_from(7);
+/// let mut b = Rng64::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully reproducible
+///
+/// let mut child = a.split(); // independent stream
+/// let x = child.gen_range(10..20);
+/// assert!((10..20).contains(&x));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl fmt::Debug for Rng64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The internal state is not useful to display; show a fingerprint.
+        write!(
+            f,
+            "Rng64 {{ state: {:#018x} }}",
+            self.s[0] ^ self.s[1] ^ self.s[2] ^ self.s[3]
+        )
+    }
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Any seed (including 0) produces a well-mixed state because seeding
+    /// goes through SplitMix64, per the xoshiro authors' recommendation.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Derives an independent child stream.
+    ///
+    /// The child is seeded from the parent's next output, so distinct
+    /// `split` calls yield distinct streams, and the parent remains usable.
+    pub fn split(&mut self) -> Rng64 {
+        Rng64::seed_from(self.next_u64())
+    }
+
+    /// Returns the next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly spaced mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range(&mut self, range: core::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = range.end - range.start;
+        // Multiply-shift rejection-free mapping (Lemire). Bias is < 2^-64
+        // per draw, far below simulation noise.
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Samples an exponential distribution with the given `mean`.
+    ///
+    /// Used for device-interrupt inter-arrival times (§III-A notes that
+    /// interrupts extend OS invocations unpredictably).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    #[inline]
+    pub fn sample_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "sample_exp: mean must be positive");
+        // Inverse-CDF; guard against ln(0).
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+
+    /// Samples a geometric-like discrete value: the number of trials until
+    /// the first success with probability `p`, at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    #[inline]
+    pub fn sample_geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "sample_geometric: p must be in (0,1]");
+        if p >= 1.0 {
+            return 1;
+        }
+        let u = 1.0 - self.next_f64();
+        1 + (u.ln() / (1.0 - p).ln()) as u64
+    }
+
+    /// Samples a bounded Pareto-like heavy-tailed value in `[min, max]`
+    /// with shape `alpha`.
+    ///
+    /// Server syscall run-length distributions are heavy-tailed: most
+    /// invocations are short, a few (I/O, page-cache misses) run for tens
+    /// of thousands of instructions. Bounded Pareto captures this with two
+    /// intuitive parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max`, `min == 0`, or `alpha <= 0`.
+    pub fn sample_bounded_pareto(&mut self, min: f64, max: f64, alpha: f64) -> f64 {
+        assert!(min > 0.0 && min < max, "sample_bounded_pareto: need 0 < min < max");
+        assert!(alpha > 0.0, "sample_bounded_pareto: alpha must be positive");
+        let u = self.next_f64();
+        let la = min.powf(alpha);
+        let ha = max.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+        x.clamp(min, max)
+    }
+
+    /// Samples an approximately normal value via the sum of three uniforms
+    /// (Irwin–Hall), rescaled to the requested `mean` and `std_dev`.
+    ///
+    /// Full Box–Muller precision is unnecessary for workload noise; the
+    /// Irwin–Hall approximation avoids `ln`/`sqrt` on the hot path.
+    #[inline]
+    pub fn sample_normal_approx(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Sum of 3 uniforms has mean 1.5, variance 3/12 = 0.25 => sd 0.5.
+        let s = self.next_f64() + self.next_f64() + self.next_f64();
+        mean + (s - 1.5) * 2.0 * std_dev
+    }
+
+    /// Samples an index from a cumulative weight table.
+    ///
+    /// `cumulative` must be non-empty, non-decreasing, and end with the
+    /// total weight. Returns an index in `0..cumulative.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cumulative` is empty or its last element is zero.
+    #[inline]
+    pub fn sample_cumulative(&mut self, cumulative: &[f64]) -> usize {
+        let total = *cumulative
+            .last()
+            .expect("sample_cumulative: empty weight table");
+        assert!(total > 0.0, "sample_cumulative: zero total weight");
+        let x = self.next_f64() * total;
+        match cumulative.binary_search_by(|w| w.partial_cmp(&x).expect("NaN weight")) {
+            Ok(i) | Err(i) => i.min(cumulative.len() - 1),
+        }
+    }
+
+    /// Samples from a Zipf-like distribution over `0..n` with skew `s`,
+    /// using an inverse-power transform (approximate but fast).
+    ///
+    /// Used for hot/cold address selection inside working sets: low indices
+    /// are exponentially more popular, which is what gives caches their
+    /// observed hit rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn sample_zipf_approx(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0, "sample_zipf_approx: n must be positive");
+        if n == 1 {
+            return 0;
+        }
+        let u = self.next_f64();
+        // Inverse of CDF x^(1-s) for s != 1 over [1, n]; clamp into range.
+        let exp = 1.0 - s;
+        let x = if exp.abs() < 1e-9 {
+            ((n as f64).ln() * u).exp()
+        } else {
+            ((n as f64).powf(exp) * u + (1.0 - u)).powf(1.0 / exp)
+        };
+        (x as u64).min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seed_from(123);
+        let mut b = Rng64::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seed_from(1);
+        let mut b = Rng64::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_later_parent_use() {
+        let mut parent1 = Rng64::seed_from(9);
+        let mut child1 = parent1.split();
+        let child1_draws: Vec<u64> = (0..8).map(|_| child1.next_u64()).collect();
+
+        let mut parent2 = Rng64::seed_from(9);
+        let mut child2 = parent2.split();
+        // Using the parent afterwards must not affect the child's stream.
+        for _ in 0..5 {
+            parent2.next_u64();
+        }
+        let child2_draws: Vec<u64> = (0..8).map(|_| child2.next_u64()).collect();
+        assert_eq!(child1_draws, child2_draws);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Rng64::seed_from(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng64::seed_from(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(100..108);
+            assert!((100..108).contains(&x));
+        }
+        // All values of a small range should appear.
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[(rng.gen_range(0..8)) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        Rng64::seed_from(0).gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng64::seed_from(0);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(-0.5));
+        assert!(rng.gen_bool(1.5));
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = Rng64::seed_from(77);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.3).abs() < 0.02, "freq = {freq}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = Rng64::seed_from(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.sample_exp(500.0)).sum::<f64>() / n as f64;
+        assert!((mean - 500.0).abs() < 25.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn geometric_minimum_is_one() {
+        let mut rng = Rng64::seed_from(3);
+        for _ in 0..1_000 {
+            assert!(rng.sample_geometric(0.5) >= 1);
+        }
+        assert_eq!(rng.sample_geometric(1.0), 1);
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_skew() {
+        let mut rng = Rng64::seed_from(8);
+        let mut below_1k = 0u32;
+        for _ in 0..10_000 {
+            let x = rng.sample_bounded_pareto(50.0, 50_000.0, 1.1);
+            assert!((50.0..=50_000.0).contains(&x));
+            if x < 1_000.0 {
+                below_1k += 1;
+            }
+        }
+        // Heavy skew towards the minimum.
+        assert!(below_1k > 8_000, "below_1k = {below_1k}");
+    }
+
+    #[test]
+    fn normal_approx_moments() {
+        let mut rng = Rng64::seed_from(21);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.sample_normal_approx(10.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "sd = {}", var.sqrt());
+    }
+
+    #[test]
+    fn cumulative_sampling_matches_weights() {
+        let mut rng = Rng64::seed_from(15);
+        let cum = [1.0, 3.0, 4.0]; // weights 1, 2, 1
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[rng.sample_cumulative(&cum)] += 1;
+        }
+        let f1 = counts[1] as f64 / 40_000.0;
+        assert!((f1 - 0.5).abs() < 0.02, "f1 = {f1}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_prefers_low_indices() {
+        let mut rng = Rng64::seed_from(4);
+        let n = 1_000u64;
+        let mut low = 0u32;
+        for _ in 0..10_000 {
+            let x = rng.sample_zipf_approx(n, 1.2);
+            assert!(x < n);
+            if x < 100 {
+                low += 1;
+            }
+        }
+        // Top 10% of indices should draw well over half the mass.
+        assert!(low > 5_000, "low = {low}");
+    }
+
+    #[test]
+    fn zipf_n_one_is_always_zero() {
+        let mut rng = Rng64::seed_from(4);
+        for _ in 0..10 {
+            assert_eq!(rng.sample_zipf_approx(1, 1.0), 0);
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let rng = Rng64::seed_from(0);
+        assert!(!format!("{rng:?}").is_empty());
+    }
+}

@@ -1,0 +1,699 @@
+//! Measurement toolkit: counters, running moments, log-scale histograms,
+//! hit ratios, and windowed means.
+//!
+//! Every number the paper reports — IPC, L2 hit rates, binary prediction
+//! accuracy, queueing delays, OS-core utilisation — is accumulated through
+//! the types in this module, so the experiment drivers never hand-roll
+//! statistics.
+
+use core::fmt;
+
+/// A saturating event counter.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::Counter;
+///
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Returns the current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero, returning the old value.
+    #[inline]
+    pub fn take(&mut self) -> u64 {
+        core::mem::replace(&mut self.0, 0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Numerically stable single-pass mean / variance / extrema accumulator
+/// (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// assert_eq!(s.min(), 2.0);
+/// assert_eq!(s.max(), 9.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (0 when empty).
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the observations (0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation (+∞ when empty — callers should check
+    /// [`count`](Self::count) first for empty accumulators).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+                self.count,
+                self.mean(),
+                self.population_std_dev(),
+                self.min,
+                self.max
+            )
+        }
+    }
+}
+
+/// Hit/miss ratio gauge (cache hit rates, prediction accuracies).
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::Ratio;
+///
+/// let mut hits = Ratio::new();
+/// hits.record(true);
+/// hits.record(true);
+/// hits.record(false);
+/// assert!((hits.rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty gauge.
+    pub const fn new() -> Self {
+        Ratio { hits: 0, total: 0 }
+    }
+
+    /// Records one outcome.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Records `hits` successes out of `total` trials in bulk.
+    #[inline]
+    pub fn record_bulk(&mut self, hits: u64, total: u64) {
+        debug_assert!(hits <= total);
+        self.hits += hits;
+        self.total += total;
+    }
+
+    /// Successes so far.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Failures so far.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// Trials so far.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Success rate in `[0, 1]`; 0 when no trials have been recorded.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another gauge into this one.
+    pub fn merge(&mut self, other: &Ratio) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+
+    /// Resets to empty, returning the previous value.
+    pub fn take(&mut self) -> Ratio {
+        core::mem::take(self)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.hits, self.total, self.rate() * 100.0)
+    }
+}
+
+/// A base-2 logarithmic histogram for long-tailed quantities such as OS
+/// run lengths and queueing delays.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))`; bucket 0 additionally holds zero.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for x in [1, 2, 3, 100, 5_000] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(50.0) <= 100);
+/// assert!(h.percentile(100.0) >= 4_096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (`p` in `[0, 100]`): returns the upper bound
+    /// of the bucket containing the requested rank, i.e. a value `v` such
+    /// that at least `p`% of observations are `< v`-or-in-its-bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Iterates over non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << i }, n))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.1} p50<{} p99<{}", self.count, self.mean(),
+               self.percentile(50.0), self.percentile(99.0))
+    }
+}
+
+/// Mean of the most recent `k` observations.
+///
+/// The paper's global run-length fallback is exactly a `WindowedMean` of
+/// the last **three** completed OS invocations (§III-A).
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_sim::WindowedMean;
+///
+/// let mut w = WindowedMean::new(3);
+/// w.record(10.0);
+/// w.record(20.0);
+/// w.record(30.0);
+/// w.record(40.0); // evicts 10.0
+/// assert!((w.mean() - 30.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedMean {
+    window: Vec<f64>,
+    next: usize,
+    filled: usize,
+    sum: f64,
+}
+
+impl WindowedMean {
+    /// Creates a window of capacity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "WindowedMean: window must be non-empty");
+        WindowedMean {
+            window: vec![0.0; k],
+            next: 0,
+            filled: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records an observation, evicting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        if self.filled == self.window.len() {
+            self.sum -= self.window[self.next];
+        } else {
+            self.filled += 1;
+        }
+        self.window[self.next] = x;
+        self.sum += x;
+        self.next = (self.next + 1) % self.window.len();
+    }
+
+    /// Mean of the observations currently in the window; 0 when empty.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.filled == 0 {
+            0.0
+        } else {
+            self.sum / self.filled as f64
+        }
+    }
+
+    /// Number of observations currently in the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Returns `true` when no observations have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// The window capacity `k`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.window.len()
+    }
+}
+
+impl fmt::Display for WindowedMean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mean={:.3} over last {}", self.mean(), self.filled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.incr();
+        c.add(100);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn running_stats_empty_is_sane() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_single_observation() {
+        let mut s = RunningStats::new();
+        s.record(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.record(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &data[..37] {
+            left.record(x);
+        }
+        for &x in &data[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - all.population_variance()).abs() < 1e-9);
+        assert_eq!(left.count(), all.count());
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn running_stats_merge_with_empty() {
+        let mut a = RunningStats::new();
+        a.record(1.0);
+        let b = RunningStats::new();
+        let snapshot = a.clone();
+        a.merge(&b);
+        assert_eq!(a, snapshot);
+        let mut c = RunningStats::new();
+        c.merge(&snapshot);
+        assert_eq!(c, snapshot);
+    }
+
+    #[test]
+    fn ratio_rates() {
+        let mut r = Ratio::new();
+        assert_eq!(r.rate(), 0.0);
+        r.record(true);
+        r.record(false);
+        r.record(true);
+        r.record(true);
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.misses(), 1);
+        assert!((r.rate() - 0.75).abs() < 1e-12);
+        r.record_bulk(0, 4);
+        assert!((r.rate() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_merge_and_take() {
+        let mut a = Ratio::new();
+        a.record(true);
+        let mut b = Ratio::new();
+        b.record(false);
+        b.record(true);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.hits(), 2);
+        let old = a.take();
+        assert_eq!(old.total(), 3);
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        // 0 and 1 in bucket 0; 2 and 3 in bucket [2,4); 4 in [4,8).
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn histogram_percentiles_monotone() {
+        let mut h = Histogram::new();
+        for i in 0..1_000u64 {
+            h.record(i);
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p100 = h.percentile(100.0);
+        assert!(p50 <= p90 && p90 <= p100);
+        assert!((256..=1_024).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn histogram_mean_and_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_percentile_is_zero() {
+        assert_eq!(Histogram::new().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn windowed_mean_partial_fill() {
+        let mut w = WindowedMean::new(4);
+        assert!(w.is_empty());
+        w.record(8.0);
+        assert_eq!(w.mean(), 8.0);
+        w.record(4.0);
+        assert_eq!(w.mean(), 6.0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.capacity(), 4);
+    }
+
+    #[test]
+    fn windowed_mean_eviction_order() {
+        let mut w = WindowedMean::new(2);
+        w.record(1.0);
+        w.record(2.0);
+        w.record(3.0); // evicts 1.0
+        assert!((w.mean() - 2.5).abs() < 1e-12);
+        w.record(4.0); // evicts 2.0
+        assert!((w.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn windowed_mean_zero_capacity_panics() {
+        WindowedMean::new(0);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!Counter::new().to_string().is_empty());
+        assert!(!RunningStats::new().to_string().is_empty());
+        assert!(!Ratio::new().to_string().is_empty());
+        assert!(!Histogram::new().to_string().is_empty());
+        assert!(!WindowedMean::new(1).to_string().is_empty());
+    }
+}

@@ -1,0 +1,569 @@
+//! System-level configuration: topology, policy selection, migration
+//! latency, and run lengths.
+
+use crate::migration::{MigrationModel, OffloadMechanism};
+use core::fmt;
+use osoffload_core::{
+    AlwaysOffload, CamPredictor, DirectMappedPredictor, DynamicInstrumentation,
+    HardwarePredictor, NeverOffload, OffloadPolicy, OraclePolicy, RoutineId,
+    StaticInstrumentation, TunerConfig,
+};
+use osoffload_mem::MemConfig;
+use osoffload_workload::Profile;
+use std::collections::HashMap;
+
+/// Which decision policy drives off-loading (see
+/// [`osoffload_core::policy`] for the mechanisms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// No off-loading: the single-core baseline every figure normalises
+    /// against.
+    Baseline,
+    /// Off-load every privileged invocation (ablation; ≈ `N = 0`).
+    AlwaysOffload,
+    /// **HI** with the 200-entry CAM predictor and a static threshold.
+    HardwarePredictor {
+        /// Off-load threshold `N` in instructions.
+        threshold: u64,
+    },
+    /// **HI** with the 1,500-entry direct-mapped predictor.
+    HardwarePredictorDirectMapped {
+        /// Off-load threshold `N` in instructions.
+        threshold: u64,
+    },
+    /// **HI** with a custom-capacity CAM (predictor-sizing ablations).
+    HardwarePredictorSized {
+        /// Off-load threshold `N` in instructions.
+        threshold: u64,
+        /// CAM entry count.
+        entries: usize,
+    },
+    /// **HI** with a custom-capacity direct-mapped table.
+    HardwarePredictorDmSized {
+        /// Off-load threshold `N` in instructions.
+        threshold: u64,
+        /// Table entry count.
+        entries: usize,
+    },
+    /// **HI** over a set-associative partial-tag predictor (the
+    /// realistic hardware midpoint between the paper's CAM and RAM).
+    HardwarePredictorSetAssoc {
+        /// Off-load threshold `N` in instructions.
+        threshold: u64,
+        /// Number of sets.
+        sets: usize,
+        /// Associativity.
+        ways: usize,
+    },
+    /// **HI** over the global-only ablation predictor (no per-AState
+    /// table).
+    HardwarePredictorGlobalOnly {
+        /// Off-load threshold `N` in instructions.
+        threshold: u64,
+    },
+    /// **HI** over the infinite last-value ablation predictor (no
+    /// confidence filter, no fallback).
+    HardwarePredictorLastValue {
+        /// Off-load threshold `N` in instructions.
+        threshold: u64,
+    },
+    /// **DI**: software instrumentation of every OS entry point.
+    DynamicInstrumentation {
+        /// Off-load threshold `N` in instructions.
+        threshold: u64,
+        /// Per-entry instrumentation cost in cycles.
+        cost: u64,
+    },
+    /// **SI**: off-line profiling + static instrumentation of long
+    /// routines only.
+    StaticInstrumentation {
+        /// Fixed stub cost of instrumented routines, in cycles.
+        stub_cost: u64,
+    },
+    /// Oracle decisions on the true run length (ablation).
+    Oracle {
+        /// Off-load threshold `N` in instructions.
+        threshold: u64,
+    },
+}
+
+impl PolicyKind {
+    /// Whether this run models the no-off-loading baseline (single-core
+    /// topology, no OS core).
+    pub fn is_baseline(&self) -> bool {
+        matches!(self, PolicyKind::Baseline)
+    }
+
+    /// Short figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "baseline",
+            PolicyKind::AlwaysOffload => "always",
+            PolicyKind::HardwarePredictor { .. } => "HI",
+            PolicyKind::HardwarePredictorDirectMapped { .. } => "HI-dm",
+            PolicyKind::HardwarePredictorSized { .. } => "HI-sized",
+            PolicyKind::HardwarePredictorDmSized { .. } => "HI-dm-sized",
+            PolicyKind::HardwarePredictorSetAssoc { .. } => "HI-sa",
+            PolicyKind::HardwarePredictorGlobalOnly { .. } => "HI-global-only",
+            PolicyKind::HardwarePredictorLastValue { .. } => "HI-last-value",
+            PolicyKind::DynamicInstrumentation { .. } => "DI",
+            PolicyKind::StaticInstrumentation { .. } => "SI",
+            PolicyKind::Oracle { .. } => "oracle",
+        }
+    }
+
+    /// The off-line profile SI consumes: `routine → mean service length`
+    /// over the workload's invocation mix (this plays the role of the
+    /// paper's "off-line profiling" step).
+    ///
+    /// Only ordinary **system calls** appear: static instrumentation
+    /// patches syscall entry points, and cannot intercept page faults,
+    /// TLB refills, or asynchronous device interrupts — prior work
+    /// "examined only system calls, or a subset of them" (§IV), which is
+    /// one of the structural advantages of the hardware scheme.
+    pub fn offline_profile(profile: &Profile) -> HashMap<RoutineId, f64> {
+        profile
+            .syscall_mix
+            .iter()
+            .filter(|&&(id, _)| id.spec().class == osoffload_workload::OsClass::Syscall)
+            .map(|&(id, _)| {
+                let contexts = profile.io_contexts(id);
+                let spec = id.spec();
+                let mean = contexts
+                    .iter()
+                    .map(|&(_, arg1)| spec.service_len(arg1) as f64)
+                    .sum::<f64>()
+                    / contexts.len() as f64;
+                (id.trap_number(), mean)
+            })
+            .collect()
+    }
+
+    /// Instantiates the policy for one user core.
+    pub fn build(&self, profile: &Profile, migration: MigrationModel) -> Box<dyn OffloadPolicy> {
+        match *self {
+            PolicyKind::Baseline => Box::new(NeverOffload),
+            PolicyKind::AlwaysOffload => Box::new(AlwaysOffload),
+            PolicyKind::HardwarePredictor { threshold } => {
+                Box::new(HardwarePredictor::new(CamPredictor::paper_default(), threshold))
+            }
+            PolicyKind::HardwarePredictorDirectMapped { threshold } => Box::new(
+                HardwarePredictor::new(DirectMappedPredictor::paper_default(), threshold),
+            ),
+            PolicyKind::HardwarePredictorSized { threshold, entries } => {
+                Box::new(HardwarePredictor::new(CamPredictor::new(entries), threshold))
+            }
+            PolicyKind::HardwarePredictorDmSized { threshold, entries } => Box::new(
+                HardwarePredictor::new(DirectMappedPredictor::new(entries), threshold),
+            ),
+            PolicyKind::HardwarePredictorSetAssoc { threshold, sets, ways } => Box::new(
+                HardwarePredictor::new(osoffload_core::SetAssocPredictor::new(sets, ways), threshold),
+            ),
+            PolicyKind::HardwarePredictorGlobalOnly { threshold } => Box::new(
+                HardwarePredictor::new(osoffload_core::GlobalOnlyPredictor::new(), threshold),
+            ),
+            PolicyKind::HardwarePredictorLastValue { threshold } => Box::new(
+                HardwarePredictor::new(osoffload_core::LastValuePredictor::new(), threshold),
+            ),
+            PolicyKind::DynamicInstrumentation { threshold, cost } => Box::new(
+                DynamicInstrumentation::new(CamPredictor::paper_default(), threshold, cost),
+            ),
+            PolicyKind::StaticInstrumentation { stub_cost } => {
+                let offline = Self::offline_profile(profile);
+                Box::new(StaticInstrumentation::from_profile(
+                    &offline,
+                    migration.one_way().as_u64(),
+                    stub_cost,
+                ))
+            }
+            PolicyKind::Oracle { threshold } => Box::new(OraclePolicy::new(threshold)),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::HardwarePredictor { threshold }
+            | PolicyKind::HardwarePredictorDirectMapped { threshold }
+            | PolicyKind::Oracle { threshold } => {
+                write!(f, "{} (N={})", self.label(), threshold)
+            }
+            PolicyKind::DynamicInstrumentation { threshold, cost } => {
+                write!(f, "DI (N={threshold}, {cost} cyc)")
+            }
+            PolicyKind::HardwarePredictorGlobalOnly { threshold }
+            | PolicyKind::HardwarePredictorLastValue { threshold } => {
+                write!(f, "{} (N={})", self.label(), threshold)
+            }
+            _ => write!(f, "{}", self.label()),
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Workload model.
+    pub profile: Profile,
+    /// Program phases: `(start_instruction, profile)` switches applied to
+    /// every thread's stream (the §III-B phase-change scenario). Empty =
+    /// single-phase.
+    pub phases: Vec<(u64, Profile)>,
+    /// Decision policy.
+    pub policy: PolicyKind,
+    /// Migration latency model.
+    pub migration: MigrationModel,
+    /// How off-loaded work reaches the OS core (§II).
+    pub mechanism: OffloadMechanism,
+    /// Per-instruction slowdown of the OS core in milli-units (1,000 =
+    /// homogeneous; 1,667 ≈ a 0.6× frequency efficiency core à la Mogul
+    /// et al. \[17\]). Only affects instructions executed on the OS core.
+    pub os_core_slowdown_milli: u64,
+    /// SMT hardware contexts on the OS core (1 = the paper's non-SMT
+    /// core; more contexts serve that many off-loads concurrently).
+    pub os_core_contexts: usize,
+    /// Li & John-style resource adaptation (§VI-B): instead of migrating,
+    /// invocations the policy selects run *locally* with this
+    /// per-instruction slowdown (milli-units) while the core throttles to
+    /// a low-power mode. No OS core exists in this topology. `None`
+    /// disables adaptation (normal off-loading).
+    pub resource_adaptation: Option<u64>,
+    /// Number of user cores (§V-C scales this against one OS core).
+    pub user_cores: usize,
+    /// Instructions to retire in the measured region of interest.
+    pub instructions: u64,
+    /// Warm-up instructions before measurement (caches stay warm,
+    /// statistics reset; paper: 50 M).
+    pub warmup: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Dynamic-threshold estimation (§III-B); `None` keeps the policy's
+    /// static threshold.
+    pub tuner: Option<TunerConfig>,
+    /// Memory-system override (e.g. the §V-B half-size-L2 comparison);
+    /// `None` uses the Table II baseline for the run's core count.
+    pub mem_override: Option<MemConfig>,
+    /// Per-invocation trace capacity (0 = tracing off). See
+    /// [`trace`](crate::trace).
+    pub trace_capacity: usize,
+}
+
+impl SystemConfig {
+    /// Starts a builder with the mandatory profile.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+
+    /// Total core count of this topology (user cores plus the OS core
+    /// when off-loading is enabled; resource adaptation reconfigures the
+    /// existing cores instead of adding one).
+    pub fn total_cores(&self) -> usize {
+        if self.policy.is_baseline() || self.resource_adaptation.is_some() {
+            self.user_cores
+        } else {
+            self.user_cores + 1
+        }
+    }
+
+    /// Number of software threads in the run.
+    pub fn thread_count(&self) -> usize {
+        self.user_cores * self.profile.threads_per_core
+    }
+
+    /// The memory configuration this run uses.
+    pub fn mem_config(&self) -> MemConfig {
+        self.mem_override
+            .clone()
+            .unwrap_or_else(|| MemConfig::paper_baseline(self.total_cores()))
+    }
+}
+
+/// Builder for [`SystemConfig`] (most fields have paper defaults).
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    profile: Option<Profile>,
+    phases: Vec<(u64, Profile)>,
+    policy: PolicyKind,
+    migration: MigrationModel,
+    mechanism: OffloadMechanism,
+    os_core_slowdown_milli: u64,
+    os_core_contexts: usize,
+    resource_adaptation: Option<u64>,
+    user_cores: usize,
+    instructions: u64,
+    warmup: Option<u64>,
+    seed: u64,
+    tuner: Option<TunerConfig>,
+    mem_override: Option<MemConfig>,
+    trace_capacity: usize,
+}
+
+impl Default for SystemConfigBuilder {
+    fn default() -> Self {
+        SystemConfigBuilder {
+            profile: None,
+            phases: Vec::new(),
+            policy: PolicyKind::Baseline,
+            migration: MigrationModel::conservative(),
+            mechanism: OffloadMechanism::ThreadMigration,
+            os_core_slowdown_milli: 1_000,
+            os_core_contexts: 1,
+            resource_adaptation: None,
+            user_cores: 1,
+            instructions: 1_000_000,
+            warmup: None,
+            seed: 0xD15C_0C0A,
+            tuner: None,
+            mem_override: None,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl SystemConfigBuilder {
+    /// Sets the workload profile (required).
+    pub fn profile(mut self, profile: Profile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Adds a program phase: from `at` generated instructions on, every
+    /// thread's stream follows `profile` (the §III-B phase-change
+    /// scenario).
+    pub fn phase(mut self, at: u64, profile: Profile) -> Self {
+        self.phases.push((at, profile));
+        self
+    }
+
+    /// Sets the decision policy (default: baseline).
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the one-way migration latency in cycles.
+    pub fn migration_latency(mut self, cycles: u64) -> Self {
+        self.migration = MigrationModel::new(cycles);
+        self
+    }
+
+    /// Selects the off-load transport (default: thread migration).
+    pub fn mechanism(mut self, mechanism: OffloadMechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Slows the OS core by `milli`/1,000 per instruction, modelling a
+    /// heterogeneous low-power OS core (default 1,000 = homogeneous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `milli` is zero (the OS core cannot be infinitely fast).
+    pub fn os_core_slowdown_milli(mut self, milli: u64) -> Self {
+        assert!(milli > 0, "SystemConfig: slowdown must be positive");
+        self.os_core_slowdown_milli = milli;
+        self
+    }
+
+    /// Provisions `n` SMT contexts on the OS core (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn os_core_contexts(mut self, n: usize) -> Self {
+        assert!(n > 0, "SystemConfig: need at least one OS-core context");
+        self.os_core_contexts = n;
+        self
+    }
+
+    /// Enables Li & John-style resource adaptation: selected invocations
+    /// run locally under a `milli`/1,000 per-instruction slowdown while
+    /// the core throttles, and no OS core exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `milli` is zero.
+    pub fn resource_adaptation(mut self, milli: u64) -> Self {
+        assert!(milli > 0, "SystemConfig: adaptation slowdown must be positive");
+        self.resource_adaptation = Some(milli);
+        self
+    }
+
+    /// Sets the number of user cores (default 1).
+    pub fn user_cores(mut self, n: usize) -> Self {
+        self.user_cores = n;
+        self
+    }
+
+    /// Sets the measured instruction count (default 1 M).
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Sets the warm-up instruction count (default: 25% of the measured
+    /// region).
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = Some(n);
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the §III-B dynamic threshold estimator.
+    pub fn tuner(mut self, cfg: TunerConfig) -> Self {
+        self.tuner = Some(cfg);
+        self
+    }
+
+    /// Overrides the memory system (e.g. half-size L2s).
+    pub fn mem_override(mut self, mem: MemConfig) -> Self {
+        self.mem_override = Some(mem);
+        self
+    }
+
+    /// Retains the newest `capacity` per-invocation trace records (0 =
+    /// off; see [`trace`](crate::trace)).
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no profile was supplied, or if `user_cores` or
+    /// `instructions` is zero.
+    pub fn build(self) -> SystemConfig {
+        let profile = self.profile.expect("SystemConfig: profile is required");
+        assert!(self.user_cores >= 1, "SystemConfig: need at least one user core");
+        assert!(self.instructions > 0, "SystemConfig: need a measured region");
+        let warmup = self.warmup.unwrap_or(self.instructions / 4);
+        SystemConfig {
+            profile,
+            phases: self.phases,
+            policy: self.policy,
+            migration: self.migration,
+            mechanism: self.mechanism,
+            os_core_slowdown_milli: self.os_core_slowdown_milli,
+            os_core_contexts: self.os_core_contexts,
+            resource_adaptation: self.resource_adaptation,
+            user_cores: self.user_cores,
+            instructions: self.instructions,
+            warmup,
+            seed: self.seed,
+            tuner: self.tuner,
+            mem_override: self.mem_override,
+            trace_capacity: self.trace_capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let cfg = SystemConfig::builder()
+            .profile(Profile::apache())
+            .build();
+        assert!(cfg.policy.is_baseline());
+        assert_eq!(cfg.user_cores, 1);
+        assert_eq!(cfg.total_cores(), 1);
+        assert_eq!(cfg.thread_count(), 2, "apache maps 2 threads per core");
+        assert_eq!(cfg.warmup, cfg.instructions / 4);
+        assert_eq!(cfg.migration.one_way().as_u64(), 5_000);
+    }
+
+    #[test]
+    fn offload_topologies_gain_an_os_core() {
+        let cfg = SystemConfig::builder()
+            .profile(Profile::apache())
+            .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+            .user_cores(2)
+            .build();
+        assert_eq!(cfg.total_cores(), 3);
+        assert_eq!(cfg.mem_config().cores, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile is required")]
+    fn missing_profile_panics() {
+        SystemConfig::builder().build();
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(PolicyKind::Baseline.label(), "baseline");
+        assert_eq!(PolicyKind::HardwarePredictor { threshold: 5 }.label(), "HI");
+        assert_eq!(
+            PolicyKind::DynamicInstrumentation { threshold: 5, cost: 100 }.label(),
+            "DI"
+        );
+        assert_eq!(PolicyKind::StaticInstrumentation { stub_cost: 25 }.label(), "SI");
+        assert!(!PolicyKind::Oracle { threshold: 9 }.to_string().is_empty());
+    }
+
+    #[test]
+    fn offline_profile_covers_syscalls_only() {
+        let profile = Profile::derby();
+        let offline = PolicyKind::offline_profile(&profile);
+        let syscalls = profile
+            .syscall_mix
+            .iter()
+            .filter(|&&(id, _)| id.spec().class == osoffload_workload::OsClass::Syscall)
+            .count();
+        assert_eq!(offline.len(), syscalls);
+        assert!(offline.len() < profile.syscall_mix.len(), "faults/IRQs excluded");
+        assert!(offline.values().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn si_instruments_fewer_routines_at_higher_latency() {
+        let profile = Profile::apache();
+        let count = |latency: u64| {
+            let policy =
+                PolicyKind::StaticInstrumentation { stub_cost: 25 }.build(&profile, MigrationModel::new(latency));
+            // Count via a probe: decide() offloads only instrumented routines.
+            let mut policy = policy;
+            profile
+                .syscall_mix
+                .iter()
+                .filter(|&&(id, _)| {
+                    policy
+                        .decide(osoffload_core::OsEntry {
+                            astate: osoffload_core::AState::from(1u64),
+                            routine: id.trap_number(),
+                        })
+                        .offload
+                })
+                .count()
+        };
+        assert!(count(100) > count(5_000));
+    }
+
+    #[test]
+    fn policy_build_smoke_all_variants() {
+        let profile = Profile::specjbb();
+        let m = MigrationModel::aggressive();
+        for kind in [
+            PolicyKind::Baseline,
+            PolicyKind::AlwaysOffload,
+            PolicyKind::HardwarePredictor { threshold: 100 },
+            PolicyKind::HardwarePredictorDirectMapped { threshold: 100 },
+            PolicyKind::DynamicInstrumentation { threshold: 100, cost: 120 },
+            PolicyKind::StaticInstrumentation { stub_cost: 25 },
+            PolicyKind::Oracle { threshold: 100 },
+        ] {
+            let p = kind.build(&profile, m);
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,891 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each function reproduces one artefact of the evaluation:
+//!
+//! | Function | Paper artefact |
+//! |---|---|
+//! | [`fig1`] | Figure 1 — overhead of software-instrumenting all OS entry points |
+//! | [`fig3`] | Figure 3 — binary off-load decision accuracy vs threshold `N` |
+//! | [`fig4`] | Figure 4 — normalized IPC vs `N` across migration latencies |
+//! | [`fig5`] | Figure 5 — SI vs DI vs HI at conservative/aggressive latencies |
+//! | [`table3`] | Table III — OS-core utilisation vs `N` |
+//! | [`scalability`] | §V-C — user-core scaling against one OS core |
+//! | [`predictor_accuracy`] | §III-A — exact/±5% accuracy, CAM vs RAM, sizing |
+//! | [`tuner_trace`] | §III-B — dynamic-`N` estimator convergence |
+//!
+//! The paper's runs simulate hundreds of millions of instructions on
+//! Simics; this reproduction exposes a [`Scale`] knob so the same
+//! experiment can run as a quick smoke test or a full (minutes-long)
+//! regeneration. Shapes are stable across scales; absolute numbers
+//! tighten as runs lengthen.
+
+use crate::config::{PolicyKind, SystemConfig};
+use crate::metrics::{BinaryPoint, SimReport};
+use crate::simulation::Simulation;
+use osoffload_core::{TunerConfig, TunerEvent};
+use osoffload_workload::Profile;
+use serde::{Deserialize, Serialize};
+
+/// Simulation length preset for the experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Instructions in the measured region of interest, per run.
+    pub instructions: u64,
+    /// Warm-up instructions, per run.
+    pub warmup: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// How many of the six compute profiles represent the compute group
+    /// (the paper averages them into one curve; fewer representatives
+    /// make quick runs quicker).
+    pub compute_profiles: usize,
+}
+
+impl Scale {
+    /// Smoke-test scale: seconds per experiment, shapes visible but
+    /// noisy.
+    pub fn quick() -> Self {
+        Scale {
+            instructions: 500_000,
+            warmup: 300_000,
+            seed: 0xF1605,
+            compute_profiles: 1,
+        }
+    }
+
+    /// Default scale: minutes per experiment, stable shapes.
+    pub fn full() -> Self {
+        Scale {
+            instructions: 2_500_000,
+            warmup: 2_000_000,
+            seed: 0xF1605,
+            compute_profiles: 3,
+        }
+    }
+
+    /// Long scale for final reporting.
+    pub fn paper() -> Self {
+        Scale {
+            instructions: 6_000_000,
+            warmup: 4_000_000,
+            seed: 0xF1605,
+            compute_profiles: 6,
+        }
+    }
+
+    /// Parses `quick` / `full` / `paper` (used by the bench binaries).
+    pub fn from_arg(arg: &str) -> Option<Scale> {
+        match arg {
+            "quick" | "--quick" => Some(Scale::quick()),
+            "full" | "--full" => Some(Scale::full()),
+            "paper" | "--paper" => Some(Scale::paper()),
+            _ => None,
+        }
+    }
+}
+
+/// The workload groups every figure iterates over: the three server
+/// benchmarks individually plus the compute group (averaged, as in the
+/// paper's graphs).
+pub fn workload_groups(scale: Scale) -> Vec<(String, Vec<Profile>)> {
+    let mut groups: Vec<(String, Vec<Profile>)> = Profile::all_server()
+        .into_iter()
+        .map(|p| (p.name.to_string(), vec![p]))
+        .collect();
+    let compute: Vec<Profile> = Profile::all_compute()
+        .into_iter()
+        .take(scale.compute_profiles.max(1))
+        .collect();
+    groups.push(("compute".to_string(), compute));
+    groups
+}
+
+/// Runs one simulation with the standard experiment topology.
+pub fn run_single(
+    profile: Profile,
+    policy: PolicyKind,
+    migration_latency: u64,
+    user_cores: usize,
+    scale: Scale,
+) -> SimReport {
+    let cfg = SystemConfig::builder()
+        .profile(profile)
+        .policy(policy)
+        .migration_latency(migration_latency)
+        .user_cores(user_cores)
+        .instructions(scale.instructions)
+        .warmup(scale.warmup)
+        .seed(scale.seed)
+        .build();
+    Simulation::new(cfg).run()
+}
+
+/// Baseline reports for a profile group, computed once and reused.
+fn group_baselines(profiles: &[Profile], scale: Scale) -> Vec<SimReport> {
+    profiles
+        .iter()
+        .map(|p| run_single(p.clone(), PolicyKind::Baseline, 0, 1, scale))
+        .collect()
+}
+
+/// Mean normalized throughput of a profile group under `policy` relative
+/// to the precomputed per-profile baselines.
+fn group_normalized(
+    profiles: &[Profile],
+    baselines: &[SimReport],
+    policy: PolicyKind,
+    latency: u64,
+    scale: Scale,
+) -> f64 {
+    let mut acc = 0.0;
+    for (p, base) in profiles.iter().zip(baselines) {
+        let run = run_single(p.clone(), policy, latency, 1, scale);
+        acc += run.normalized_to(base);
+    }
+    acc / profiles.len() as f64
+}
+
+// ---------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Row {
+    /// Workload group.
+    pub workload: String,
+    /// Per-entry instrumentation cost in cycles.
+    pub cost: u64,
+    /// Throughput loss relative to the uninstrumented baseline, in
+    /// percent (positive = slower).
+    pub overhead_pct: f64,
+}
+
+/// Figure 1: runtime overhead of dynamic *software* instrumentation of
+/// all possible OS off-loading points.
+///
+/// "All possible" includes the SPARC register-window spill/fill traps
+/// (§IV), which fire every couple of thousand instructions — so both the
+/// baseline and the instrumented run enable them. Every OS entry pays
+/// the instrumentation cost but off-loading itself is disabled
+/// (threshold = ∞), isolating pure decision overhead — the paper's
+/// argument for single-cycle hardware decisions.
+pub fn fig1(scale: Scale, costs: &[u64]) -> Vec<Fig1Row> {
+    let mut rows = Vec::new();
+    for (name, profiles) in workload_groups(scale) {
+        let profiles: Vec<Profile> = profiles
+            .into_iter()
+            .map(|mut p| {
+                p.include_spill_fill = true;
+                p
+            })
+            .collect();
+        let baselines = group_baselines(&profiles, scale);
+        for &cost in costs {
+            let policy = PolicyKind::DynamicInstrumentation {
+                threshold: u64::MAX,
+                cost,
+            };
+            let mut acc = 0.0;
+            for (p, base) in profiles.iter().zip(&baselines) {
+                let instr = run_single(p.clone(), policy, 0, 1, scale);
+                acc += (1.0 - instr.normalized_to(base)) * 100.0;
+            }
+            rows.push(Fig1Row {
+                workload: name.clone(),
+                cost,
+                overhead_pct: acc / profiles.len() as f64,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------
+
+/// One curve of Figure 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Workload group.
+    pub workload: String,
+    /// `(threshold, binary accuracy)` points.
+    pub points: Vec<BinaryPoint>,
+}
+
+/// Figure 3: binary prediction hit rate for core-migration trigger
+/// thresholds — whether `(predicted > N) == (actual > N)` across the
+/// paper's `N` grid.
+pub fn fig3(scale: Scale) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for (name, profiles) in workload_groups(scale) {
+        let mut merged: Vec<BinaryPoint> = Vec::new();
+        for p in &profiles {
+            let r = run_single(
+                p.clone(),
+                PolicyKind::HardwarePredictor { threshold: 1_000 },
+                1_000,
+                1,
+                scale,
+            );
+            if merged.is_empty() {
+                merged = r.binary_accuracy.clone();
+            } else {
+                for (m, b) in merged.iter_mut().zip(r.binary_accuracy.iter()) {
+                    m.accuracy += b.accuracy;
+                }
+            }
+        }
+        for m in &mut merged {
+            m.accuracy /= profiles.len() as f64;
+        }
+        rows.push(Fig3Row {
+            workload: name,
+            points: merged,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------
+
+/// One point of Figure 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Cell {
+    /// Workload group.
+    pub workload: String,
+    /// One-way off-loading latency in cycles.
+    pub latency: u64,
+    /// Off-load threshold `N`.
+    pub threshold: u64,
+    /// Throughput normalized to the single-core baseline.
+    pub normalized_ipc: f64,
+}
+
+/// The threshold grid of Figure 4's x-axis.
+pub const FIG4_THRESHOLDS: &[u64] = &[0, 100, 500, 1_000, 5_000, 10_000];
+
+/// The one-way off-loading latencies of Figure 4's curves.
+pub const FIG4_LATENCIES: &[u64] = &[0, 100, 500, 1_000, 5_000];
+
+/// Figure 4: normalized IPC relative to the uni-processor baseline when
+/// varying the off-loading overhead and the switch trigger threshold.
+pub fn fig4(scale: Scale) -> Vec<Fig4Cell> {
+    fig4_with_grid(scale, FIG4_LATENCIES, FIG4_THRESHOLDS)
+}
+
+/// [`fig4`] over a custom latency/threshold grid.
+pub fn fig4_with_grid(scale: Scale, latencies: &[u64], thresholds: &[u64]) -> Vec<Fig4Cell> {
+    let mut cells = Vec::new();
+    for (name, profiles) in workload_groups(scale) {
+        // Baselines once per profile.
+        let baselines: Vec<SimReport> = profiles
+            .iter()
+            .map(|p| run_single(p.clone(), PolicyKind::Baseline, 0, 1, scale))
+            .collect();
+        for &latency in latencies {
+            for &threshold in thresholds {
+                let mut acc = 0.0;
+                for (p, base) in profiles.iter().zip(baselines.iter()) {
+                    let r = run_single(
+                        p.clone(),
+                        PolicyKind::HardwarePredictor { threshold },
+                        latency,
+                        1,
+                        scale,
+                    );
+                    acc += r.normalized_to(base);
+                }
+                cells.push(Fig4Cell {
+                    workload: name.clone(),
+                    latency,
+                    threshold,
+                    normalized_ipc: acc / profiles.len() as f64,
+                });
+            }
+        }
+    }
+    cells
+}
+
+// ---------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------
+
+/// One bar of Figure 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Workload group.
+    pub workload: String,
+    /// `"conservative"` (5,000-cycle) or `"aggressive"` (100-cycle).
+    pub latency_label: String,
+    /// `SI`, `DI`, or `HI`.
+    pub policy: String,
+    /// Throughput normalized to the single-core baseline.
+    pub normalized: f64,
+    /// The threshold `N` the dynamic schemes settled on.
+    pub chosen_threshold: Option<u64>,
+}
+
+/// The two design points of Figure 5.
+pub const FIG5_LATENCIES: &[(&str, u64)] = &[("conservative", 5_000), ("aggressive", 100)];
+
+/// Figure 5: normalized throughput for off-loading with static manual
+/// instrumentation (SI), dynamic software instrumentation (DI), and the
+/// hardware predictor (HI).
+///
+/// SI uses the off-line profile with the paper's 2×-latency cutoff. DI
+/// and HI pick the best threshold on the Figure 4 grid per workload —
+/// the idealised outcome of the §III-B dynamic estimator, which both
+/// schemes would run in deployment.
+pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
+    let mut rows = Vec::new();
+    let di_cost = 120;
+    let si_stub = 25;
+    for (name, profiles) in workload_groups(scale) {
+        let baselines = group_baselines(&profiles, scale);
+        for &(label, latency) in FIG5_LATENCIES {
+            // SI: fixed by the off-line profile.
+            let si = group_normalized(
+                &profiles,
+                &baselines,
+                PolicyKind::StaticInstrumentation { stub_cost: si_stub },
+                latency,
+                scale,
+            );
+            rows.push(Fig5Row {
+                workload: name.clone(),
+                latency_label: label.to_string(),
+                policy: "SI".to_string(),
+                normalized: si,
+                chosen_threshold: None,
+            });
+
+            // DI and HI: best threshold over the grid.
+            for (policy_name, make) in [
+                (
+                    "DI",
+                    Box::new(move |n: u64| PolicyKind::DynamicInstrumentation {
+                        threshold: n,
+                        cost: di_cost,
+                    }) as Box<dyn Fn(u64) -> PolicyKind>,
+                ),
+                (
+                    "HI",
+                    Box::new(|n: u64| PolicyKind::HardwarePredictor { threshold: n })
+                        as Box<dyn Fn(u64) -> PolicyKind>,
+                ),
+            ] {
+                let mut best = f64::MIN;
+                let mut best_n = 0;
+                for &n in FIG4_THRESHOLDS {
+                    let v = group_normalized(&profiles, &baselines, make(n), latency, scale);
+                    if v > best {
+                        best = v;
+                        best_n = n;
+                    }
+                }
+                rows.push(Fig5Row {
+                    workload: name.clone(),
+                    latency_label: label.to_string(),
+                    policy: policy_name.to_string(),
+                    normalized: best,
+                    chosen_threshold: Some(best_n),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Table III
+// ---------------------------------------------------------------------
+
+/// One row of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Server workload.
+    pub workload: String,
+    /// `(threshold, fraction of execution time the OS core was busy)`.
+    pub utilization: Vec<(u64, f64)>,
+}
+
+/// Table III's threshold grid.
+pub const TABLE3_THRESHOLDS: &[u64] = &[100, 1_000, 5_000, 10_000];
+
+/// Table III: percentage of total execution time spent on the OS core
+/// using selective migration based on threshold `N` (5,000-cycle
+/// off-loading overhead, server workloads).
+pub fn table3(scale: Scale) -> Vec<Table3Row> {
+    Profile::all_server()
+        .into_iter()
+        .map(|p| {
+            let utilization = TABLE3_THRESHOLDS
+                .iter()
+                .map(|&n| {
+                    let r = run_single(
+                        p.clone(),
+                        PolicyKind::HardwarePredictor { threshold: n },
+                        5_000,
+                        1,
+                        scale,
+                    );
+                    (n, r.os_core_busy_frac)
+                })
+                .collect();
+            Table3Row {
+                workload: p.name.to_string(),
+                utilization,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// §V-C scalability
+// ---------------------------------------------------------------------
+
+/// One row of the §V-C scaling study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilityRow {
+    /// User cores sharing the single OS core.
+    pub user_cores: usize,
+    /// Mean OS-core queueing delay in cycles.
+    pub mean_queue_delay: f64,
+    /// 95th-percentile queueing delay in cycles.
+    pub p95_queue_delay: u64,
+    /// Aggregate throughput normalized to `user_cores ×` the 1:1
+    /// configuration's throughput (1.0 = perfect scaling).
+    pub scaling_efficiency: f64,
+    /// Aggregate throughput improvement over the same number of user
+    /// cores *without* off-loading.
+    pub speedup_vs_no_offload: f64,
+    /// OS-core busy fraction.
+    pub os_core_busy_frac: f64,
+}
+
+/// §V-C: scaling 1, 2, and 4 user cores against a single OS core
+/// (SPECjbb2005, `N = 100`, 1,000-cycle off-loading overhead).
+pub fn scalability(scale: Scale) -> Vec<ScalabilityRow> {
+    let profile = Profile::specjbb();
+    let policy = PolicyKind::HardwarePredictor { threshold: 100 };
+    let one_to_one = run_single(profile.clone(), policy, 1_000, 1, scale);
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|cores| {
+            let r = run_single(profile.clone(), policy, 1_000, cores, scale);
+            let base = run_single(profile.clone(), PolicyKind::Baseline, 0, cores, scale);
+            ScalabilityRow {
+                user_cores: cores,
+                mean_queue_delay: r.queue.mean_delay,
+                p95_queue_delay: r.queue.p95_delay,
+                scaling_efficiency: r.throughput / (one_to_one.throughput * cores as f64),
+                speedup_vs_no_offload: r.throughput / base.throughput,
+                os_core_busy_frac: r.os_core_busy_frac,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// §III-A predictor accuracy
+// ---------------------------------------------------------------------
+
+/// One row of the predictor-organisation study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorAccuracyRow {
+    /// Workload group.
+    pub workload: String,
+    /// `"CAM"` or `"direct-mapped"`.
+    pub organization: String,
+    /// Table entry count.
+    pub entries: usize,
+    /// Fraction predicted exactly.
+    pub exact: f64,
+    /// Fraction predicted within ±5% (includes exact).
+    pub within_5pct: f64,
+    /// Fraction of mispredictions that were underestimates.
+    pub underestimates: f64,
+}
+
+/// §III-A: run-length prediction accuracy for both hardware
+/// organisations across table sizes, per workload group.
+pub fn predictor_accuracy(
+    scale: Scale,
+    cam_sizes: &[usize],
+    dm_sizes: &[usize],
+) -> Vec<PredictorAccuracyRow> {
+    let mut rows = Vec::new();
+    for (name, profiles) in workload_groups(scale) {
+        let mut push = |organization: &str, entries: usize, policy: PolicyKind| {
+            let mut exact = 0.0;
+            let mut close = 0.0;
+            let mut under = 0.0;
+            for p in profiles.iter() {
+                let r = run_single(p.clone(), policy, 1_000, 1, scale);
+                let pr = r.predictor.expect("HI reports predictor stats");
+                exact += pr.exact;
+                close += pr.within_5pct;
+                under += pr.underestimates;
+            }
+            let n = profiles.len() as f64;
+            rows.push(PredictorAccuracyRow {
+                workload: name.clone(),
+                organization: organization.to_string(),
+                entries,
+                exact: exact / n,
+                within_5pct: close / n,
+                underestimates: under / n,
+            });
+        };
+        for &entries in cam_sizes {
+            push(
+                "CAM",
+                entries,
+                PolicyKind::HardwarePredictorSized { threshold: 1_000, entries },
+            );
+        }
+        for &entries in dm_sizes {
+            push(
+                "direct-mapped",
+                entries,
+                PolicyKind::HardwarePredictorDmSized { threshold: 1_000, entries },
+            );
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §V-B half-size-L2 comparison
+// ---------------------------------------------------------------------
+
+/// One row of the §V-B cache-budget study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HalfL2Row {
+    /// Workload group.
+    pub workload: String,
+    /// One-way off-loading latency in cycles.
+    pub latency: u64,
+    /// Off-loading with two full-size (1 MB) L2s, normalized to the
+    /// 1 MB single-core baseline.
+    pub full_l2: f64,
+    /// Off-loading with two half-size (512 KB) L2s, normalized to the
+    /// same baseline — the equal-silicon comparison the paper calls "of
+    /// academic value" (§V-B).
+    pub half_l2: f64,
+}
+
+/// §V-B: "even an off-loading model with two 512 KB L2 caches can
+/// out-perform the single-core baseline with a 1 MB L2 cache if the
+/// off-loading latency is under 1,000 cycles."
+pub fn half_l2(scale: Scale, latencies: &[u64]) -> Vec<HalfL2Row> {
+    let mut rows = Vec::new();
+    let policy = PolicyKind::HardwarePredictor { threshold: 100 };
+    for (name, profiles) in workload_groups(scale) {
+        let baselines = group_baselines(&profiles, scale);
+        for &latency in latencies {
+            let full = group_normalized(&profiles, &baselines, policy, latency, scale);
+            let mut half_acc = 0.0;
+            for (p, base) in profiles.iter().zip(&baselines) {
+                let cfg = SystemConfig::builder()
+                    .profile(p.clone())
+                    .policy(policy)
+                    .migration_latency(latency)
+                    .instructions(scale.instructions)
+                    .warmup(scale.warmup)
+                    .seed(scale.seed)
+                    .mem_override(osoffload_mem::MemConfig::half_l2_variant(2))
+                    .build();
+                half_acc += Simulation::new(cfg).run().normalized_to(base);
+            }
+            rows.push(HalfL2Row {
+                workload: name.clone(),
+                latency,
+                full_l2: full,
+                half_l2: half_acc / profiles.len() as f64,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §II off-load mechanism ablation
+// ---------------------------------------------------------------------
+
+/// One row of the off-load transport ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismRow {
+    /// Workload group.
+    pub workload: String,
+    /// One-way transport latency in cycles.
+    pub latency: u64,
+    /// Thread migration (the paper's scheme), normalized to baseline.
+    pub thread_migration: f64,
+    /// RPC-style message passing (the design point §II leaves on the
+    /// table), normalized to baseline.
+    pub remote_call: f64,
+}
+
+/// §II mechanism ablation: thread migration vs RPC-style off-load. The
+/// RPC transport frees the user core during remote execution, so the
+/// sibling thread overlaps — quantifying what the paper's untaken design
+/// point would have bought.
+pub fn mechanism_ablation(scale: Scale, latencies: &[u64]) -> Vec<MechanismRow> {
+    use crate::migration::OffloadMechanism;
+    let mut rows = Vec::new();
+    let policy = PolicyKind::HardwarePredictor { threshold: 100 };
+    for (name, profiles) in workload_groups(scale) {
+        let baselines = group_baselines(&profiles, scale);
+        for &latency in latencies {
+            let run_mech = |mech: OffloadMechanism| {
+                let mut acc = 0.0;
+                for (p, base) in profiles.iter().zip(&baselines) {
+                    let cfg = SystemConfig::builder()
+                        .profile(p.clone())
+                        .policy(policy)
+                        .migration_latency(latency)
+                        .mechanism(mech)
+                        .instructions(scale.instructions)
+                        .warmup(scale.warmup)
+                        .seed(scale.seed)
+                        .build();
+                    acc += Simulation::new(cfg).run().normalized_to(base);
+                }
+                acc / profiles.len() as f64
+            };
+            rows.push(MechanismRow {
+                workload: name.clone(),
+                latency,
+                thread_migration: run_mech(OffloadMechanism::ThreadMigration),
+                remote_call: run_mech(OffloadMechanism::RemoteCall),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Sensitivity analysis
+// ---------------------------------------------------------------------
+
+/// One row of the sensitivity study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityRow {
+    /// Which substrate parameter was varied.
+    pub parameter: String,
+    /// The value it was set to (cycles or bytes, per the parameter).
+    pub value: u64,
+    /// Off-loading benefit (HI, N = 100, 1,000-cycle migration) under
+    /// that substrate, normalized to a baseline sharing it.
+    pub normalized: f64,
+}
+
+/// Robustness check: how does the off-loading benefit move when the
+/// memory-system parameters around it change? Both the baseline and the
+/// off-loading run share each varied substrate, so the ratio isolates
+/// the policy's benefit from the substrate shift itself.
+pub fn sensitivity(scale: Scale, profile: Profile) -> Vec<SensitivityRow> {
+    use osoffload_mem::{CacheGeometry, MemConfig};
+    let policy = PolicyKind::HardwarePredictor { threshold: 100 };
+    let mut rows = Vec::new();
+
+    let mut eval = |parameter: &str, value: u64, patch: &dyn Fn(&mut MemConfig)| {
+        let run = |kind: PolicyKind| {
+            // The off-loading topology has one more core than baseline.
+            let cores = if kind.is_baseline() { 1 } else { 2 };
+            let mut mem = MemConfig::paper_baseline(cores);
+            patch(&mut mem);
+            let cfg = SystemConfig::builder()
+                .profile(profile.clone())
+                .policy(kind)
+                .migration_latency(1_000)
+                .instructions(scale.instructions)
+                .warmup(scale.warmup)
+                .seed(scale.seed)
+                .mem_override(mem)
+                .build();
+            Simulation::new(cfg).run()
+        };
+        let base = run(PolicyKind::Baseline);
+        let offl = run(policy);
+        rows.push(SensitivityRow {
+            parameter: parameter.to_string(),
+            value,
+            normalized: offl.normalized_to(&base),
+        });
+    };
+
+    for kb in [512u64, 1_024, 2_048] {
+        eval("l2_kb", kb, &move |m: &mut MemConfig| {
+            m.l2 = CacheGeometry::new(kb * 1024, 16);
+        });
+    }
+    for lat in [200u64, 350, 500] {
+        eval("dram_latency", lat, &move |m: &mut MemConfig| {
+            m.dram_latency = lat;
+        });
+    }
+    for c2c in [20u64, 40, 80] {
+        eval("c2c_latency", c2c, &move |m: &mut MemConfig| {
+            m.interconnect = osoffload_mem::Interconnect::new(
+                m.interconnect.directory_lookup,
+                c2c,
+                m.interconnect.invalidation,
+            );
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §III-B tuner trace
+// ---------------------------------------------------------------------
+
+/// §III-B: runs the dynamic threshold estimator and returns the final
+/// report plus the full decision log.
+///
+/// Epoch lengths are scaled down from the paper's 25 M/100 M instruction
+/// epochs in proportion to the run length, so the estimator completes
+/// several sample/stable rounds within the simulated window.
+pub fn tuner_trace(scale: Scale, profile: Profile) -> (SimReport, Vec<TunerEvent>) {
+    // Aim for ~40 sampling epochs within the measured region.
+    let divisor = (25_000_000 / (scale.instructions / 40).max(1)).max(1);
+    let cfg = SystemConfig::builder()
+        .profile(profile)
+        .policy(PolicyKind::HardwarePredictor { threshold: 1_000 })
+        .migration_latency(1_000)
+        .instructions(scale.instructions)
+        .warmup(scale.warmup)
+        .seed(scale.seed)
+        .tuner(TunerConfig::scaled_down(divisor))
+        .build();
+    Simulation::new(cfg).run_with_tuner_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            instructions: 120_000,
+            warmup: 60_000,
+            seed: 7,
+            compute_profiles: 1,
+        }
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_arg("quick"), Some(Scale::quick()));
+        assert_eq!(Scale::from_arg("--paper"), Some(Scale::paper()));
+        assert_eq!(Scale::from_arg("bogus"), None);
+    }
+
+    #[test]
+    fn workload_groups_cover_servers_and_compute() {
+        let groups = workload_groups(tiny());
+        let names: Vec<&str> = groups.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["apache", "specjbb2005", "derby", "compute"]);
+        assert_eq!(groups[3].1.len(), 1);
+    }
+
+    #[test]
+    fn fig1_reports_positive_overhead_for_servers() {
+        let rows = fig1(tiny(), &[200]);
+        let apache = rows.iter().find(|r| r.workload == "apache").unwrap();
+        assert!(
+            apache.overhead_pct > 0.0,
+            "apache overhead = {}",
+            apache.overhead_pct
+        );
+    }
+
+    #[test]
+    fn fig3_has_full_grid() {
+        let rows = fig3(tiny());
+        assert_eq!(rows.len(), 4);
+        for row in rows {
+            assert_eq!(row.points.len(), 5);
+            for p in row.points {
+                assert!((0.0..=1.0).contains(&p.accuracy));
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_grid_dimensions() {
+        let cells = fig4_with_grid(tiny(), &[100], &[100, 10_000]);
+        assert_eq!(cells.len(), 4 * 2);
+        assert!(cells.iter().all(|c| c.normalized_ipc > 0.0));
+    }
+
+    #[test]
+    fn table3_covers_server_workloads() {
+        let rows = table3(tiny());
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.utilization.len(), 4);
+        }
+    }
+
+    #[test]
+    fn scalability_rows_scale_cores() {
+        let rows = scalability(tiny());
+        let cores: Vec<usize> = rows.iter().map(|r| r.user_cores).collect();
+        assert_eq!(cores, vec![1, 2, 4]);
+        // Queue delays grow with sharing.
+        assert!(rows[2].mean_queue_delay >= rows[0].mean_queue_delay);
+    }
+
+    #[test]
+    fn predictor_accuracy_rows() {
+        let rows = predictor_accuracy(tiny(), &[200], &[1500]);
+        assert_eq!(rows.len(), 4 * 2);
+        assert!(rows.iter().all(|r| r.within_5pct >= r.exact));
+    }
+
+    #[test]
+    fn half_l2_rows_cover_grid() {
+        let rows = half_l2(tiny(), &[100]);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.full_l2 > 0.0 && r.half_l2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn remote_call_never_slower_for_servers() {
+        let rows = mechanism_ablation(tiny(), &[1_000]);
+        let apache = rows.iter().find(|r| r.workload == "apache").unwrap();
+        assert!(
+            apache.remote_call >= apache.thread_migration * 0.98,
+            "RPC {:.3} vs migration {:.3}",
+            apache.remote_call,
+            apache.thread_migration
+        );
+    }
+
+    #[test]
+    fn sensitivity_covers_all_parameters() {
+        let rows = sensitivity(tiny(), Profile::apache());
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().all(|r| r.normalized > 0.5));
+        let params: std::collections::HashSet<&str> =
+            rows.iter().map(|r| r.parameter.as_str()).collect();
+        assert_eq!(params.len(), 3);
+    }
+
+    #[test]
+    fn tuner_trace_produces_events() {
+        let (report, trace) = tuner_trace(tiny(), Profile::apache());
+        assert!(!trace.is_empty());
+        assert!(report.tuner_events > 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Thread migration and OS-core queueing.
+//!
+//! The paper parameterises the *migration implementation* (§II): the
+//! conservative design point is ~5,000 cycles one-way (unmodified Linux
+//! 2.6.18 thread migration), the aggressive point is ~100 cycles (Brown &
+//! Tullsen's hardware-supported switching). §V-C adds the queueing
+//! dimension: a non-SMT OS core serves one off-loaded invocation at a
+//! time, so concurrent requests stall — with 4 user cores the paper
+//! measures queueing delays exploding past 25,000 cycles.
+
+use core::fmt;
+use osoffload_sim::{Counter, Cycle, Histogram, RunningStats};
+
+/// How an off-loaded invocation reaches the OS core (§II, "Migration
+/// Implementations").
+///
+/// The paper's schemes physically migrate the thread: its architected
+/// state moves to the OS core and back, and the user core sits reserved
+/// for the round trip. §II also notes that "remote procedure calls, and
+/// message passing interfaces within the operating system … have the
+/// potential to lower inter-core communication cost substantially and
+/// are an interesting design point though we do not consider them in
+/// this study". [`RemoteCall`](OffloadMechanism::RemoteCall) models that
+/// design point: only a request/response message crosses the fabric, and
+/// the user core is *released* while the OS core works — its sibling
+/// thread may run, buying overlap the migration scheme cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OffloadMechanism {
+    /// Full thread migration (the paper's mechanism).
+    #[default]
+    ThreadMigration,
+    /// Request/response message passing; the user core is freed during
+    /// remote execution.
+    RemoteCall,
+}
+
+/// Latency model for one thread migration.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_system::MigrationModel;
+///
+/// let conservative = MigrationModel::conservative();
+/// let aggressive = MigrationModel::aggressive();
+/// assert_eq!(conservative.one_way().as_u64(), 5_000);
+/// assert_eq!(aggressive.one_way().as_u64(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationModel {
+    one_way: u64,
+}
+
+impl MigrationModel {
+    /// Creates a model with the given one-way migration latency in
+    /// cycles.
+    pub fn new(one_way_cycles: u64) -> Self {
+        MigrationModel { one_way: one_way_cycles }
+    }
+
+    /// The paper's conservative design point: ~5,000 cycles, measured on
+    /// an unmodified Linux 2.6.18 kernel (§II).
+    pub fn conservative() -> Self {
+        MigrationModel::new(5_000)
+    }
+
+    /// The paper's aggressive design point: ~100 cycles with hardware
+    /// support for thread switching (Brown & Tullsen \[9\]).
+    pub fn aggressive() -> Self {
+        MigrationModel::new(100)
+    }
+
+    /// One-way migration latency.
+    pub fn one_way(&self) -> Cycle {
+        Cycle::new(self.one_way)
+    }
+
+    /// Latency of a full off-load round trip (out and back), excluding
+    /// queueing and execution.
+    pub fn round_trip(&self) -> Cycle {
+        Cycle::new(self.one_way * 2)
+    }
+}
+
+/// The single-server queue in front of the OS core.
+///
+/// The OS core is not multi-threaded: "if the OS core is handling an
+/// off-loading request when an additional request comes in, the new
+/// request must be stalled until the OS core becomes free" (§V-C).
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_system::OsCoreQueue;
+/// use osoffload_sim::Cycle;
+///
+/// let mut q = OsCoreQueue::new();
+/// // First request at t=100 starts immediately.
+/// let start = q.acquire(Cycle::new(100));
+/// assert_eq!(start, Cycle::new(100));
+/// q.release(Cycle::new(900));
+/// // A request arriving while busy would have waited; at t=950 it's free.
+/// assert_eq!(q.acquire(Cycle::new(950)), Cycle::new(950));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OsCoreQueue {
+    /// Next-free time of each hardware context. The paper's OS core has
+    /// exactly one; the SMT extension provisions more.
+    contexts: Vec<Cycle>,
+    /// Index of the context handed out by the in-flight `acquire`.
+    in_flight: Option<usize>,
+    busy: Cycle,
+    requests: Counter,
+    stalled: Counter,
+    queue_delay: RunningStats,
+    queue_delay_hist: Histogram,
+}
+
+impl OsCoreQueue {
+    /// Creates an idle single-context queue (the paper's non-SMT OS
+    /// core).
+    pub fn new() -> Self {
+        Self::with_contexts(1)
+    }
+
+    /// Creates a queue with `contexts` SMT hardware contexts: up to that
+    /// many off-loaded invocations are served concurrently. The model is
+    /// optimistic (contexts do not slow each other down beyond their
+    /// shared caches), bounding what SMT could buy the §V-C provisioning
+    /// problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is zero.
+    pub fn with_contexts(contexts: usize) -> Self {
+        assert!(contexts > 0, "OsCoreQueue: need at least one context");
+        OsCoreQueue {
+            contexts: vec![Cycle::ZERO; contexts],
+            in_flight: None,
+            busy: Cycle::ZERO,
+            requests: Counter::new(),
+            stalled: Counter::new(),
+            queue_delay: RunningStats::new(),
+            queue_delay_hist: Histogram::new(),
+        }
+    }
+
+    /// Number of hardware contexts.
+    pub fn contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Admits a request arriving at `arrival`; returns the cycle at which
+    /// the OS core starts serving it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous [`acquire`](Self::acquire) has not been
+    /// matched by [`release`](Self::release) (the simulator fully
+    /// processes one off-load before admitting the next).
+    pub fn acquire(&mut self, arrival: Cycle) -> Cycle {
+        assert!(self.in_flight.is_none(), "OsCoreQueue: acquire while in flight");
+        self.requests.incr();
+        // Earliest-free context serves the request.
+        let (slot, &free_at) = self
+            .contexts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("at least one context");
+        let start = arrival.max(free_at);
+        let delay = start - arrival;
+        if delay > Cycle::ZERO {
+            self.stalled.incr();
+        }
+        self.queue_delay.record(delay.as_f64());
+        self.queue_delay_hist.record(delay.as_u64());
+        self.in_flight = Some(slot);
+        self.contexts[slot] = Cycle::MAX;
+        start
+    }
+
+    /// Marks the serving context free again at `end` (the service
+    /// completion time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching [`acquire`](Self::acquire).
+    pub fn release(&mut self, end: Cycle) {
+        let slot = self
+            .in_flight
+            .take()
+            .expect("OsCoreQueue: release without acquire");
+        self.contexts[slot] = end;
+    }
+
+    /// Adds `cycles` of service to the busy-time account (Table III's
+    /// OS-core utilisation numerator).
+    pub fn add_busy(&mut self, cycles: Cycle) {
+        self.busy += cycles;
+    }
+
+    /// Whether an acquire is currently outstanding.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Total requests admitted.
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Requests that had to wait.
+    pub fn stalled(&self) -> u64 {
+        self.stalled.get()
+    }
+
+    /// Queue-delay statistics (cycles).
+    pub fn queue_delay(&self) -> &RunningStats {
+        &self.queue_delay
+    }
+
+    /// Queue-delay distribution.
+    pub fn queue_delay_hist(&self) -> &Histogram {
+        &self.queue_delay_hist
+    }
+
+    /// Accumulated OS-core busy time.
+    pub fn busy(&self) -> Cycle {
+        self.busy
+    }
+
+    /// Clears statistics (after warm-up) without touching queue state.
+    pub fn reset_stats(&mut self) {
+        self.busy = Cycle::ZERO;
+        self.requests.take();
+        self.stalled.take();
+        self.queue_delay = RunningStats::new();
+        self.queue_delay_hist = Histogram::new();
+    }
+}
+
+impl Default for OsCoreQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for OsCoreQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests ({} stalled), mean queue delay {:.0} cyc",
+            self.requests.get(),
+            self.stalled.get(),
+            self.queue_delay.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_design_points() {
+        assert_eq!(MigrationModel::conservative().round_trip(), Cycle::new(10_000));
+        assert_eq!(MigrationModel::aggressive().round_trip(), Cycle::new(200));
+        assert_eq!(MigrationModel::new(0).one_way(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut q = OsCoreQueue::new();
+        let s1 = q.acquire(Cycle::new(100));
+        assert_eq!(s1, Cycle::new(100));
+        q.release(Cycle::new(1_100)); // served 1,000 cycles
+
+        // Next arrival at 600 would have waited 500 — but it arrives
+        // after release bookkeeping, so we emulate the overlap case by
+        // acquiring before release in the next pair.
+        let s2 = q.acquire(Cycle::new(600));
+        assert_eq!(s2, Cycle::new(1_100), "stalls until the core frees");
+        q.release(Cycle::new(1_500));
+        assert_eq!(q.stalled(), 1);
+        assert_eq!(q.requests(), 2);
+        assert!(q.queue_delay().mean() > 0.0);
+    }
+
+    #[test]
+    fn idle_core_serves_immediately() {
+        let mut q = OsCoreQueue::new();
+        q.acquire(Cycle::new(50));
+        q.release(Cycle::new(60));
+        let s = q.acquire(Cycle::new(1_000));
+        assert_eq!(s, Cycle::new(1_000));
+        assert_eq!(q.stalled(), 0);
+    }
+
+    #[test]
+    fn busy_flag_tracks_acquire_release() {
+        let mut q = OsCoreQueue::new();
+        assert!(!q.is_busy());
+        q.acquire(Cycle::new(1));
+        assert!(q.is_busy());
+        q.release(Cycle::new(5));
+        assert!(!q.is_busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn release_without_acquire_panics() {
+        OsCoreQueue::new().release(Cycle::new(1));
+    }
+
+    #[test]
+    fn busy_time_accumulates_and_resets() {
+        let mut q = OsCoreQueue::new();
+        q.add_busy(Cycle::new(500));
+        q.add_busy(Cycle::new(250));
+        assert_eq!(q.busy(), Cycle::new(750));
+        q.reset_stats();
+        assert_eq!(q.busy(), Cycle::ZERO);
+        assert_eq!(q.requests(), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!OsCoreQueue::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,804 @@
+//! The assembled CMP simulation.
+//!
+//! [`Simulation`] connects every substrate: workload streams drive
+//! per-thread execution; instructions walk the core model (TLB, branch
+//! predictor) and the memory hierarchy; privileged invocations consult
+//! the configured decision policy; off-loaded invocations migrate to the
+//! OS core through the single-server queue; and the optional §III-B
+//! tuner adjusts the threshold at epoch boundaries using L2 hit-rate
+//! feedback.
+//!
+//! ## Timing model
+//!
+//! Each software thread owns a local cycle clock. The engine always
+//! advances the thread with the smallest clock, one *segment* (user burst
+//! or whole privileged invocation) at a time. Threads sharing a user core
+//! serialise on the core's `free_at` time — this is the coarse-grained
+//! multithreading the paper assumes when it maps two threads per core so
+//! that "workloads that might stall on I/O operations … continue making
+//! progress" (§II): while one thread's invocation is off-loaded to the OS
+//! core, its sibling uses the user core.
+//!
+//! Every instruction costs one base cycle plus any TLB-refill, cache-miss
+//! and branch-misprediction penalties; L1 hits are fully pipelined
+//! (zero *added* cycles), so a perfectly cache-resident thread retires
+//! one instruction per cycle, like the paper's in-order UltraSPARC cores.
+
+use crate::config::{PolicyKind, SystemConfig};
+use crate::metrics::{BinaryPoint, PredictorReport, QueueReport, SimReport};
+use crate::migration::{OffloadMechanism, OsCoreQueue};
+use crate::trace::{InvocationRecord, InvocationTrace};
+use osoffload_core::{
+    AState, BinaryAccuracyTracker, OffloadPolicy, OsEntry, PredictorStats, ThresholdTuner,
+};
+use osoffload_cpu::{ArchState, CoreParams, CoreState};
+use osoffload_mem::{Access, Address, CoreId, MemSnapshot, MemorySystem};
+use osoffload_sim::{Counter, Cycle, EpochClock, EpochEvent, Instret, Rng64};
+use osoffload_workload::{InstrSpec, OsInvocation, Segment, ThreadWorkload};
+
+struct ThreadCtx {
+    wl: ThreadWorkload,
+    arch: ArchState,
+    clock: Cycle,
+    user_core: usize,
+}
+
+/// One configured simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use osoffload_system::{Simulation, SystemConfig, PolicyKind};
+/// use osoffload_workload::Profile;
+///
+/// let cfg = SystemConfig::builder()
+///     .profile(Profile::blackscholes())
+///     .policy(PolicyKind::HardwarePredictor { threshold: 1_000 })
+///     .migration_latency(100)
+///     .instructions(50_000)
+///     .seed(7)
+///     .build();
+/// let report = Simulation::new(cfg).run();
+/// assert!(report.throughput() > 0.0);
+/// ```
+pub struct Simulation {
+    cfg: SystemConfig,
+    mem: MemorySystem,
+    cores: Vec<CoreState>,
+    core_free: Vec<Cycle>,
+    os_core: Option<usize>,
+    threads: Vec<ThreadCtx>,
+    policies: Vec<Box<dyn OffloadPolicy>>,
+    queue: OsCoreQueue,
+    tracker: BinaryAccuracyTracker,
+    tuner: Option<ThresholdTuner>,
+    epoch: Option<EpochClock>,
+    epoch_snapshot: MemSnapshot,
+    trace: InvocationTrace,
+    offloads: Counter,
+    locals: Counter,
+    overhead_cycles: Counter,
+    throttled_cycles: Counter,
+    cyc_fetch: Counter,
+    cyc_data: Counter,
+    cyc_tlb: Counter,
+    cyc_branch: Counter,
+    retired_total: Instret,
+    retired_priv: Instret,
+    l1_latency: u64,
+}
+
+impl Simulation {
+    /// Builds a cold simulation from its configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let mut mem_cfg = cfg.mem_config();
+        mem_cfg.seed ^= cfg.seed;
+        let l1_latency = mem_cfg.l1_latency;
+        let mem = MemorySystem::new(mem_cfg);
+
+        let total_cores = cfg.total_cores();
+        let cores: Vec<CoreState> = (0..total_cores)
+            .map(|_| CoreState::new(CoreParams::paper_default()))
+            .collect();
+        let os_core = if cfg.policy.is_baseline() || cfg.resource_adaptation.is_some() {
+            None
+        } else {
+            Some(total_cores - 1)
+        };
+
+        let mut master = Rng64::seed_from(cfg.seed);
+        let threads = (0..cfg.thread_count())
+            .map(|i| ThreadCtx {
+                wl: if cfg.phases.is_empty() {
+                    ThreadWorkload::new(cfg.profile.clone(), i, master.split().next_u64())
+                } else {
+                    ThreadWorkload::with_phases(
+                        cfg.profile.clone(),
+                        cfg.phases.clone(),
+                        i,
+                        master.split().next_u64(),
+                    )
+                },
+                arch: ArchState::new(),
+                clock: Cycle::ZERO,
+                user_core: i / cfg.profile.threads_per_core,
+            })
+            .collect();
+
+        let policies = (0..cfg.user_cores)
+            .map(|_| cfg.policy.build(&cfg.profile, cfg.migration))
+            .collect();
+
+        Simulation {
+            mem,
+            cores,
+            core_free: vec![Cycle::ZERO; total_cores],
+            os_core,
+            threads,
+            policies,
+            queue: OsCoreQueue::with_contexts(cfg.os_core_contexts),
+            trace: InvocationTrace::new(cfg.trace_capacity),
+            tracker: BinaryAccuracyTracker::paper_grid(),
+            tuner: cfg.tuner.clone().map(ThresholdTuner::new),
+            epoch: None,
+            epoch_snapshot: MemSnapshot::default(),
+            offloads: Counter::new(),
+            locals: Counter::new(),
+            overhead_cycles: Counter::new(),
+            throttled_cycles: Counter::new(),
+            cyc_fetch: Counter::new(),
+            cyc_data: Counter::new(),
+            cyc_tlb: Counter::new(),
+            cyc_branch: Counter::new(),
+            retired_total: Instret::ZERO,
+            retired_priv: Instret::ZERO,
+            l1_latency,
+            cfg,
+        }
+    }
+
+    /// Runs warm-up plus the measured region and produces the report.
+    pub fn run(mut self) -> SimReport {
+        if self.cfg.warmup > 0 {
+            self.execute(Instret::new(self.cfg.warmup));
+        }
+        let warmup_priv_frac = if self.retired_total > Instret::ZERO {
+            self.retired_priv.as_f64() / self.retired_total.as_f64()
+        } else {
+            0.0
+        };
+        self.reset_statistics();
+        self.start_tuner(warmup_priv_frac);
+        let measured_start = self.max_clock();
+        self.execute(Instret::new(self.cfg.instructions));
+        self.build_report(measured_start)
+    }
+
+    fn max_clock(&self) -> Cycle {
+        self.threads
+            .iter()
+            .map(|t| t.clock)
+            .fold(Cycle::ZERO, Cycle::max)
+    }
+
+    fn reset_statistics(&mut self) {
+        self.mem.reset_stats();
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.queue.reset_stats();
+        for p in &mut self.policies {
+            p.reset_stats();
+        }
+        self.tracker = BinaryAccuracyTracker::paper_grid();
+        self.offloads.take();
+        self.locals.take();
+        self.overhead_cycles.take();
+        self.throttled_cycles.take();
+        self.cyc_fetch.take();
+        self.cyc_data.take();
+        self.cyc_tlb.take();
+        self.cyc_branch.take();
+        self.retired_total = Instret::ZERO;
+        self.retired_priv = Instret::ZERO;
+    }
+
+    fn start_tuner(&mut self, priv_fraction: f64) {
+        let Some(tuner) = self.tuner.as_mut() else {
+            return;
+        };
+        let directive = tuner.initialize(priv_fraction);
+        for p in &mut self.policies {
+            p.set_threshold(directive.threshold);
+        }
+        self.epoch = Some(EpochClock::new(directive.epoch_len));
+        self.epoch_snapshot = self.mem.snapshot();
+    }
+
+    fn execute(&mut self, target: Instret) {
+        let start = self.retired_total;
+        while self.retired_total - start < target {
+            let t = self.next_thread();
+            match self.threads[t].wl.next_segment() {
+                Segment::User { len } => self.run_user_burst(t, len),
+                Segment::Os(inv) => self.run_invocation(t, inv),
+            }
+        }
+    }
+
+    fn next_thread(&self) -> usize {
+        self.threads
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, t)| (t.clock, *i))
+            .map(|(i, _)| i)
+            .expect("at least one thread")
+    }
+
+    /// Cost of one dynamic instruction on `core_idx`, in cycles of the
+    /// *user-core* clock domain. A heterogeneous (slower, more
+    /// efficient) OS core stretches its instructions by the configured
+    /// slowdown.
+    fn exec_instr_scaled(&mut self, core_idx: usize, spec: &InstrSpec) -> u64 {
+        let raw = self.exec_instr(core_idx, spec);
+        if Some(core_idx) == self.os_core && self.cfg.os_core_slowdown_milli != 1_000 {
+            raw * self.cfg.os_core_slowdown_milli / 1_000
+        } else {
+            raw
+        }
+    }
+
+    /// Cost of one dynamic instruction on `core_idx`, in cycles.
+    fn exec_instr(&mut self, core_idx: usize, spec: &InstrSpec) -> u64 {
+        let cid = CoreId::new(core_idx);
+        let mut cost = 1u64;
+        let tlb_i = self.cores[core_idx].tlb_mut().translate(spec.pc).as_u64();
+        let fetch = self.mem.access(cid, Access::fetch(Address::new(spec.pc)));
+        let fetch_extra = fetch.latency.as_u64() - self.l1_latency;
+        cost += tlb_i + fetch_extra;
+        self.cyc_tlb.add(tlb_i);
+        self.cyc_fetch.add(fetch_extra);
+        if let Some(m) = spec.mem {
+            let tlb_d = self.cores[core_idx].tlb_mut().translate(m.addr).as_u64();
+            let access = if m.write {
+                Access::write(Address::new(m.addr))
+            } else {
+                Access::read(Address::new(m.addr))
+            };
+            let outcome = self.mem.access(cid, access);
+            let data_extra = outcome.latency.as_u64() - self.l1_latency;
+            cost += tlb_d + data_extra;
+            self.cyc_tlb.add(tlb_d);
+            self.cyc_data.add(data_extra);
+        }
+        if let Some(taken) = spec.branch {
+            let bp = self.cores[core_idx].branch_mut().execute(spec.pc, taken).as_u64();
+            cost += bp;
+            self.cyc_branch.add(bp);
+        }
+        cost
+    }
+
+    fn run_user_burst(&mut self, t: usize, len: u64) {
+        let core_idx = self.threads[t].user_core;
+        let start = self.threads[t].clock.max(self.core_free[core_idx]);
+        let mut now = start;
+        for _ in 0..len {
+            let spec = self.threads[t].wl.user_instr();
+            now += self.exec_instr(core_idx, &spec);
+        }
+        self.cores[core_idx].retire_user(len);
+        self.cores[core_idx].add_busy(now - start);
+        self.core_free[core_idx] = now;
+        self.threads[t].clock = now;
+        self.account(len, false);
+    }
+
+    fn run_invocation(&mut self, t: usize, inv: OsInvocation) {
+        let core_idx = self.threads[t].user_core;
+        let len = inv.actual_len;
+
+        // Trap entry: install the invocation's registers and switch mode.
+        {
+            let th = &mut self.threads[t];
+            th.arch.set_global(1, inv.regs[0]);
+            th.arch.set_input(0, inv.regs[1]);
+            th.arch.set_input(1, inv.regs[2]);
+            th.arch.enter_privileged();
+        }
+        let entry = OsEntry {
+            astate: AState::from_arch(&self.threads[t].arch),
+            routine: inv.syscall.trap_number(),
+        };
+
+        let policy = &mut self.policies[core_idx];
+        policy.hint_actual(len);
+        let decision = policy.decide(entry);
+        if let Some(p) = decision.prediction {
+            self.tracker.record(p.length, len);
+        }
+        self.overhead_cycles.add(decision.overhead_cycles);
+
+        let entry_start = self.threads[t].clock.max(self.core_free[core_idx]);
+        let mut now = entry_start + decision.overhead_cycles;
+        let mut traced_queue_delay = 0u64;
+
+        if decision.offload && self.cfg.resource_adaptation.is_some() {
+            // Li & John resource adaptation (§VI-B): the invocation runs
+            // locally while the core throttles — trading cycles for
+            // power, with no migration and no second cache.
+            let slowdown = self.cfg.resource_adaptation.expect("checked");
+            self.offloads.incr();
+            let throttle_start = now;
+            for j in 0..len {
+                let spec = self.threads[t].wl.os_instr(&inv, j);
+                now += self.exec_instr(core_idx, &spec) * slowdown / 1_000;
+            }
+            self.throttled_cycles.add((now - throttle_start).as_u64());
+            self.cores[core_idx].retire_privileged(len);
+            self.cores[core_idx].add_busy(now - entry_start);
+            self.core_free[core_idx] = now;
+        } else if decision.offload && self.os_core.is_some() {
+            self.offloads.incr();
+            self.cores[core_idx].add_busy(now - entry_start);
+            match self.cfg.mechanism {
+                OffloadMechanism::ThreadMigration => {
+                    // Off-loading migrates the *thread*: its architected
+                    // state moves to the OS core and back (§II,
+                    // "interrupting program control flow on the user
+                    // processor and writing architected register state to
+                    // memory"). The user core cannot run other work
+                    // during the round trip at these microsecond
+                    // timescales, so it stays reserved until the thread
+                    // returns.
+                }
+                OffloadMechanism::RemoteCall => {
+                    // RPC-style off-load (§II's untaken design point):
+                    // only a request message leaves; the user core is
+                    // free for the sibling thread while the OS core
+                    // works.
+                    self.core_free[core_idx] = now;
+                }
+            }
+
+            let os_idx = self.os_core.expect("checked above");
+            let arrival = now + self.cfg.migration.one_way();
+            let os_start = self.queue.acquire(arrival);
+            traced_queue_delay = (os_start - arrival).as_u64();
+            let mut os_now = os_start;
+            for j in 0..len {
+                let spec = self.threads[t].wl.os_instr(&inv, j);
+                os_now += self.exec_instr_scaled(os_idx, &spec);
+            }
+            self.queue.release(os_now);
+            self.queue.add_busy(os_now - os_start);
+            self.cores[os_idx].retire_privileged(len);
+            self.cores[os_idx].add_busy(os_now - os_start);
+            now = os_now + self.cfg.migration.one_way();
+            if self.cfg.mechanism == OffloadMechanism::ThreadMigration {
+                self.core_free[core_idx] = now;
+            } else {
+                // The response interrupts whichever thread holds the
+                // user core; the returning thread resumes once the core
+                // frees (handled by the next segment's max()).
+            }
+        } else {
+            self.locals.incr();
+            for j in 0..len {
+                let spec = self.threads[t].wl.os_instr(&inv, j);
+                now += self.exec_instr(core_idx, &spec);
+            }
+            self.cores[core_idx].retire_privileged(len);
+            self.cores[core_idx].add_busy(now - entry_start);
+            self.core_free[core_idx] = now;
+        }
+
+        if self.trace.is_enabled() {
+            self.trace.record(InvocationRecord {
+                thread: t,
+                syscall: inv.syscall,
+                astate: entry.astate.as_u64(),
+                predicted: decision.prediction.map(|p| p.length),
+                offloaded: decision.offload,
+                actual_len: len,
+                entry_cycle: entry_start.as_u64(),
+                queue_delay: traced_queue_delay,
+                total_cycles: (now - entry_start).as_u64(),
+            });
+        }
+        self.threads[t].clock = now;
+        self.policies[core_idx].complete(entry, &decision, len);
+        self.threads[t].arch.exit_privileged();
+        self.account(len, true);
+    }
+
+    fn account(&mut self, n: u64, is_priv: bool) {
+        self.retired_total += n;
+        if is_priv {
+            self.retired_priv += n;
+        }
+        // Epoch-driven threshold tuning (§III-B).
+        let Some(epoch) = self.epoch.as_mut() else {
+            return;
+        };
+        if let EpochEvent::Boundary(_) = epoch.advance(Instret::new(n)) {
+            let snap = self.mem.snapshot();
+            let rate = snap.l2_hit_rate_since(&self.epoch_snapshot);
+            self.epoch_snapshot = snap;
+            let tuner = self.tuner.as_mut().expect("epoch implies tuner");
+            let directive = tuner.on_epoch_end(rate);
+            epoch.set_epoch_len(directive.epoch_len);
+            for p in &mut self.policies {
+                p.set_threshold(directive.threshold);
+            }
+        }
+    }
+
+    fn merged_predictor_stats(&self) -> Option<PredictorStats> {
+        let mut merged: Option<PredictorStats> = None;
+        for p in &self.policies {
+            if let Some(s) = p.predictor_stats() {
+                match merged.as_mut() {
+                    Some(m) => {
+                        m.exact.merge(&s.exact);
+                        m.within_close.merge(&s.within_close);
+                        m.underestimates.merge(&s.underestimates);
+                        m.local_source.merge(&s.local_source);
+                    }
+                    None => merged = Some(s),
+                }
+            }
+        }
+        merged
+    }
+
+    fn build_report(&self, measured_start: Cycle) -> SimReport {
+        let cycles = (self.max_clock() - measured_start).as_u64().max(1);
+        let instructions = self.retired_total.as_u64();
+
+        let mut l1d = (0u64, 0u64);
+        let mut l1i = (0u64, 0u64);
+        let mut l2u = (0u64, 0u64);
+        let (mut l1d_total, mut l1i_total, mut l2_total) = (0u64, 0u64, 0u64);
+        for i in 0..self.cores.len() {
+            let cid = CoreId::new(i);
+            let d = self.mem.l1d_stats(cid);
+            l1d_total += d.hits.get() + d.misses.get();
+            let f = self.mem.l1i_stats(cid);
+            l1i_total += f.hits.get() + f.misses.get();
+            let l2 = self.mem.l2_stats(cid);
+            l2_total += l2.hits.get() + l2.misses.get();
+        }
+        for i in 0..self.cfg.user_cores {
+            let cid = CoreId::new(i);
+            let d = self.mem.l1d_stats(cid);
+            l1d.0 += d.hits.get();
+            l1d.1 += d.hits.get() + d.misses.get();
+            let ins = self.mem.l1i_stats(cid);
+            l1i.0 += ins.hits.get();
+            l1i.1 += ins.hits.get() + ins.misses.get();
+            let l2 = self.mem.l2_stats(cid);
+            l2u.0 += l2.hits.get();
+            l2u.1 += l2.hits.get() + l2.misses.get();
+        }
+        let rate = |(h, t): (u64, u64)| if t == 0 { 0.0 } else { h as f64 / t as f64 };
+        let user_branch_accuracy = {
+            let (mut hits, mut total) = (0u64, 0u64);
+            for core in self.cores.iter().take(self.cfg.user_cores) {
+                let p = &core.branch().stats().predictions;
+                hits += p.hits();
+                total += p.total();
+            }
+            if total == 0 { 0.0 } else { hits as f64 / total as f64 }
+        };
+        let l2_os_hit_rate = self
+            .os_core
+            .map(|i| self.mem.l2_stats(CoreId::new(i)).hit_rate())
+            .unwrap_or(0.0);
+
+        let predictor = self.merged_predictor_stats().map(|s| PredictorReport {
+            exact: s.exact.rate(),
+            within_5pct: s.within_close.rate(),
+            underestimates: s.underestimates.rate(),
+            local_fraction: s.local_source.rate(),
+        });
+
+        SimReport {
+            profile: self.cfg.profile.name.to_string(),
+            policy: self.cfg.policy.label().to_string(),
+            threshold: match self.cfg.policy {
+                PolicyKind::HardwarePredictor { threshold }
+                | PolicyKind::HardwarePredictorDirectMapped { threshold }
+                | PolicyKind::HardwarePredictorSized { threshold, .. }
+                | PolicyKind::HardwarePredictorDmSized { threshold, .. }
+                | PolicyKind::HardwarePredictorSetAssoc { threshold, .. }
+                | PolicyKind::HardwarePredictorGlobalOnly { threshold }
+                | PolicyKind::HardwarePredictorLastValue { threshold }
+                | PolicyKind::DynamicInstrumentation { threshold, .. }
+                | PolicyKind::Oracle { threshold } => Some(threshold),
+                PolicyKind::AlwaysOffload => Some(0),
+                _ => None,
+            },
+            final_threshold: self.policies.first().and_then(|p| p.threshold()),
+            migration_one_way: self.cfg.migration.one_way().as_u64(),
+            user_cores: self.cfg.user_cores,
+            os_cores: usize::from(self.os_core.is_some()),
+            threads: self.threads.len(),
+            instructions,
+            cycles,
+            throughput: instructions as f64 / cycles as f64,
+            os_share: if instructions == 0 {
+                0.0
+            } else {
+                self.retired_priv.as_f64() / instructions as f64
+            },
+            offloads: self.offloads.get(),
+            local_invocations: self.locals.get(),
+            decision_overhead_cycles: self.overhead_cycles.get(),
+            l1d_hit_rate: rate(l1d),
+            l1i_hit_rate: rate(l1i),
+            user_branch_accuracy,
+            l2_user_hit_rate: rate(l2u),
+            l2_os_hit_rate,
+            l2_mean_hit_rate: self.mem.mean_l2_hit_rate(),
+            c2c_transfers: self.mem.interconnect().c2c_transfers(),
+            invalidation_rounds: self.mem.interconnect().invalidation_rounds(),
+            l1d_accesses: l1d_total,
+            l1i_accesses: l1i_total,
+            l2_accesses: l2_total,
+            dram_accesses: self.mem.dram().accesses(),
+            throttled_cycles: self.throttled_cycles.get(),
+            // Thread clocks are skewed at the measurement boundary, so a
+            // heavily saturated OS core can accrue slightly more busy
+            // time than the max-clock window; clamp to the definition's
+            // domain.
+            os_core_busy_frac: (self.queue.busy().as_f64() / cycles as f64).min(1.0),
+            user_cores_busy_frac: {
+                let busy: f64 = (0..self.cfg.user_cores)
+                    .map(|i| self.cores[i].busy().as_f64())
+                    .sum();
+                (busy / (cycles as f64 * self.cfg.user_cores as f64)).min(1.0)
+            },
+            queue: QueueReport {
+                requests: self.queue.requests(),
+                stalled: self.queue.stalled(),
+                mean_delay: self.queue.queue_delay().mean(),
+                p95_delay: self.queue.queue_delay_hist().percentile(95.0),
+            },
+            cycle_breakdown: crate::metrics::CycleBreakdown {
+                base: instructions,
+                fetch: self.cyc_fetch.get(),
+                data: self.cyc_data.get(),
+                tlb: self.cyc_tlb.get(),
+                branch: self.cyc_branch.get(),
+                migration: self.offloads.get() * 2 * self.cfg.migration.one_way().as_u64(),
+                queue_wait: self.queue.queue_delay().sum() as u64,
+                decision: self.overhead_cycles.get(),
+            },
+            binary_accuracy: self
+                .tracker
+                .iter()
+                .map(|(threshold, accuracy)| BinaryPoint { threshold, accuracy })
+                .collect(),
+            predictor,
+            tuner_events: self.tuner.as_ref().map_or(0, |t| t.history().len()),
+        }
+    }
+
+    /// Runs to completion and returns both the report and the
+    /// per-invocation trace (enable recording with
+    /// [`SystemConfigBuilder::trace`](crate::config::SystemConfigBuilder::trace)).
+    pub fn run_traced(mut self) -> (SimReport, InvocationTrace) {
+        if self.cfg.warmup > 0 {
+            self.execute(Instret::new(self.cfg.warmup));
+        }
+        let warmup_priv_frac = if self.retired_total > Instret::ZERO {
+            self.retired_priv.as_f64() / self.retired_total.as_f64()
+        } else {
+            0.0
+        };
+        self.reset_statistics();
+        self.trace = InvocationTrace::new(self.cfg.trace_capacity);
+        self.start_tuner(warmup_priv_frac);
+        let measured_start = self.max_clock();
+        self.execute(Instret::new(self.cfg.instructions));
+        let report = self.build_report(measured_start);
+        (report, self.trace)
+    }
+
+    /// The tuner's decision log, when the tuner is enabled.
+    pub fn tuner_history(&self) -> Option<&[osoffload_core::TunerEvent]> {
+        self.tuner.as_ref().map(|t| t.history())
+    }
+
+    /// Runs to completion and returns both the report and the tuner log.
+    pub fn run_with_tuner_trace(mut self) -> (SimReport, Vec<osoffload_core::TunerEvent>) {
+        if self.cfg.warmup > 0 {
+            self.execute(Instret::new(self.cfg.warmup));
+        }
+        let warmup_priv_frac = if self.retired_total > Instret::ZERO {
+            self.retired_priv.as_f64() / self.retired_total.as_f64()
+        } else {
+            0.0
+        };
+        self.reset_statistics();
+        self.start_tuner(warmup_priv_frac);
+        let measured_start = self.max_clock();
+        self.execute(Instret::new(self.cfg.instructions));
+        let report = self.build_report(measured_start);
+        let trace = self
+            .tuner
+            .as_ref()
+            .map(|t| t.history().to_vec())
+            .unwrap_or_default();
+        (report, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osoffload_core::TunerConfig;
+    use osoffload_workload::Profile;
+
+    fn small(policy: PolicyKind, latency: u64) -> SystemConfig {
+        SystemConfig::builder()
+            .profile(Profile::apache())
+            .policy(policy)
+            .migration_latency(latency)
+            .instructions(60_000)
+            .warmup(20_000)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_report() {
+        let r = Simulation::new(small(PolicyKind::Baseline, 0)).run();
+        // Tiny runs are cache-cold; the bound only guards against
+        // degenerate timing, not steady-state IPC.
+        assert!(r.throughput > 0.02 && r.throughput < 1.0, "tput = {}", r.throughput);
+        assert_eq!(r.offloads, 0);
+        assert!(r.local_invocations > 0);
+        assert!(r.os_share > 0.2, "apache should be OS-heavy: {}", r.os_share);
+        assert_eq!(r.os_core_busy_frac, 0.0);
+        assert!(r.instructions >= 60_000);
+    }
+
+    #[test]
+    fn hardware_predictor_offloads_some_invocations() {
+        let mut cfg = small(PolicyKind::HardwarePredictor { threshold: 500 }, 100);
+        // The predictor needs a few visits per AState before its close
+        // rate is meaningful; steady-state accuracy is asserted by the
+        // longer integration tests.
+        cfg.instructions = 500_000;
+        cfg.warmup = 300_000;
+        let r = Simulation::new(cfg).run();
+        assert!(r.offloads > 0, "no offloads happened");
+        assert!(r.local_invocations > 0, "everything offloaded");
+        assert!(r.os_core_busy_frac > 0.0);
+        assert!(r.queue.requests == r.offloads);
+        let p = r.predictor.expect("HI reports predictor stats");
+        assert!(p.within_5pct > 0.4, "predictor close rate = {}", p.within_5pct);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 1_000 }, 1_000)).run();
+        let b = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 1_000 }, 1_000)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small(PolicyKind::Baseline, 0);
+        cfg.seed = 1;
+        let a = Simulation::new(cfg.clone()).run();
+        cfg.seed = 2;
+        let b = Simulation::new(cfg).run();
+        assert_ne!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn always_offload_offloads_everything() {
+        let r = Simulation::new(small(PolicyKind::AlwaysOffload, 100)).run();
+        assert_eq!(r.local_invocations, 0);
+        assert!(r.offloads > 0);
+    }
+
+    #[test]
+    fn high_threshold_offloads_nothing() {
+        let r = Simulation::new(small(
+            PolicyKind::HardwarePredictor { threshold: u64::MAX },
+            100,
+        ))
+        .run();
+        assert_eq!(r.offloads, 0);
+    }
+
+    #[test]
+    fn di_overhead_exceeds_hi_overhead() {
+        let hi = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 500 }, 100)).run();
+        let di = Simulation::new(small(
+            PolicyKind::DynamicInstrumentation { threshold: 500, cost: 120 },
+            100,
+        ))
+        .run();
+        assert!(
+            di.decision_overhead_cycles > hi.decision_overhead_cycles * 20,
+            "DI overhead {} vs HI {}",
+            di.decision_overhead_cycles,
+            hi.decision_overhead_cycles
+        );
+    }
+
+    #[test]
+    fn tuner_runs_and_logs_events() {
+        let mut cfg = small(PolicyKind::HardwarePredictor { threshold: 1_000 }, 100);
+        cfg.tuner = Some(TunerConfig::scaled_down(2_000)); // 12.5K-insn samples
+        let (report, trace) = Simulation::new(cfg).run_with_tuner_trace();
+        assert!(report.tuner_events > 0, "tuner never fired");
+        assert!(!trace.is_empty());
+        assert!(report.final_threshold.is_some());
+    }
+
+    #[test]
+    fn os_core_utilization_falls_with_threshold() {
+        let low = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 100 }, 1_000)).run();
+        let high = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 10_000 }, 1_000)).run();
+        assert!(
+            low.os_core_busy_frac > high.os_core_busy_frac,
+            "low-N busy {} vs high-N busy {}",
+            low.os_core_busy_frac,
+            high.os_core_busy_frac
+        );
+    }
+
+    #[test]
+    fn binary_accuracy_grid_is_reported() {
+        let r = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 500 }, 100)).run();
+        assert_eq!(r.binary_accuracy.len(), 5);
+        for p in &r.binary_accuracy {
+            assert!((0.0..=1.0).contains(&p.accuracy));
+        }
+    }
+
+    #[test]
+    fn remote_call_mechanism_frees_the_user_core() {
+        use crate::migration::OffloadMechanism;
+        let mk = |mech| {
+            let mut cfg = small(PolicyKind::HardwarePredictor { threshold: 100 }, 1_000);
+            cfg.instructions = 200_000;
+            cfg.warmup = 100_000;
+            cfg.mechanism = mech;
+            Simulation::new(cfg).run()
+        };
+        let migration = mk(OffloadMechanism::ThreadMigration);
+        let rpc = mk(OffloadMechanism::RemoteCall);
+        // With two threads per core, freeing the user core during remote
+        // execution lets the sibling overlap: RPC must be faster.
+        assert!(
+            rpc.throughput > migration.throughput,
+            "rpc {:.4} vs migration {:.4}",
+            rpc.throughput,
+            migration.throughput
+        );
+    }
+
+    #[test]
+    fn multi_user_core_topology_runs() {
+        let cfg = SystemConfig::builder()
+            .profile(Profile::specjbb())
+            .policy(PolicyKind::HardwarePredictor { threshold: 100 })
+            .migration_latency(1_000)
+            .user_cores(2)
+            .instructions(80_000)
+            .warmup(20_000)
+            .seed(3)
+            .build();
+        let r = Simulation::new(cfg).run();
+        assert_eq!(r.user_cores, 2);
+        assert_eq!(r.threads, 4);
+        assert!(r.queue.requests > 0);
+    }
+}

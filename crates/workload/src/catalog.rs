@@ -1,0 +1,399 @@
+//! Syscall catalog: identities, run-length models, and memory behaviour.
+//!
+//! The paper stresses that operating systems expose *hundreds* of distinct
+//! entry points (Table I) and that manually instrumenting them is
+//! infeasible — the motivation for the hardware predictor. Our synthetic
+//! kernel models a representative subset of entry points with per-syscall
+//! run-length formulas. Each syscall's service time is a deterministic
+//! function of its identity and arguments (mirroring "the duration of the
+//! read system call is a function of the number of bytes to be fetched",
+//! §II), plus stochastic disturbances modelled elsewhere
+//! ([`invocation`](crate::invocation)).
+
+use core::fmt;
+
+/// One row of the paper's Table I: distinct system calls per OS release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsSyscallCount {
+    /// Operating system name and version.
+    pub os: &'static str,
+    /// Number of distinct system calls.
+    pub syscalls: u32,
+}
+
+/// The paper's Table I verbatim: number of distinct system calls in
+/// various operating systems.
+pub const OS_SYSCALL_TABLE: &[OsSyscallCount] = &[
+    OsSyscallCount { os: "Linux 2.6.30", syscalls: 344 },
+    OsSyscallCount { os: "Linux 2.6.16", syscalls: 310 },
+    OsSyscallCount { os: "Linux 2.4.29", syscalls: 259 },
+    OsSyscallCount { os: "FreeBSD Current", syscalls: 513 },
+    OsSyscallCount { os: "FreeBSD 5.3", syscalls: 444 },
+    OsSyscallCount { os: "FreeBSD 2.2", syscalls: 254 },
+    OsSyscallCount { os: "OpenSolaris", syscalls: 255 },
+    OsSyscallCount { os: "Linux 2.2", syscalls: 190 },
+    OsSyscallCount { os: "Linux 1.0", syscalls: 143 },
+    OsSyscallCount { os: "Linux 0.01", syscalls: 67 },
+    OsSyscallCount { os: "Windows Vista", syscalls: 360 },
+    OsSyscallCount { os: "Windows XP", syscalls: 288 },
+    OsSyscallCount { os: "Windows 2000", syscalls: 247 },
+    OsSyscallCount { os: "Windows NT", syscalls: 211 },
+];
+
+/// Identity of a privileged entry point in the synthetic kernel.
+///
+/// Includes classic system calls plus the other privileged sequences the
+/// paper counts as OS behaviour (§IV): page-fault handling, device
+/// interrupt service routines, and SPARC register-window spill/fill traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum SyscallId {
+    Read,
+    Write,
+    Readv,
+    Writev,
+    Open,
+    Close,
+    Stat,
+    Fstat,
+    Lseek,
+    Fcntl,
+    Ioctl,
+    Poll,
+    Select,
+    Mmap,
+    Munmap,
+    Brk,
+    Futex,
+    SchedYield,
+    Nanosleep,
+    GetTimeOfDay,
+    GetPid,
+    Socket,
+    Bind,
+    Listen,
+    Accept,
+    Connect,
+    Send,
+    Recv,
+    SendTo,
+    RecvFrom,
+    Fork,
+    Execve,
+    PageFault,
+    TlbRefill,
+    IrqNetwork,
+    IrqDisk,
+    IrqTimer,
+    WindowSpill,
+    WindowFill,
+}
+
+impl SyscallId {
+    /// Every entry point, in a stable order.
+    pub const ALL: &'static [SyscallId] = &[
+        SyscallId::Read,
+        SyscallId::Write,
+        SyscallId::Readv,
+        SyscallId::Writev,
+        SyscallId::Open,
+        SyscallId::Close,
+        SyscallId::Stat,
+        SyscallId::Fstat,
+        SyscallId::Lseek,
+        SyscallId::Fcntl,
+        SyscallId::Ioctl,
+        SyscallId::Poll,
+        SyscallId::Select,
+        SyscallId::Mmap,
+        SyscallId::Munmap,
+        SyscallId::Brk,
+        SyscallId::Futex,
+        SyscallId::SchedYield,
+        SyscallId::Nanosleep,
+        SyscallId::GetTimeOfDay,
+        SyscallId::GetPid,
+        SyscallId::Socket,
+        SyscallId::Bind,
+        SyscallId::Listen,
+        SyscallId::Accept,
+        SyscallId::Connect,
+        SyscallId::Send,
+        SyscallId::Recv,
+        SyscallId::SendTo,
+        SyscallId::RecvFrom,
+        SyscallId::Fork,
+        SyscallId::Execve,
+        SyscallId::PageFault,
+        SyscallId::TlbRefill,
+        SyscallId::IrqNetwork,
+        SyscallId::IrqDisk,
+        SyscallId::IrqTimer,
+        SyscallId::WindowSpill,
+        SyscallId::WindowFill,
+    ];
+
+    /// A dense index suitable for table lookups.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&s| s == self).expect("ALL is exhaustive")
+    }
+
+    /// The syscall-number value placed in `%g1` by the trap convention.
+    /// Offset so numbers do not collide with small argument values.
+    pub fn trap_number(self) -> u64 {
+        0x100 + self.index() as u64
+    }
+
+    /// Looks up the specification for this entry point.
+    pub fn spec(self) -> &'static SyscallSpec {
+        &CATALOG[self.index()]
+    }
+}
+
+impl fmt::Display for SyscallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.spec().name)
+    }
+}
+
+/// Broad behavioural class of a privileged entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsClass {
+    /// Ordinary system call invoked by the application.
+    Syscall,
+    /// Synchronous fault handled by the kernel (page fault, TLB refill).
+    Fault,
+    /// Asynchronous device interrupt service routine.
+    Interrupt,
+    /// SPARC register-window spill/fill trap (<25 instructions; §IV).
+    SpillFill,
+}
+
+/// Static description of one privileged entry point.
+///
+/// `base_len + (arg1 * per_byte_milli) / 1000` gives the deterministic
+/// service length in instructions for argument `arg1` (a byte count for
+/// I/O calls, ignored by fixed-cost calls whose `per_byte_milli` is 0).
+#[derive(Debug, Clone)]
+pub struct SyscallSpec {
+    /// Entry-point identity.
+    pub id: SyscallId,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Behavioural class.
+    pub class: OsClass,
+    /// Fixed component of the service length, in instructions.
+    pub base_len: u64,
+    /// Per-byte component, in milli-instructions per byte (so 300 means
+    /// 0.3 instructions per byte — a 4 KB `read` costs ~1,229 on top of
+    /// `base_len`).
+    pub per_byte_milli: u64,
+    /// Representative `(arg0, arg1)` contexts the workload draws from;
+    /// `arg1` is the size argument fed to the length formula. Keeping the
+    /// set small and discrete is what makes AState values recur — real
+    /// applications likewise issue I/O in a handful of fixed sizes.
+    pub arg_contexts: &'static [(u64, u64)],
+    /// Probability the call returns early (e.g. `read` hitting EOF,
+    /// §II), multiplying the service length by [`EARLY_RETURN_FACTOR`].
+    pub early_return_prob: f64,
+    /// Fraction of this handler's data accesses that touch globally
+    /// shared kernel structures.
+    pub kernel_data_frac: f64,
+    /// Fraction of data accesses that touch the *invoking thread's*
+    /// user-visible buffers (the copy-in/copy-out traffic that generates
+    /// coherence when the handler runs on a remote core).
+    pub user_shared_frac: f64,
+    /// Fraction of the handler's shared-buffer accesses that are writes
+    /// (I/O results being deposited into user memory).
+    pub shared_write_frac: f64,
+}
+
+/// Length multiplier applied on an early return (EOF and friends).
+pub const EARLY_RETURN_FACTOR: f64 = 0.35;
+
+impl SyscallSpec {
+    /// Deterministic service length (instructions) for the `(arg0, arg1)`
+    /// context, before early-return and interrupt disturbances.
+    pub fn service_len(&self, arg1: u64) -> u64 {
+        self.base_len + self.per_byte_milli * arg1 / 1000
+    }
+}
+
+const KB: u64 = 1024;
+
+/// Shorthand constructor keeping the tables below readable.
+#[allow(clippy::too_many_arguments)] // mirrors the SyscallSpec field order
+const fn spec(
+    id: SyscallId,
+    name: &'static str,
+    class: OsClass,
+    base_len: u64,
+    per_byte_milli: u64,
+    arg_contexts: &'static [(u64, u64)],
+    early_return_prob: f64,
+    kernel_data_frac: f64,
+    user_shared_frac: f64,
+    shared_write_frac: f64,
+) -> SyscallSpec {
+    SyscallSpec {
+        id,
+        name,
+        class,
+        base_len,
+        per_byte_milli,
+        arg_contexts,
+        early_return_prob,
+        kernel_data_frac,
+        user_shared_frac,
+        shared_write_frac,
+    }
+}
+
+// Argument-context tables. arg0 models a descriptor/address-ish value,
+// arg1 the size in bytes where applicable. The discrete size ladders
+// mirror how servers actually issue I/O (header-sized, page-sized, bulk).
+static IO_SIZES: &[(u64, u64)] = &[
+    (3, 512),
+    (4, 4 * KB),
+    (5, 8 * KB),
+    (6, 16 * KB),
+    (7, 64 * KB),
+    (8, KB),
+];
+static SMALL_IO_SIZES: &[(u64, u64)] = &[(3, 128), (4, 512), (5, KB), (6, 2 * KB)];
+static NET_SIZES: &[(u64, u64)] = &[(9, 256), (10, 1460), (11, 4 * KB), (12, 16 * KB)];
+static FIXED: &[(u64, u64)] = &[(0, 0), (1, 0)];
+static FD_ONLY: &[(u64, u64)] = &[(3, 0), (4, 0), (5, 0), (6, 0)];
+static MAP_SIZES: &[(u64, u64)] = &[(0, 64 * KB), (0, 256 * KB), (0, 1024 * KB)];
+static FUTEX_CTX: &[(u64, u64)] = &[(100, 0), (101, 0), (102, 1), (103, 1)];
+
+/// The full entry-point catalog, indexed by [`SyscallId::index`].
+///
+/// Base lengths are loosely calibrated to measured Linux/OpenSolaris
+/// kernel path lengths on in-order SPARC-class hardware: trivial calls
+/// run ~100–200 instructions (`getpid` is the paper's §II example of a
+/// trivially short call), descriptor operations run high hundreds,
+/// filesystem/VM operations run thousands, and bulk I/O scales with the
+/// byte count.
+pub static CATALOG: &[SyscallSpec] = &[
+    spec(SyscallId::Read, "read", OsClass::Syscall, 850, 300, IO_SIZES, 0.015, 0.35, 0.30, 0.85),
+    spec(SyscallId::Write, "write", OsClass::Syscall, 950, 280, IO_SIZES, 0.01, 0.35, 0.30, 0.10),
+    spec(SyscallId::Readv, "readv", OsClass::Syscall, 1100, 310, IO_SIZES, 0.012, 0.35, 0.30, 0.85),
+    spec(SyscallId::Writev, "writev", OsClass::Syscall, 1200, 290, IO_SIZES, 0.01, 0.35, 0.30, 0.10),
+    spec(SyscallId::Open, "open", OsClass::Syscall, 2600, 0, FD_ONLY, 0.02, 0.55, 0.10, 0.20),
+    spec(SyscallId::Close, "close", OsClass::Syscall, 620, 0, FD_ONLY, 0.0, 0.50, 0.05, 0.10),
+    spec(SyscallId::Stat, "stat", OsClass::Syscall, 1450, 0, FD_ONLY, 0.02, 0.55, 0.15, 0.60),
+    spec(SyscallId::Fstat, "fstat", OsClass::Syscall, 520, 0, FD_ONLY, 0.0, 0.50, 0.15, 0.60),
+    spec(SyscallId::Lseek, "lseek", OsClass::Syscall, 280, 0, FD_ONLY, 0.0, 0.45, 0.05, 0.10),
+    spec(SyscallId::Fcntl, "fcntl", OsClass::Syscall, 380, 0, FD_ONLY, 0.0, 0.45, 0.05, 0.10),
+    spec(SyscallId::Ioctl, "ioctl", OsClass::Syscall, 900, 0, FD_ONLY, 0.01, 0.50, 0.15, 0.40),
+    spec(SyscallId::Poll, "poll", OsClass::Syscall, 1500, 0, FD_ONLY, 0.02, 0.55, 0.15, 0.50),
+    spec(SyscallId::Select, "select", OsClass::Syscall, 1850, 0, FD_ONLY, 0.02, 0.55, 0.15, 0.50),
+    spec(SyscallId::Mmap, "mmap", OsClass::Syscall, 3100, 8, MAP_SIZES, 0.0, 0.60, 0.05, 0.30),
+    spec(SyscallId::Munmap, "munmap", OsClass::Syscall, 2300, 6, MAP_SIZES, 0.0, 0.60, 0.02, 0.10),
+    spec(SyscallId::Brk, "brk", OsClass::Syscall, 920, 0, FIXED, 0.0, 0.60, 0.02, 0.10),
+    spec(SyscallId::Futex, "futex", OsClass::Syscall, 420, 0, FUTEX_CTX, 0.04, 0.50, 0.20, 0.50),
+    spec(SyscallId::SchedYield, "sched_yield", OsClass::Syscall, 740, 0, FIXED, 0.0, 0.60, 0.0, 0.0),
+    spec(SyscallId::Nanosleep, "nanosleep", OsClass::Syscall, 1100, 0, FIXED, 0.0, 0.55, 0.0, 0.0),
+    spec(SyscallId::GetTimeOfDay, "gettimeofday", OsClass::Syscall, 210, 0, FIXED, 0.0, 0.40, 0.20, 0.90),
+    spec(SyscallId::GetPid, "getpid", OsClass::Syscall, 130, 0, FIXED, 0.0, 0.30, 0.0, 0.0),
+    spec(SyscallId::Socket, "socket", OsClass::Syscall, 1900, 0, FIXED, 0.0, 0.55, 0.05, 0.20),
+    spec(SyscallId::Bind, "bind", OsClass::Syscall, 1200, 0, FIXED, 0.0, 0.55, 0.05, 0.20),
+    spec(SyscallId::Listen, "listen", OsClass::Syscall, 800, 0, FIXED, 0.0, 0.55, 0.02, 0.10),
+    spec(SyscallId::Accept, "accept", OsClass::Syscall, 3600, 0, FD_ONLY, 0.03, 0.55, 0.15, 0.60),
+    spec(SyscallId::Connect, "connect", OsClass::Syscall, 3200, 0, FD_ONLY, 0.03, 0.55, 0.10, 0.40),
+    spec(SyscallId::Send, "send", OsClass::Syscall, 1250, 260, NET_SIZES, 0.01, 0.40, 0.30, 0.10),
+    spec(SyscallId::Recv, "recv", OsClass::Syscall, 1150, 280, NET_SIZES, 0.025, 0.40, 0.30, 0.85),
+    spec(SyscallId::SendTo, "sendto", OsClass::Syscall, 1350, 260, NET_SIZES, 0.01, 0.40, 0.30, 0.10),
+    spec(SyscallId::RecvFrom, "recvfrom", OsClass::Syscall, 1250, 280, NET_SIZES, 0.025, 0.40, 0.30, 0.85),
+    spec(SyscallId::Fork, "fork", OsClass::Syscall, 18_000, 0, FIXED, 0.0, 0.65, 0.05, 0.30),
+    spec(SyscallId::Execve, "execve", OsClass::Syscall, 45_000, 0, FIXED, 0.0, 0.65, 0.05, 0.30),
+    spec(SyscallId::PageFault, "page_fault", OsClass::Fault, 1750, 0, SMALL_IO_SIZES, 0.0, 0.60, 0.10, 0.50),
+    spec(SyscallId::TlbRefill, "tlb_refill", OsClass::Fault, 90, 0, FD_ONLY, 0.0, 0.05, 0.85, 0.75),
+    spec(SyscallId::IrqNetwork, "irq_network", OsClass::Interrupt, 4200, 0, FIXED, 0.0, 0.55, 0.15, 0.80),
+    spec(SyscallId::IrqDisk, "irq_disk", OsClass::Interrupt, 5200, 0, FIXED, 0.0, 0.60, 0.10, 0.80),
+    spec(SyscallId::IrqTimer, "irq_timer", OsClass::Interrupt, 1600, 0, FIXED, 0.0, 0.55, 0.0, 0.0),
+    spec(SyscallId::WindowSpill, "window_spill", OsClass::SpillFill, 22, 0, FIXED, 0.0, 0.10, 0.50, 0.90),
+    spec(SyscallId::WindowFill, "window_fill", OsClass::SpillFill, 21, 0, FIXED, 0.0, 0.10, 0.50, 0.10),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(OS_SYSCALL_TABLE.len(), 14);
+        let linux_2630 = OS_SYSCALL_TABLE.iter().find(|r| r.os == "Linux 2.6.30").unwrap();
+        assert_eq!(linux_2630.syscalls, 344);
+        let freebsd = OS_SYSCALL_TABLE.iter().find(|r| r.os == "FreeBSD Current").unwrap();
+        assert_eq!(freebsd.syscalls, 513);
+        let nt = OS_SYSCALL_TABLE.iter().find(|r| r.os == "Windows NT").unwrap();
+        assert_eq!(nt.syscalls, 211);
+    }
+
+    #[test]
+    fn catalog_is_exhaustive_and_ordered() {
+        assert_eq!(CATALOG.len(), SyscallId::ALL.len());
+        for (i, s) in CATALOG.iter().enumerate() {
+            assert_eq!(s.id.index(), i, "{} out of order", s.name);
+            assert_eq!(s.id.spec().name, s.name);
+        }
+    }
+
+    #[test]
+    fn trap_numbers_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &id in SyscallId::ALL {
+            assert!(seen.insert(id.trap_number()), "duplicate trap number for {id}");
+        }
+    }
+
+    #[test]
+    fn every_spec_has_contexts_and_sane_fractions() {
+        for s in CATALOG {
+            assert!(!s.arg_contexts.is_empty(), "{} has no contexts", s.name);
+            assert!((0.0..=1.0).contains(&s.early_return_prob));
+            assert!((0.0..=1.0).contains(&s.kernel_data_frac));
+            assert!((0.0..=1.0).contains(&s.user_shared_frac));
+            assert!((0.0..=1.0).contains(&s.shared_write_frac));
+            assert!(
+                s.kernel_data_frac + s.user_shared_frac <= 1.0,
+                "{}: access fractions exceed 1",
+                s.name
+            );
+            assert!(s.base_len > 0, "{}: zero base length", s.name);
+        }
+    }
+
+    #[test]
+    fn read_length_scales_with_bytes() {
+        let read = SyscallId::Read.spec();
+        let small = read.service_len(512);
+        let large = read.service_len(64 * 1024);
+        assert!(small < large);
+        assert_eq!(small, 850 + 300 * 512 / 1000);
+        // A 64 KB read runs ~20K instructions — a clearly "long" call.
+        assert!(large > 10_000);
+    }
+
+    #[test]
+    fn getpid_is_trivially_short() {
+        // §II instruments getpid as the trivial-call example.
+        assert!(SyscallId::GetPid.spec().service_len(0) < 200);
+    }
+
+    #[test]
+    fn spill_fill_are_under_25_instructions() {
+        // §IV: spill/fill are exclusively <25 instruction invocations.
+        assert!(SyscallId::WindowSpill.spec().service_len(0) < 25);
+        assert!(SyscallId::WindowFill.spec().service_len(0) < 25);
+        assert_eq!(SyscallId::WindowSpill.spec().class, OsClass::SpillFill);
+    }
+
+    #[test]
+    fn display_uses_catalog_name() {
+        assert_eq!(SyscallId::Read.to_string(), "read");
+        assert_eq!(SyscallId::IrqDisk.to_string(), "irq_disk");
+    }
+}

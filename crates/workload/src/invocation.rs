@@ -1,0 +1,284 @@
+//! Privileged-invocation descriptors.
+//!
+//! An [`OsInvocation`] is one contiguous privileged-mode sequence: a
+//! system call, fault handler, interrupt service routine, or SPARC
+//! spill/fill trap. The generator materialises each invocation with
+//!
+//! * the **register values** (`%g1`, `%i0`, `%i1`) visible at trap entry —
+//!   the inputs to the paper's AState hash;
+//! * the **deterministic service length** implied by the entry point and
+//!   its arguments;
+//! * the **actual length**, which adds the disturbances that make
+//!   prediction non-trivial: early returns ("the read syscall may return
+//!   prematurely if end-of-file is encountered"), small data-dependent
+//!   jitter, and device-interrupt extensions ("interrupts typically
+//!   extend the duration of OS invocations, almost never decreasing it",
+//!   §III-A).
+
+use crate::catalog::{OsClass, SyscallId, EARLY_RETURN_FACTOR};
+use core::fmt;
+use osoffload_sim::Rng64;
+
+/// The register image of a syscall's first argument.
+///
+/// Real `%i0` values are descriptors and pointers whose bit patterns are
+/// routine-specific (each call site passes its own objects), not tiny
+/// integers. A plain small-integer encoding would make the XOR hash
+/// collide across unrelated syscalls — the paper's AState works because
+/// the raw register *values* carry that per-routine structure, so we
+/// synthesise it: the routine's identity occupies the high bits and the
+/// logical argument the low bits.
+#[inline]
+pub fn pointer_image(syscall: SyscallId, arg0: u64) -> u64 {
+    (syscall.trap_number() << 16) | arg0
+}
+
+/// One privileged-mode invocation, fully materialised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OsInvocation {
+    /// Which entry point.
+    pub syscall: SyscallId,
+    /// `(%g1, %i0, %i1)` at trap entry — the predictor's hash inputs
+    /// (besides `PSTATE` and the hardwired-zero `%g0`).
+    pub regs: [u64; 3],
+    /// Deterministic service length in instructions for these arguments.
+    pub service_len: u64,
+    /// Actual length in instructions, after disturbances. Never zero.
+    pub actual_len: u64,
+    /// Portion of `actual_len` contributed by nested device interrupts.
+    pub interrupt_extra: u64,
+    /// Whether the invocation returned early (EOF and friends).
+    pub early_return: bool,
+}
+
+impl OsInvocation {
+    /// Builds an invocation of `syscall` with explicit `(arg0, arg1)`.
+    ///
+    /// Disturbance model, in order:
+    /// 1. with `spec.early_return_prob`, the call completes at
+    ///    [`EARLY_RETURN_FACTOR`] of its service length;
+    /// 2. with `jitter_prob`, the length is perturbed uniformly within
+    ///    ±`jitter_span` (data-dependent path variation — small enough to
+    ///    land in the paper's "within ±5%" accuracy bucket);
+    /// 3. if the entry point runs with interrupts enabled, a device
+    ///    interrupt may be nested inside, *adding* `irq_len` instructions
+    ///    (probability grows with the invocation's own length:
+    ///    `1 − exp(−len / irq_mean_interval)`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn materialize(
+        syscall: SyscallId,
+        arg0: u64,
+        arg1: u64,
+        jitter_prob: f64,
+        jitter_span: f64,
+        irq_mean_interval: f64,
+        irq_len: u64,
+        rng: &mut Rng64,
+    ) -> Self {
+        let spec = syscall.spec();
+        let service_len = spec.service_len(arg1);
+        let mut len = service_len as f64;
+        let early_return = rng.gen_bool(spec.early_return_prob);
+        if early_return {
+            len *= EARLY_RETURN_FACTOR;
+        }
+        if rng.gen_bool(jitter_prob) {
+            let f = 1.0 + (rng.next_f64() * 2.0 - 1.0) * jitter_span;
+            len *= f;
+        }
+        let mut interrupt_extra = 0u64;
+        // Spill/fill traps run with interrupts deferred; everything else
+        // can be extended (§III-A).
+        if spec.class != OsClass::SpillFill && irq_mean_interval > 0.0 {
+            let p = 1.0 - (-len / irq_mean_interval).exp();
+            if rng.gen_bool(p) {
+                interrupt_extra = irq_len;
+            }
+        }
+        let actual_len = (len as u64).max(1) + interrupt_extra;
+        OsInvocation {
+            syscall,
+            regs: [syscall.trap_number(), pointer_image(syscall, arg0), arg1],
+            service_len,
+            actual_len,
+            interrupt_extra,
+            early_return,
+        }
+    }
+
+    /// Builds a *standalone* asynchronous interrupt invocation. The
+    /// registers carry residual user values (`residual` should be drawn
+    /// from a wide distribution): asynchronous arrivals are exactly the
+    /// invocations whose AState carries no predictive information, the
+    /// paper's main source of mispredictions.
+    pub fn materialize_interrupt(syscall: SyscallId, residual: [u64; 3], rng: &mut Rng64) -> Self {
+        debug_assert_eq!(syscall.spec().class, OsClass::Interrupt);
+        let service_len = syscall.spec().service_len(0);
+        // Handler length varies with pending device work.
+        let f = 0.7 + rng.next_f64() * 0.8;
+        let actual_len = ((service_len as f64 * f) as u64).max(1);
+        OsInvocation {
+            syscall,
+            regs: residual,
+            service_len,
+            actual_len,
+            interrupt_extra: 0,
+            early_return: false,
+        }
+    }
+
+    /// Behavioural class of the entry point.
+    pub fn class(&self) -> OsClass {
+        self.syscall.spec().class
+    }
+}
+
+impl fmt::Display for OsInvocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({:#x}, {:#x}) -> {} insn",
+            self.syscall, self.regs[1], self.regs[2], self.actual_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(syscall: SyscallId, arg1: u64, seed: u64) -> OsInvocation {
+        let mut rng = Rng64::seed_from(seed);
+        OsInvocation::materialize(syscall, 4, arg1, 0.0, 0.0, 0.0, 0, &mut rng)
+    }
+
+    #[test]
+    fn deterministic_without_disturbances() {
+        let a = mk(SyscallId::Read, 4096, 1);
+        let b = mk(SyscallId::Read, 4096, 2);
+        assert_eq!(a.actual_len, b.actual_len);
+        assert_eq!(a.actual_len, a.service_len);
+        assert_eq!(a.regs[0], SyscallId::Read.trap_number());
+        assert_eq!(a.regs[1], pointer_image(SyscallId::Read, 4));
+        assert_eq!(a.regs[2], 4096);
+    }
+
+    #[test]
+    fn length_scales_with_argument() {
+        let small = mk(SyscallId::Read, 512, 1);
+        let large = mk(SyscallId::Read, 65536, 1);
+        assert!(large.actual_len > small.actual_len * 5);
+    }
+
+    #[test]
+    fn early_returns_shorten() {
+        // Futex has the highest early-return probability (10%); force many
+        // samples and check some return early and are shorter.
+        let mut rng = Rng64::seed_from(3);
+        let mut shorter = 0;
+        for _ in 0..500 {
+            let inv = OsInvocation::materialize(
+                SyscallId::Futex, 100, 0, 0.0, 0.0, 0.0, 0, &mut rng,
+            );
+            if inv.early_return {
+                assert!(inv.actual_len < inv.service_len);
+                shorter += 1;
+            } else {
+                assert_eq!(inv.actual_len, inv.service_len);
+            }
+        }
+        assert!(shorter > 5, "early returns = {shorter}");
+    }
+
+    #[test]
+    fn jitter_stays_within_span() {
+        let mut rng = Rng64::seed_from(4);
+        for _ in 0..500 {
+            // brk has zero early-return probability, isolating the jitter.
+            let inv = OsInvocation::materialize(
+                SyscallId::Brk, 4, 4096, 1.0, 0.03, 0.0, 0, &mut rng,
+            );
+            let lo = inv.service_len as f64 * 0.97 - 1.0;
+            let hi = inv.service_len as f64 * 1.03 + 1.0;
+            assert!(
+                (inv.actual_len as f64) >= lo && (inv.actual_len as f64) <= hi,
+                "jittered length {} outside [{lo}, {hi}]",
+                inv.actual_len
+            );
+        }
+    }
+
+    #[test]
+    fn interrupts_only_extend() {
+        let mut rng = Rng64::seed_from(5);
+        let mut extended = 0;
+        for _ in 0..500 {
+            let inv = OsInvocation::materialize(
+                SyscallId::Accept, 3, 0, 0.0, 0.0, 20_000.0, 4_000, &mut rng,
+            );
+            if inv.interrupt_extra > 0 {
+                assert!(inv.actual_len > inv.service_len);
+                extended += 1;
+            }
+        }
+        // accept is ~3,600 insn; p ~ 1-exp(-0.18) ~ 16%.
+        assert!(extended > 20 && extended < 250, "extended = {extended}");
+    }
+
+    #[test]
+    fn longer_calls_attract_more_interrupts() {
+        let mut rng = Rng64::seed_from(6);
+        let count = |syscall: SyscallId, rng: &mut Rng64| {
+            (0..800)
+                .filter(|_| {
+                    OsInvocation::materialize(syscall, 0, 0, 0.0, 0.0, 30_000.0, 2_000, rng)
+                        .interrupt_extra
+                        > 0
+                })
+                .count()
+        };
+        let short = count(SyscallId::GetPid, &mut rng);
+        let long = count(SyscallId::Execve, &mut rng);
+        assert!(long > short * 3, "short={short} long={long}");
+    }
+
+    #[test]
+    fn spill_traps_never_extended() {
+        let mut rng = Rng64::seed_from(7);
+        for _ in 0..200 {
+            let inv = OsInvocation::materialize(
+                SyscallId::WindowSpill, 0, 0, 0.0, 0.0, 100.0, 1_000, &mut rng,
+            );
+            assert_eq!(inv.interrupt_extra, 0);
+        }
+    }
+
+    #[test]
+    fn standalone_interrupts_carry_residual_regs() {
+        let mut rng = Rng64::seed_from(8);
+        let inv = OsInvocation::materialize_interrupt(
+            SyscallId::IrqNetwork,
+            [0xdead, 0xbeef, 0xcafe],
+            &mut rng,
+        );
+        assert_eq!(inv.regs, [0xdead, 0xbeef, 0xcafe]);
+        assert!(inv.actual_len > 0);
+        assert_eq!(inv.class(), OsClass::Interrupt);
+    }
+
+    #[test]
+    fn actual_len_never_zero() {
+        let mut rng = Rng64::seed_from(9);
+        for _ in 0..500 {
+            let inv = OsInvocation::materialize(
+                SyscallId::GetPid, 0, 0, 1.0, 0.99, 0.0, 0, &mut rng,
+            );
+            assert!(inv.actual_len >= 1);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!mk(SyscallId::Read, 512, 1).to_string().is_empty());
+    }
+}

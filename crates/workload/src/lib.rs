@@ -1,0 +1,51 @@
+//! Synthetic workload models for the `osoffload` CMP simulator.
+//!
+//! The paper evaluates OS off-loading under Apache, SPECjbb2005, Derby,
+//! and six compute-bound HPC benchmarks (§II). This crate models those
+//! workloads statistically — instruction mixes, working sets, privileged
+//! invocation mixes, argument distributions, and the disturbances that
+//! make run-length prediction interesting — so that the decision
+//! machinery under test sees the same *observable* behaviour the real
+//! applications produce. See `DESIGN.md` for the substitution argument.
+//!
+//! * [`catalog`] — privileged entry points (plus the paper's Table I);
+//! * [`address_space`] — user/kernel/shared region layout and locality;
+//! * [`invocation`] — one privileged invocation with AState registers,
+//!   deterministic service length, and stochastic disturbances;
+//! * [`profile`] — the nine benchmark profiles;
+//! * [`generator`] — the deterministic segment/instruction stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use osoffload_workload::{Profile, ThreadWorkload, Segment};
+//!
+//! let mut stream = ThreadWorkload::new(Profile::apache(), 0, 1);
+//! let mut os_instructions = 0;
+//! for _ in 0..100 {
+//!     if let Segment::Os(inv) = stream.next_segment() {
+//!         os_instructions += inv.actual_len;
+//!     }
+//! }
+//! assert!(os_instructions > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address_space;
+pub mod catalog;
+pub mod generator;
+pub mod invocation;
+pub mod profile;
+pub mod validation;
+
+#[cfg(test)]
+mod proptests;
+
+pub use address_space::{AddressSpace, Footprints, Region};
+pub use catalog::{OsClass, OsSyscallCount, SyscallId, SyscallSpec, CATALOG, OS_SYSCALL_TABLE};
+pub use generator::{InstrSpec, MemRef, Segment, ThreadWorkload};
+pub use invocation::OsInvocation;
+pub use profile::{Profile, ProfileKind};
+pub use validation::{validate, ProfileValidation};

@@ -1,0 +1,63 @@
+//! Quickstart: simulate a web server with and without OS off-loading.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use osoffload::system::{PolicyKind, Simulation, SystemConfig};
+use osoffload::workload::Profile;
+
+fn main() {
+    // The workload: the paper's Apache model — two server threads on one
+    // core, ~45% of instructions in privileged mode.
+    let profile = Profile::apache();
+    println!("workload: {profile}");
+
+    // Baseline: user and OS share a single core (no off-loading).
+    let baseline = Simulation::new(
+        SystemConfig::builder()
+            .profile(profile.clone())
+            .policy(PolicyKind::Baseline)
+            .instructions(1_500_000)
+            .warmup(1_000_000)
+            .seed(1)
+            .build(),
+    )
+    .run();
+    println!("\nbaseline:   {baseline}");
+
+    // Off-loading with the paper's hardware run-length predictor (HI):
+    // privileged sequences predicted to exceed N = 500 instructions
+    // migrate to a dedicated OS core (1,000-cycle one-way migration).
+    let offload = Simulation::new(
+        SystemConfig::builder()
+            .profile(profile)
+            .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+            .migration_latency(1_000)
+            .instructions(1_500_000)
+            .warmup(1_000_000)
+            .seed(1)
+            .build(),
+    )
+    .run();
+    println!("off-loaded: {offload}");
+
+    let speedup = offload.normalized_to(&baseline);
+    println!("\nnormalized throughput: {speedup:.3}x");
+    if let Some(p) = &offload.predictor {
+        println!(
+            "predictor: {:.1}% exact, {:.1}% within +/-5% ({:.1}% of errors are underestimates)",
+            p.exact * 100.0,
+            p.within_5pct * 100.0,
+            p.underestimates * 100.0
+        );
+    }
+    println!(
+        "OS core busy {:.1}% of the time; {} invocations migrated, {} ran locally",
+        offload.os_core_busy_frac * 100.0,
+        offload.offloads,
+        offload.local_invocations
+    );
+}

@@ -1,0 +1,46 @@
+//! # osoffload
+//!
+//! A complete Rust reproduction of *"Improving Server Performance on
+//! Multi-Cores via Selective Off-loading of OS Functionality"* (Nellans,
+//! Sudan, Brunvand, Balasubramonian — WIOSCA 2010).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`sim`] — simulation kernel (cycles, deterministic RNG, statistics);
+//! * [`mem`] — memory hierarchy (caches, MESI directory, interconnect, DRAM);
+//! * [`cpu`] — in-order core model (architected state, TLB, branch prediction);
+//! * [`workload`] — synthetic server/compute workload models and syscall catalog;
+//! * [`core`] — **the paper's contribution**: the OS run-length predictor,
+//!   off-loading decision policies, and the dynamic threshold tuner;
+//! * [`system`] — the assembled CMP with migration and queueing, plus
+//!   experiment drivers for every figure and table in the paper;
+//! * [`energy`] — energy/EDP scoring of finished runs (the paper's
+//!   stated future work), including the heterogeneous-OS-core case.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use osoffload::system::{SystemConfig, Simulation};
+//! use osoffload::system::PolicyKind;
+//! use osoffload::workload::Profile;
+//!
+//! // Simulate Apache with the paper's hardware predictor (HI policy),
+//! // a 1,000-cycle one-way migration latency and N = 500.
+//! let config = SystemConfig::builder()
+//!     .profile(Profile::apache())
+//!     .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+//!     .migration_latency(1_000)
+//!     .instructions(200_000)
+//!     .seed(42)
+//!     .build();
+//! let report = Simulation::new(config).run();
+//! assert!(report.throughput() > 0.0);
+//! ```
+
+pub use osoffload_core as core;
+pub use osoffload_energy as energy;
+pub use osoffload_cpu as cpu;
+pub use osoffload_mem as mem;
+pub use osoffload_sim as sim;
+pub use osoffload_system as system;
+pub use osoffload_workload as workload;

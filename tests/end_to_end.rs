@@ -1,0 +1,148 @@
+//! End-to-end integration tests: every policy through the full stack,
+//! determinism, and report-level invariants.
+
+use osoffload::system::{PolicyKind, SimReport, Simulation, SystemConfig};
+use osoffload::workload::Profile;
+
+fn run(profile: Profile, policy: PolicyKind, latency: u64, seed: u64) -> SimReport {
+    Simulation::new(
+        SystemConfig::builder()
+            .profile(profile)
+            .policy(policy)
+            .migration_latency(latency)
+            .instructions(300_000)
+            .warmup(150_000)
+            .seed(seed)
+            .build(),
+    )
+    .run()
+}
+
+fn assert_report_sane(r: &SimReport) {
+    assert!(r.instructions >= 300_000, "short measurement: {}", r.instructions);
+    assert!(r.cycles > 0);
+    assert!(r.throughput > 0.0 && r.throughput < 2.0, "tput {}", r.throughput);
+    for (label, v) in [
+        ("os_share", r.os_share),
+        ("l1d", r.l1d_hit_rate),
+        ("l1i", r.l1i_hit_rate),
+        ("l2u", r.l2_user_hit_rate),
+        ("l2o", r.l2_os_hit_rate),
+        ("l2m", r.l2_mean_hit_rate),
+        ("busy", r.os_core_busy_frac),
+    ] {
+        assert!((0.0..=1.0).contains(&v), "{label} out of range: {v}");
+    }
+    assert_eq!(r.queue.requests, r.offloads, "every offload goes through the queue");
+    // The cycle breakdown's base component equals retired instructions.
+    assert_eq!(r.cycle_breakdown.base, r.instructions);
+}
+
+#[test]
+fn every_policy_runs_end_to_end() {
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::AlwaysOffload,
+        PolicyKind::HardwarePredictor { threshold: 500 },
+        PolicyKind::HardwarePredictorDirectMapped { threshold: 500 },
+        PolicyKind::HardwarePredictorSized { threshold: 500, entries: 64 },
+        PolicyKind::HardwarePredictorDmSized { threshold: 500, entries: 256 },
+        PolicyKind::DynamicInstrumentation { threshold: 500, cost: 120 },
+        PolicyKind::StaticInstrumentation { stub_cost: 25 },
+        PolicyKind::Oracle { threshold: 500 },
+    ];
+    for policy in policies {
+        let r = run(Profile::apache(), policy, 1_000, 1);
+        assert_report_sane(&r);
+        if !matches!(policy, PolicyKind::Baseline) {
+            assert!(
+                r.offloads + r.local_invocations > 0,
+                "{policy:?}: no invocations seen"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_profile_runs_end_to_end() {
+    for profile in Profile::all_server().into_iter().chain(Profile::all_compute()) {
+        let r = run(profile, PolicyKind::HardwarePredictor { threshold: 1_000 }, 1_000, 2);
+        assert_report_sane(&r);
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_reports() {
+    let a = run(Profile::derby(), PolicyKind::HardwarePredictor { threshold: 500 }, 100, 99);
+    let b = run(Profile::derby(), PolicyKind::HardwarePredictor { threshold: 500 }, 100, 99);
+    assert_eq!(a, b, "simulation must be bit-for-bit deterministic");
+}
+
+#[test]
+fn different_seeds_vary_but_agree_qualitatively() {
+    let a = run(Profile::apache(), PolicyKind::Baseline, 0, 1);
+    let b = run(Profile::apache(), PolicyKind::Baseline, 0, 2);
+    assert_ne!(a.cycles, b.cycles);
+    // Throughputs agree within a factor-level tolerance.
+    let ratio = a.throughput / b.throughput;
+    assert!((0.7..1.4).contains(&ratio), "seed sensitivity too high: {ratio}");
+}
+
+#[test]
+fn oracle_never_worse_than_predictor_on_decisions() {
+    // The oracle off-loads exactly the invocations that exceed N; the
+    // predictor approximates it. Their off-load counts must be close.
+    let oracle = run(Profile::apache(), PolicyKind::Oracle { threshold: 1_000 }, 1_000, 5);
+    let hi = run(
+        Profile::apache(),
+        PolicyKind::HardwarePredictor { threshold: 1_000 },
+        1_000,
+        5,
+    );
+    let (o, h) = (oracle.offloads as f64, hi.offloads.max(1) as f64);
+    assert!(
+        (0.5..2.0).contains(&(o / h)),
+        "oracle {o} vs predictor {h} offloads diverge"
+    );
+}
+
+#[test]
+fn always_offload_equals_zero_threshold_intent() {
+    let always = run(Profile::apache(), PolicyKind::AlwaysOffload, 1_000, 3);
+    assert_eq!(always.local_invocations, 0);
+    assert!(always.offloads > 0);
+    assert!(always.os_core_busy_frac > 0.0);
+}
+
+#[test]
+fn migration_latency_monotonically_hurts() {
+    let fast = run(Profile::apache(), PolicyKind::HardwarePredictor { threshold: 100 }, 0, 4);
+    let mid = run(Profile::apache(), PolicyKind::HardwarePredictor { threshold: 100 }, 1_000, 4);
+    let slow = run(Profile::apache(), PolicyKind::HardwarePredictor { threshold: 100 }, 5_000, 4);
+    assert!(
+        fast.throughput >= mid.throughput && mid.throughput >= slow.throughput,
+        "latency must monotonically reduce throughput: {} {} {}",
+        fast.throughput,
+        mid.throughput,
+        slow.throughput
+    );
+}
+
+#[test]
+fn baseline_topology_has_no_os_core_activity() {
+    let r = run(Profile::specjbb(), PolicyKind::Baseline, 0, 6);
+    assert_eq!(r.offloads, 0);
+    assert_eq!(r.os_core_busy_frac, 0.0);
+    assert_eq!(r.queue.requests, 0);
+    assert_eq!(r.l2_os_hit_rate, 0.0);
+}
+
+#[test]
+fn spill_fill_profiles_run_end_to_end() {
+    let mut profile = Profile::apache();
+    profile.include_spill_fill = true;
+    let r = run(profile, PolicyKind::HardwarePredictor { threshold: 100 }, 100, 7);
+    assert_report_sane(&r);
+    // Spill/fill traps flood the invocation count.
+    assert!(r.offloads + r.local_invocations > 100);
+}

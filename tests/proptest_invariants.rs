@@ -1,0 +1,136 @@
+//! Property-based invariants across the whole stack.
+
+use osoffload::core::{AState, CamPredictor, RunLengthPredictor};
+use osoffload::mem::{Access, Address, CoreId, MemConfig, MemorySystem};
+use osoffload::sim::{Cycle, Instret};
+use osoffload::system::OsCoreQueue;
+use osoffload::workload::{Profile, Region, Segment, ThreadWorkload};
+use proptest::prelude::*;
+
+fn small_mem(cores: usize) -> MemorySystem {
+    let mut cfg = MemConfig::paper_baseline(cores);
+    cfg.l1i = osoffload::mem::CacheGeometry::new(2048, 2);
+    cfg.l1d = osoffload::mem::CacheGeometry::new(2048, 2);
+    cfg.l2 = osoffload::mem::CacheGeometry::new(8192, 4);
+    MemorySystem::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MESI + directory + inclusion invariants hold under arbitrary
+    /// interleavings of reads/writes/fetches from multiple cores.
+    #[test]
+    fn coherence_invariants_hold_under_random_traffic(
+        ops in prop::collection::vec((0usize..3, 0u64..3, 0u64..64), 1..400)
+    ) {
+        let mut mem = small_mem(3);
+        for (kind, core, line) in ops {
+            let addr = Address::new(line * 64);
+            let access = match kind {
+                0 => Access::read(addr),
+                1 => Access::write(addr),
+                _ => Access::fetch(addr),
+            };
+            let outcome = mem.access(CoreId::new(core as usize), access);
+            prop_assert!(outcome.latency >= Cycle::new(1));
+        }
+        mem.check_invariants();
+    }
+
+    /// The same access sequence always produces the same latencies.
+    #[test]
+    fn memory_system_is_deterministic(
+        ops in prop::collection::vec((0u64..2, 0u64..2, 0u64..32), 1..200)
+    ) {
+        let runs: Vec<Vec<u64>> = (0..2).map(|_| {
+            let mut mem = small_mem(2);
+            ops.iter().map(|&(w, core, line)| {
+                let addr = Address::new(line * 64);
+                let access = if w == 1 { Access::write(addr) } else { Access::read(addr) };
+                mem.access(CoreId::new(core as usize), access).latency.as_u64()
+            }).collect()
+        }).collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+
+    /// The predictor never forgets its capacity bound, and training on a
+    /// stable per-AState length converges to local predictions of it.
+    #[test]
+    fn predictor_converges_and_stays_bounded(
+        pairs in prop::collection::vec((0u64..40, 100u64..5_000), 10..300)
+    ) {
+        let mut p = CamPredictor::new(32);
+        for &(a, len) in &pairs {
+            let astate = AState::from(a.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let pred = p.predict(astate);
+            p.learn(astate, pred, len);
+            prop_assert!(p.resident() <= 32);
+        }
+        // Re-teaching one AState a constant length converges in 3 visits.
+        let a = AState::from(0xABCDu64);
+        for _ in 0..3 {
+            let pred = p.predict(a);
+            p.learn(a, pred, 777);
+        }
+        prop_assert_eq!(p.predict(a).length, 777);
+    }
+
+    /// OS-core queue: service starts never precede arrivals, never
+    /// overlap, and stall counting is consistent.
+    #[test]
+    fn queue_is_causal_and_non_overlapping(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..5_000), 1..100)
+    ) {
+        let mut q = OsCoreQueue::new();
+        let mut arrival = Cycle::ZERO;
+        let mut last_end = Cycle::ZERO;
+        for &(gap, service) in &jobs {
+            arrival += gap;
+            let start = q.acquire(arrival);
+            prop_assert!(start >= arrival, "service before arrival");
+            prop_assert!(start >= last_end, "overlapping service");
+            let end = start + service;
+            q.release(end);
+            q.add_busy(end - start);
+            last_end = end;
+        }
+        prop_assert_eq!(q.requests(), jobs.len() as u64);
+        prop_assert!(q.stalled() <= q.requests());
+        let total_service: u64 = jobs.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(q.busy(), Cycle::new(total_service));
+    }
+
+    /// Workload streams conserve the user/OS alternation and keep all
+    /// addresses inside the thread's regions.
+    #[test]
+    fn workload_streams_are_well_formed(seed in 0u64..1_000, thread in 0usize..4) {
+        let mut wl = ThreadWorkload::new(Profile::derby(), thread, seed);
+        let space = *wl.address_space();
+        for i in 0..60 {
+            match wl.next_segment() {
+                Segment::User { len } => {
+                    prop_assert!(i % 2 == 0, "user segment out of order");
+                    prop_assert!(len >= 1);
+                    let spec = wl.user_instr();
+                    prop_assert!(space.contains(Region::UserCode, spec.pc));
+                }
+                Segment::Os(inv) => {
+                    prop_assert!(i % 2 == 1, "OS segment out of order");
+                    prop_assert!(inv.actual_len >= 1);
+                    let spec = wl.os_instr(&inv, 0);
+                    prop_assert!(space.contains(Region::KernelCode, spec.pc));
+                }
+            }
+        }
+    }
+
+    /// Instret/Cycle arithmetic is consistent with u64 arithmetic.
+    #[test]
+    fn newtype_arithmetic_matches_raw(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        prop_assert_eq!((Cycle::new(a) + b).as_u64(), a + b);
+        prop_assert_eq!(Cycle::new(a).saturating_sub(Cycle::new(b)).as_u64(), a.saturating_sub(b));
+        prop_assert_eq!((Instret::new(a) + Instret::new(b)).as_u64(), a + b);
+        prop_assert_eq!(Cycle::new(a).max(Cycle::new(b)).as_u64(), a.max(b));
+    }
+}
