@@ -1,39 +1,28 @@
 //! Micro-benchmarks of the memory-hierarchy substrate: per-access cost of
 //! L1 hits, L2 hits, and cross-core coherence transactions.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osoffload_bench::timing::{bench, black_box};
 use osoffload_mem::{Access, Address, CoreId, MemConfig, MemorySystem};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memory");
-
+fn main() {
     let mut mem = MemorySystem::new(MemConfig::paper_baseline(2));
     let hot = Address::new(0x4000);
     mem.access(CoreId::new(0), Access::read(hot));
-    g.bench_function("l1_hit", |b| {
-        b.iter(|| black_box(mem.access(CoreId::new(0), Access::read(black_box(hot)))))
+    bench("memory/l1_hit", || {
+        black_box(mem.access(CoreId::new(0), Access::read(black_box(hot))))
     });
 
     let mut mem = MemorySystem::new(MemConfig::paper_baseline(2));
     let mut i = 0u64;
-    g.bench_function("streaming_misses", |b| {
-        b.iter(|| {
-            i += 64;
-            black_box(mem.access(CoreId::new(0), Access::read(Address::new(i))))
-        })
+    bench("memory/streaming_misses", || {
+        i += 64;
+        black_box(mem.access(CoreId::new(0), Access::read(Address::new(i))))
     });
 
     let mut mem = MemorySystem::new(MemConfig::paper_baseline(2));
     let line = Address::new(0x8000);
-    g.bench_function("coherence_ping_pong", |b| {
-        b.iter(|| {
-            mem.access(CoreId::new(0), Access::write(line));
-            black_box(mem.access(CoreId::new(1), Access::write(line)))
-        })
+    bench("memory/coherence_ping_pong", || {
+        mem.access(CoreId::new(0), Access::write(line));
+        black_box(mem.access(CoreId::new(1), Access::write(line)))
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_cache);
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! each mechanism in the simulator (the modelled costs — 1 cycle for HI,
 //! hundreds for DI — are charged separately by the timing model).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osoffload_bench::timing::{bench, black_box};
 use osoffload_core::{
-    AState, CamPredictor, DynamicInstrumentation, HardwarePredictor, NeverOffload,
-    OffloadPolicy, OsEntry, StaticInstrumentation,
+    AState, CamPredictor, DynamicInstrumentation, HardwarePredictor, NeverOffload, OffloadPolicy,
+    OsEntry, StaticInstrumentation,
 };
 use std::collections::HashMap;
 
@@ -16,40 +16,32 @@ fn entry(i: u64) -> OsEntry {
     }
 }
 
-fn bench_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy");
-
+fn main() {
     let mut baseline = NeverOffload;
-    g.bench_function("baseline_decide", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(baseline.decide(black_box(entry(i % 40))))
-        })
+    let mut i = 0u64;
+    bench("policy/baseline_decide", || {
+        i += 1;
+        black_box(baseline.decide(black_box(entry(i % 40))))
     });
 
     let mut hi = HardwarePredictor::new(CamPredictor::paper_default(), 1_000);
-    g.bench_function("hi_decide_complete", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let e = entry(i % 40);
-            let d = hi.decide(e);
-            hi.complete(e, &d, 1_500);
-            black_box(d)
-        })
+    let mut i = 0u64;
+    bench("policy/hi_decide_complete", || {
+        i += 1;
+        let e = entry(i % 40);
+        let d = hi.decide(e);
+        hi.complete(e, &d, 1_500);
+        black_box(d)
     });
 
     let mut di = DynamicInstrumentation::new(CamPredictor::paper_default(), 1_000, 120);
-    g.bench_function("di_decide_complete", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let e = entry(i % 40);
-            let d = di.decide(e);
-            di.complete(e, &d, 1_500);
-            black_box(d)
-        })
+    let mut i = 0u64;
+    bench("policy/di_decide_complete", || {
+        i += 1;
+        let e = entry(i % 40);
+        let d = di.decide(e);
+        di.complete(e, &d, 1_500);
+        black_box(d)
     });
 
     let mut profile = HashMap::new();
@@ -57,16 +49,9 @@ fn bench_policy(c: &mut Criterion) {
         profile.insert(0x100 + r, (r * 700) as f64);
     }
     let mut si = StaticInstrumentation::from_profile(&profile, 5_000, 25);
-    g.bench_function("si_decide", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(si.decide(black_box(entry(i % 40))))
-        })
+    let mut i = 0u64;
+    bench("policy/si_decide", || {
+        i += 1;
+        black_box(si.decide(black_box(entry(i % 40))))
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_policy);
-criterion_main!(benches);

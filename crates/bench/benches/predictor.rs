@@ -2,7 +2,7 @@
 //! argues must make "single-cycle" decisions in hardware. The software
 //! model's throughput bounds how fast the full-system simulation can go.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osoffload_bench::timing::{bench, black_box};
 use osoffload_core::{AState, CamPredictor, DirectMappedPredictor, RunLengthPredictor};
 
 fn warmed_cam() -> CamPredictor {
@@ -15,52 +15,39 @@ fn warmed_cam() -> CamPredictor {
     p
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("predictor");
-
+fn main() {
     let mut cam = warmed_cam();
     let mut i = 0u64;
-    g.bench_function("cam_predict_hit", |b| {
-        b.iter(|| {
-            i = (i + 1) % 200;
-            let a = AState::from(i.wrapping_mul(0x9E37_79B9));
-            black_box(cam.predict(black_box(a)))
-        })
+    bench("predictor/cam_predict_hit", || {
+        i = (i + 1) % 200;
+        let a = AState::from(i.wrapping_mul(0x9E37_79B9));
+        black_box(cam.predict(black_box(a)))
     });
 
     let mut cam = warmed_cam();
     let mut i = 0u64;
-    g.bench_function("cam_predict_learn_cycle", |b| {
-        b.iter(|| {
-            i = (i + 1) % 200;
-            let a = AState::from(i.wrapping_mul(0x9E37_79B9));
-            let pred = cam.predict(a);
-            cam.learn(a, pred, 500 + i);
-            black_box(pred)
-        })
+    bench("predictor/cam_predict_learn_cycle", || {
+        i = (i + 1) % 200;
+        let a = AState::from(i.wrapping_mul(0x9E37_79B9));
+        let pred = cam.predict(a);
+        cam.learn(a, pred, 500 + i);
+        black_box(pred)
     });
 
     let mut dm = DirectMappedPredictor::paper_default();
     let mut i = 0u64;
-    g.bench_function("direct_mapped_predict_learn_cycle", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37_79B9);
-            let a = AState::from(i);
-            let pred = dm.predict(a);
-            dm.learn(a, pred, 1_000);
-            black_box(pred)
-        })
+    bench("predictor/direct_mapped_predict_learn_cycle", || {
+        i = i.wrapping_add(0x9E37_79B9);
+        let a = AState::from(i);
+        let pred = dm.predict(a);
+        dm.learn(a, pred, 1_000);
+        black_box(pred)
     });
 
-    g.bench_function("astate_hash", |b| {
-        let mut arch = osoffload_cpu::ArchState::new();
-        arch.set_syscall_registers(0x103, 4, 8192);
-        arch.enter_privileged();
-        b.iter(|| black_box(AState::from_arch(black_box(&arch))))
+    let mut arch = osoffload_cpu::ArchState::new();
+    arch.set_syscall_registers(0x103, 4, 8192);
+    arch.enter_privileged();
+    bench("predictor/astate_hash", || {
+        black_box(AState::from_arch(black_box(&arch)))
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_predictor);
-criterion_main!(benches);

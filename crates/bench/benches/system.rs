@@ -2,14 +2,12 @@
 //! wall-clock time for the assembled CMP, the number that bounds how long
 //! each figure regeneration takes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use osoffload_bench::timing::{black_box, time_fn};
 use osoffload_system::{PolicyKind, Simulation, SystemConfig};
 use osoffload_workload::Profile;
+use std::time::Duration;
 
-fn bench_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system");
-    g.sample_size(10);
-
+fn main() {
     const INSN: u64 = 200_000;
     for (name, profile, policy) in [
         ("apache_baseline", Profile::apache(), PolicyKind::Baseline),
@@ -18,26 +16,24 @@ fn bench_system(c: &mut Criterion) {
             Profile::apache(),
             PolicyKind::HardwarePredictor { threshold: 500 },
         ),
-        ("compute_baseline", Profile::blackscholes(), PolicyKind::Baseline),
+        (
+            "compute_baseline",
+            Profile::blackscholes(),
+            PolicyKind::Baseline,
+        ),
     ] {
-        g.throughput(Throughput::Elements(INSN));
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let cfg = SystemConfig::builder()
-                    .profile(profile.clone())
-                    .policy(policy)
-                    .migration_latency(1_000)
-                    .instructions(INSN)
-                    .warmup(0)
-                    .seed(42)
-                    .build();
-                black_box(Simulation::new(cfg).run())
-            })
+        let ns = time_fn(Duration::from_millis(600), || {
+            let cfg = SystemConfig::builder()
+                .profile(profile.clone())
+                .policy(policy)
+                .migration_latency(1_000)
+                .instructions(INSN)
+                .warmup(0)
+                .seed(42)
+                .build();
+            black_box(Simulation::new(cfg).run())
         });
+        let minsn_per_sec = INSN as f64 / ns * 1_000.0;
+        println!("system/{name}: {ns:.0} ns/run ({minsn_per_sec:.2} Minsn/s)");
     }
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_system);
-criterion_main!(benches);

@@ -4,28 +4,62 @@
 //! hardware organisations. Attributes the predictor's accuracy and the
 //! resulting throughput to its parts.
 //!
-//! Usage: `cargo run --release -p osoffload-bench --bin ablation [quick|full|paper]`
+//! Runs its simulation points on the parallel runner and archives
+//! `results/ablation.json`.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin ablation [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]`
 
-use osoffload_bench::{pct, render_table, scale_from_args};
-use osoffload_system::experiments::run_single;
-use osoffload_system::PolicyKind;
+use osoffload_bench::{harness, pct, render_table};
+use osoffload_system::experiments::single_config;
+use osoffload_system::{PolicyKind, SimReport};
 use osoffload_workload::Profile;
 
 fn main() {
-    let scale = scale_from_args();
+    let (scale, opts) = harness::parse_args();
     println!("Predictor design ablation (Apache, N = 500, 1,000-cycle migration)\n");
     let variants: &[(&str, PolicyKind)] = &[
-        ("full CAM (paper)", PolicyKind::HardwarePredictor { threshold: 500 }),
-        ("direct-mapped", PolicyKind::HardwarePredictorDirectMapped { threshold: 500 }),
-        ("set-assoc 64x4", PolicyKind::HardwarePredictorSetAssoc { threshold: 500, sets: 64, ways: 4 }),
-        ("global-only", PolicyKind::HardwarePredictorGlobalOnly { threshold: 500 }),
-        ("last-value (no confidence)", PolicyKind::HardwarePredictorLastValue { threshold: 500 }),
+        (
+            "full CAM (paper)",
+            PolicyKind::HardwarePredictor { threshold: 500 },
+        ),
+        (
+            "direct-mapped",
+            PolicyKind::HardwarePredictorDirectMapped { threshold: 500 },
+        ),
+        (
+            "set-assoc 64x4",
+            PolicyKind::HardwarePredictorSetAssoc {
+                threshold: 500,
+                sets: 64,
+                ways: 4,
+            },
+        ),
+        (
+            "global-only",
+            PolicyKind::HardwarePredictorGlobalOnly { threshold: 500 },
+        ),
+        (
+            "last-value (no confidence)",
+            PolicyKind::HardwarePredictorLastValue { threshold: 500 },
+        ),
         ("oracle", PolicyKind::Oracle { threshold: 500 }),
     ];
-    let base = run_single(Profile::apache(), PolicyKind::Baseline, 0, 1, scale);
+    let (base, runs): (SimReport, Vec<SimReport>) = harness::run("ablation", scale, &opts, |ev| {
+        let base = ev(single_config(
+            Profile::apache(),
+            PolicyKind::Baseline,
+            0,
+            1,
+            scale,
+        ));
+        let runs = variants
+            .iter()
+            .map(|&(_, policy)| ev(single_config(Profile::apache(), policy, 1_000, 1, scale)))
+            .collect();
+        (base, runs)
+    });
     let mut table = Vec::new();
-    for &(name, policy) in variants {
-        let r = run_single(Profile::apache(), policy, 1_000, 1, scale);
+    for ((name, _), r) in variants.iter().zip(&runs) {
         let (exact, close) = r
             .predictor
             .as_ref()
@@ -51,7 +85,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["variant", "normalized tput", "exact", "within ±5%", "binary@1000"],
+            &[
+                "variant",
+                "normalized tput",
+                "exact",
+                "within ±5%",
+                "binary@1000"
+            ],
             &table
         )
     );

@@ -54,7 +54,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["workload", "configuration", "perf (norm)", "energy (norm)", "EDP (norm)", "throttled cyc"],
+            &[
+                "workload",
+                "configuration",
+                "perf (norm)",
+                "energy (norm)",
+                "EDP (norm)",
+                "throttled cyc"
+            ],
             &table
         )
     );

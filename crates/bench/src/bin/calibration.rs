@@ -10,7 +10,10 @@ use osoffload_workload::{validate, Profile};
 
 fn main() {
     let scale = scale_from_args();
-    println!("Workload-model calibration ({} generated instructions/profile)\n", scale.instructions);
+    println!(
+        "Workload-model calibration ({} generated instructions/profile)\n",
+        scale.instructions
+    );
     let rows: Vec<Vec<String>> = Profile::all_server()
         .into_iter()
         .chain(Profile::all_compute())
@@ -31,7 +34,16 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["profile", "OS share", "expected", "mean inv", "<100 insn", "AStates", "mem/insn", "br/insn"],
+            &[
+                "profile",
+                "OS share",
+                "expected",
+                "mean inv",
+                "<100 insn",
+                "AStates",
+                "mem/insn",
+                "br/insn"
+            ],
             &rows
         )
     );

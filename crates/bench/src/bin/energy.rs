@@ -63,7 +63,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["workload", "configuration", "perf (norm)", "nJ/insn", "energy (norm)", "EDP (norm)"],
+            &[
+                "workload",
+                "configuration",
+                "perf (norm)",
+                "nJ/insn",
+                "energy (norm)",
+                "EDP (norm)"
+            ],
             &table
         )
     );

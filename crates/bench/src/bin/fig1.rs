@@ -1,17 +1,20 @@
 //! Regenerates Figure 1: runtime overhead of dynamic software
 //! instrumentation for all possible OS off-loading points.
 //!
-//! Usage: `cargo run --release -p osoffload-bench --bin fig1 [quick|full|paper]`
+//! Runs its simulation grid on the parallel runner and archives
+//! `results/fig1.json`.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin fig1 [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]`
 
-use osoffload_bench::{render_table, scale_from_args};
-use osoffload_system::experiments::fig1;
+use osoffload_bench::{harness, render_table};
+use osoffload_system::experiments::fig1_with;
 
 fn main() {
-    let scale = scale_from_args();
+    let (scale, opts) = harness::parse_args();
     println!("Figure 1: overhead of software-instrumenting every OS entry point");
     println!("(off-loading disabled; overhead relative to uninstrumented baseline)\n");
     let costs = [50u64, 100, 200, 400];
-    let rows = fig1(scale, &costs);
+    let rows = harness::run("fig1", scale, &opts, |ev| fig1_with(scale, &costs, ev));
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -22,7 +25,10 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", render_table(&["workload", "per-entry cost", "slowdown"], &table));
+    print!(
+        "{}",
+        render_table(&["workload", "per-entry cost", "slowdown"], &table)
+    );
     println!("\nExpected shape: overhead scales with per-entry cost and OS-entry");
     println!("frequency — apache suffers most, compute least.");
 }

@@ -1,16 +1,30 @@
 //! Figure 2 is the block diagram of the OS run-length predictor; it has
 //! no data series. This binary prints the implemented structure so the
-//! diagram can be cross-checked against the code.
+//! diagram can be cross-checked against the code, and archives the
+//! parameters as `results/fig2.json`.
 
+use osoffload_bench::harness;
 use osoffload_core::{CamPredictor, RunLengthPredictor};
 
 fn main() {
+    let (_, opts) = harness::parse_args();
     let p = CamPredictor::paper_default();
     println!("Figure 2: OS run-length predictor with configurable threshold\n");
     println!("  AState = PSTATE ^ %g0 ^ %g1 ^ %i0 ^ %i1   (64-bit XOR hash)");
-    println!("  organisation: {} ({} entries, {} bytes)", p.organization(), p.capacity(), p.storage_bytes());
+    println!(
+        "  organisation: {} ({} entries, {} bytes)",
+        p.organization(),
+        p.capacity(),
+        p.storage_bytes()
+    );
     println!("  per entry: 64-bit AState tag, 16-bit last run length, 2-bit confidence");
     println!("  confidence: +1 if |pred - actual| <= 5%, else -1; at 0 use global fallback");
     println!("  global fallback: mean run length of the last 3 invocations (any AState)");
     println!("  decision: off-load if predicted length > N (threshold from the tuner)");
+    let rows = vec![
+        vec!["organization".to_string(), p.organization().to_string()],
+        vec!["entries".to_string(), p.capacity().to_string()],
+        vec!["storage_bytes".to_string(), p.storage_bytes().to_string()],
+    ];
+    harness::write_static("fig2", &["parameter", "value"], &rows, &opts);
 }

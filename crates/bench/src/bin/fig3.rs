@@ -1,15 +1,18 @@
 //! Regenerates Figure 3: binary prediction hit rate for core-migration
 //! trigger thresholds.
 //!
-//! Usage: `cargo run --release -p osoffload-bench --bin fig3 [quick|full|paper]`
+//! Runs its simulation grid on the parallel runner and archives
+//! `results/fig3.json`.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin fig3 [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]`
 
-use osoffload_bench::{pct, render_table, scale_from_args};
-use osoffload_system::experiments::fig3;
+use osoffload_bench::{harness, pct, render_table};
+use osoffload_system::experiments::fig3_with;
 
 fn main() {
-    let scale = scale_from_args();
+    let (scale, opts) = harness::parse_args();
     println!("Figure 3: binary off-load decision accuracy vs threshold N\n");
-    let rows = fig3(scale);
+    let rows = harness::run("fig3", scale, &opts, |ev| fig3_with(scale, ev));
     let headers: Vec<String> = std::iter::once("workload".to_string())
         .chain(rows[0].points.iter().map(|p| format!("N={}", p.threshold)))
         .collect();
@@ -23,5 +26,7 @@ fn main() {
         })
         .collect();
     print!("{}", render_table(&header_refs, &table));
-    println!("\nPaper reference at N=500: Apache 94.8%, SPECjbb 93.4%, Derby 96.8%, compute 99.6%.");
+    println!(
+        "\nPaper reference at N=500: Apache 94.8%, SPECjbb 93.4%, Derby 96.8%, compute 99.6%."
+    );
 }

@@ -2,15 +2,20 @@
 //! baseline when varying the off-loading overhead (curves) and the
 //! switch trigger threshold N (x-axis); one panel per workload group.
 //!
-//! Usage: `cargo run --release -p osoffload-bench --bin fig4 [quick|full|paper]`
+//! Runs its simulation grid (the largest of the figures) on the
+//! parallel runner and archives `results/fig4.json`.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin fig4 [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]`
 
-use osoffload_bench::{render_table, scale_from_args, spark};
-use osoffload_system::experiments::{fig4, FIG4_LATENCIES, FIG4_THRESHOLDS};
+use osoffload_bench::{harness, render_table, spark};
+use osoffload_system::experiments::{fig4_grid_with, FIG4_LATENCIES, FIG4_THRESHOLDS};
 
 fn main() {
-    let scale = scale_from_args();
+    let (scale, opts) = harness::parse_args();
     println!("Figure 4: normalized IPC vs threshold N, one curve per one-way latency\n");
-    let cells = fig4(scale);
+    let cells = harness::run("fig4", scale, &opts, |ev| {
+        fig4_grid_with(scale, FIG4_LATENCIES, FIG4_THRESHOLDS, ev)
+    });
     for workload in ["apache", "specjbb2005", "derby", "compute"] {
         println!("--- {workload} ---");
         let headers: Vec<String> = std::iter::once("latency \\ N".to_string())
@@ -26,7 +31,9 @@ fn main() {
                     .map(|&n| {
                         cells
                             .iter()
-                            .find(|c| c.workload == workload && c.latency == lat && c.threshold == n)
+                            .find(|c| {
+                                c.workload == workload && c.latency == lat && c.threshold == n
+                            })
                             .expect("full grid")
                             .normalized_ipc
                     })

@@ -3,15 +3,18 @@
 //! (DI), and the hardware predictor (HI), at the conservative
 //! (5,000-cycle) and aggressive (100-cycle) migration design points.
 //!
-//! Usage: `cargo run --release -p osoffload-bench --bin fig5 [quick|full|paper]`
+//! Runs its simulation grid on the parallel runner and archives
+//! `results/fig5.json`.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin fig5 [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]`
 
-use osoffload_bench::{render_table, scale_from_args};
-use osoffload_system::experiments::fig5;
+use osoffload_bench::{harness, render_table};
+use osoffload_system::experiments::fig5_with;
 
 fn main() {
-    let scale = scale_from_args();
+    let (scale, opts) = harness::parse_args();
     println!("Figure 5: SI vs DI vs HI, normalized to the single-core baseline\n");
-    let rows = fig5(scale);
+    let rows = harness::run("fig5", scale, &opts, |ev| fig5_with(scale, ev));
     for label in ["conservative", "aggressive"] {
         println!("--- {label} ---");
         let table: Vec<Vec<String>> = rows
@@ -28,7 +31,10 @@ fn main() {
                 ]
             })
             .collect();
-        print!("{}", render_table(&["workload", "policy", "normalized", "threshold"], &table));
+        print!(
+            "{}",
+            render_table(&["workload", "policy", "normalized", "threshold"], &table)
+        );
         println!();
     }
     println!("Paper headline: HI up to 18% over baseline, 13% over SI, 23% over DI.");

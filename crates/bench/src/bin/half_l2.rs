@@ -24,7 +24,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table(&["workload", "latency", "2 x 1 MB L2", "2 x 512 KB L2"], &table)
+        render_table(
+            &["workload", "latency", "2 x 1 MB L2", "2 x 512 KB L2"],
+            &table
+        )
     );
     println!("\nPaper claim: even the half-size-L2 off-loading model can beat the");
     println!("1 MB single-core baseline when the off-loading latency is under ~1,000 cycles.");

@@ -43,7 +43,14 @@ fn main() {
     eprint!(
         "{}",
         render_table(
-            &["syscall", "count", "offloaded", "mean len", "mean |err|", "mean cycles"],
+            &[
+                "syscall",
+                "count",
+                "offloaded",
+                "mean len",
+                "mean |err|",
+                "mean cycles"
+            ],
             &rows
         )
     );

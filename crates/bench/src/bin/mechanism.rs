@@ -20,14 +20,23 @@ fn main() {
                 format!("{} cyc", r.latency),
                 format!("{:.3}", r.thread_migration),
                 format!("{:.3}", r.remote_call),
-                format!("{:+.1}%", (r.remote_call / r.thread_migration - 1.0) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (r.remote_call / r.thread_migration - 1.0) * 100.0
+                ),
             ]
         })
         .collect();
     print!(
         "{}",
         render_table(
-            &["workload", "latency", "thread migration", "remote call", "RPC gain"],
+            &[
+                "workload",
+                "latency",
+                "thread migration",
+                "remote call",
+                "RPC gain"
+            ],
             &table
         )
     );

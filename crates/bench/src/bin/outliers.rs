@@ -36,7 +36,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["benchmark", "baseline IPC", "L1D hit", "branch acc", "offload (norm)"],
+            &[
+                "benchmark",
+                "baseline IPC",
+                "L1D hit",
+                "branch acc",
+                "offload (norm)"
+            ],
             &rows
         )
     );

@@ -33,7 +33,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["workload", "organization", "entries", "exact", "within ±5%", "underestimates"],
+            &[
+                "workload",
+                "organization",
+                "entries",
+                "exact",
+                "within ±5%",
+                "underestimates"
+            ],
             &table
         )
     );

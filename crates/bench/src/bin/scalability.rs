@@ -1,15 +1,20 @@
 //! Regenerates the §V-C scalability study: 1, 2 and 4 user cores sharing
 //! a single OS core (SPECjbb2005, N=100, 1,000-cycle overhead).
 //!
-//! Usage: `cargo run --release -p osoffload-bench --bin scalability [quick|full|paper]`
+//! Runs its simulation grid on the parallel runner and archives
+//! `results/scalability.json`.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin scalability [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]`
 
-use osoffload_bench::{pct, render_table, scale_from_args};
-use osoffload_system::experiments::scalability;
+use osoffload_bench::{harness, pct, render_table};
+use osoffload_system::experiments::scalability_with;
 
 fn main() {
-    let scale = scale_from_args();
+    let (scale, opts) = harness::parse_args();
     println!("Section V-C: user-core scaling against one OS core (SPECjbb, N=100, 1,000 cyc)\n");
-    let rows = scalability(scale);
+    let rows = harness::run("scalability", scale, &opts, |ev| {
+        scalability_with(scale, ev)
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -26,7 +31,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["ratio", "mean queue delay", "p95 queue delay", "OS-core busy", "scaling eff.", "vs no-offload"],
+            &[
+                "ratio",
+                "mean queue delay",
+                "p95 queue delay",
+                "OS-core busy",
+                "scaling eff.",
+                "vs no-offload"
+            ],
             &table
         )
     );

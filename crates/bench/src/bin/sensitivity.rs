@@ -4,16 +4,21 @@
 //! independently). Both the baseline and the off-loading run share each
 //! varied substrate, so the ratio isolates the policy's benefit.
 //!
-//! Usage: `cargo run --release -p osoffload-bench --bin sensitivity [quick|full|paper]`
+//! Runs its simulation grid on the parallel runner and archives
+//! `results/sensitivity.json`.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin sensitivity [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]`
 
-use osoffload_bench::{render_table, scale_from_args};
-use osoffload_system::experiments::sensitivity;
+use osoffload_bench::{harness, render_table};
+use osoffload_system::experiments::sensitivity_with;
 use osoffload_workload::Profile;
 
 fn main() {
-    let scale = scale_from_args();
+    let (scale, opts) = harness::parse_args();
     println!("Sensitivity of the Apache off-loading benefit (HI, N=100, 1,000 cyc)\n");
-    let rows = sensitivity(scale, Profile::apache());
+    let rows = harness::run("sensitivity", scale, &opts, |ev| {
+        sensitivity_with(scale, Profile::apache(), ev)
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -24,7 +29,10 @@ fn main() {
             vec![r.parameter.clone(), value, format!("{:.3}", r.normalized)]
         })
         .collect();
-    print!("{}", render_table(&["parameter", "value", "normalized IPC"], &table));
+    print!(
+        "{}",
+        render_table(&["parameter", "value", "normalized IPC"], &table)
+    );
     println!("\nReading: the benefit is largest exactly when caches are precious —");
     println!("small L2s and slow DRAM amplify it, abundant L2 erases it — and cheaper");
     println!("cache-to-cache transfers help, confirming coherence is the main tax.");

@@ -53,7 +53,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["ratio", "SMT contexts", "mean queue delay", "OS-core busy", "vs no-offload"],
+            &[
+                "ratio",
+                "SMT contexts",
+                "mean queue delay",
+                "OS-core busy",
+                "vs no-offload"
+            ],
             &table
         )
     );

@@ -1,19 +1,25 @@
 //! Regenerates the paper's Table I: number of distinct system calls in
 //! various operating systems — the scale argument for why manual
-//! instrumentation of every entry point is infeasible (§II).
+//! instrumentation of every entry point is infeasible (§II). Archives
+//! the table as `results/table1.json`.
 
-use osoffload_bench::render_table;
+use osoffload_bench::{harness, render_table};
 use osoffload_workload::OS_SYSCALL_TABLE;
 
 fn main() {
+    let (_, opts) = harness::parse_args();
     println!("Table I: Number of distinct system calls in various operating systems\n");
     let rows: Vec<Vec<String>> = OS_SYSCALL_TABLE
         .iter()
         .map(|r| vec![r.os.to_string(), r.syscalls.to_string()])
         .collect();
-    print!("{}", render_table(&["Operating system", "# Syscalls"], &rows));
+    print!(
+        "{}",
+        render_table(&["Operating system", "# Syscalls"], &rows)
+    );
     println!(
         "\nModelled synthetic-kernel entry points: {}",
         osoffload_workload::CATALOG.len()
     );
+    harness::write_static("table1", &["Operating system", "# Syscalls"], &rows, &opts);
 }

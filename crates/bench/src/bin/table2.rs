@@ -1,31 +1,58 @@
 //! Regenerates the paper's Table II: simulator parameters, as actually
 //! configured in this reproduction's memory system and core model.
+//! Archives the table as `results/table2.json`.
 
-use osoffload_bench::render_table;
+use osoffload_bench::{harness, render_table};
 use osoffload_cpu::{CoreParams, Tlb};
 use osoffload_mem::MemConfig;
 
 fn main() {
+    let (_, opts) = harness::parse_args();
     println!("Table II: simulator parameters (paper design point)\n");
     let mem = MemConfig::paper_baseline(2);
     let core = CoreParams::paper_default();
     let tlb = Tlb::paper_default();
     let rows = vec![
         vec!["ISA".into(), "UltraSPARC III (modelled abstractly)".into()],
-        vec!["Processor pipeline".into(),
-             format!("in-order, {} cycle/insn base", core.base_cycles_per_instr)],
+        vec![
+            "Processor pipeline".into(),
+            format!("in-order, {} cycle/insn base", core.base_cycles_per_instr),
+        ],
         vec!["Register windows".into(), core.register_windows.to_string()],
-        vec!["TLB".into(), format!("{} entry, fully associative", tlb.capacity())],
-        vec!["L1 I-cache".into(), format!("{}, {}-cycle", mem.l1i, mem.l1_latency)],
-        vec!["L1 D-cache".into(), format!("{}, {}-cycle", mem.l1d, mem.l1_latency)],
-        vec!["L2 cache".into(), format!("{}, {}-cycle", mem.l2, mem.l2_latency)],
-        vec!["Line size".into(), format!("{} bytes", osoffload_mem::LINE_BYTES)],
-        vec!["Coherence".into(),
-             format!("directory MESI (lookup {} cyc, c2c {} cyc, inval {} cyc)",
-                     mem.interconnect.directory_lookup,
-                     mem.interconnect.cache_to_cache,
-                     mem.interconnect.invalidation)],
-        vec!["Main memory".into(), format!("{} cycle uniform latency", mem.dram_latency)],
+        vec![
+            "TLB".into(),
+            format!("{} entry, fully associative", tlb.capacity()),
+        ],
+        vec![
+            "L1 I-cache".into(),
+            format!("{}, {}-cycle", mem.l1i, mem.l1_latency),
+        ],
+        vec![
+            "L1 D-cache".into(),
+            format!("{}, {}-cycle", mem.l1d, mem.l1_latency),
+        ],
+        vec![
+            "L2 cache".into(),
+            format!("{}, {}-cycle", mem.l2, mem.l2_latency),
+        ],
+        vec![
+            "Line size".into(),
+            format!("{} bytes", osoffload_mem::LINE_BYTES),
+        ],
+        vec![
+            "Coherence".into(),
+            format!(
+                "directory MESI (lookup {} cyc, c2c {} cyc, inval {} cyc)",
+                mem.interconnect.directory_lookup,
+                mem.interconnect.cache_to_cache,
+                mem.interconnect.invalidation
+            ),
+        ],
+        vec![
+            "Main memory".into(),
+            format!("{} cycle uniform latency", mem.dram_latency),
+        ],
     ];
     print!("{}", render_table(&["Parameter", "Value"], &rows));
+    harness::write_static("table2", &["Parameter", "Value"], &rows, &opts);
 }

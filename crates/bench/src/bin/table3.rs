@@ -2,15 +2,18 @@
 //! the OS core using selective migration based on threshold N
 //! (5,000-cycle off-loading overhead).
 //!
-//! Usage: `cargo run --release -p osoffload-bench --bin table3 [quick|full|paper]`
+//! Runs its simulation grid on the parallel runner and archives
+//! `results/table3.json`.
+//!
+//! Usage: `cargo run --release -p osoffload-bench --bin table3 [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]`
 
-use osoffload_bench::{pct, render_table, scale_from_args};
-use osoffload_system::experiments::{table3, TABLE3_THRESHOLDS};
+use osoffload_bench::{harness, pct, render_table};
+use osoffload_system::experiments::{table3_with, TABLE3_THRESHOLDS};
 
 fn main() {
-    let scale = scale_from_args();
+    let (scale, opts) = harness::parse_args();
     println!("Table III: OS-core utilisation vs threshold N (5,000-cycle overhead)\n");
-    let rows = table3(scale);
+    let rows = harness::run("table3", scale, &opts, |ev| table3_with(scale, ev));
     let headers: Vec<String> = std::iter::once("benchmark".to_string())
         .chain(TABLE3_THRESHOLDS.iter().map(|n| format!("N={n}")))
         .collect();

@@ -18,11 +18,18 @@ fn main() {
                 e.epoch.to_string(),
                 format!("N={}", e.threshold),
                 format!("{:.4}", e.l2_hit_rate),
-                if e.adopted { "ADOPTED".to_string() } else { String::new() },
+                if e.adopted {
+                    "ADOPTED".to_string()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
-    print!("{}", render_table(&["epoch", "sampled", "mean L2 hit rate", ""], &table));
+    print!(
+        "{}",
+        render_table(&["epoch", "sampled", "mean L2 hit rate", ""], &table)
+    );
     println!(
         "\nfinal threshold: N={}   throughput: {:.4} insn/cyc   epochs: {}",
         report.final_threshold.unwrap_or(0),

@@ -93,6 +93,136 @@ pub fn spark(values: &[f64], lo: f64, hi: f64) -> String {
         .collect()
 }
 
+/// Glue between the experiment binaries and the parallel runner.
+///
+/// Every ported binary follows the same shape: parse the scale word
+/// plus runner flags, hand its `*_with` driver to [`harness::run`]
+/// (which executes the simulation points concurrently, streams
+/// progress to stderr, and archives a JSON results file under
+/// `results/`), then print its table from the returned rows.
+pub mod harness {
+    use osoffload_runner::{report, run_driver, RunnerOptions};
+    use osoffload_system::experiments::{Evaluator, Scale};
+
+    /// Parses `[quick|full|paper]` plus the runner flags
+    /// (`--workers=N`/`-jN`, `--retries=N`, `--quiet`, `--out=DIR`)
+    /// from the process arguments. Unknown arguments abort with usage
+    /// help.
+    pub fn parse_args() -> (Scale, RunnerOptions) {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let (opts, rest) = RunnerOptions::parse_flags(&args);
+        let scale = match rest.first() {
+            None => Scale::full(),
+            Some(arg) if rest.len() == 1 => Scale::from_arg(arg).unwrap_or_else(|| usage()),
+            Some(_) => usage(),
+        };
+        (scale, opts)
+    }
+
+    fn usage() -> ! {
+        eprintln!(
+            "usage: <bin> [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]"
+        );
+        eprintln!("       (default scale: full; default workers: all hardware threads)");
+        std::process::exit(2);
+    }
+
+    /// Runs an experiment driver with its points executed in parallel,
+    /// writes `<out_dir>/<name>.json`, and returns the driver's rows.
+    ///
+    /// If any point failed (panicked through all retries), the failures
+    /// are listed on stderr — with the results file still recording
+    /// every completed point — and the process exits with status 1.
+    pub fn run<R>(
+        name: &str,
+        scale: Scale,
+        opts: &RunnerOptions,
+        driver: impl Fn(Evaluator<'_>) -> R,
+    ) -> R {
+        let (rows, sweep) = run_driver(name, scale.seed, opts, driver);
+        match report::write_sweep(&sweep, &opts.out_dir) {
+            Ok(path) => eprintln!(
+                "[{name}] {} points in {:.1}s on {} workers -> {}",
+                sweep.rows.len(),
+                sweep.wall_ms / 1e3,
+                sweep.workers,
+                path.display()
+            ),
+            Err(e) => eprintln!("[{name}] could not write results file: {e}"),
+        }
+        match rows {
+            Some(rows) => rows,
+            None => {
+                for f in sweep.failures() {
+                    if let osoffload_runner::Outcome::Failed { panic, attempts } = &f.outcome {
+                        eprintln!(
+                            "[{name}] point {} FAILED after {attempts} attempt(s): {panic}",
+                            f.id
+                        );
+                    }
+                }
+                eprintln!(
+                    "[{name}] {}/{} points failed; tables not assembled",
+                    sweep.failures().count(),
+                    sweep.rows.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Archives a static (no-simulation) table under `results/` with
+    /// the same JSON envelope as a sweep.
+    pub fn write_static(name: &str, headers: &[&str], rows: &[Vec<String>], opts: &RunnerOptions) {
+        match report::write_static_table(name, headers, rows, &opts.out_dir) {
+            Ok(path) => eprintln!("[{name}] wrote {}", path.display()),
+            Err(e) => eprintln!("[{name}] could not write results file: {e}"),
+        }
+    }
+}
+
+/// Minimal micro-benchmark timing harness for the `benches/` targets.
+///
+/// The approved dependency set has no benchmarking framework, so the
+/// bench targets (`harness = false`) drive this directly: adaptive
+/// batching until a target wall-time is reached, then a ns/iter report
+/// on stdout.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Re-export of the optimisation barrier used by benchmark bodies.
+    pub use std::hint::black_box;
+
+    /// Times `f` until roughly `target` of wall-clock has elapsed and
+    /// returns the mean nanoseconds per iteration.
+    pub fn time_fn<T>(target: Duration, mut f: impl FnMut() -> T) -> f64 {
+        // Warm up caches, branch predictors, and lazy initialisation.
+        for _ in 0..100 {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let mut batch = 1_000u64;
+        while elapsed < target {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 22);
+        }
+        elapsed.as_nanos() as f64 / iters as f64
+    }
+
+    /// Runs one named benchmark with the default 200 ms budget and
+    /// prints a `name: N ns/iter` line.
+    pub fn bench<T>(name: &str, f: impl FnMut() -> T) {
+        let ns = time_fn(Duration::from_millis(200), f);
+        println!("{name}: {ns:.1} ns/iter");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

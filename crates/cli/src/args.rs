@@ -282,11 +282,16 @@ mod tests {
              --seed 7 --cores 2 --tuner --rpc --energy",
         ))
         .unwrap();
-        let Command::Run(a) = cmd else { panic!("expected run") };
+        let Command::Run(a) = cmd else {
+            panic!("expected run")
+        };
         assert_eq!(a.profile, "derby");
         assert_eq!(
             a.policy,
-            PolicyKind::DynamicInstrumentation { threshold: 1_000, cost: 200 }
+            PolicyKind::DynamicInstrumentation {
+                threshold: 1_000,
+                cost: 200
+            }
         );
         assert_eq!(a.latency, 5_000);
         assert_eq!(a.instructions, 500_000);

@@ -3,9 +3,7 @@
 use crate::args::RunArgs;
 use osoffload_core::TunerConfig;
 use osoffload_energy::{evaluate, EnergyParams};
-use osoffload_system::{
-    OffloadMechanism, PolicyKind, SimReport, Simulation, SystemConfig,
-};
+use osoffload_system::{OffloadMechanism, PolicyKind, SimReport, Simulation, SystemConfig};
 use osoffload_workload::Profile;
 
 fn build_config(a: &RunArgs, policy: PolicyKind) -> SystemConfig {
@@ -83,7 +81,10 @@ pub fn run(a: &RunArgs) -> i32 {
     }
     if let Some(n) = report.final_threshold {
         if report.tuner_events > 0 {
-            println!("  tuner: settled on N = {n} after {} epochs", report.tuner_events);
+            println!(
+                "  tuner: settled on N = {n} after {} epochs",
+                report.tuner_events
+            );
         }
     }
     if report.throttled_cycles > 0 {
@@ -102,7 +103,10 @@ pub fn compare(a: &RunArgs) -> i32 {
         "{} @ {} cyc one-way, {} insn (baseline {:.4} insn/cyc)\n",
         a.profile, a.latency, a.instructions, baseline.throughput
     );
-    println!("{:<10} {:>11} {:>10} {:>14}", "policy", "normalized", "offloads", "overhead cyc");
+    println!(
+        "{:<10} {:>11} {:>10} {:>14}",
+        "policy", "normalized", "offloads", "overhead cyc"
+    );
     // The dynamic schemes compare at the threshold from --policy (or the
     // 500-instruction default).
     let n = match a.policy {
@@ -111,7 +115,13 @@ pub fn compare(a: &RunArgs) -> i32 {
     };
     for (name, policy) in [
         ("SI", PolicyKind::StaticInstrumentation { stub_cost: 25 }),
-        ("DI", PolicyKind::DynamicInstrumentation { threshold: n, cost: 120 }),
+        (
+            "DI",
+            PolicyKind::DynamicInstrumentation {
+                threshold: n,
+                cost: 120,
+            },
+        ),
         ("HI", PolicyKind::HardwarePredictor { threshold: n }),
     ] {
         let r = simulate(a, policy);
@@ -133,7 +143,10 @@ pub fn sweep(a: &RunArgs) -> i32 {
         "{} @ {} cyc one-way (baseline {:.4} insn/cyc)\n",
         a.profile, a.latency, baseline.throughput
     );
-    println!("{:<10} {:>11} {:>10} {:>13}", "N", "normalized", "offloads", "OS-core busy");
+    println!(
+        "{:<10} {:>11} {:>10} {:>13}",
+        "N", "normalized", "offloads", "OS-core busy"
+    );
     for n in [0u64, 100, 500, 1_000, 2_000, 5_000, 10_000] {
         let r = simulate(a, PolicyKind::HardwarePredictor { threshold: n });
         println!(
@@ -161,7 +174,10 @@ pub fn trace(a: &RunArgs) -> i32 {
 /// `osoffload list`: profiles and policy specs.
 pub fn list() -> i32 {
     println!("workload profiles:");
-    for p in Profile::all_server().into_iter().chain(Profile::all_compute()) {
+    for p in Profile::all_server()
+        .into_iter()
+        .chain(Profile::all_compute())
+    {
         println!(
             "  {:<14} {:?}, ~{:.0}% OS, {} thread(s)/core",
             p.name,
@@ -174,12 +190,27 @@ pub fn list() -> i32 {
     for (spec, what) in [
         ("baseline", "no off-loading (single core)"),
         ("always", "off-load every privileged invocation"),
-        ("hi[:N]", "hardware predictor, 200-entry CAM (the paper's scheme)"),
-        ("hi-dm[:N]", "hardware predictor, 1,500-entry direct-mapped RAM"),
+        (
+            "hi[:N]",
+            "hardware predictor, 200-entry CAM (the paper's scheme)",
+        ),
+        (
+            "hi-dm[:N]",
+            "hardware predictor, 1,500-entry direct-mapped RAM",
+        ),
         ("hi-global[:N]", "ablation: global-only prediction"),
-        ("hi-lastvalue[:N]", "ablation: infinite last-value, no confidence"),
-        ("di[:N[:COST]]", "dynamic software instrumentation of every entry"),
-        ("si[:STUB]", "static instrumentation from off-line profiling"),
+        (
+            "hi-lastvalue[:N]",
+            "ablation: infinite last-value, no confidence",
+        ),
+        (
+            "di[:N[:COST]]",
+            "dynamic software instrumentation of every entry",
+        ),
+        (
+            "si[:STUB]",
+            "static instrumentation from off-line profiling",
+        ),
         ("oracle[:N]", "decisions on the true run length"),
     ] {
         println!("  {spec:<18} {what}");

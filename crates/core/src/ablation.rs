@@ -253,6 +253,8 @@ mod tests {
     #[test]
     fn organizations_are_labelled() {
         assert!(GlobalOnlyPredictor::new().organization().contains("global"));
-        assert!(LastValuePredictor::new().organization().contains("last-value"));
+        assert!(LastValuePredictor::new()
+            .organization()
+            .contains("last-value"));
     }
 }

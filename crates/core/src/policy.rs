@@ -573,10 +573,7 @@ mod tests {
     #[test]
     fn policy_names_match_figures() {
         assert_eq!(NeverOffload.name(), "baseline");
-        assert_eq!(
-            HardwarePredictor::new(CamPredictor::new(8), 0).name(),
-            "HI"
-        );
+        assert_eq!(HardwarePredictor::new(CamPredictor::new(8), 0).name(), "HI");
         assert_eq!(
             DynamicInstrumentation::new(CamPredictor::new(8), 0, 1).name(),
             "DI"

@@ -68,7 +68,8 @@ impl PredictorStats {
     fn record(&mut self, prediction: Prediction, actual: u64) {
         let exact = prediction.length == actual;
         self.exact.record(exact);
-        self.within_close.record(is_close(prediction.length, actual));
+        self.within_close
+            .record(is_close(prediction.length, actual));
         self.underestimates.record(prediction.length < actual);
         self.local_source
             .record(prediction.source == PredictionSource::Local);
@@ -341,7 +342,10 @@ impl DirectMappedPredictor {
     ///
     /// Panics if `entries` is zero.
     pub fn new(entries: usize) -> Self {
-        assert!(entries > 0, "DirectMappedPredictor: entries must be positive");
+        assert!(
+            entries > 0,
+            "DirectMappedPredictor: entries must be positive"
+        );
         DirectMappedPredictor {
             lens: vec![0; entries],
             confidence: vec![0; entries],
@@ -673,7 +677,9 @@ mod tests {
     #[test]
     fn displays_are_nonempty() {
         assert!(!CamPredictor::paper_default().to_string().is_empty());
-        assert!(!DirectMappedPredictor::paper_default().to_string().is_empty());
+        assert!(!DirectMappedPredictor::paper_default()
+            .to_string()
+            .is_empty());
         assert!(!PredictorStats::default().to_string().is_empty());
     }
 }

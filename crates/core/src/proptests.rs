@@ -1,95 +1,108 @@
-//! Property-based tests for the predictor, policies and tuner.
+//! Property-style tests for the predictor, policies and tuner, driven by
+//! seeded [`Rng64`] case generation (dependency-free, bit-reproducible).
 
 use crate::astate::AState;
-use crate::policy::{
-    DynamicInstrumentation, HardwarePredictor, OffloadPolicy, OsEntry,
-};
+use crate::policy::{DynamicInstrumentation, HardwarePredictor, OffloadPolicy, OsEntry};
 use crate::predictor::{
     is_close, CamPredictor, DirectMappedPredictor, PredictionSource, RunLengthPredictor,
 };
 use crate::tuner::{ThresholdTuner, TunerConfig};
-use osoffload_sim::Instret;
-use proptest::prelude::*;
+use osoffload_sim::{Instret, Rng64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// `is_close` is reflexive and symmetric-in-direction around the
-    /// ±5% band of the actual value.
-    #[test]
-    fn close_band_properties(actual in 1u64..100_000) {
-        prop_assert!(is_close(actual, actual));
+/// `is_close` is reflexive and symmetric-in-direction around the ±5%
+/// band of the actual value.
+#[test]
+fn close_band_properties() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xC105_0000 + case);
+        let actual = g.gen_range(1..100_000);
+        assert!(is_close(actual, actual));
         let band = ((actual as f64) * 0.05).max(1.0) as u64;
-        prop_assert!(is_close(actual + band, actual));
-        prop_assert!(!is_close(actual + 2 * band + 2, actual));
+        assert!(is_close(actual + band, actual));
+        assert!(!is_close(actual + 2 * band + 2, actual));
     }
+}
 
-    /// Both organisations give identical answers to identical histories
-    /// whenever aliasing cannot occur (few AStates, large tables).
-    #[test]
-    fn organisations_agree_without_aliasing(
-        pairs in prop::collection::vec((0u64..8, 50u64..5_000), 1..200)
-    ) {
+/// Both organisations give identical answers to identical histories
+/// whenever aliasing cannot occur (few AStates, large tables).
+#[test]
+fn organisations_agree_without_aliasing() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x0F9A_0000 + case);
         let mut cam = CamPredictor::new(256);
         let mut dm = DirectMappedPredictor::new(4096);
-        for &(a, len) in &pairs {
+        for _ in 0..g.gen_range(1..200) {
+            let a = g.gen_range(0..8);
+            let len = g.gen_range(50..5_000);
             // Spread AStates so the direct-mapped index bits differ.
             let astate = AState::from(a.wrapping_mul(0x100) + 7);
             let pc = cam.predict(astate);
             let pd = dm.predict(astate);
-            prop_assert_eq!(pc.length, pd.length);
-            prop_assert_eq!(pc.source, pd.source);
+            assert_eq!(pc.length, pd.length);
+            assert_eq!(pc.source, pd.source);
             cam.learn(astate, pc, len);
             dm.learn(astate, pd, len);
         }
     }
+}
 
-    /// Stats accounting is conserved: totals equal learn() calls, and
-    /// `exact <= within_close`.
-    #[test]
-    fn predictor_stats_conserved(
-        pairs in prop::collection::vec((0u64..30, 1u64..10_000), 1..300)
-    ) {
+/// Stats accounting is conserved: totals equal learn() calls, and
+/// `exact <= within_close`.
+#[test]
+fn predictor_stats_conserved() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x57A7_0000 + case);
+        let n = g.gen_range(1..300);
         let mut p = CamPredictor::paper_default();
-        for &(a, len) in &pairs {
-            let astate = AState::from(a);
+        for _ in 0..n {
+            let astate = AState::from(g.gen_range(0..30));
+            let len = g.gen_range(1..10_000);
             let pred = p.predict(astate);
             p.learn(astate, pred, len);
         }
         let s = p.stats();
-        prop_assert_eq!(s.exact.total(), pairs.len() as u64);
-        prop_assert!(s.exact.hits() <= s.within_close.hits());
-        prop_assert_eq!(s.underestimates.total(), pairs.len() as u64);
+        assert_eq!(s.exact.total(), n);
+        assert!(s.exact.hits() <= s.within_close.hits());
+        assert_eq!(s.underestimates.total(), n);
     }
+}
 
-    /// HI and DI make identical off-load decisions from identical
-    /// histories — "DI is the functional equivalent of the hardware
-    /// prediction engine" — differing only in overhead.
-    #[test]
-    fn di_is_functionally_equivalent_to_hi(
-        invocations in prop::collection::vec((0u64..20, 10u64..20_000), 1..200),
-        threshold in 0u64..10_000,
-    ) {
+/// HI and DI make identical off-load decisions from identical histories
+/// — "DI is the functional equivalent of the hardware prediction engine"
+/// — differing only in overhead.
+#[test]
+fn di_is_functionally_equivalent_to_hi() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xD1F0_0000 + case);
+        let threshold = g.gen_range(0..10_000);
         let mut hi = HardwarePredictor::new(CamPredictor::paper_default(), threshold);
         let mut di = DynamicInstrumentation::new(CamPredictor::paper_default(), threshold, 150);
-        for &(a, len) in &invocations {
-            let entry = OsEntry { astate: AState::from(a), routine: a };
+        for _ in 0..g.gen_range(1..200) {
+            let a = g.gen_range(0..20);
+            let len = g.gen_range(10..20_000);
+            let entry = OsEntry {
+                astate: AState::from(a),
+                routine: a,
+            };
             let dh = hi.decide(entry);
             let dd = di.decide(entry);
-            prop_assert_eq!(dh.offload, dd.offload);
-            prop_assert!(dd.overhead_cycles > dh.overhead_cycles);
+            assert_eq!(dh.offload, dd.offload);
+            assert!(dd.overhead_cycles > dh.overhead_cycles);
             hi.complete(entry, &dh, len);
             di.complete(entry, &dd, len);
         }
     }
+}
 
-    /// The tuner always directs thresholds from its candidate grid and
-    /// epoch lengths within [sample, cap].
-    #[test]
-    fn tuner_outputs_stay_on_grid(
-        rates in prop::collection::vec(0.0f64..1.0, 1..200),
-        priv_frac in 0.0f64..1.0,
-    ) {
+/// The tuner always directs thresholds from its candidate grid and epoch
+/// lengths within [sample, cap].
+#[test]
+fn tuner_outputs_stay_on_grid() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x7A4E_0000 + case);
+        let priv_frac = g.next_f64();
         let cfg = TunerConfig {
             candidates: vec![0, 100, 500, 1_000, 5_000, 10_000],
             sample_epoch: Instret::new(100),
@@ -103,19 +116,30 @@ proptest! {
         let grid = cfg.candidates.clone();
         let mut tuner = ThresholdTuner::new(cfg);
         let d = tuner.initialize(priv_frac);
-        prop_assert!(grid.contains(&d.threshold));
-        for &r in &rates {
-            let d = tuner.on_epoch_end(r);
-            prop_assert!(grid.contains(&d.threshold), "off-grid threshold {}", d.threshold);
-            prop_assert!(d.epoch_len >= Instret::new(100) && d.epoch_len <= Instret::new(1_600));
+        assert!(grid.contains(&d.threshold));
+        let n = g.gen_range(1..200);
+        for _ in 0..n {
+            let d = tuner.on_epoch_end(g.next_f64());
+            assert!(
+                grid.contains(&d.threshold),
+                "off-grid threshold {}",
+                d.threshold
+            );
+            assert!(d.epoch_len >= Instret::new(100) && d.epoch_len <= Instret::new(1_600));
         }
-        prop_assert_eq!(tuner.history().len(), rates.len());
+        assert_eq!(tuner.history().len(), n as usize);
     }
+}
 
-    /// Cold predictors always fall back to the global source.
-    #[test]
-    fn cold_lookups_are_global(a in prop::num::u64::ANY) {
+/// Cold predictors always fall back to the global source.
+#[test]
+fn cold_lookups_are_global() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xC01D_0000 + case);
         let mut p = CamPredictor::paper_default();
-        prop_assert_eq!(p.predict(AState::from(a)).source, PredictionSource::Global);
+        assert_eq!(
+            p.predict(AState::from(g.next_u64())).source,
+            PredictionSource::Global
+        );
     }
 }

@@ -70,7 +70,10 @@ impl SetAssocPredictor {
     /// Panics if `sets` or `assoc` is zero.
     pub fn new(sets: usize, assoc: usize) -> Self {
         assert!(sets > 0, "SetAssocPredictor: sets must be positive");
-        assert!(assoc > 0, "SetAssocPredictor: associativity must be positive");
+        assert!(
+            assoc > 0,
+            "SetAssocPredictor: associativity must be positive"
+        );
         SetAssocPredictor {
             ways: vec![EMPTY; sets * assoc],
             sets,
@@ -141,7 +144,9 @@ impl RunLengthPredictor for SetAssocPredictor {
 
     fn learn(&mut self, astate: AState, prediction: Prediction, actual: u64) {
         self.stats.exact.record(prediction.length == actual);
-        self.stats.within_close.record(is_close(prediction.length, actual));
+        self.stats
+            .within_close
+            .record(is_close(prediction.length, actual));
         self.stats.underestimates.record(prediction.length < actual);
         self.stats
             .local_source

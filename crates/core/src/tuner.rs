@@ -148,7 +148,10 @@ impl ThresholdTuner {
     ///
     /// Panics if the candidate grid is empty or not strictly ascending.
     pub fn new(cfg: TunerConfig) -> Self {
-        assert!(!cfg.candidates.is_empty(), "ThresholdTuner: empty candidate grid");
+        assert!(
+            !cfg.candidates.is_empty(),
+            "ThresholdTuner: empty candidate grid"
+        );
         assert!(
             cfg.candidates.windows(2).all(|w| w[0] < w[1]),
             "ThresholdTuner: candidates must be strictly ascending"

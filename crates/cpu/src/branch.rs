@@ -60,7 +60,10 @@ impl BranchPredictor {
     ///
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize, mispredict_penalty: u64) -> Self {
-        assert!(entries.is_power_of_two(), "BranchPredictor: entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "BranchPredictor: entries must be a power of two"
+        );
         BranchPredictor {
             table: vec![1; entries], // weakly not-taken
             mask: entries as u64 - 1,
@@ -153,7 +156,7 @@ mod tests {
             bp.execute(0x100, true);
         }
         bp.execute(0x100, false); // strongly-taken -> weakly-taken
-        // Still predicts taken.
+                                  // Still predicts taken.
         assert_eq!(bp.execute(0x100, true), Cycle::ZERO);
     }
 
@@ -187,7 +190,10 @@ mod tests {
                 clean_mispredicts += 1;
             }
         }
-        assert!(clean_mispredicts <= 4, "separate tables: {clean_mispredicts}");
+        assert!(
+            clean_mispredicts <= 4,
+            "separate tables: {clean_mispredicts}"
+        );
     }
 
     #[test]

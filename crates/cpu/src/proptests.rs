@@ -1,39 +1,50 @@
-//! Property-based tests for the core-model structures.
+//! Property-style tests for the core-model structures, driven by seeded
+//! [`Rng64`] case generation (dependency-free, bit-reproducible).
 
 use crate::arch::ArchState;
 use crate::branch::BranchPredictor;
 use crate::core::{RegisterWindows, WindowEvent};
 use crate::tlb::Tlb;
-use proptest::prelude::*;
+use osoffload_sim::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// The TLB never exceeds capacity, and every address translates
-    /// consistently: a hit immediately after any translate of the same
-    /// page is free.
-    #[test]
-    fn tlb_capacity_and_rehit(addrs in prop::collection::vec(0u64..1 << 24, 1..300)) {
+/// The TLB never exceeds capacity, and every address translates
+/// consistently: a hit immediately after any translate of the same page
+/// is free.
+#[test]
+fn tlb_capacity_and_rehit() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x71B0_0000 + case);
+        let n = g.gen_range(1..300) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| g.gen_range(0..1 << 24)).collect();
         let mut tlb = Tlb::new(16, 4096, 50);
         for &a in &addrs {
             tlb.translate(a);
-            prop_assert!(tlb.resident() <= 16);
-            prop_assert_eq!(tlb.translate(a).as_u64(), 0, "immediate re-hit must be free");
+            assert!(tlb.resident() <= 16);
+            assert_eq!(
+                tlb.translate(a).as_u64(),
+                0,
+                "immediate re-hit must be free"
+            );
         }
         let s = tlb.stats();
-        prop_assert_eq!(s.lookups.total(), addrs.len() as u64 * 2);
-        prop_assert!(s.lookups.hits() >= addrs.len() as u64);
+        assert_eq!(s.lookups.total(), addrs.len() as u64 * 2);
+        assert!(s.lookups.hits() >= addrs.len() as u64);
     }
+}
 
-    /// Register windows conserve call depth: after any call/return
-    /// sequence, depth equals calls minus matched returns, and returns
-    /// at depth zero are ignored.
-    #[test]
-    fn register_windows_conserve_depth(ops in prop::collection::vec(prop::bool::ANY, 1..500)) {
+/// Register windows conserve call depth: after any call/return sequence,
+/// depth equals calls minus matched returns, and returns at depth zero
+/// are ignored.
+#[test]
+fn register_windows_conserve_depth() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x3E60_0000 + case);
         let mut w = RegisterWindows::new(8);
         let mut depth = 0u64;
-        for &call in &ops {
-            if call {
+        for _ in 0..g.gen_range(1..500) {
+            if g.gen_bool(0.5) {
                 w.call();
                 depth += 1;
             } else {
@@ -41,36 +52,43 @@ proptest! {
                 if depth > 0 {
                     depth -= 1;
                 } else {
-                    prop_assert_eq!(ev, WindowEvent::Ok, "underflow return must be a no-op");
+                    assert_eq!(ev, WindowEvent::Ok, "underflow return must be a no-op");
                 }
             }
-            prop_assert_eq!(w.depth(), depth);
+            assert_eq!(w.depth(), depth);
         }
     }
+}
 
-    /// A branch predictor trained on a perfectly biased branch converges
-    /// to 100% accuracy after warm-up, for any PC.
-    #[test]
-    fn bimodal_converges_on_biased_branches(pc in prop::num::u64::ANY, taken in prop::bool::ANY) {
+/// A branch predictor trained on a perfectly biased branch converges to
+/// 100% accuracy after warm-up, for any PC.
+#[test]
+fn bimodal_converges_on_biased_branches() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xB4A0_0000 + case);
+        let pc = g.next_u64();
+        let taken = g.gen_bool(0.5);
         let mut bp = BranchPredictor::new(1024, 10);
         for _ in 0..4 {
             bp.execute(pc, taken);
         }
         for _ in 0..20 {
-            prop_assert_eq!(bp.execute(pc, taken).as_u64(), 0);
+            assert_eq!(bp.execute(pc, taken).as_u64(), 0);
         }
     }
+}
 
-    /// AState inputs are a pure function of the registers: setting the
-    /// same values always produces the same inputs, and `%g0` never
-    /// leaks a written value.
-    #[test]
-    fn arch_state_inputs_are_pure(
-        number in prop::num::u64::ANY,
-        a0 in prop::num::u64::ANY,
-        a1 in prop::num::u64::ANY,
-        junk in prop::num::u64::ANY,
-    ) {
+/// AState inputs are a pure function of the registers: setting the same
+/// values always produces the same inputs, and `%g0` never leaks a
+/// written value.
+#[test]
+fn arch_state_inputs_are_pure() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xA57A_0000 + case);
+        let number = g.next_u64();
+        let a0 = g.next_u64();
+        let a1 = g.next_u64();
+        let junk = g.next_u64();
         let mut x = ArchState::new();
         x.set_global(0, junk); // discarded: %g0 is hardwired zero
         x.set_syscall_registers(number, a0, a1);
@@ -81,7 +99,7 @@ proptest! {
         let mut y = ArchState::new();
         y.set_syscall_registers(number, a0, a1);
         y.enter_privileged();
-        prop_assert_eq!(first, y.astate_inputs());
-        prop_assert_eq!(first[1], 0, "%g0 must read as zero");
+        assert_eq!(first, y.astate_inputs());
+        assert_eq!(first[1], 0, "%g0 must read as zero");
     }
 }

@@ -211,7 +211,10 @@ mod tests {
     #[test]
     fn distinct_modes_hash_differently() {
         // The AState hash depends on PSTATE differing between contexts.
-        assert_ne!(Pstate::user_default().bits(), Pstate::kernel_default().bits());
+        assert_ne!(
+            Pstate::user_default().bits(),
+            Pstate::kernel_default().bits()
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl Tlb {
     /// Panics if `capacity` is zero or `page_bytes` is not a power of two.
     pub fn new(capacity: usize, page_bytes: u64, miss_penalty: u64) -> Self {
         assert!(capacity > 0, "Tlb: capacity must be positive");
-        assert!(page_bytes.is_power_of_two(), "Tlb: page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "Tlb: page size must be a power of two"
+        );
         Tlb {
             capacity,
             page_shift: page_bytes.trailing_zeros(),

@@ -10,10 +10,9 @@
 use crate::params::EnergyParams;
 use core::fmt;
 use osoffload_system::SimReport;
-use serde::{Deserialize, Serialize};
 
 /// Energy accounting for one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Wall-clock seconds of the measured region.
     pub seconds: f64,
@@ -132,9 +131,8 @@ pub fn evaluate(report: &SimReport, params: &EnergyParams) -> EnergyReport {
         + report.l2_accesses as f64 * m.l2_access_nj)
         * 1e-9;
     let dram_joules = report.dram_accesses as f64 * m.dram_access_nj * 1e-9;
-    let coherence_joules = (report.c2c_transfers + report.invalidation_rounds) as f64
-        * m.coherence_msg_nj
-        * 1e-9;
+    let coherence_joules =
+        (report.c2c_transfers + report.invalidation_rounds) as f64 * m.coherence_msg_nj * 1e-9;
     let migration_joules = report.offloads as f64 * 2.0 * params.migration_nj * 1e-9;
 
     let total_joules = user_core_joules

@@ -8,10 +8,8 @@
 //! report *ratios* (normalized energy, EDP), which are robust to the
 //! exact constants.
 
-use serde::Serialize;
-
 /// Power characteristics of one core design.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreType {
     /// Human-readable label.
     pub name: &'static str,
@@ -55,7 +53,7 @@ impl CoreType {
 }
 
 /// Per-event energies of the memory system, in nanojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryEnergy {
     /// One L1 (I or D) lookup.
     pub l1_access_nj: f64,
@@ -81,7 +79,7 @@ impl MemoryEnergy {
 }
 
 /// The complete parameter set for one energy evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Core clock frequency in hertz (Table II: 3.5 GHz).
     pub frequency_hz: f64,

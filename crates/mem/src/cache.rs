@@ -44,7 +44,10 @@ impl CacheGeometry {
             "CacheGeometry: size must be a multiple of ways * line size"
         );
         let sets = lines / ways as u64;
-        assert!(sets.is_power_of_two(), "CacheGeometry: set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "CacheGeometry: set count must be a power of two"
+        );
         CacheGeometry { size_bytes, ways }
     }
 
@@ -319,7 +322,10 @@ impl Cache {
     ///
     /// Panics if `state` is [`MesiState::Invalid`].
     pub fn insert(&mut self, line: LineAddr, state: MesiState) -> Option<Evicted> {
-        assert!(state != MesiState::Invalid, "Cache::insert: cannot insert Invalid");
+        assert!(
+            state != MesiState::Invalid,
+            "Cache::insert: cannot insert Invalid"
+        );
         self.clock += 1;
         let clock = self.clock;
         let range = self.set_range(line);
@@ -339,7 +345,11 @@ impl Cache {
             .iter_mut()
             .find(|w| w.state == MesiState::Invalid)
         {
-            *way = Way { tag: line.as_u64(), state, last_use: clock };
+            *way = Way {
+                tag: line.as_u64(),
+                state,
+                last_use: clock,
+            };
             self.resident += 1;
             return None;
         }
@@ -390,7 +400,11 @@ impl Cache {
         if evicted.state.is_dirty() {
             self.stats.writebacks.incr();
         }
-        *victim = Way { tag: line.as_u64(), state, last_use: clock };
+        *victim = Way {
+            tag: line.as_u64(),
+            state,
+            last_use: clock,
+        };
         Some(evicted)
     }
 
@@ -527,7 +541,9 @@ mod tests {
         let mut c = Cache::new(CacheGeometry::new(512, 2), ReplacementPolicy::Random, 3);
         c.insert(set0_line(0), MesiState::Exclusive);
         c.insert(set0_line(1), MesiState::Exclusive);
-        let ev = c.insert(set0_line(2), MesiState::Exclusive).expect("evicts");
+        let ev = c
+            .insert(set0_line(2), MesiState::Exclusive)
+            .expect("evicts");
         assert!(ev.line == set0_line(0) || ev.line == set0_line(1));
     }
 
@@ -542,7 +558,9 @@ mod tests {
         // re-touch it just before inserting.
         for i in 0..50u64 {
             c.touch(lines[3]);
-            let ev = c.insert(LineAddr::new(100 + i * 2), MesiState::Exclusive).unwrap();
+            let ev = c
+                .insert(LineAddr::new(100 + i * 2), MesiState::Exclusive)
+                .unwrap();
             assert_ne!(ev.line, lines[3]);
             c.invalidate(LineAddr::new(100 + i * 2));
             // Restore any victim from our watch set so the set stays full.

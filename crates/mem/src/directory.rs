@@ -183,7 +183,10 @@ impl Directory {
             // be downgraded and its data is the only valid copy).
             let (owner, dirty) = match entry.dirty_owner {
                 Some(o) if o != requester => (o, true),
-                _ => (Self::sharer_ids(others).next().expect("others non-empty"), false),
+                _ => (
+                    Self::sharer_ids(others).next().expect("others non-empty"),
+                    false,
+                ),
             };
             self.stats.cache_to_cache.incr();
             // M or E holders downgrade to S. We ask the hierarchy to
@@ -222,7 +225,10 @@ impl Directory {
         } else {
             let (owner, dirty) = match entry.dirty_owner {
                 Some(o) if o != requester => (o, true),
-                _ => (Self::sharer_ids(others).next().expect("others non-empty"), false),
+                _ => (
+                    Self::sharer_ids(others).next().expect("others non-empty"),
+                    false,
+                ),
             };
             self.stats.cache_to_cache.incr();
             DataSource::RemoteCache { owner, dirty }
@@ -238,7 +244,11 @@ impl Directory {
     /// directory transaction (store hit on an E copy — silent E→M).
     pub fn silent_upgrade(&mut self, line: LineAddr, core: CoreId) {
         if let Some(entry) = self.entries.get_mut(&line) {
-            debug_assert_eq!(entry.sharers, core.bit(), "silent upgrade requires sole sharer");
+            debug_assert_eq!(
+                entry.sharers,
+                core.bit(),
+                "silent upgrade requires sole sharer"
+            );
             entry.dirty_owner = Some(core);
         }
     }
@@ -306,7 +316,10 @@ mod tests {
         let a = dir.read_miss(L, c[1]);
         assert_eq!(
             a.source,
-            DataSource::RemoteCache { owner: c[0], dirty: false }
+            DataSource::RemoteCache {
+                owner: c[0],
+                dirty: false
+            }
         );
         assert!(!a.exclusive);
         assert_eq!(a.downgrade, vec![c[0]]);
@@ -323,7 +336,10 @@ mod tests {
         let a = dir.read_miss(L, c[1]);
         assert_eq!(
             a.source,
-            DataSource::RemoteCache { owner: c[0], dirty: true }
+            DataSource::RemoteCache {
+                owner: c[0],
+                dirty: true
+            }
         );
         assert_eq!(dir.dirty_owner(L), None, "dirty copy cleaned by read");
         dir.check_invariants();
@@ -351,7 +367,11 @@ mod tests {
         dir.read_miss(L, c[0]);
         dir.read_miss(L, c[1]);
         let a = dir.write_miss(L, c[0]); // upgrade: c0 already a sharer
-        assert_eq!(a.source, DataSource::Memory, "upgrade needs no data transfer");
+        assert_eq!(
+            a.source,
+            DataSource::Memory,
+            "upgrade needs no data transfer"
+        );
         assert_eq!(a.invalidate, vec![c[1]]);
         // No extra memory fetch was counted for the upgrade itself.
         assert_eq!(dir.stats().memory_fetches.get(), 1);
@@ -415,7 +435,10 @@ mod tests {
         let a = dir.write_miss(L, c[1]);
         assert_eq!(
             a.source,
-            DataSource::RemoteCache { owner: c[0], dirty: true }
+            DataSource::RemoteCache {
+                owner: c[0],
+                dirty: true
+            }
         );
         assert_eq!(a.invalidate, vec![c[0]]);
         assert_eq!(dir.dirty_owner(L), Some(c[1]));

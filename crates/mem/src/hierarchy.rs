@@ -39,17 +39,26 @@ pub struct Access {
 impl Access {
     /// A data load at `addr`.
     pub fn read(addr: Address) -> Self {
-        Access { addr, kind: AccessKind::Read }
+        Access {
+            addr,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A data store at `addr`.
     pub fn write(addr: Address) -> Self {
-        Access { addr, kind: AccessKind::Write }
+        Access {
+            addr,
+            kind: AccessKind::Write,
+        }
     }
 
     /// An instruction fetch at `addr`.
     pub fn fetch(addr: Address) -> Self {
-        Access { addr, kind: AccessKind::Fetch }
+        Access {
+            addr,
+            kind: AccessKind::Fetch,
+        }
     }
 }
 
@@ -110,7 +119,10 @@ impl MemConfig {
     ///
     /// Panics if `cores` is zero or exceeds 64.
     pub fn paper_baseline(cores: usize) -> Self {
-        assert!((1..=64).contains(&cores), "MemConfig: cores must be in 1..=64");
+        assert!(
+            (1..=64).contains(&cores),
+            "MemConfig: cores must be in 1..=64"
+        );
         MemConfig {
             cores,
             l1i: CacheGeometry::paper_l1(),
@@ -245,16 +257,26 @@ impl MemorySystem {
                 if kind == AccessKind::Write && state == MesiState::Exclusive {
                     // Silent E→M upgrade, mirrored in L2 and the directory.
                     self.l1_of(core, kind).set_state(line, MesiState::Modified);
-                    self.cores[core.index()].l2.set_state(line, MesiState::Modified);
+                    self.cores[core.index()]
+                        .l2
+                        .set_state(line, MesiState::Modified);
                     self.directory.silent_upgrade(line, core);
                 }
-                return AccessOutcome { latency, level: HitLevel::L1, upgraded: false };
+                return AccessOutcome {
+                    latency,
+                    level: HitLevel::L1,
+                    upgraded: false,
+                };
             }
             Some(_) => {
                 // Write to a Shared copy: data is local, permission is not.
                 self.l1_of(core, kind).stats_mut().hits.incr();
                 latency += self.upgrade_to_modified(core, line, kind);
-                return AccessOutcome { latency, level: HitLevel::L1, upgraded: true };
+                return AccessOutcome {
+                    latency,
+                    level: HitLevel::L1,
+                    upgraded: true,
+                };
             }
             None => {
                 self.l1_of(core, kind).stats_mut().misses.incr();
@@ -271,19 +293,29 @@ impl MemorySystem {
                     if state == MesiState::Exclusive {
                         self.directory.silent_upgrade(line, core);
                     }
-                    self.cores[core.index()].l2.set_state(line, MesiState::Modified);
+                    self.cores[core.index()]
+                        .l2
+                        .set_state(line, MesiState::Modified);
                     MesiState::Modified
                 } else {
                     state
                 };
                 self.fill_l1(core, kind, line, fill_state);
-                return AccessOutcome { latency, level: HitLevel::L2, upgraded: false };
+                return AccessOutcome {
+                    latency,
+                    level: HitLevel::L2,
+                    upgraded: false,
+                };
             }
             Some(_) => {
                 self.cores[core.index()].l2.stats_mut().hits.incr();
                 latency += self.upgrade_to_modified(core, line, kind);
                 self.fill_l1(core, kind, line, MesiState::Modified);
-                return AccessOutcome { latency, level: HitLevel::L2, upgraded: true };
+                return AccessOutcome {
+                    latency,
+                    level: HitLevel::L2,
+                    upgraded: true,
+                };
             }
             None => {
                 self.cores[core.index()].l2.stats_mut().misses.incr();
@@ -304,7 +336,9 @@ impl MemorySystem {
                     HitLevel::RemoteCache
                 }
             };
-            latency += self.interconnect.charge_invalidation(action.invalidate.len());
+            latency += self
+                .interconnect
+                .charge_invalidation(action.invalidate.len());
             for victim in action.invalidate {
                 self.invalidate_remote(victim, line);
             }
@@ -324,26 +358,47 @@ impl MemorySystem {
             for holder in action.downgrade {
                 self.downgrade_remote(holder, line);
             }
-            let state = if action.exclusive { MesiState::Exclusive } else { MesiState::Shared };
+            let state = if action.exclusive {
+                MesiState::Exclusive
+            } else {
+                MesiState::Shared
+            };
             (level, state)
         };
 
         self.install_l2(core, line, fill_state);
         self.fill_l1(core, kind, line, fill_state);
-        AccessOutcome { latency, level, upgraded: false }
+        AccessOutcome {
+            latency,
+            level,
+            upgraded: false,
+        }
     }
 
     /// Performs the S→M permission upgrade for a line whose data is
     /// already present locally. Returns the added latency.
-    fn upgrade_to_modified(&mut self, core: CoreId, line: crate::addr::LineAddr, kind: AccessKind) -> Cycle {
+    fn upgrade_to_modified(
+        &mut self,
+        core: CoreId,
+        line: crate::addr::LineAddr,
+        kind: AccessKind,
+    ) -> Cycle {
         let mut extra = self.interconnect.charge_directory();
         let action = self.directory.write_miss(line, core);
-        debug_assert_eq!(action.source, DataSource::Memory, "upgrade must not move data");
-        extra += self.interconnect.charge_invalidation(action.invalidate.len());
+        debug_assert_eq!(
+            action.source,
+            DataSource::Memory,
+            "upgrade must not move data"
+        );
+        extra += self
+            .interconnect
+            .charge_invalidation(action.invalidate.len());
         for victim in action.invalidate {
             self.invalidate_remote(victim, line);
         }
-        self.cores[core.index()].l2.set_state(line, MesiState::Modified);
+        self.cores[core.index()]
+            .l2
+            .set_state(line, MesiState::Modified);
         self.l1_of(core, kind).set_state(line, MesiState::Modified);
         extra
     }
@@ -364,14 +419,24 @@ impl MemorySystem {
                 self.dram.record_writeback();
             }
             // Inclusion: the victim may not linger in either L1.
-            self.cores[core.index()].l1i.set_state(evicted.line, MesiState::Invalid);
-            self.cores[core.index()].l1d.set_state(evicted.line, MesiState::Invalid);
+            self.cores[core.index()]
+                .l1i
+                .set_state(evicted.line, MesiState::Invalid);
+            self.cores[core.index()]
+                .l1d
+                .set_state(evicted.line, MesiState::Invalid);
         }
     }
 
     /// Installs `line` into the appropriate L1 (evictions are silent:
     /// the L2 is state-authoritative at all times).
-    fn fill_l1(&mut self, core: CoreId, kind: AccessKind, line: crate::addr::LineAddr, state: MesiState) {
+    fn fill_l1(
+        &mut self,
+        core: CoreId,
+        kind: AccessKind,
+        line: crate::addr::LineAddr,
+        state: MesiState,
+    ) {
         self.l1_of(core, kind).insert(line, state);
     }
 

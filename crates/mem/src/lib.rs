@@ -48,6 +48,8 @@ pub use addr::{Address, CoreId, LineAddr, LINE_BYTES};
 pub use cache::{Cache, CacheGeometry, CacheStats, ReplacementPolicy};
 pub use directory::{Directory, DirectoryStats};
 pub use dram::Dram;
-pub use hierarchy::{Access, AccessKind, AccessOutcome, HitLevel, MemConfig, MemSnapshot, MemorySystem};
+pub use hierarchy::{
+    Access, AccessKind, AccessOutcome, HitLevel, MemConfig, MemSnapshot, MemorySystem,
+};
 pub use interconnect::Interconnect;
 pub use mesi::MesiState;

@@ -1,106 +1,125 @@
-//! Property-based tests for the memory hierarchy.
+//! Property-style tests for the memory hierarchy, driven by seeded
+//! [`Rng64`] case generation (dependency-free, bit-reproducible).
 
 use crate::addr::{Address, CoreId, LineAddr};
 use crate::cache::{Cache, CacheGeometry, ReplacementPolicy};
 use crate::directory::Directory;
 use crate::hierarchy::{Access, MemConfig, MemorySystem};
 use crate::mesi::MesiState;
-use proptest::prelude::*;
+use osoffload_sim::Rng64;
 use std::collections::HashSet;
 
-fn any_state() -> impl Strategy<Value = MesiState> {
-    prop_oneof![
-        Just(MesiState::Modified),
-        Just(MesiState::Exclusive),
-        Just(MesiState::Shared),
-    ]
+const CASES: u64 = 64;
+
+fn any_state(g: &mut Rng64) -> MesiState {
+    match g.gen_range(0..3) {
+        0 => MesiState::Modified,
+        1 => MesiState::Exclusive,
+        _ => MesiState::Shared,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A cache never holds more lines than its capacity, never holds the
-    /// same tag twice, and every resident line maps to its correct set.
-    #[test]
-    fn cache_structural_invariants(
-        ops in prop::collection::vec((0u64..128, any_state(), prop::bool::ANY), 1..500)
-    ) {
+/// A cache never holds more lines than its capacity, never holds the
+/// same tag twice, and every resident line maps to its correct set.
+#[test]
+fn cache_structural_invariants() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xCAC4_0000 + case);
         let mut c = Cache::new(CacheGeometry::new(1024, 2), ReplacementPolicy::Lru, 9);
-        for (line, state, invalidate) in ops {
-            let line = LineAddr::new(line);
-            if invalidate {
+        for _ in 0..g.gen_range(1..500) {
+            let line = LineAddr::new(g.gen_range(0..128));
+            let state = any_state(&mut g);
+            if g.gen_bool(0.5) {
                 c.invalidate(line);
             } else {
                 c.insert(line, state);
             }
-            prop_assert!(c.resident_lines() <= c.geometry().capacity_lines());
+            assert!(c.resident_lines() <= c.geometry().capacity_lines());
             let mut seen = HashSet::new();
             for (l, s) in c.iter() {
-                prop_assert!(s != MesiState::Invalid);
-                prop_assert!(seen.insert(l), "duplicate tag {l}");
+                assert!(s != MesiState::Invalid);
+                assert!(seen.insert(l), "duplicate tag {l}");
             }
-            prop_assert_eq!(c.resident_lines() as usize, c.iter().count());
+            assert_eq!(c.resident_lines() as usize, c.iter().count());
         }
     }
+}
 
-    /// Whatever was inserted most recently is always still resident
-    /// (the victim is never the incoming line).
-    #[test]
-    fn cache_never_evicts_the_incoming_line(
-        lines in prop::collection::vec(0u64..64, 1..200),
-        policy in prop_oneof![
-            Just(ReplacementPolicy::Lru),
-            Just(ReplacementPolicy::Nmru),
-            Just(ReplacementPolicy::Random)
-        ],
-    ) {
+/// Whatever was inserted most recently is always still resident (the
+/// victim is never the incoming line).
+#[test]
+fn cache_never_evicts_the_incoming_line() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xCAC4_1000 + case);
+        let policy = match g.gen_range(0..3) {
+            0 => ReplacementPolicy::Lru,
+            1 => ReplacementPolicy::Nmru,
+            _ => ReplacementPolicy::Random,
+        };
         let mut c = Cache::new(CacheGeometry::new(512, 2), policy, 5);
-        for line in lines {
-            let line = LineAddr::new(line);
+        for _ in 0..g.gen_range(1..200) {
+            let line = LineAddr::new(g.gen_range(0..64));
             c.insert(line, MesiState::Shared);
-            prop_assert!(c.state_of(line).is_some(), "{line} missing right after insert");
+            assert!(
+                c.state_of(line).is_some(),
+                "{line} missing right after insert"
+            );
         }
     }
+}
 
-    /// Directory invariants (single dirty owner, owner is a sharer) hold
-    /// under arbitrary miss/upgrade/evict interleavings.
-    #[test]
-    fn directory_invariants_hold(
-        ops in prop::collection::vec((0usize..3, 0usize..4, 0u64..32), 1..400)
-    ) {
+/// Directory invariants (single dirty owner, owner is a sharer) hold
+/// under arbitrary miss/upgrade/evict interleavings.
+#[test]
+fn directory_invariants_hold() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xD14E_0000 + case);
         let mut dir = Directory::new();
-        for (op, core, line) in ops {
-            let core = CoreId::new(core);
-            let line = LineAddr::new(line);
+        for _ in 0..g.gen_range(1..400) {
+            let op = g.gen_range(0..3);
+            let core = CoreId::new(g.gen_range(0..4) as usize);
+            let line = LineAddr::new(g.gen_range(0..32));
             match op {
-                0 => { dir.read_miss(line, core); }
-                1 => { dir.write_miss(line, core); }
-                _ => { dir.evicted(line, core); }
+                0 => {
+                    dir.read_miss(line, core);
+                }
+                1 => {
+                    dir.write_miss(line, core);
+                }
+                _ => {
+                    dir.evicted(line, core);
+                }
             }
             dir.check_invariants();
         }
     }
+}
 
-    /// Write-then-read returns the data path through coherence: after
-    /// any traffic, a core that just wrote a line reads it at L1 speed.
-    #[test]
-    fn writer_reads_its_own_data_fast(
-        noise in prop::collection::vec((0u64..2, 0u64..2, 0u64..32), 0..100),
-        target in 0u64..32,
-    ) {
+/// Write-then-read returns the data path through coherence: after any
+/// traffic, a core that just wrote a line reads it at L1 speed.
+#[test]
+fn writer_reads_its_own_data_fast() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xF057_0000 + case);
         let mut cfg = MemConfig::paper_baseline(2);
         cfg.l1d = CacheGeometry::new(2048, 2);
         cfg.l2 = CacheGeometry::new(8192, 4);
         let mut mem = MemorySystem::new(cfg);
-        for (w, core, line) in noise {
-            let addr = Address::new(line * 64);
-            let a = if w == 1 { Access::write(addr) } else { Access::read(addr) };
-            mem.access(CoreId::new(core as usize), a);
+        for _ in 0..g.gen_range(0..100) {
+            let w = g.gen_range(0..2);
+            let core = g.gen_range(0..2) as usize;
+            let addr = Address::new(g.gen_range(0..32) * 64);
+            let a = if w == 1 {
+                Access::write(addr)
+            } else {
+                Access::read(addr)
+            };
+            mem.access(CoreId::new(core), a);
         }
-        let addr = Address::new(target * 64);
+        let addr = Address::new(g.gen_range(0..32) * 64);
         mem.access(CoreId::new(0), Access::write(addr));
         let read = mem.access(CoreId::new(0), Access::read(addr));
-        prop_assert_eq!(read.latency.as_u64(), 1, "own dirty line must be an L1 hit");
+        assert_eq!(read.latency.as_u64(), 1, "own dirty line must be an L1 hit");
         mem.check_invariants();
     }
 }

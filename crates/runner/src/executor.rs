@@ -1,0 +1,439 @@
+//! Parallel plan executor: scoped worker threads pulling points off a
+//! shared index, with per-point panic isolation and optional retry.
+
+use crate::plan::{ExperimentPlan, Point};
+use crate::progress::Progress;
+use crate::report::config_json;
+use osoffload_system::{SimReport, Simulation};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Knobs of a sweep execution.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Worker threads; `0` = one per available hardware thread, capped
+    /// at the number of points.
+    pub workers: usize,
+    /// How many times a panicking point is re-evaluated before being
+    /// recorded as failed.
+    pub retries: u32,
+    /// Suppresses the stderr progress reporter.
+    pub quiet: bool,
+    /// Directory the JSON results file is written into.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            workers: 0,
+            retries: 0,
+            quiet: false,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl RunnerOptions {
+    /// Splits recognised runner flags out of an argument list, returning
+    /// the parsed options and the untouched remainder.
+    ///
+    /// Recognised: `--workers=N` (or `-jN`), `--retries=N`, `--quiet`,
+    /// `--out=DIR`. Malformed values abort with a message on stderr.
+    pub fn parse_flags(args: &[String]) -> (RunnerOptions, Vec<String>) {
+        let mut opts = RunnerOptions::default();
+        let mut rest = Vec::new();
+        let parse_num = |flag: &str, v: &str| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {flag}: {v:?}");
+                std::process::exit(2);
+            })
+        };
+        for arg in args {
+            if let Some(v) = arg.strip_prefix("--workers=") {
+                opts.workers = parse_num("--workers", v);
+            } else if let Some(v) = arg.strip_prefix("-j") {
+                opts.workers = parse_num("-j", v);
+            } else if let Some(v) = arg.strip_prefix("--retries=") {
+                opts.retries = parse_num("--retries", v) as u32;
+            } else if arg == "--quiet" {
+                opts.quiet = true;
+            } else if let Some(v) = arg.strip_prefix("--out=") {
+                opts.out_dir = PathBuf::from(v);
+            } else {
+                rest.push(arg.clone());
+            }
+        }
+        (opts, rest)
+    }
+
+    fn effective_workers(&self, points: usize) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let w = if self.workers == 0 {
+            auto
+        } else {
+            self.workers
+        };
+        w.clamp(1, points.max(1))
+    }
+}
+
+/// What happened to one point.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The evaluation completed.
+    Ok(Box<SimReport>),
+    /// Every attempt panicked; the sweep carried on without it.
+    Failed {
+        /// The final panic's message.
+        panic: String,
+        /// Evaluations attempted (1 + retries).
+        attempts: u32,
+    },
+}
+
+/// One row of a sweep's results.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Plan-order index.
+    pub index: usize,
+    /// The point's identifier.
+    pub id: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// JSON rendering of the point's configuration (stable key order).
+    pub config_json: String,
+    /// Report or failure.
+    pub outcome: Outcome,
+    /// Wall-clock milliseconds the evaluation took (non-deterministic).
+    pub wall_ms: f64,
+    /// Which worker ran it (non-deterministic).
+    pub worker: usize,
+}
+
+impl PointResult {
+    /// Whether the point completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.outcome, Outcome::Ok(_))
+    }
+
+    /// The deterministic portion of the row as JSON: everything except
+    /// `wall_ms` and `worker`. Two sweeps of the same plan agree on this
+    /// string for every row, whatever their worker counts.
+    pub fn stable_json(&self) -> String {
+        let mut o = format!(
+            "{{\"index\":{},\"id\":\"{}\",\"seed\":{},\"config\":{}",
+            self.index,
+            crate::report::json_escape(&self.id),
+            self.seed,
+            self.config_json
+        );
+        match &self.outcome {
+            Outcome::Ok(r) => {
+                o.push_str(",\"status\":\"ok\",\"report\":");
+                o.push_str(&r.to_json());
+            }
+            Outcome::Failed { panic, attempts } => {
+                o.push_str(&format!(
+                    ",\"status\":\"failed\",\"panic\":\"{}\",\"attempts\":{}",
+                    crate::report::json_escape(panic),
+                    attempts
+                ));
+            }
+        }
+        o.push('}');
+        o
+    }
+
+    /// The full row as JSON, adding the non-deterministic `wall_ms` and
+    /// `worker` fields to [`stable_json`](Self::stable_json).
+    pub fn row_json(&self) -> String {
+        let stable = self.stable_json();
+        format!(
+            "{},\"wall_ms\":{:.3},\"worker\":{}}}",
+            &stable[..stable.len() - 1],
+            self.wall_ms,
+            self.worker
+        )
+    }
+}
+
+/// The outcome of executing a whole plan.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Plan name.
+    pub name: String,
+    /// Plan master seed.
+    pub master_seed: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock milliseconds for the whole sweep.
+    pub wall_ms: f64,
+    /// Per-point rows, in plan order.
+    pub rows: Vec<PointResult>,
+}
+
+impl SweepResult {
+    /// The rows whose evaluation failed.
+    pub fn failures(&self) -> impl Iterator<Item = &PointResult> {
+        self.rows.iter().filter(|r| !r.is_ok())
+    }
+
+    /// The reports in plan order, or `None` if any point failed.
+    pub fn reports(&self) -> Option<Vec<&SimReport>> {
+        self.rows
+            .iter()
+            .map(|r| match &r.outcome {
+                Outcome::Ok(rep) => Some(rep.as_ref()),
+                Outcome::Failed { .. } => None,
+            })
+            .collect()
+    }
+
+    /// The whole sweep as one JSON document.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(|r| r.row_json()).collect();
+        format!(
+            "{{\"experiment\":\"{}\",\"master_seed\":{},\"workers\":{},\"points\":{},\"failed\":{},\"wall_ms\":{:.3},\"rows\":[{}]}}",
+            crate::report::json_escape(&self.name),
+            self.master_seed,
+            self.workers,
+            self.rows.len(),
+            self.failures().count(),
+            self.wall_ms,
+            rows.join(",")
+        )
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes `plan` with the default evaluator (simulate the point's
+/// configuration).
+pub fn run_plan(plan: &ExperimentPlan, opts: &RunnerOptions) -> SweepResult {
+    run_plan_with(plan, opts, |p| Simulation::new(p.config.clone()).run())
+}
+
+/// Executes `plan` with a caller-supplied evaluator.
+///
+/// Points are claimed from a shared atomic index by `opts.workers`
+/// scoped threads. A panicking evaluation is caught, retried up to
+/// `opts.retries` times, and finally recorded as
+/// [`Outcome::Failed`] — one bad point never aborts the sweep. Rows
+/// come back in plan order.
+pub fn run_plan_with(
+    plan: &ExperimentPlan,
+    opts: &RunnerOptions,
+    eval: impl Fn(&Point) -> SimReport + Sync,
+) -> SweepResult {
+    let points = plan.points();
+    let n = points.len();
+    let workers = opts.effective_workers(n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<PointResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let progress = Progress::new(plan.name(), n, opts.quiet);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            let progress = &progress;
+            let eval = &eval;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let point = &points[i];
+                let point_start = Instant::now();
+                let mut attempts = 0u32;
+                let outcome = loop {
+                    attempts += 1;
+                    match catch_unwind(AssertUnwindSafe(|| eval(point))) {
+                        Ok(report) => break Outcome::Ok(Box::new(report)),
+                        Err(payload) => {
+                            if attempts > opts.retries {
+                                break Outcome::Failed {
+                                    panic: panic_message(payload),
+                                    attempts,
+                                };
+                            }
+                        }
+                    }
+                };
+                let result = PointResult {
+                    index: i,
+                    id: point.id.clone(),
+                    seed: point.config.seed,
+                    config_json: config_json(&point.config),
+                    outcome,
+                    wall_ms: point_start.elapsed().as_secs_f64() * 1e3,
+                    worker,
+                };
+                let ok = result.is_ok();
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                progress.point_done(&point.id, ok);
+            });
+        }
+    });
+
+    SweepResult {
+        name: plan.name().to_string(),
+        master_seed: plan.master_seed(),
+        workers,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        rows: slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every claimed point stores a result")
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExperimentPlan;
+    use osoffload_system::{PolicyKind, SystemConfig};
+    use osoffload_workload::Profile;
+
+    fn plan(n: usize) -> ExperimentPlan {
+        let mut plan = ExperimentPlan::new("unit", 9);
+        for i in 0..n {
+            plan.push(
+                format!("p{i}"),
+                SystemConfig::builder()
+                    .profile(Profile::apache())
+                    .policy(PolicyKind::AlwaysOffload)
+                    .instructions(1_000)
+                    .build(),
+            );
+        }
+        plan
+    }
+
+    /// A cheap deterministic pseudo-report: the fields under test are a
+    /// function of the point's seed only.
+    fn fake_report(point: &crate::plan::Point) -> SimReport {
+        let mut r = crate::driver::placeholder_report();
+        r.profile = point.config.profile.name.to_string();
+        r.instructions = point.config.seed;
+        r.throughput = (point.config.seed % 1_000) as f64 / 1_000.0 + 1.0;
+        r
+    }
+
+    #[test]
+    fn rows_are_identical_across_worker_counts() {
+        let plan = plan(12);
+        let quiet = RunnerOptions {
+            quiet: true,
+            ..RunnerOptions::default()
+        };
+        let one = run_plan_with(
+            &plan,
+            &RunnerOptions {
+                workers: 1,
+                ..quiet.clone()
+            },
+            fake_report,
+        );
+        let four = run_plan_with(
+            &plan,
+            &RunnerOptions {
+                workers: 4,
+                ..quiet
+            },
+            fake_report,
+        );
+        assert_eq!(one.workers, 1);
+        assert_eq!(four.workers, 4);
+        let a: Vec<String> = one.rows.iter().map(|r| r.stable_json()).collect();
+        let b: Vec<String> = four.rows.iter().map(|r| r.stable_json()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panicking_point_is_isolated() {
+        let plan = plan(6);
+        let opts = RunnerOptions {
+            workers: 3,
+            quiet: true,
+            ..RunnerOptions::default()
+        };
+        let sweep = run_plan_with(&plan, &opts, |p| {
+            if p.index == 4 {
+                panic!("injected fault at {}", p.id);
+            }
+            fake_report(p)
+        });
+        assert_eq!(sweep.rows.len(), 6);
+        assert_eq!(sweep.failures().count(), 1);
+        let failed = &sweep.rows[4];
+        assert!(!failed.is_ok());
+        match &failed.outcome {
+            Outcome::Failed { panic, attempts } => {
+                assert!(panic.contains("injected fault at p4"), "{panic}");
+                assert_eq!(*attempts, 1);
+            }
+            Outcome::Ok(_) => unreachable!(),
+        }
+        assert!(sweep.reports().is_none());
+        assert!(sweep.to_json().contains("\"status\":\"failed\""));
+    }
+
+    #[test]
+    fn retries_rerun_panicking_points() {
+        let plan = plan(3);
+        let opts = RunnerOptions {
+            workers: 1,
+            retries: 2,
+            quiet: true,
+            ..RunnerOptions::default()
+        };
+        let sweep = run_plan_with(&plan, &opts, |p| {
+            if p.index == 1 {
+                panic!("always fails");
+            }
+            fake_report(p)
+        });
+        match &sweep.rows[1].outcome {
+            Outcome::Failed { attempts, .. } => assert_eq!(*attempts, 3, "1 try + 2 retries"),
+            Outcome::Ok(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn flag_parsing_splits_runner_options() {
+        let args: Vec<String> = [
+            "quick",
+            "--workers=3",
+            "--quiet",
+            "--retries=1",
+            "--out=tmp",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (opts, rest) = RunnerOptions::parse_flags(&args);
+        assert_eq!(opts.workers, 3);
+        assert_eq!(opts.retries, 1);
+        assert!(opts.quiet);
+        assert_eq!(opts.out_dir, std::path::PathBuf::from("tmp"));
+        assert_eq!(rest, vec!["quick".to_string()]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic parallel experiment harness.
+//!
+//! The experiment drivers in [`osoffload_system::experiments`] simulate
+//! dozens of independent design points per figure; this crate runs them
+//! concurrently without giving up reproducibility:
+//!
+//! - [`ExperimentPlan`] — an ordered list of [`SystemConfig`] points
+//!   (grids of policy × threshold × latency × profile × seed) whose
+//!   seeds are fixed at plan-construction time, either pinned by the
+//!   caller or derived from a master seed via
+//!   [`Rng64::split`](osoffload_sim::Rng64::split) in plan order.
+//!   Execution order therefore cannot influence any result.
+//! - [`run_plan`] / [`run_plan_with`] — a pool of scoped worker threads
+//!   claiming points from a shared atomic index, with per-point panic
+//!   isolation (a failed point is recorded with its configuration and
+//!   panic message; the sweep always completes) and optional retry.
+//! - [`run_driver`] — record/replay bridge that executes an unmodified
+//!   `*_with` experiment driver in parallel and returns exactly the
+//!   rows the sequential path would produce.
+//! - [`report`] — schema-stable JSON results written into `results/`;
+//!   rows are bit-identical across worker counts except for the
+//!   explicitly non-deterministic `wall_ms`/`worker` fields.
+//!
+//! ```
+//! use osoffload_runner::{run_driver, RunnerOptions};
+//! use osoffload_system::experiments::{self, Scale};
+//!
+//! let scale = Scale { instructions: 30_000, warmup: 10_000, seed: 1, compute_profiles: 1 };
+//! let opts = RunnerOptions { workers: 2, quiet: true, ..RunnerOptions::default() };
+//! let (rows, sweep) = run_driver("doc-fig4", scale.seed, &opts, |ev| {
+//!     experiments::fig4_grid_with(scale, &[1_000], &[500], ev)
+//! });
+//! assert!(sweep.failures().next().is_none());
+//! assert_eq!(rows.expect("no failures").len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod executor;
+pub mod plan;
+mod progress;
+pub mod report;
+
+pub use driver::run_driver;
+pub use executor::{run_plan, run_plan_with, Outcome, PointResult, RunnerOptions, SweepResult};
+pub use plan::{ExperimentPlan, Point};
+
+// Re-exported so downstream callers name configs without an extra
+// dependency edge.
+pub use osoffload_system::SystemConfig;

@@ -1,0 +1,169 @@
+//! Experiment plans: an ordered, named list of simulation points whose
+//! seeds are fixed at construction time.
+//!
+//! Because every seed is decided *when the point is pushed* — either
+//! pinned by the caller or derived from the plan's master seed via
+//! [`Rng64::split`](osoffload_sim::Rng64::split) in plan order — the
+//! results of executing a plan are bit-identical regardless of how many
+//! workers run it or in which order they pick up points.
+
+use osoffload_sim::Rng64;
+use osoffload_system::SystemConfig;
+
+/// One named simulation point of a plan.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Position in plan order (also the row index in the results file).
+    pub index: usize,
+    /// Stable human-readable identifier, unique within the plan.
+    pub id: String,
+    /// The fully specified run, including its seed.
+    pub config: SystemConfig,
+}
+
+/// An ordered collection of [`Point`]s to execute.
+#[derive(Debug)]
+pub struct ExperimentPlan {
+    name: String,
+    master_seed: u64,
+    seeder: Rng64,
+    points: Vec<Point>,
+}
+
+impl ExperimentPlan {
+    /// Creates an empty plan. `master_seed` feeds the per-point seed
+    /// derivation of [`push`](Self::push) and
+    /// [`push_replicas`](Self::push_replicas).
+    pub fn new(name: impl Into<String>, master_seed: u64) -> Self {
+        ExperimentPlan {
+            name: name.into(),
+            master_seed,
+            seeder: Rng64::seed_from(master_seed),
+            points: Vec::new(),
+        }
+    }
+
+    /// The plan's name (used for the results file).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The master seed the derived per-point seeds descend from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Adds a point whose seed is derived from the master seed: the
+    /// plan's seeder is split once per push, so the seed depends only on
+    /// the master seed and the point's position in plan order.
+    ///
+    /// Returns the point's index.
+    pub fn push(&mut self, id: impl Into<String>, mut config: SystemConfig) -> usize {
+        config.seed = self.seeder.split().next_u64();
+        self.push_pinned(id, config)
+    }
+
+    /// Adds a point keeping the seed already in `config` — used when
+    /// points must share a workload stream (e.g. a treatment run paired
+    /// with its baseline).
+    ///
+    /// Returns the point's index.
+    pub fn push_pinned(&mut self, id: impl Into<String>, config: SystemConfig) -> usize {
+        let index = self.points.len();
+        self.points.push(Point {
+            index,
+            id: id.into(),
+            config,
+        });
+        index
+    }
+
+    /// Adds `n` seed-replicas of `config` (ids `id#r0 … id#r{n-1}`),
+    /// each with an independent split-derived seed — the seed dimension
+    /// of a sweep grid.
+    ///
+    /// Returns the indices of the new points.
+    pub fn push_replicas(
+        &mut self,
+        id: impl Into<String>,
+        config: &SystemConfig,
+        n: usize,
+    ) -> Vec<usize> {
+        let id = id.into();
+        (0..n)
+            .map(|r| self.push(format!("{id}#r{r}"), config.clone()))
+            .collect()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points in plan order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osoffload_system::PolicyKind;
+    use osoffload_workload::Profile;
+
+    fn cfg(seed: u64) -> SystemConfig {
+        SystemConfig::builder()
+            .profile(Profile::apache())
+            .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+            .instructions(10_000)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn derived_seeds_depend_only_on_master_and_position() {
+        let build = || {
+            let mut plan = ExperimentPlan::new("t", 42);
+            for i in 0..8 {
+                plan.push(format!("p{i}"), cfg(0));
+            }
+            plan.points()
+                .iter()
+                .map(|p| p.config.seed)
+                .collect::<Vec<_>>()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "same master seed must derive the same point seeds");
+        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(distinct.len(), a.len(), "derived seeds must be distinct");
+
+        let mut other = ExperimentPlan::new("t", 43);
+        other.push("p0", cfg(0));
+        assert_ne!(other.points()[0].config.seed, a[0]);
+    }
+
+    #[test]
+    fn pinned_points_keep_their_seed() {
+        let mut plan = ExperimentPlan::new("t", 42);
+        plan.push_pinned("pinned", cfg(0xABCD));
+        assert_eq!(plan.points()[0].config.seed, 0xABCD);
+    }
+
+    #[test]
+    fn replicas_get_distinct_seeds_and_ids() {
+        let mut plan = ExperimentPlan::new("t", 7);
+        let idx = plan.push_replicas("sweep", &cfg(0), 4);
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+        assert_eq!(plan.points()[3].id, "sweep#r3");
+        let seeds: std::collections::HashSet<u64> =
+            plan.points().iter().map(|p| p.config.seed).collect();
+        assert_eq!(seeds.len(), 4);
+    }
+}

@@ -1,0 +1,63 @@
+//! Stderr progress reporting for a running sweep.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Shared progress state; workers call [`point_done`](Self::point_done)
+/// as they finish points.
+pub(crate) struct Progress {
+    name: String,
+    total: usize,
+    done: AtomicUsize,
+    failed: AtomicUsize,
+    start: Instant,
+    quiet: bool,
+}
+
+impl Progress {
+    pub(crate) fn new(name: &str, total: usize, quiet: bool) -> Self {
+        Progress {
+            name: name.to_string(),
+            total,
+            done: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            start: Instant::now(),
+            quiet,
+        }
+    }
+
+    /// Records one finished point and prints a progress line:
+    /// points done/total, throughput, ETA, and the point that finished.
+    pub(crate) fn point_done(&self, id: &str, ok: bool) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let failed = if ok {
+            self.failed.load(Ordering::Relaxed)
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed) + 1
+        };
+        if self.quiet {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let eta = (self.total.saturating_sub(done)) as f64 / rate.max(1e-9);
+        let fail_note = if failed > 0 {
+            format!(" · {failed} failed")
+        } else {
+            String::new()
+        };
+        let status = if ok { "done" } else { "FAILED" };
+        eprintln!(
+            "[{}] {}/{} points ({:.0}%) · {:.2} pt/s · ETA {:.1}s{} · {} {}",
+            self.name,
+            done,
+            self.total,
+            done as f64 * 100.0 / self.total.max(1) as f64,
+            rate,
+            eta,
+            fail_note,
+            id,
+            status
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! JSON results files under `results/`.
+//!
+//! One sweep produces one file, `<out_dir>/<plan name>.json`, holding
+//! sweep metadata plus one row per point. Row schema (stable key
+//! order):
+//!
+//! ```json
+//! {"index":0,"id":"…","seed":123,"config":{…},"status":"ok",
+//!  "report":{…SimReport…},"wall_ms":12.3,"worker":2}
+//! ```
+//!
+//! Failed points carry `"status":"failed"`, a `"panic"` message and an
+//! `"attempts"` count instead of `"report"`. `wall_ms` and `worker` are
+//! the only non-deterministic fields; everything before them is
+//! bit-identical across worker counts.
+
+use crate::executor::SweepResult;
+use osoffload_system::SystemConfig;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Minimal JSON string escaping.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a [`SystemConfig`] as a JSON object with a stable key order.
+///
+/// The emitter is hand-rolled like
+/// [`SimReport::to_json`](osoffload_system::SimReport::to_json): the
+/// approved dependency set has no serialisation framework.
+pub fn config_json(cfg: &SystemConfig) -> String {
+    format!(
+        "{{\"profile\":\"{}\",\"policy\":\"{}\",\"mechanism\":\"{:?}\",\"migration_one_way\":{},\
+         \"user_cores\":{},\"os_core_contexts\":{},\"os_core_slowdown_milli\":{},\
+         \"resource_adaptation\":{},\"instructions\":{},\"warmup\":{},\"seed\":{},\
+         \"tuner\":{},\"mem_override\":{},\"phases\":{}}}",
+        json_escape(cfg.profile.name),
+        json_escape(&cfg.policy.to_string()),
+        cfg.mechanism,
+        cfg.migration.one_way().as_u64(),
+        cfg.user_cores,
+        cfg.os_core_contexts,
+        cfg.os_core_slowdown_milli,
+        cfg.resource_adaptation
+            .map_or("null".to_string(), |m| m.to_string()),
+        cfg.instructions,
+        cfg.warmup,
+        cfg.seed,
+        cfg.tuner.is_some(),
+        cfg.mem_override.is_some(),
+        cfg.phases.len()
+    )
+}
+
+/// Writes a sweep's results to `<dir>/<plan name>.json`, creating the
+/// directory if needed. Returns the file's path.
+pub fn write_sweep(sweep: &SweepResult, dir: &Path) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", sweep.name));
+    fs::write(&path, sweep.to_json())?;
+    Ok(path)
+}
+
+/// Writes a static (no-simulation) table to `<dir>/<name>.json` with
+/// the same envelope as a sweep, so every experiment binary archives
+/// machine-readable results in one place.
+pub fn write_static_table(
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+    dir: &Path,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let headers: Vec<String> = headers
+        .iter()
+        .map(|h| format!("\"{}\"", json_escape(h)))
+        .collect();
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    let path = dir.join(format!("{name}.json"));
+    fs::write(
+        &path,
+        format!(
+            "{{\"experiment\":\"{}\",\"kind\":\"static\",\"headers\":[{}],\"rows\":[{}]}}",
+            json_escape(name),
+            headers.join(","),
+            rows.join(",")
+        ),
+    )?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osoffload_system::PolicyKind;
+    use osoffload_workload::Profile;
+
+    #[test]
+    fn config_json_is_flat_and_stable() {
+        let cfg = SystemConfig::builder()
+            .profile(Profile::derby())
+            .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+            .migration_latency(1_000)
+            .instructions(50_000)
+            .seed(11)
+            .build();
+        let j = config_json(&cfg);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"profile\":\"derby\"",
+            "\"policy\":\"HI (N=500)\"",
+            "\"mechanism\":\"ThreadMigration\"",
+            "\"migration_one_way\":1000",
+            "\"seed\":11",
+            "\"tuner\":false",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -345,7 +345,10 @@ mod tests {
         n += Instret::new(1);
         assert_eq!(n.as_u64(), 16);
         assert_eq!(n - Instret::new(6), Instret::new(10));
-        assert_eq!(Instret::new(3).saturating_sub(Instret::new(9)), Instret::ZERO);
+        assert_eq!(
+            Instret::new(3).saturating_sub(Instret::new(9)),
+            Instret::ZERO
+        );
     }
 
     #[test]

@@ -15,9 +15,29 @@ use core::fmt;
 pub enum EpochEvent {
     /// Still inside the current epoch.
     Within,
-    /// The epoch boundary was crossed; the payload is the index of the
-    /// epoch that just *completed* (starting from 0).
-    Boundary(u64),
+    /// One or more epoch boundaries were crossed. `first` is the index
+    /// of the first epoch that just *completed* (starting from 0) and
+    /// `count` is how many epochs completed in this advance — a single
+    /// long privileged invocation can span several epochs, and adaptive
+    /// mechanisms must see every boundary, not just the first.
+    Boundary {
+        /// Index of the first epoch completed by this advance.
+        first: u64,
+        /// Number of epochs completed by this advance (≥ 1).
+        count: u64,
+    },
+}
+
+impl EpochEvent {
+    /// Number of boundaries this event represents (0 for [`Within`]).
+    ///
+    /// [`Within`]: EpochEvent::Within
+    pub fn boundaries(self) -> u64 {
+        match self {
+            EpochEvent::Within => 0,
+            EpochEvent::Boundary { count, .. } => count,
+        }
+    }
 }
 
 /// Tracks retired instructions against a configurable epoch length.
@@ -34,8 +54,10 @@ pub enum EpochEvent {
 ///
 /// let mut clock = EpochClock::new(Instret::new(1000));
 /// assert_eq!(clock.advance(Instret::new(999)), EpochEvent::Within);
-/// assert_eq!(clock.advance(Instret::new(1)), EpochEvent::Boundary(0));
-/// assert_eq!(clock.advance(Instret::new(1000)), EpochEvent::Boundary(1));
+/// assert_eq!(clock.advance(Instret::new(1)), EpochEvent::Boundary { first: 0, count: 1 });
+/// // A single long advance can complete several epochs at once:
+/// assert_eq!(clock.advance(Instret::new(2_500)), EpochEvent::Boundary { first: 1, count: 2 });
+/// assert_eq!(clock.into_epoch(), Instret::new(500));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpochClock {
@@ -52,7 +74,10 @@ impl EpochClock {
     ///
     /// Panics if `epoch_len` is zero.
     pub fn new(epoch_len: Instret) -> Self {
-        assert!(epoch_len > Instret::ZERO, "EpochClock: epoch length must be positive");
+        assert!(
+            epoch_len > Instret::ZERO,
+            "EpochClock: epoch length must be positive"
+        );
         EpochClock {
             epoch_len,
             into_epoch: Instret::ZERO,
@@ -61,28 +86,30 @@ impl EpochClock {
         }
     }
 
-    /// Reports `n` retired instructions; returns whether a boundary was
-    /// crossed.
+    /// Reports `n` retired instructions; returns whether (and how many)
+    /// boundaries were crossed.
     ///
-    /// If `n` spans *multiple* epochs the clock still reports a single
-    /// boundary (for the first epoch completed) and folds the remainder
-    /// into the next epoch; adaptive mechanisms only care that a boundary
-    /// occurred, and per-instruction reporting never spans more than one.
+    /// The engine advances a whole segment at a time, so a single long
+    /// privileged invocation *can* span multiple epochs. Every crossed
+    /// boundary is reported: the returned [`EpochEvent::Boundary`]
+    /// carries the index of the first completed epoch and the number of
+    /// epochs completed, and the remainder is carried into the next
+    /// epoch. Shortening the epoch below accumulated progress likewise
+    /// completes every now-covered epoch on the next advance rather than
+    /// silently discarding the overshoot.
     pub fn advance(&mut self, n: Instret) -> EpochEvent {
         self.total += n;
         self.into_epoch += n;
-        if self.into_epoch >= self.epoch_len {
-            let index = self.completed;
-            self.completed += 1;
-            // Carry the overshoot into the new epoch.
-            self.into_epoch = self.into_epoch - self.epoch_len;
-            // Clamp pathological overshoot (epoch shortened mid-flight).
-            if self.into_epoch >= self.epoch_len {
-                self.into_epoch = Instret::ZERO;
-            }
-            EpochEvent::Boundary(index)
-        } else {
-            EpochEvent::Within
+        if self.into_epoch < self.epoch_len {
+            return EpochEvent::Within;
+        }
+        let crossed = self.into_epoch.as_u64() / self.epoch_len.as_u64();
+        let first = self.completed;
+        self.completed += crossed;
+        self.into_epoch = Instret::new(self.into_epoch.as_u64() % self.epoch_len.as_u64());
+        EpochEvent::Boundary {
+            first,
+            count: crossed,
         }
     }
 
@@ -95,7 +122,10 @@ impl EpochClock {
     ///
     /// Panics if `epoch_len` is zero.
     pub fn set_epoch_len(&mut self, epoch_len: Instret) {
-        assert!(epoch_len > Instret::ZERO, "EpochClock: epoch length must be positive");
+        assert!(
+            epoch_len > Instret::ZERO,
+            "EpochClock: epoch length must be positive"
+        );
         self.epoch_len = epoch_len;
     }
 
@@ -149,7 +179,10 @@ mod tests {
             for _ in 0..9 {
                 assert_eq!(c.advance(Instret::new(1)), EpochEvent::Within);
             }
-            assert_eq!(c.advance(Instret::new(1)), EpochEvent::Boundary(i));
+            assert_eq!(
+                c.advance(Instret::new(1)),
+                EpochEvent::Boundary { first: i, count: 1 }
+            );
         }
         assert_eq!(c.completed(), 3);
         assert_eq!(c.total(), Instret::new(30));
@@ -158,9 +191,32 @@ mod tests {
     #[test]
     fn overshoot_carries_into_next_epoch() {
         let mut c = EpochClock::new(Instret::new(10));
-        assert_eq!(c.advance(Instret::new(15)), EpochEvent::Boundary(0));
+        assert_eq!(
+            c.advance(Instret::new(15)),
+            EpochEvent::Boundary { first: 0, count: 1 }
+        );
         assert_eq!(c.into_epoch(), Instret::new(5));
-        assert_eq!(c.advance(Instret::new(5)), EpochEvent::Boundary(1));
+        assert_eq!(
+            c.advance(Instret::new(5)),
+            EpochEvent::Boundary { first: 1, count: 1 }
+        );
+    }
+
+    #[test]
+    fn long_advance_reports_every_boundary() {
+        let mut c = EpochClock::new(Instret::new(10));
+        // A 47-instruction segment completes epochs 0..4 at once.
+        assert_eq!(
+            c.advance(Instret::new(47)),
+            EpochEvent::Boundary { first: 0, count: 4 }
+        );
+        assert_eq!(c.completed(), 4);
+        assert_eq!(c.into_epoch(), Instret::new(7));
+        // The next epoch index continues where the batch left off.
+        assert_eq!(
+            c.advance(Instret::new(3)),
+            EpochEvent::Boundary { first: 4, count: 1 }
+        );
     }
 
     #[test]
@@ -169,17 +225,31 @@ mod tests {
         c.advance(Instret::new(40));
         c.set_epoch_len(Instret::new(50));
         assert_eq!(c.advance(Instret::new(9)), EpochEvent::Within);
-        assert_eq!(c.advance(Instret::new(1)), EpochEvent::Boundary(0));
+        assert_eq!(
+            c.advance(Instret::new(1)),
+            EpochEvent::Boundary { first: 0, count: 1 }
+        );
     }
 
     #[test]
-    fn shrinking_epoch_below_progress_fires_next_advance() {
+    fn shrinking_epoch_below_progress_completes_covered_epochs() {
         let mut c = EpochClock::new(Instret::new(100));
         c.advance(Instret::new(80));
         c.set_epoch_len(Instret::new(10));
-        assert_eq!(c.advance(Instret::new(1)), EpochEvent::Boundary(0));
-        // Overshoot was clamped, not carried as 71 instructions.
-        assert_eq!(c.into_epoch(), Instret::ZERO);
+        // 81 instructions of progress now cover eight 10-insn epochs;
+        // none of them is silently dropped.
+        assert_eq!(
+            c.advance(Instret::new(1)),
+            EpochEvent::Boundary { first: 0, count: 8 }
+        );
+        assert_eq!(c.into_epoch(), Instret::new(1));
+        assert_eq!(c.completed(), 8);
+    }
+
+    #[test]
+    fn event_boundary_count_helper() {
+        assert_eq!(EpochEvent::Within.boundaries(), 0);
+        assert_eq!(EpochEvent::Boundary { first: 3, count: 2 }.boundaries(), 2);
     }
 
     #[test]

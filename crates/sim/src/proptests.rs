@@ -1,40 +1,78 @@
-//! Property-based tests for the simulation kernel.
+//! Property-style tests for the simulation kernel.
+//!
+//! Each test runs a fixed number of deterministic cases whose inputs are
+//! generated from a seeded [`Rng64`] — the same randomized-coverage idea
+//! as `proptest`, but dependency-free and bit-reproducible.
 
 use crate::cycle::{ipc, Cycle, Instret};
 use crate::epoch::{EpochClock, EpochEvent};
 use crate::rng::Rng64;
 use crate::stats::{Histogram, Ratio, RunningStats, WindowedMean};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Epoch boundaries fire exactly `total / len` times under
-    /// per-instruction advancement, in strictly increasing order.
-    #[test]
-    fn epoch_boundaries_are_exact(len in 1u64..100, total in 1u64..2_000) {
+/// Epoch boundaries fire exactly `total / len` times under
+/// per-instruction advancement, in strictly increasing order.
+#[test]
+fn epoch_boundaries_are_exact() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xE90C_0000 + case);
+        let len = g.gen_range(1..100);
+        let total = g.gen_range(1..2_000);
         let mut clock = EpochClock::new(Instret::new(len));
         let mut boundaries = Vec::new();
         for _ in 0..total {
-            if let EpochEvent::Boundary(i) = clock.advance(Instret::new(1)) {
-                boundaries.push(i);
+            if let EpochEvent::Boundary { first, count } = clock.advance(Instret::new(1)) {
+                assert_eq!(
+                    count, 1,
+                    "single-instruction advance crossed {count} epochs"
+                );
+                boundaries.push(first);
             }
         }
-        prop_assert_eq!(boundaries.len() as u64, total / len);
-        prop_assert!(boundaries.windows(2).all(|w| w[1] == w[0] + 1));
-        prop_assert_eq!(clock.total(), Instret::new(total));
+        assert_eq!(boundaries.len() as u64, total / len);
+        assert!(boundaries.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(clock.total(), Instret::new(total));
     }
+}
 
-    /// The running-stats merge is associative with sequential recording
-    /// for any 3-way split of the data.
-    #[test]
-    fn welford_merge_matches_sequential(
-        data in prop::collection::vec(-1e6f64..1e6, 3..200),
-        cut1 in 0usize..100,
-        cut2 in 0usize..100,
-    ) {
-        let a = cut1 % data.len();
-        let b = a + (cut2 % (data.len() - a));
+/// Bulk advances report every boundary a segment spans: the sum of all
+/// reported counts matches per-instruction advancement, and indices are
+/// gapless.
+#[test]
+fn epoch_bulk_advance_reports_every_boundary() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xE90C_1000 + case);
+        let len = g.gen_range(1..100);
+        let mut clock = EpochClock::new(Instret::new(len));
+        let mut total = 0u64;
+        let mut crossed = 0u64;
+        let mut next_index = 0u64;
+        for _ in 0..g.gen_range(1..50) {
+            let n = g.gen_range(1..500);
+            total += n;
+            if let EpochEvent::Boundary { first, count } = clock.advance(Instret::new(n)) {
+                assert_eq!(first, next_index, "boundary indices must be gapless");
+                next_index = first + count;
+                crossed += count;
+            }
+        }
+        assert_eq!(crossed, total / len, "len={len} total={total}");
+        assert_eq!(clock.completed(), total / len);
+        assert_eq!(clock.into_epoch(), Instret::new(total % len));
+    }
+}
+
+/// The running-stats merge is associative with sequential recording for
+/// any 3-way split of the data.
+#[test]
+fn welford_merge_matches_sequential() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x3E1F_0000 + case);
+        let n = g.gen_range(3..200) as usize;
+        let data: Vec<f64> = (0..n).map(|_| g.next_f64() * 2e6 - 1e6).collect();
+        let a = (g.gen_range(0..100) as usize) % data.len();
+        let b = a + (g.gen_range(0..100) as usize) % (data.len() - a);
         let mut all = RunningStats::new();
         data.iter().for_each(|&x| all.record(x));
         let mut s1 = RunningStats::new();
@@ -45,72 +83,89 @@ proptest! {
         data[b..].iter().for_each(|&x| s3.record(x));
         s1.merge(&s2);
         s1.merge(&s3);
-        prop_assert_eq!(s1.count(), all.count());
-        prop_assert!((s1.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
-        prop_assert!(
+        assert_eq!(s1.count(), all.count());
+        assert!((s1.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        assert!(
             (s1.population_variance() - all.population_variance()).abs()
                 < 1e-4 * (1.0 + all.population_variance())
         );
     }
+}
 
-    /// Histogram counts are conserved and the percentile function is
-    /// monotone in `p`.
-    #[test]
-    fn histogram_conservation_and_monotonicity(
-        values in prop::collection::vec(0u64..1 << 40, 1..300)
-    ) {
+/// Histogram counts are conserved and the percentile function is
+/// monotone in `p`.
+#[test]
+fn histogram_conservation_and_monotonicity() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x8157_0000 + case);
+        let n = g.gen_range(1..300) as usize;
+        let values: Vec<u64> = (0..n).map(|_| g.gen_range(0..1 << 40)).collect();
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
-        prop_assert_eq!(h.iter().map(|(_, n)| n).sum::<u64>(), values.len() as u64);
+        assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.iter().map(|(_, n)| n).sum::<u64>(), values.len() as u64);
         let mut last = 0u64;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = h.percentile(p);
-            prop_assert!(v >= last, "percentile must be monotone");
+            assert!(v >= last, "percentile must be monotone");
             last = v;
         }
     }
+}
 
-    /// A windowed mean over the last k items equals the arithmetic mean
-    /// of the suffix.
-    #[test]
-    fn windowed_mean_matches_suffix(
-        data in prop::collection::vec(-1e4f64..1e4, 1..100),
-        k in 1usize..16,
-    ) {
+/// A windowed mean over the last k items equals the arithmetic mean of
+/// the suffix.
+#[test]
+fn windowed_mean_matches_suffix() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x31D0_0000 + case);
+        let n = g.gen_range(1..100) as usize;
+        let data: Vec<f64> = (0..n).map(|_| g.next_f64() * 2e4 - 1e4).collect();
+        let k = g.gen_range(1..16) as usize;
         let mut w = WindowedMean::new(k);
         data.iter().for_each(|&x| w.record(x));
         let suffix = &data[data.len().saturating_sub(k)..];
         let expect = suffix.iter().sum::<f64>() / suffix.len() as f64;
-        prop_assert!((w.mean() - expect).abs() < 1e-9 * (1.0 + expect.abs()));
-        prop_assert_eq!(w.len(), suffix.len());
+        assert!((w.mean() - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+        assert_eq!(w.len(), suffix.len());
     }
+}
 
-    /// Ratio bulk recording equals item-by-item recording.
-    #[test]
-    fn ratio_bulk_equals_itemized(outcomes in prop::collection::vec(prop::bool::ANY, 0..200)) {
+/// Ratio bulk recording equals item-by-item recording.
+#[test]
+fn ratio_bulk_equals_itemized() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x4A71_0000 + case);
+        let n = g.gen_range(0..200) as usize;
+        let outcomes: Vec<bool> = (0..n).map(|_| g.gen_bool(0.5)).collect();
         let mut a = Ratio::new();
         outcomes.iter().for_each(|&o| a.record(o));
         let hits = outcomes.iter().filter(|&&o| o).count() as u64;
         let mut b = Ratio::new();
         b.record_bulk(hits, outcomes.len() as u64);
-        prop_assert_eq!(a.hits(), b.hits());
-        prop_assert_eq!(a.total(), b.total());
-        prop_assert_eq!(a.rate(), b.rate());
+        assert_eq!(a.hits(), b.hits());
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.rate(), b.rate());
     }
+}
 
-    /// gen_range over any non-empty range stays in bounds; ipc is the
-    /// exact ratio.
-    #[test]
-    fn rng_range_and_ipc(seed in prop::num::u64::ANY, lo in 0u64..1000, span in 1u64..1000) {
+/// gen_range over any non-empty range stays in bounds; ipc is the exact
+/// ratio.
+#[test]
+fn rng_range_and_ipc() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x59C4_0000 + case);
+        let seed = g.next_u64();
+        let lo = g.gen_range(0..1000);
+        let span = g.gen_range(1..1000);
         let mut rng = Rng64::seed_from(seed);
         for _ in 0..50 {
             let x = rng.gen_range(lo..lo + span);
-            prop_assert!((lo..lo + span).contains(&x));
+            assert!((lo..lo + span).contains(&x));
         }
         let v = ipc(Instret::new(span), Cycle::new(span * 2));
-        prop_assert!((v - 0.5).abs() < 1e-12);
+        assert!((v - 0.5).abs() < 1e-12);
     }
 }

@@ -4,9 +4,8 @@
 //! syscall run-length noise, interrupt arrivals — flows from a single
 //! `u64` seed through [`Rng64`], a `xoshiro256**` generator seeded via
 //! SplitMix64. We implement these two tiny, public-domain algorithms
-//! directly so the per-instruction hot path stays inlined; the `rand`
-//! crate is still used by the workload crate for distribution adaptors
-//! that are off the hot path.
+//! directly so the per-instruction hot path stays inlined and the
+//! simulator carries no external RNG dependency.
 //!
 //! Independent simulation components derive *streams* from the master seed
 //! with [`Rng64::split`], so adding a consumer never perturbs the draws
@@ -82,10 +81,7 @@ impl Rng64 {
     /// Returns the next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -140,7 +136,10 @@ impl Rng64 {
     /// Panics if `mean` is not finite and positive.
     #[inline]
     pub fn sample_exp(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "sample_exp: mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "sample_exp: mean must be positive"
+        );
         // Inverse-CDF; guard against ln(0).
         let u = 1.0 - self.next_f64();
         -mean * u.ln()
@@ -174,7 +173,10 @@ impl Rng64 {
     ///
     /// Panics if `min >= max`, `min == 0`, or `alpha <= 0`.
     pub fn sample_bounded_pareto(&mut self, min: f64, max: f64, alpha: f64) -> f64 {
-        assert!(min > 0.0 && min < max, "sample_bounded_pareto: need 0 < min < max");
+        assert!(
+            min > 0.0 && min < max,
+            "sample_bounded_pareto: need 0 < min < max"
+        );
         assert!(alpha > 0.0, "sample_bounded_pareto: alpha must be positive");
         let u = self.next_f64();
         let la = min.powf(alpha);
@@ -368,7 +370,9 @@ mod tests {
     fn normal_approx_moments() {
         let mut rng = Rng64::seed_from(21);
         let n = 50_000;
-        let draws: Vec<f64> = (0..n).map(|_| rng.sample_normal_approx(10.0, 2.0)).collect();
+        let draws: Vec<f64> = (0..n)
+            .map(|_| rng.sample_normal_approx(10.0, 2.0))
+            .collect();
         let mean = draws.iter().sum::<f64>() / n as f64;
         let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");

@@ -247,9 +247,19 @@ impl Ratio {
     }
 
     /// Records `hits` successes out of `total` trials in bulk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits > total` — accepting such a record would silently
+    /// corrupt [`rate`](Self::rate) (and underflow
+    /// [`misses`](Self::misses)), so the invariant is enforced in release
+    /// builds too.
     #[inline]
     pub fn record_bulk(&mut self, hits: u64, total: u64) {
-        debug_assert!(hits <= total);
+        assert!(
+            hits <= total,
+            "Ratio::record_bulk: hits ({hits}) exceed total ({total})"
+        );
         self.hits += hits;
         self.total += total;
     }
@@ -296,7 +306,13 @@ impl Ratio {
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.2}%)", self.hits, self.total, self.rate() * 100.0)
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.hits,
+            self.total,
+            self.rate() * 100.0
+        )
     }
 }
 
@@ -338,7 +354,11 @@ impl Histogram {
     /// Records one observation.
     #[inline]
     pub fn record(&mut self, value: u64) {
-        let bucket = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        let bucket = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
         self.buckets[bucket] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
@@ -415,8 +435,14 @@ impl Default for Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n={} mean={:.1} p50<{} p99<{}", self.count, self.mean(),
-               self.percentile(50.0), self.percentile(99.0))
+        write!(
+            f,
+            "n={} mean={:.1} p50<{} p99<{}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0)
+        )
     }
 }
 
@@ -600,6 +626,22 @@ mod tests {
         assert!((r.rate() - 0.75).abs() < 1e-12);
         r.record_bulk(0, 4);
         assert!((r.rate() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "hits (5) exceed total (3)")]
+    fn ratio_bulk_rejects_hits_above_total() {
+        Ratio::new().record_bulk(5, 3);
+    }
+
+    #[test]
+    fn ratio_bulk_accepts_boundary() {
+        let mut r = Ratio::new();
+        r.record_bulk(3, 3);
+        r.record_bulk(0, 0);
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.rate(), 1.0);
     }
 
     #[test]

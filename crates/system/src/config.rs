@@ -4,9 +4,8 @@
 use crate::migration::{MigrationModel, OffloadMechanism};
 use core::fmt;
 use osoffload_core::{
-    AlwaysOffload, CamPredictor, DirectMappedPredictor, DynamicInstrumentation,
-    HardwarePredictor, NeverOffload, OffloadPolicy, OraclePolicy, RoutineId,
-    StaticInstrumentation, TunerConfig,
+    AlwaysOffload, CamPredictor, DirectMappedPredictor, DynamicInstrumentation, HardwarePredictor,
+    NeverOffload, OffloadPolicy, OraclePolicy, RoutineId, StaticInstrumentation, TunerConfig,
 };
 use osoffload_mem::MemConfig;
 use osoffload_workload::Profile;
@@ -144,21 +143,27 @@ impl PolicyKind {
         match *self {
             PolicyKind::Baseline => Box::new(NeverOffload),
             PolicyKind::AlwaysOffload => Box::new(AlwaysOffload),
-            PolicyKind::HardwarePredictor { threshold } => {
-                Box::new(HardwarePredictor::new(CamPredictor::paper_default(), threshold))
-            }
+            PolicyKind::HardwarePredictor { threshold } => Box::new(HardwarePredictor::new(
+                CamPredictor::paper_default(),
+                threshold,
+            )),
             PolicyKind::HardwarePredictorDirectMapped { threshold } => Box::new(
                 HardwarePredictor::new(DirectMappedPredictor::paper_default(), threshold),
             ),
-            PolicyKind::HardwarePredictorSized { threshold, entries } => {
-                Box::new(HardwarePredictor::new(CamPredictor::new(entries), threshold))
-            }
+            PolicyKind::HardwarePredictorSized { threshold, entries } => Box::new(
+                HardwarePredictor::new(CamPredictor::new(entries), threshold),
+            ),
             PolicyKind::HardwarePredictorDmSized { threshold, entries } => Box::new(
                 HardwarePredictor::new(DirectMappedPredictor::new(entries), threshold),
             ),
-            PolicyKind::HardwarePredictorSetAssoc { threshold, sets, ways } => Box::new(
-                HardwarePredictor::new(osoffload_core::SetAssocPredictor::new(sets, ways), threshold),
-            ),
+            PolicyKind::HardwarePredictorSetAssoc {
+                threshold,
+                sets,
+                ways,
+            } => Box::new(HardwarePredictor::new(
+                osoffload_core::SetAssocPredictor::new(sets, ways),
+                threshold,
+            )),
             PolicyKind::HardwarePredictorGlobalOnly { threshold } => Box::new(
                 HardwarePredictor::new(osoffload_core::GlobalOnlyPredictor::new(), threshold),
             ),
@@ -385,7 +390,10 @@ impl SystemConfigBuilder {
     ///
     /// Panics if `milli` is zero.
     pub fn resource_adaptation(mut self, milli: u64) -> Self {
-        assert!(milli > 0, "SystemConfig: adaptation slowdown must be positive");
+        assert!(
+            milli > 0,
+            "SystemConfig: adaptation slowdown must be positive"
+        );
         self.resource_adaptation = Some(milli);
         self
     }
@@ -442,8 +450,14 @@ impl SystemConfigBuilder {
     /// `instructions` is zero.
     pub fn build(self) -> SystemConfig {
         let profile = self.profile.expect("SystemConfig: profile is required");
-        assert!(self.user_cores >= 1, "SystemConfig: need at least one user core");
-        assert!(self.instructions > 0, "SystemConfig: need a measured region");
+        assert!(
+            self.user_cores >= 1,
+            "SystemConfig: need at least one user core"
+        );
+        assert!(
+            self.instructions > 0,
+            "SystemConfig: need a measured region"
+        );
         let warmup = self.warmup.unwrap_or(self.instructions / 4);
         SystemConfig {
             profile,
@@ -471,9 +485,7 @@ mod tests {
 
     #[test]
     fn builder_defaults() {
-        let cfg = SystemConfig::builder()
-            .profile(Profile::apache())
-            .build();
+        let cfg = SystemConfig::builder().profile(Profile::apache()).build();
         assert!(cfg.policy.is_baseline());
         assert_eq!(cfg.user_cores, 1);
         assert_eq!(cfg.total_cores(), 1);
@@ -504,10 +516,17 @@ mod tests {
         assert_eq!(PolicyKind::Baseline.label(), "baseline");
         assert_eq!(PolicyKind::HardwarePredictor { threshold: 5 }.label(), "HI");
         assert_eq!(
-            PolicyKind::DynamicInstrumentation { threshold: 5, cost: 100 }.label(),
+            PolicyKind::DynamicInstrumentation {
+                threshold: 5,
+                cost: 100
+            }
+            .label(),
             "DI"
         );
-        assert_eq!(PolicyKind::StaticInstrumentation { stub_cost: 25 }.label(), "SI");
+        assert_eq!(
+            PolicyKind::StaticInstrumentation { stub_cost: 25 }.label(),
+            "SI"
+        );
         assert!(!PolicyKind::Oracle { threshold: 9 }.to_string().is_empty());
     }
 
@@ -521,7 +540,10 @@ mod tests {
             .filter(|&&(id, _)| id.spec().class == osoffload_workload::OsClass::Syscall)
             .count();
         assert_eq!(offline.len(), syscalls);
-        assert!(offline.len() < profile.syscall_mix.len(), "faults/IRQs excluded");
+        assert!(
+            offline.len() < profile.syscall_mix.len(),
+            "faults/IRQs excluded"
+        );
         assert!(offline.values().all(|&v| v > 0.0));
     }
 
@@ -529,8 +551,8 @@ mod tests {
     fn si_instruments_fewer_routines_at_higher_latency() {
         let profile = Profile::apache();
         let count = |latency: u64| {
-            let policy =
-                PolicyKind::StaticInstrumentation { stub_cost: 25 }.build(&profile, MigrationModel::new(latency));
+            let policy = PolicyKind::StaticInstrumentation { stub_cost: 25 }
+                .build(&profile, MigrationModel::new(latency));
             // Count via a probe: decide() offloads only instrumented routines.
             let mut policy = policy;
             profile
@@ -558,7 +580,10 @@ mod tests {
             PolicyKind::AlwaysOffload,
             PolicyKind::HardwarePredictor { threshold: 100 },
             PolicyKind::HardwarePredictorDirectMapped { threshold: 100 },
-            PolicyKind::DynamicInstrumentation { threshold: 100, cost: 120 },
+            PolicyKind::DynamicInstrumentation {
+                threshold: 100,
+                cost: 120,
+            },
             PolicyKind::StaticInstrumentation { stub_cost: 25 },
             PolicyKind::Oracle { threshold: 100 },
         ] {

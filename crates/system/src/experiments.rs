@@ -18,16 +18,22 @@
 //! experiment can run as a quick smoke test or a full (minutes-long)
 //! regeneration. Shapes are stable across scales; absolute numbers
 //! tighten as runs lengthen.
+//!
+//! Every driver also comes in a `*_with` variant taking an
+//! [`Evaluator`] — the hook the `osoffload-runner` crate uses to first
+//! *enumerate* a driver's simulation points (recording each requested
+//! [`SystemConfig`]) and later *replay* it against reports computed in
+//! parallel. The enumeration order of every driver is independent of
+//! the report values, which is what makes that two-pass scheme exact.
 
 use crate::config::{PolicyKind, SystemConfig};
 use crate::metrics::{BinaryPoint, SimReport};
 use crate::simulation::Simulation;
 use osoffload_core::{TunerConfig, TunerEvent};
 use osoffload_workload::Profile;
-use serde::{Deserialize, Serialize};
 
 /// Simulation length preset for the experiment drivers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Instructions in the measured region of interest, per run.
     pub instructions: u64,
@@ -100,6 +106,37 @@ pub fn workload_groups(scale: Scale) -> Vec<(String, Vec<Profile>)> {
     groups
 }
 
+/// How a driver executes one configured run.
+///
+/// The sequential default is [`simulate`]; the parallel runner swaps in
+/// a recording closure (enumeration pass) and then a replaying closure
+/// serving reports that were computed concurrently.
+pub type Evaluator<'a> = &'a mut dyn FnMut(SystemConfig) -> SimReport;
+
+/// The sequential evaluator: simulate the configuration in place.
+pub fn simulate(cfg: SystemConfig) -> SimReport {
+    Simulation::new(cfg).run()
+}
+
+/// Builds the standard experiment topology as a [`SystemConfig`].
+pub fn single_config(
+    profile: Profile,
+    policy: PolicyKind,
+    migration_latency: u64,
+    user_cores: usize,
+    scale: Scale,
+) -> SystemConfig {
+    SystemConfig::builder()
+        .profile(profile)
+        .policy(policy)
+        .migration_latency(migration_latency)
+        .user_cores(user_cores)
+        .instructions(scale.instructions)
+        .warmup(scale.warmup)
+        .seed(scale.seed)
+        .build()
+}
+
 /// Runs one simulation with the standard experiment topology.
 pub fn run_single(
     profile: Profile,
@@ -108,23 +145,24 @@ pub fn run_single(
     user_cores: usize,
     scale: Scale,
 ) -> SimReport {
-    let cfg = SystemConfig::builder()
-        .profile(profile)
-        .policy(policy)
-        .migration_latency(migration_latency)
-        .user_cores(user_cores)
-        .instructions(scale.instructions)
-        .warmup(scale.warmup)
-        .seed(scale.seed)
-        .build();
-    Simulation::new(cfg).run()
+    simulate(single_config(
+        profile,
+        policy,
+        migration_latency,
+        user_cores,
+        scale,
+    ))
 }
 
 /// Baseline reports for a profile group, computed once and reused.
-fn group_baselines(profiles: &[Profile], scale: Scale) -> Vec<SimReport> {
+fn group_baselines(
+    profiles: &[Profile],
+    scale: Scale,
+    eval: &mut dyn FnMut(SystemConfig) -> SimReport,
+) -> Vec<SimReport> {
     profiles
         .iter()
-        .map(|p| run_single(p.clone(), PolicyKind::Baseline, 0, 1, scale))
+        .map(|p| eval(single_config(p.clone(), PolicyKind::Baseline, 0, 1, scale)))
         .collect()
 }
 
@@ -136,10 +174,11 @@ fn group_normalized(
     policy: PolicyKind,
     latency: u64,
     scale: Scale,
+    eval: &mut dyn FnMut(SystemConfig) -> SimReport,
 ) -> f64 {
     let mut acc = 0.0;
     for (p, base) in profiles.iter().zip(baselines) {
-        let run = run_single(p.clone(), policy, latency, 1, scale);
+        let run = eval(single_config(p.clone(), policy, latency, 1, scale));
         acc += run.normalized_to(base);
     }
     acc / profiles.len() as f64
@@ -150,7 +189,7 @@ fn group_normalized(
 // ---------------------------------------------------------------------
 
 /// One bar of Figure 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1Row {
     /// Workload group.
     pub workload: String,
@@ -171,6 +210,11 @@ pub struct Fig1Row {
 /// (threshold = ∞), isolating pure decision overhead — the paper's
 /// argument for single-cycle hardware decisions.
 pub fn fig1(scale: Scale, costs: &[u64]) -> Vec<Fig1Row> {
+    fig1_with(scale, costs, &mut simulate)
+}
+
+/// [`fig1`] with a pluggable [`Evaluator`].
+pub fn fig1_with(scale: Scale, costs: &[u64], eval: Evaluator<'_>) -> Vec<Fig1Row> {
     let mut rows = Vec::new();
     for (name, profiles) in workload_groups(scale) {
         let profiles: Vec<Profile> = profiles
@@ -180,7 +224,7 @@ pub fn fig1(scale: Scale, costs: &[u64]) -> Vec<Fig1Row> {
                 p
             })
             .collect();
-        let baselines = group_baselines(&profiles, scale);
+        let baselines = group_baselines(&profiles, scale, eval);
         for &cost in costs {
             let policy = PolicyKind::DynamicInstrumentation {
                 threshold: u64::MAX,
@@ -188,7 +232,7 @@ pub fn fig1(scale: Scale, costs: &[u64]) -> Vec<Fig1Row> {
             };
             let mut acc = 0.0;
             for (p, base) in profiles.iter().zip(&baselines) {
-                let instr = run_single(p.clone(), policy, 0, 1, scale);
+                let instr = eval(single_config(p.clone(), policy, 0, 1, scale));
                 acc += (1.0 - instr.normalized_to(base)) * 100.0;
             }
             rows.push(Fig1Row {
@@ -206,7 +250,7 @@ pub fn fig1(scale: Scale, costs: &[u64]) -> Vec<Fig1Row> {
 // ---------------------------------------------------------------------
 
 /// One curve of Figure 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3Row {
     /// Workload group.
     pub workload: String,
@@ -218,17 +262,22 @@ pub struct Fig3Row {
 /// thresholds — whether `(predicted > N) == (actual > N)` across the
 /// paper's `N` grid.
 pub fn fig3(scale: Scale) -> Vec<Fig3Row> {
+    fig3_with(scale, &mut simulate)
+}
+
+/// [`fig3`] with a pluggable [`Evaluator`].
+pub fn fig3_with(scale: Scale, eval: Evaluator<'_>) -> Vec<Fig3Row> {
     let mut rows = Vec::new();
     for (name, profiles) in workload_groups(scale) {
         let mut merged: Vec<BinaryPoint> = Vec::new();
         for p in &profiles {
-            let r = run_single(
+            let r = eval(single_config(
                 p.clone(),
                 PolicyKind::HardwarePredictor { threshold: 1_000 },
                 1_000,
                 1,
                 scale,
-            );
+            ));
             if merged.is_empty() {
                 merged = r.binary_accuracy.clone();
             } else {
@@ -253,7 +302,7 @@ pub fn fig3(scale: Scale) -> Vec<Fig3Row> {
 // ---------------------------------------------------------------------
 
 /// One point of Figure 4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Cell {
     /// Workload group.
     pub workload: String,
@@ -279,24 +328,31 @@ pub fn fig4(scale: Scale) -> Vec<Fig4Cell> {
 
 /// [`fig4`] over a custom latency/threshold grid.
 pub fn fig4_with_grid(scale: Scale, latencies: &[u64], thresholds: &[u64]) -> Vec<Fig4Cell> {
+    fig4_grid_with(scale, latencies, thresholds, &mut simulate)
+}
+
+/// [`fig4_with_grid`] with a pluggable [`Evaluator`].
+pub fn fig4_grid_with(
+    scale: Scale,
+    latencies: &[u64],
+    thresholds: &[u64],
+    eval: Evaluator<'_>,
+) -> Vec<Fig4Cell> {
     let mut cells = Vec::new();
     for (name, profiles) in workload_groups(scale) {
         // Baselines once per profile.
-        let baselines: Vec<SimReport> = profiles
-            .iter()
-            .map(|p| run_single(p.clone(), PolicyKind::Baseline, 0, 1, scale))
-            .collect();
+        let baselines = group_baselines(&profiles, scale, eval);
         for &latency in latencies {
             for &threshold in thresholds {
                 let mut acc = 0.0;
                 for (p, base) in profiles.iter().zip(baselines.iter()) {
-                    let r = run_single(
+                    let r = eval(single_config(
                         p.clone(),
                         PolicyKind::HardwarePredictor { threshold },
                         latency,
                         1,
                         scale,
-                    );
+                    ));
                     acc += r.normalized_to(base);
                 }
                 cells.push(Fig4Cell {
@@ -316,7 +372,7 @@ pub fn fig4_with_grid(scale: Scale, latencies: &[u64], thresholds: &[u64]) -> Ve
 // ---------------------------------------------------------------------
 
 /// One bar of Figure 5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Row {
     /// Workload group.
     pub workload: String,
@@ -342,11 +398,16 @@ pub const FIG5_LATENCIES: &[(&str, u64)] = &[("conservative", 5_000), ("aggressi
 /// the idealised outcome of the §III-B dynamic estimator, which both
 /// schemes would run in deployment.
 pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
+    fig5_with(scale, &mut simulate)
+}
+
+/// [`fig5`] with a pluggable [`Evaluator`].
+pub fn fig5_with(scale: Scale, eval: Evaluator<'_>) -> Vec<Fig5Row> {
     let mut rows = Vec::new();
     let di_cost = 120;
     let si_stub = 25;
     for (name, profiles) in workload_groups(scale) {
-        let baselines = group_baselines(&profiles, scale);
+        let baselines = group_baselines(&profiles, scale, eval);
         for &(label, latency) in FIG5_LATENCIES {
             // SI: fixed by the off-line profile.
             let si = group_normalized(
@@ -355,6 +416,7 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
                 PolicyKind::StaticInstrumentation { stub_cost: si_stub },
                 latency,
                 scale,
+                eval,
             );
             rows.push(Fig5Row {
                 workload: name.clone(),
@@ -382,7 +444,7 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
                 let mut best = f64::MIN;
                 let mut best_n = 0;
                 for &n in FIG4_THRESHOLDS {
-                    let v = group_normalized(&profiles, &baselines, make(n), latency, scale);
+                    let v = group_normalized(&profiles, &baselines, make(n), latency, scale, eval);
                     if v > best {
                         best = v;
                         best_n = n;
@@ -406,7 +468,7 @@ pub fn fig5(scale: Scale) -> Vec<Fig5Row> {
 // ---------------------------------------------------------------------
 
 /// One row of Table III.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Server workload.
     pub workload: String,
@@ -421,19 +483,24 @@ pub const TABLE3_THRESHOLDS: &[u64] = &[100, 1_000, 5_000, 10_000];
 /// using selective migration based on threshold `N` (5,000-cycle
 /// off-loading overhead, server workloads).
 pub fn table3(scale: Scale) -> Vec<Table3Row> {
+    table3_with(scale, &mut simulate)
+}
+
+/// [`table3`] with a pluggable [`Evaluator`].
+pub fn table3_with(scale: Scale, eval: Evaluator<'_>) -> Vec<Table3Row> {
     Profile::all_server()
         .into_iter()
         .map(|p| {
             let utilization = TABLE3_THRESHOLDS
                 .iter()
                 .map(|&n| {
-                    let r = run_single(
+                    let r = eval(single_config(
                         p.clone(),
                         PolicyKind::HardwarePredictor { threshold: n },
                         5_000,
                         1,
                         scale,
-                    );
+                    ));
                     (n, r.os_core_busy_frac)
                 })
                 .collect();
@@ -450,7 +517,7 @@ pub fn table3(scale: Scale) -> Vec<Table3Row> {
 // ---------------------------------------------------------------------
 
 /// One row of the §V-C scaling study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalabilityRow {
     /// User cores sharing the single OS core.
     pub user_cores: usize,
@@ -471,14 +538,25 @@ pub struct ScalabilityRow {
 /// §V-C: scaling 1, 2, and 4 user cores against a single OS core
 /// (SPECjbb2005, `N = 100`, 1,000-cycle off-loading overhead).
 pub fn scalability(scale: Scale) -> Vec<ScalabilityRow> {
+    scalability_with(scale, &mut simulate)
+}
+
+/// [`scalability`] with a pluggable [`Evaluator`].
+pub fn scalability_with(scale: Scale, eval: Evaluator<'_>) -> Vec<ScalabilityRow> {
     let profile = Profile::specjbb();
     let policy = PolicyKind::HardwarePredictor { threshold: 100 };
-    let one_to_one = run_single(profile.clone(), policy, 1_000, 1, scale);
+    let one_to_one = eval(single_config(profile.clone(), policy, 1_000, 1, scale));
     [1usize, 2, 4]
         .into_iter()
         .map(|cores| {
-            let r = run_single(profile.clone(), policy, 1_000, cores, scale);
-            let base = run_single(profile.clone(), PolicyKind::Baseline, 0, cores, scale);
+            let r = eval(single_config(profile.clone(), policy, 1_000, cores, scale));
+            let base = eval(single_config(
+                profile.clone(),
+                PolicyKind::Baseline,
+                0,
+                cores,
+                scale,
+            ));
             ScalabilityRow {
                 user_cores: cores,
                 mean_queue_delay: r.queue.mean_delay,
@@ -496,7 +574,7 @@ pub fn scalability(scale: Scale) -> Vec<ScalabilityRow> {
 // ---------------------------------------------------------------------
 
 /// One row of the predictor-organisation study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PredictorAccuracyRow {
     /// Workload group.
     pub workload: String,
@@ -546,14 +624,20 @@ pub fn predictor_accuracy(
             push(
                 "CAM",
                 entries,
-                PolicyKind::HardwarePredictorSized { threshold: 1_000, entries },
+                PolicyKind::HardwarePredictorSized {
+                    threshold: 1_000,
+                    entries,
+                },
             );
         }
         for &entries in dm_sizes {
             push(
                 "direct-mapped",
                 entries,
-                PolicyKind::HardwarePredictorDmSized { threshold: 1_000, entries },
+                PolicyKind::HardwarePredictorDmSized {
+                    threshold: 1_000,
+                    entries,
+                },
             );
         }
     }
@@ -565,7 +649,7 @@ pub fn predictor_accuracy(
 // ---------------------------------------------------------------------
 
 /// One row of the §V-B cache-budget study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HalfL2Row {
     /// Workload group.
     pub workload: String,
@@ -587,9 +671,10 @@ pub fn half_l2(scale: Scale, latencies: &[u64]) -> Vec<HalfL2Row> {
     let mut rows = Vec::new();
     let policy = PolicyKind::HardwarePredictor { threshold: 100 };
     for (name, profiles) in workload_groups(scale) {
-        let baselines = group_baselines(&profiles, scale);
+        let baselines = group_baselines(&profiles, scale, &mut simulate);
         for &latency in latencies {
-            let full = group_normalized(&profiles, &baselines, policy, latency, scale);
+            let full =
+                group_normalized(&profiles, &baselines, policy, latency, scale, &mut simulate);
             let mut half_acc = 0.0;
             for (p, base) in profiles.iter().zip(&baselines) {
                 let cfg = SystemConfig::builder()
@@ -619,7 +704,7 @@ pub fn half_l2(scale: Scale, latencies: &[u64]) -> Vec<HalfL2Row> {
 // ---------------------------------------------------------------------
 
 /// One row of the off-load transport ablation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MechanismRow {
     /// Workload group.
     pub workload: String,
@@ -641,7 +726,7 @@ pub fn mechanism_ablation(scale: Scale, latencies: &[u64]) -> Vec<MechanismRow> 
     let mut rows = Vec::new();
     let policy = PolicyKind::HardwarePredictor { threshold: 100 };
     for (name, profiles) in workload_groups(scale) {
-        let baselines = group_baselines(&profiles, scale);
+        let baselines = group_baselines(&profiles, scale, &mut simulate);
         for &latency in latencies {
             let run_mech = |mech: OffloadMechanism| {
                 let mut acc = 0.0;
@@ -675,7 +760,7 @@ pub fn mechanism_ablation(scale: Scale, latencies: &[u64]) -> Vec<MechanismRow> 
 // ---------------------------------------------------------------------
 
 /// One row of the sensitivity study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensitivityRow {
     /// Which substrate parameter was varied.
     pub parameter: String,
@@ -691,12 +776,21 @@ pub struct SensitivityRow {
 /// off-loading run share each varied substrate, so the ratio isolates
 /// the policy's benefit from the substrate shift itself.
 pub fn sensitivity(scale: Scale, profile: Profile) -> Vec<SensitivityRow> {
+    sensitivity_with(scale, profile, &mut simulate)
+}
+
+/// [`sensitivity`] with a pluggable [`Evaluator`].
+pub fn sensitivity_with(
+    scale: Scale,
+    profile: Profile,
+    eval: Evaluator<'_>,
+) -> Vec<SensitivityRow> {
     use osoffload_mem::{CacheGeometry, MemConfig};
     let policy = PolicyKind::HardwarePredictor { threshold: 100 };
     let mut rows = Vec::new();
 
-    let mut eval = |parameter: &str, value: u64, patch: &dyn Fn(&mut MemConfig)| {
-        let run = |kind: PolicyKind| {
+    let mut probe = |parameter: &str, value: u64, patch: &dyn Fn(&mut MemConfig)| {
+        let mut run = |kind: PolicyKind| {
             // The off-loading topology has one more core than baseline.
             let cores = if kind.is_baseline() { 1 } else { 2 };
             let mut mem = MemConfig::paper_baseline(cores);
@@ -710,7 +804,7 @@ pub fn sensitivity(scale: Scale, profile: Profile) -> Vec<SensitivityRow> {
                 .seed(scale.seed)
                 .mem_override(mem)
                 .build();
-            Simulation::new(cfg).run()
+            eval(cfg)
         };
         let base = run(PolicyKind::Baseline);
         let offl = run(policy);
@@ -722,17 +816,17 @@ pub fn sensitivity(scale: Scale, profile: Profile) -> Vec<SensitivityRow> {
     };
 
     for kb in [512u64, 1_024, 2_048] {
-        eval("l2_kb", kb, &move |m: &mut MemConfig| {
+        probe("l2_kb", kb, &move |m: &mut MemConfig| {
             m.l2 = CacheGeometry::new(kb * 1024, 16);
         });
     }
     for lat in [200u64, 350, 500] {
-        eval("dram_latency", lat, &move |m: &mut MemConfig| {
+        probe("dram_latency", lat, &move |m: &mut MemConfig| {
             m.dram_latency = lat;
         });
     }
     for c2c in [20u64, 40, 80] {
-        eval("c2c_latency", c2c, &move |m: &mut MemConfig| {
+        probe("c2c_latency", c2c, &move |m: &mut MemConfig| {
             m.interconnect = osoffload_mem::Interconnect::new(
                 m.interconnect.directory_lookup,
                 c2c,

@@ -5,10 +5,9 @@
 //! archived and diffed across runs.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Queueing behaviour at the OS core (§V-C).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueueReport {
     /// Off-load requests admitted.
     pub requests: u64,
@@ -21,7 +20,7 @@ pub struct QueueReport {
 }
 
 /// Predictor accuracy, mirroring the paper's §III-A reporting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PredictorReport {
     /// Fraction of invocations predicted exactly.
     pub exact: f64,
@@ -34,7 +33,7 @@ pub struct PredictorReport {
 }
 
 /// Binary off-load decision accuracy at one threshold (Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BinaryPoint {
     /// Threshold `N` in instructions.
     pub threshold: u64,
@@ -47,7 +46,7 @@ pub struct BinaryPoint {
 /// Components are not disjoint with wall-clock time (threads overlap),
 /// but their ratios expose what dominates CPI — the debugging view used
 /// when calibrating workload models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CycleBreakdown {
     /// One issue cycle per retired instruction.
     pub base: u64,
@@ -68,7 +67,7 @@ pub struct CycleBreakdown {
 }
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Workload name.
     pub profile: String,
@@ -178,7 +177,7 @@ impl SimReport {
     /// machine consumption by scripts and notebooks.
     ///
     /// The emitter is hand-rolled: the approved dependency set has no
-    /// serde *format* backend, and the report is a flat struct.
+    /// serialisation framework, and the report is a flat struct.
     ///
     /// # Examples
     ///
@@ -200,7 +199,7 @@ impl SimReport {
     pub fn to_json(&self) -> String {
         let mut o = String::with_capacity(1024);
         o.push('{');
-        let mut field = |o: &mut String, key: &str, value: String| {
+        let field = |o: &mut String, key: &str, value: String| {
             if o.len() > 1 {
                 o.push(',');
             }
@@ -215,7 +214,11 @@ impl SimReport {
         field(&mut o, "policy", s(&self.policy));
         field(&mut o, "threshold", opt(self.threshold));
         field(&mut o, "final_threshold", opt(self.final_threshold));
-        field(&mut o, "migration_one_way", self.migration_one_way.to_string());
+        field(
+            &mut o,
+            "migration_one_way",
+            self.migration_one_way.to_string(),
+        );
         field(&mut o, "user_cores", self.user_cores.to_string());
         field(&mut o, "os_cores", self.os_cores.to_string());
         field(&mut o, "threads", self.threads.to_string());
@@ -224,29 +227,72 @@ impl SimReport {
         field(&mut o, "throughput", format!("{:.6}", self.throughput));
         field(&mut o, "os_share", format!("{:.6}", self.os_share));
         field(&mut o, "offloads", self.offloads.to_string());
-        field(&mut o, "local_invocations", self.local_invocations.to_string());
-        field(&mut o, "decision_overhead_cycles", self.decision_overhead_cycles.to_string());
+        field(
+            &mut o,
+            "local_invocations",
+            self.local_invocations.to_string(),
+        );
+        field(
+            &mut o,
+            "decision_overhead_cycles",
+            self.decision_overhead_cycles.to_string(),
+        );
         field(&mut o, "l1d_hit_rate", format!("{:.6}", self.l1d_hit_rate));
         field(&mut o, "l1i_hit_rate", format!("{:.6}", self.l1i_hit_rate));
-        field(&mut o, "user_branch_accuracy", format!("{:.6}", self.user_branch_accuracy));
-        field(&mut o, "l2_user_hit_rate", format!("{:.6}", self.l2_user_hit_rate));
-        field(&mut o, "l2_os_hit_rate", format!("{:.6}", self.l2_os_hit_rate));
-        field(&mut o, "l2_mean_hit_rate", format!("{:.6}", self.l2_mean_hit_rate));
+        field(
+            &mut o,
+            "user_branch_accuracy",
+            format!("{:.6}", self.user_branch_accuracy),
+        );
+        field(
+            &mut o,
+            "l2_user_hit_rate",
+            format!("{:.6}", self.l2_user_hit_rate),
+        );
+        field(
+            &mut o,
+            "l2_os_hit_rate",
+            format!("{:.6}", self.l2_os_hit_rate),
+        );
+        field(
+            &mut o,
+            "l2_mean_hit_rate",
+            format!("{:.6}", self.l2_mean_hit_rate),
+        );
         field(&mut o, "c2c_transfers", self.c2c_transfers.to_string());
-        field(&mut o, "invalidation_rounds", self.invalidation_rounds.to_string());
+        field(
+            &mut o,
+            "invalidation_rounds",
+            self.invalidation_rounds.to_string(),
+        );
         field(&mut o, "l1d_accesses", self.l1d_accesses.to_string());
         field(&mut o, "l1i_accesses", self.l1i_accesses.to_string());
         field(&mut o, "l2_accesses", self.l2_accesses.to_string());
         field(&mut o, "dram_accesses", self.dram_accesses.to_string());
-        field(&mut o, "throttled_cycles", self.throttled_cycles.to_string());
-        field(&mut o, "os_core_busy_frac", format!("{:.6}", self.os_core_busy_frac));
-        field(&mut o, "user_cores_busy_frac", format!("{:.6}", self.user_cores_busy_frac));
+        field(
+            &mut o,
+            "throttled_cycles",
+            self.throttled_cycles.to_string(),
+        );
+        field(
+            &mut o,
+            "os_core_busy_frac",
+            format!("{:.6}", self.os_core_busy_frac),
+        );
+        field(
+            &mut o,
+            "user_cores_busy_frac",
+            format!("{:.6}", self.user_cores_busy_frac),
+        );
         field(
             &mut o,
             "queue",
             format!(
                 "{{\"requests\":{},\"stalled\":{},\"mean_delay\":{:.3},\"p95_delay\":{}}}",
-                self.queue.requests, self.queue.stalled, self.queue.mean_delay, self.queue.p95_delay
+                self.queue.requests,
+                self.queue.stalled,
+                self.queue.mean_delay,
+                self.queue.p95_delay
             ),
         );
         field(
@@ -380,7 +426,10 @@ mod tests {
     #[test]
     fn json_has_expected_structure() {
         let mut r = report(0.7);
-        r.binary_accuracy = vec![BinaryPoint { threshold: 100, accuracy: 0.95 }];
+        r.binary_accuracy = vec![BinaryPoint {
+            threshold: 100,
+            accuracy: 0.95,
+        }];
         r.predictor = Some(PredictorReport {
             exact: 0.7,
             within_5pct: 0.9,

@@ -55,7 +55,9 @@ impl MigrationModel {
     /// Creates a model with the given one-way migration latency in
     /// cycles.
     pub fn new(one_way_cycles: u64) -> Self {
-        MigrationModel { one_way: one_way_cycles }
+        MigrationModel {
+            one_way: one_way_cycles,
+        }
     }
 
     /// The paper's conservative design point: ~5,000 cycles, measured on
@@ -159,7 +161,10 @@ impl OsCoreQueue {
     /// matched by [`release`](Self::release) (the simulator fully
     /// processes one off-load before admitting the next).
     pub fn acquire(&mut self, arrival: Cycle) -> Cycle {
-        assert!(self.in_flight.is_none(), "OsCoreQueue: acquire while in flight");
+        assert!(
+            self.in_flight.is_none(),
+            "OsCoreQueue: acquire while in flight"
+        );
         self.requests.incr();
         // Earliest-free context serves the request.
         let (slot, &free_at) = self
@@ -264,7 +269,10 @@ mod tests {
 
     #[test]
     fn migration_design_points() {
-        assert_eq!(MigrationModel::conservative().round_trip(), Cycle::new(10_000));
+        assert_eq!(
+            MigrationModel::conservative().round_trip(),
+            Cycle::new(10_000)
+        );
         assert_eq!(MigrationModel::aggressive().round_trip(), Cycle::new(200));
         assert_eq!(MigrationModel::new(0).one_way(), Cycle::ZERO);
     }

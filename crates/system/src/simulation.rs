@@ -272,7 +272,10 @@ impl Simulation {
             self.cyc_data.add(data_extra);
         }
         if let Some(taken) = spec.branch {
-            let bp = self.cores[core_idx].branch_mut().execute(spec.pc, taken).as_u64();
+            let bp = self.cores[core_idx]
+                .branch_mut()
+                .execute(spec.pc, taken)
+                .as_u64();
             cost += bp;
             self.cyc_branch.add(bp);
         }
@@ -421,12 +424,20 @@ impl Simulation {
         let Some(epoch) = self.epoch.as_mut() else {
             return;
         };
-        if let EpochEvent::Boundary(_) = epoch.advance(Instret::new(n)) {
+        if let EpochEvent::Boundary { count, .. } = epoch.advance(Instret::new(n)) {
+            // A whole segment (possibly one long privileged invocation)
+            // was advanced at once, so several epochs may have completed.
+            // The L2 hit rate measured over the spanned interval is the
+            // best per-epoch sample available for each of them; feed the
+            // tuner once per boundary so it never under-samples.
             let snap = self.mem.snapshot();
             let rate = snap.l2_hit_rate_since(&self.epoch_snapshot);
             self.epoch_snapshot = snap;
             let tuner = self.tuner.as_mut().expect("epoch implies tuner");
-            let directive = tuner.on_epoch_end(rate);
+            let mut directive = tuner.on_epoch_end(rate);
+            for _ in 1..count {
+                directive = tuner.on_epoch_end(rate);
+            }
             epoch.set_epoch_len(directive.epoch_len);
             for p in &mut self.policies {
                 p.set_threshold(directive.threshold);
@@ -489,7 +500,11 @@ impl Simulation {
                 hits += p.hits();
                 total += p.total();
             }
-            if total == 0 { 0.0 } else { hits as f64 / total as f64 }
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
         };
         let l2_os_hit_rate = self
             .os_core
@@ -578,7 +593,10 @@ impl Simulation {
             binary_accuracy: self
                 .tracker
                 .iter()
-                .map(|(threshold, accuracy)| BinaryPoint { threshold, accuracy })
+                .map(|(threshold, accuracy)| BinaryPoint {
+                    threshold,
+                    accuracy,
+                })
                 .collect(),
             predictor,
             tuner_events: self.tuner.as_ref().map_or(0, |t| t.history().len()),
@@ -657,10 +675,18 @@ mod tests {
         let r = Simulation::new(small(PolicyKind::Baseline, 0)).run();
         // Tiny runs are cache-cold; the bound only guards against
         // degenerate timing, not steady-state IPC.
-        assert!(r.throughput > 0.02 && r.throughput < 1.0, "tput = {}", r.throughput);
+        assert!(
+            r.throughput > 0.02 && r.throughput < 1.0,
+            "tput = {}",
+            r.throughput
+        );
         assert_eq!(r.offloads, 0);
         assert!(r.local_invocations > 0);
-        assert!(r.os_share > 0.2, "apache should be OS-heavy: {}", r.os_share);
+        assert!(
+            r.os_share > 0.2,
+            "apache should be OS-heavy: {}",
+            r.os_share
+        );
         assert_eq!(r.os_core_busy_frac, 0.0);
         assert!(r.instructions >= 60_000);
     }
@@ -679,13 +705,25 @@ mod tests {
         assert!(r.os_core_busy_frac > 0.0);
         assert!(r.queue.requests == r.offloads);
         let p = r.predictor.expect("HI reports predictor stats");
-        assert!(p.within_5pct > 0.4, "predictor close rate = {}", p.within_5pct);
+        assert!(
+            p.within_5pct > 0.4,
+            "predictor close rate = {}",
+            p.within_5pct
+        );
     }
 
     #[test]
     fn determinism_same_seed_same_report() {
-        let a = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 1_000 }, 1_000)).run();
-        let b = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 1_000 }, 1_000)).run();
+        let a = Simulation::new(small(
+            PolicyKind::HardwarePredictor { threshold: 1_000 },
+            1_000,
+        ))
+        .run();
+        let b = Simulation::new(small(
+            PolicyKind::HardwarePredictor { threshold: 1_000 },
+            1_000,
+        ))
+        .run();
         assert_eq!(a, b);
     }
 
@@ -709,7 +747,9 @@ mod tests {
     #[test]
     fn high_threshold_offloads_nothing() {
         let r = Simulation::new(small(
-            PolicyKind::HardwarePredictor { threshold: u64::MAX },
+            PolicyKind::HardwarePredictor {
+                threshold: u64::MAX,
+            },
             100,
         ))
         .run();
@@ -718,9 +758,13 @@ mod tests {
 
     #[test]
     fn di_overhead_exceeds_hi_overhead() {
-        let hi = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 500 }, 100)).run();
+        let hi =
+            Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 500 }, 100)).run();
         let di = Simulation::new(small(
-            PolicyKind::DynamicInstrumentation { threshold: 500, cost: 120 },
+            PolicyKind::DynamicInstrumentation {
+                threshold: 500,
+                cost: 120,
+            },
             100,
         ))
         .run();
@@ -744,8 +788,16 @@ mod tests {
 
     #[test]
     fn os_core_utilization_falls_with_threshold() {
-        let low = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 100 }, 1_000)).run();
-        let high = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 10_000 }, 1_000)).run();
+        let low = Simulation::new(small(
+            PolicyKind::HardwarePredictor { threshold: 100 },
+            1_000,
+        ))
+        .run();
+        let high = Simulation::new(small(
+            PolicyKind::HardwarePredictor { threshold: 10_000 },
+            1_000,
+        ))
+        .run();
         assert!(
             low.os_core_busy_frac > high.os_core_busy_frac,
             "low-N busy {} vs high-N busy {}",

@@ -15,12 +15,11 @@
 
 use core::fmt;
 use osoffload_workload::SyscallId;
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// One privileged invocation, as the simulator executed it.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InvocationRecord {
     /// Software thread that trapped.
     pub thread: usize,
@@ -66,7 +65,7 @@ impl InvocationRecord {
 }
 
 /// Aggregated view of one entry point within a trace.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyscallSummary {
     /// Entry point.
     pub syscall: SyscallId,
@@ -206,11 +205,15 @@ impl InvocationTrace {
                 count: a.count,
                 offloaded: a.offloaded,
                 mean_len: a.len_sum / a.count as f64,
-                mean_abs_error: if a.err_n == 0 { 0.0 } else { a.err_sum / a.err_n as f64 },
+                mean_abs_error: if a.err_n == 0 {
+                    0.0
+                } else {
+                    a.err_sum / a.err_n as f64
+                },
                 mean_cycles: a.cyc_sum / a.count as f64,
             })
             .collect();
-        rows.sort_by(|x, y| y.count.cmp(&x.count));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.count));
         rows
     }
 }
@@ -231,7 +234,12 @@ impl fmt::Display for InvocationTrace {
 mod tests {
     use super::*;
 
-    fn rec(syscall: SyscallId, len: u64, predicted: Option<u64>, offloaded: bool) -> InvocationRecord {
+    fn rec(
+        syscall: SyscallId,
+        len: u64,
+        predicted: Option<u64>,
+        offloaded: bool,
+    ) -> InvocationRecord {
         InvocationRecord {
             thread: 0,
             syscall,

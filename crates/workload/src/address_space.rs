@@ -145,9 +145,7 @@ impl AddressSpace {
             Region::SharedBuffer => slot + (2 << 28),
             Region::KernelCode => KERNEL_BASE,
             Region::KernelData => KERNEL_BASE + (1 << 30),
-            Region::KernelThread => {
-                KERNEL_BASE + (2 << 30) + self.thread * KERNEL_THREAD_STRIDE
-            }
+            Region::KernelThread => KERNEL_BASE + (2 << 30) + self.thread * KERNEL_THREAD_STRIDE,
         }
     }
 
@@ -190,7 +188,11 @@ impl AddressSpace {
     ) -> u64 {
         let footprint = self.footprints.of(region).max(64);
         let hot = hot_bytes.clamp(64, footprint);
-        let lines = if rng.gen_bool(hot_frac) { hot / 64 } else { footprint / 64 };
+        let lines = if rng.gen_bool(hot_frac) {
+            hot / 64
+        } else {
+            footprint / 64
+        };
         let line = rng.sample_zipf_approx(lines.max(1), skew);
         let scattered = (line.wrapping_mul(0x9E37_79B9) ^ (line >> 7)) % (footprint / 64);
         self.base(region) + scattered * 64 + (rng.next_u64() & 0x38)
@@ -225,7 +227,10 @@ mod tests {
         let b = AddressSpace::new(1, fp());
         for &r in &[Region::UserCode, Region::UserData, Region::SharedBuffer] {
             let (ab, bb) = (a.base(r), b.base(r));
-            assert!(ab + fp().of(r) <= bb || bb + fp().of(r) <= ab, "{r} overlaps");
+            assert!(
+                ab + fp().of(r) <= bb || bb + fp().of(r) <= ab,
+                "{r} overlaps"
+            );
         }
     }
 

@@ -24,20 +24,62 @@ pub struct OsSyscallCount {
 /// The paper's Table I verbatim: number of distinct system calls in
 /// various operating systems.
 pub const OS_SYSCALL_TABLE: &[OsSyscallCount] = &[
-    OsSyscallCount { os: "Linux 2.6.30", syscalls: 344 },
-    OsSyscallCount { os: "Linux 2.6.16", syscalls: 310 },
-    OsSyscallCount { os: "Linux 2.4.29", syscalls: 259 },
-    OsSyscallCount { os: "FreeBSD Current", syscalls: 513 },
-    OsSyscallCount { os: "FreeBSD 5.3", syscalls: 444 },
-    OsSyscallCount { os: "FreeBSD 2.2", syscalls: 254 },
-    OsSyscallCount { os: "OpenSolaris", syscalls: 255 },
-    OsSyscallCount { os: "Linux 2.2", syscalls: 190 },
-    OsSyscallCount { os: "Linux 1.0", syscalls: 143 },
-    OsSyscallCount { os: "Linux 0.01", syscalls: 67 },
-    OsSyscallCount { os: "Windows Vista", syscalls: 360 },
-    OsSyscallCount { os: "Windows XP", syscalls: 288 },
-    OsSyscallCount { os: "Windows 2000", syscalls: 247 },
-    OsSyscallCount { os: "Windows NT", syscalls: 211 },
+    OsSyscallCount {
+        os: "Linux 2.6.30",
+        syscalls: 344,
+    },
+    OsSyscallCount {
+        os: "Linux 2.6.16",
+        syscalls: 310,
+    },
+    OsSyscallCount {
+        os: "Linux 2.4.29",
+        syscalls: 259,
+    },
+    OsSyscallCount {
+        os: "FreeBSD Current",
+        syscalls: 513,
+    },
+    OsSyscallCount {
+        os: "FreeBSD 5.3",
+        syscalls: 444,
+    },
+    OsSyscallCount {
+        os: "FreeBSD 2.2",
+        syscalls: 254,
+    },
+    OsSyscallCount {
+        os: "OpenSolaris",
+        syscalls: 255,
+    },
+    OsSyscallCount {
+        os: "Linux 2.2",
+        syscalls: 190,
+    },
+    OsSyscallCount {
+        os: "Linux 1.0",
+        syscalls: 143,
+    },
+    OsSyscallCount {
+        os: "Linux 0.01",
+        syscalls: 67,
+    },
+    OsSyscallCount {
+        os: "Windows Vista",
+        syscalls: 360,
+    },
+    OsSyscallCount {
+        os: "Windows XP",
+        syscalls: 288,
+    },
+    OsSyscallCount {
+        os: "Windows 2000",
+        syscalls: 247,
+    },
+    OsSyscallCount {
+        os: "Windows NT",
+        syscalls: 211,
+    },
 ];
 
 /// Identity of a privileged entry point in the synthetic kernel.
@@ -45,7 +87,7 @@ pub const OS_SYSCALL_TABLE: &[OsSyscallCount] = &[
 /// Includes classic system calls plus the other privileged sequences the
 /// paper counts as OS behaviour (§IV): page-fault handling, device
 /// interrupt service routines, and SPARC register-window spill/fill traps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // variant names are the documentation
 pub enum SyscallId {
     Read,
@@ -135,7 +177,10 @@ impl SyscallId {
 
     /// A dense index suitable for table lookups.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&s| s == self).expect("ALL is exhaustive")
+        Self::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("ALL is exhaustive")
     }
 
     /// The syscall-number value placed in `%g1` by the trap convention.
@@ -276,45 +321,474 @@ static FUTEX_CTX: &[(u64, u64)] = &[(100, 0), (101, 0), (102, 1), (103, 1)];
 /// filesystem/VM operations run thousands, and bulk I/O scales with the
 /// byte count.
 pub static CATALOG: &[SyscallSpec] = &[
-    spec(SyscallId::Read, "read", OsClass::Syscall, 850, 300, IO_SIZES, 0.015, 0.35, 0.30, 0.85),
-    spec(SyscallId::Write, "write", OsClass::Syscall, 950, 280, IO_SIZES, 0.01, 0.35, 0.30, 0.10),
-    spec(SyscallId::Readv, "readv", OsClass::Syscall, 1100, 310, IO_SIZES, 0.012, 0.35, 0.30, 0.85),
-    spec(SyscallId::Writev, "writev", OsClass::Syscall, 1200, 290, IO_SIZES, 0.01, 0.35, 0.30, 0.10),
-    spec(SyscallId::Open, "open", OsClass::Syscall, 2600, 0, FD_ONLY, 0.02, 0.55, 0.10, 0.20),
-    spec(SyscallId::Close, "close", OsClass::Syscall, 620, 0, FD_ONLY, 0.0, 0.50, 0.05, 0.10),
-    spec(SyscallId::Stat, "stat", OsClass::Syscall, 1450, 0, FD_ONLY, 0.02, 0.55, 0.15, 0.60),
-    spec(SyscallId::Fstat, "fstat", OsClass::Syscall, 520, 0, FD_ONLY, 0.0, 0.50, 0.15, 0.60),
-    spec(SyscallId::Lseek, "lseek", OsClass::Syscall, 280, 0, FD_ONLY, 0.0, 0.45, 0.05, 0.10),
-    spec(SyscallId::Fcntl, "fcntl", OsClass::Syscall, 380, 0, FD_ONLY, 0.0, 0.45, 0.05, 0.10),
-    spec(SyscallId::Ioctl, "ioctl", OsClass::Syscall, 900, 0, FD_ONLY, 0.01, 0.50, 0.15, 0.40),
-    spec(SyscallId::Poll, "poll", OsClass::Syscall, 1500, 0, FD_ONLY, 0.02, 0.55, 0.15, 0.50),
-    spec(SyscallId::Select, "select", OsClass::Syscall, 1850, 0, FD_ONLY, 0.02, 0.55, 0.15, 0.50),
-    spec(SyscallId::Mmap, "mmap", OsClass::Syscall, 3100, 8, MAP_SIZES, 0.0, 0.60, 0.05, 0.30),
-    spec(SyscallId::Munmap, "munmap", OsClass::Syscall, 2300, 6, MAP_SIZES, 0.0, 0.60, 0.02, 0.10),
-    spec(SyscallId::Brk, "brk", OsClass::Syscall, 920, 0, FIXED, 0.0, 0.60, 0.02, 0.10),
-    spec(SyscallId::Futex, "futex", OsClass::Syscall, 420, 0, FUTEX_CTX, 0.04, 0.50, 0.20, 0.50),
-    spec(SyscallId::SchedYield, "sched_yield", OsClass::Syscall, 740, 0, FIXED, 0.0, 0.60, 0.0, 0.0),
-    spec(SyscallId::Nanosleep, "nanosleep", OsClass::Syscall, 1100, 0, FIXED, 0.0, 0.55, 0.0, 0.0),
-    spec(SyscallId::GetTimeOfDay, "gettimeofday", OsClass::Syscall, 210, 0, FIXED, 0.0, 0.40, 0.20, 0.90),
-    spec(SyscallId::GetPid, "getpid", OsClass::Syscall, 130, 0, FIXED, 0.0, 0.30, 0.0, 0.0),
-    spec(SyscallId::Socket, "socket", OsClass::Syscall, 1900, 0, FIXED, 0.0, 0.55, 0.05, 0.20),
-    spec(SyscallId::Bind, "bind", OsClass::Syscall, 1200, 0, FIXED, 0.0, 0.55, 0.05, 0.20),
-    spec(SyscallId::Listen, "listen", OsClass::Syscall, 800, 0, FIXED, 0.0, 0.55, 0.02, 0.10),
-    spec(SyscallId::Accept, "accept", OsClass::Syscall, 3600, 0, FD_ONLY, 0.03, 0.55, 0.15, 0.60),
-    spec(SyscallId::Connect, "connect", OsClass::Syscall, 3200, 0, FD_ONLY, 0.03, 0.55, 0.10, 0.40),
-    spec(SyscallId::Send, "send", OsClass::Syscall, 1250, 260, NET_SIZES, 0.01, 0.40, 0.30, 0.10),
-    spec(SyscallId::Recv, "recv", OsClass::Syscall, 1150, 280, NET_SIZES, 0.025, 0.40, 0.30, 0.85),
-    spec(SyscallId::SendTo, "sendto", OsClass::Syscall, 1350, 260, NET_SIZES, 0.01, 0.40, 0.30, 0.10),
-    spec(SyscallId::RecvFrom, "recvfrom", OsClass::Syscall, 1250, 280, NET_SIZES, 0.025, 0.40, 0.30, 0.85),
-    spec(SyscallId::Fork, "fork", OsClass::Syscall, 18_000, 0, FIXED, 0.0, 0.65, 0.05, 0.30),
-    spec(SyscallId::Execve, "execve", OsClass::Syscall, 45_000, 0, FIXED, 0.0, 0.65, 0.05, 0.30),
-    spec(SyscallId::PageFault, "page_fault", OsClass::Fault, 1750, 0, SMALL_IO_SIZES, 0.0, 0.60, 0.10, 0.50),
-    spec(SyscallId::TlbRefill, "tlb_refill", OsClass::Fault, 90, 0, FD_ONLY, 0.0, 0.05, 0.85, 0.75),
-    spec(SyscallId::IrqNetwork, "irq_network", OsClass::Interrupt, 4200, 0, FIXED, 0.0, 0.55, 0.15, 0.80),
-    spec(SyscallId::IrqDisk, "irq_disk", OsClass::Interrupt, 5200, 0, FIXED, 0.0, 0.60, 0.10, 0.80),
-    spec(SyscallId::IrqTimer, "irq_timer", OsClass::Interrupt, 1600, 0, FIXED, 0.0, 0.55, 0.0, 0.0),
-    spec(SyscallId::WindowSpill, "window_spill", OsClass::SpillFill, 22, 0, FIXED, 0.0, 0.10, 0.50, 0.90),
-    spec(SyscallId::WindowFill, "window_fill", OsClass::SpillFill, 21, 0, FIXED, 0.0, 0.10, 0.50, 0.10),
+    spec(
+        SyscallId::Read,
+        "read",
+        OsClass::Syscall,
+        850,
+        300,
+        IO_SIZES,
+        0.015,
+        0.35,
+        0.30,
+        0.85,
+    ),
+    spec(
+        SyscallId::Write,
+        "write",
+        OsClass::Syscall,
+        950,
+        280,
+        IO_SIZES,
+        0.01,
+        0.35,
+        0.30,
+        0.10,
+    ),
+    spec(
+        SyscallId::Readv,
+        "readv",
+        OsClass::Syscall,
+        1100,
+        310,
+        IO_SIZES,
+        0.012,
+        0.35,
+        0.30,
+        0.85,
+    ),
+    spec(
+        SyscallId::Writev,
+        "writev",
+        OsClass::Syscall,
+        1200,
+        290,
+        IO_SIZES,
+        0.01,
+        0.35,
+        0.30,
+        0.10,
+    ),
+    spec(
+        SyscallId::Open,
+        "open",
+        OsClass::Syscall,
+        2600,
+        0,
+        FD_ONLY,
+        0.02,
+        0.55,
+        0.10,
+        0.20,
+    ),
+    spec(
+        SyscallId::Close,
+        "close",
+        OsClass::Syscall,
+        620,
+        0,
+        FD_ONLY,
+        0.0,
+        0.50,
+        0.05,
+        0.10,
+    ),
+    spec(
+        SyscallId::Stat,
+        "stat",
+        OsClass::Syscall,
+        1450,
+        0,
+        FD_ONLY,
+        0.02,
+        0.55,
+        0.15,
+        0.60,
+    ),
+    spec(
+        SyscallId::Fstat,
+        "fstat",
+        OsClass::Syscall,
+        520,
+        0,
+        FD_ONLY,
+        0.0,
+        0.50,
+        0.15,
+        0.60,
+    ),
+    spec(
+        SyscallId::Lseek,
+        "lseek",
+        OsClass::Syscall,
+        280,
+        0,
+        FD_ONLY,
+        0.0,
+        0.45,
+        0.05,
+        0.10,
+    ),
+    spec(
+        SyscallId::Fcntl,
+        "fcntl",
+        OsClass::Syscall,
+        380,
+        0,
+        FD_ONLY,
+        0.0,
+        0.45,
+        0.05,
+        0.10,
+    ),
+    spec(
+        SyscallId::Ioctl,
+        "ioctl",
+        OsClass::Syscall,
+        900,
+        0,
+        FD_ONLY,
+        0.01,
+        0.50,
+        0.15,
+        0.40,
+    ),
+    spec(
+        SyscallId::Poll,
+        "poll",
+        OsClass::Syscall,
+        1500,
+        0,
+        FD_ONLY,
+        0.02,
+        0.55,
+        0.15,
+        0.50,
+    ),
+    spec(
+        SyscallId::Select,
+        "select",
+        OsClass::Syscall,
+        1850,
+        0,
+        FD_ONLY,
+        0.02,
+        0.55,
+        0.15,
+        0.50,
+    ),
+    spec(
+        SyscallId::Mmap,
+        "mmap",
+        OsClass::Syscall,
+        3100,
+        8,
+        MAP_SIZES,
+        0.0,
+        0.60,
+        0.05,
+        0.30,
+    ),
+    spec(
+        SyscallId::Munmap,
+        "munmap",
+        OsClass::Syscall,
+        2300,
+        6,
+        MAP_SIZES,
+        0.0,
+        0.60,
+        0.02,
+        0.10,
+    ),
+    spec(
+        SyscallId::Brk,
+        "brk",
+        OsClass::Syscall,
+        920,
+        0,
+        FIXED,
+        0.0,
+        0.60,
+        0.02,
+        0.10,
+    ),
+    spec(
+        SyscallId::Futex,
+        "futex",
+        OsClass::Syscall,
+        420,
+        0,
+        FUTEX_CTX,
+        0.04,
+        0.50,
+        0.20,
+        0.50,
+    ),
+    spec(
+        SyscallId::SchedYield,
+        "sched_yield",
+        OsClass::Syscall,
+        740,
+        0,
+        FIXED,
+        0.0,
+        0.60,
+        0.0,
+        0.0,
+    ),
+    spec(
+        SyscallId::Nanosleep,
+        "nanosleep",
+        OsClass::Syscall,
+        1100,
+        0,
+        FIXED,
+        0.0,
+        0.55,
+        0.0,
+        0.0,
+    ),
+    spec(
+        SyscallId::GetTimeOfDay,
+        "gettimeofday",
+        OsClass::Syscall,
+        210,
+        0,
+        FIXED,
+        0.0,
+        0.40,
+        0.20,
+        0.90,
+    ),
+    spec(
+        SyscallId::GetPid,
+        "getpid",
+        OsClass::Syscall,
+        130,
+        0,
+        FIXED,
+        0.0,
+        0.30,
+        0.0,
+        0.0,
+    ),
+    spec(
+        SyscallId::Socket,
+        "socket",
+        OsClass::Syscall,
+        1900,
+        0,
+        FIXED,
+        0.0,
+        0.55,
+        0.05,
+        0.20,
+    ),
+    spec(
+        SyscallId::Bind,
+        "bind",
+        OsClass::Syscall,
+        1200,
+        0,
+        FIXED,
+        0.0,
+        0.55,
+        0.05,
+        0.20,
+    ),
+    spec(
+        SyscallId::Listen,
+        "listen",
+        OsClass::Syscall,
+        800,
+        0,
+        FIXED,
+        0.0,
+        0.55,
+        0.02,
+        0.10,
+    ),
+    spec(
+        SyscallId::Accept,
+        "accept",
+        OsClass::Syscall,
+        3600,
+        0,
+        FD_ONLY,
+        0.03,
+        0.55,
+        0.15,
+        0.60,
+    ),
+    spec(
+        SyscallId::Connect,
+        "connect",
+        OsClass::Syscall,
+        3200,
+        0,
+        FD_ONLY,
+        0.03,
+        0.55,
+        0.10,
+        0.40,
+    ),
+    spec(
+        SyscallId::Send,
+        "send",
+        OsClass::Syscall,
+        1250,
+        260,
+        NET_SIZES,
+        0.01,
+        0.40,
+        0.30,
+        0.10,
+    ),
+    spec(
+        SyscallId::Recv,
+        "recv",
+        OsClass::Syscall,
+        1150,
+        280,
+        NET_SIZES,
+        0.025,
+        0.40,
+        0.30,
+        0.85,
+    ),
+    spec(
+        SyscallId::SendTo,
+        "sendto",
+        OsClass::Syscall,
+        1350,
+        260,
+        NET_SIZES,
+        0.01,
+        0.40,
+        0.30,
+        0.10,
+    ),
+    spec(
+        SyscallId::RecvFrom,
+        "recvfrom",
+        OsClass::Syscall,
+        1250,
+        280,
+        NET_SIZES,
+        0.025,
+        0.40,
+        0.30,
+        0.85,
+    ),
+    spec(
+        SyscallId::Fork,
+        "fork",
+        OsClass::Syscall,
+        18_000,
+        0,
+        FIXED,
+        0.0,
+        0.65,
+        0.05,
+        0.30,
+    ),
+    spec(
+        SyscallId::Execve,
+        "execve",
+        OsClass::Syscall,
+        45_000,
+        0,
+        FIXED,
+        0.0,
+        0.65,
+        0.05,
+        0.30,
+    ),
+    spec(
+        SyscallId::PageFault,
+        "page_fault",
+        OsClass::Fault,
+        1750,
+        0,
+        SMALL_IO_SIZES,
+        0.0,
+        0.60,
+        0.10,
+        0.50,
+    ),
+    spec(
+        SyscallId::TlbRefill,
+        "tlb_refill",
+        OsClass::Fault,
+        90,
+        0,
+        FD_ONLY,
+        0.0,
+        0.05,
+        0.85,
+        0.75,
+    ),
+    spec(
+        SyscallId::IrqNetwork,
+        "irq_network",
+        OsClass::Interrupt,
+        4200,
+        0,
+        FIXED,
+        0.0,
+        0.55,
+        0.15,
+        0.80,
+    ),
+    spec(
+        SyscallId::IrqDisk,
+        "irq_disk",
+        OsClass::Interrupt,
+        5200,
+        0,
+        FIXED,
+        0.0,
+        0.60,
+        0.10,
+        0.80,
+    ),
+    spec(
+        SyscallId::IrqTimer,
+        "irq_timer",
+        OsClass::Interrupt,
+        1600,
+        0,
+        FIXED,
+        0.0,
+        0.55,
+        0.0,
+        0.0,
+    ),
+    spec(
+        SyscallId::WindowSpill,
+        "window_spill",
+        OsClass::SpillFill,
+        22,
+        0,
+        FIXED,
+        0.0,
+        0.10,
+        0.50,
+        0.90,
+    ),
+    spec(
+        SyscallId::WindowFill,
+        "window_fill",
+        OsClass::SpillFill,
+        21,
+        0,
+        FIXED,
+        0.0,
+        0.10,
+        0.50,
+        0.10,
+    ),
 ];
 
 #[cfg(test)]
@@ -324,11 +798,20 @@ mod tests {
     #[test]
     fn table1_matches_paper() {
         assert_eq!(OS_SYSCALL_TABLE.len(), 14);
-        let linux_2630 = OS_SYSCALL_TABLE.iter().find(|r| r.os == "Linux 2.6.30").unwrap();
+        let linux_2630 = OS_SYSCALL_TABLE
+            .iter()
+            .find(|r| r.os == "Linux 2.6.30")
+            .unwrap();
         assert_eq!(linux_2630.syscalls, 344);
-        let freebsd = OS_SYSCALL_TABLE.iter().find(|r| r.os == "FreeBSD Current").unwrap();
+        let freebsd = OS_SYSCALL_TABLE
+            .iter()
+            .find(|r| r.os == "FreeBSD Current")
+            .unwrap();
         assert_eq!(freebsd.syscalls, 513);
-        let nt = OS_SYSCALL_TABLE.iter().find(|r| r.os == "Windows NT").unwrap();
+        let nt = OS_SYSCALL_TABLE
+            .iter()
+            .find(|r| r.os == "Windows NT")
+            .unwrap();
         assert_eq!(nt.syscalls, 211);
     }
 
@@ -345,7 +828,10 @@ mod tests {
     fn trap_numbers_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for &id in SyscallId::ALL {
-            assert!(seen.insert(id.trap_number()), "duplicate trap number for {id}");
+            assert!(
+                seen.insert(id.trap_number()),
+                "duplicate trap number for {id}"
+            );
         }
     }
 

@@ -46,9 +46,9 @@ pub struct InstrSpec {
 fn branch_bias(pc: u64, data_dependent_taken: f64) -> f64 {
     let h = pc.wrapping_mul(0x2545_F491_4F6C_DD1D);
     match (h >> 60) & 0x7 {
-        0..=4 => 0.94,               // loop back-edges and hot paths
-        5 | 6 => 0.06,               // guards and error checks
-        _ => data_dependent_taken,   // genuinely data-dependent
+        0..=4 => 0.94,             // loop back-edges and hot paths
+        5 | 6 => 0.06,             // guards and error checks
+        _ => data_dependent_taken, // genuinely data-dependent
     }
 }
 
@@ -122,7 +122,8 @@ impl ThreadWorkload {
     /// Creates the stream for software thread `thread_id` of `profile`.
     pub fn new(profile: Profile, thread_id: usize, seed: u64) -> Self {
         let space = AddressSpace::new(thread_id, profile.footprints);
-        let mut rng = Rng64::seed_from(seed ^ (thread_id as u64).wrapping_mul(0xA5A5_5A5A_1234_5678));
+        let mut rng =
+            Rng64::seed_from(seed ^ (thread_id as u64).wrapping_mul(0xA5A5_5A5A_1234_5678));
         let mut mix_ids = Vec::with_capacity(profile.syscall_mix.len());
         let mut mix_cumulative = Vec::with_capacity(profile.syscall_mix.len());
         let mut acc = 0.0;
@@ -131,7 +132,10 @@ impl ThreadWorkload {
             mix_ids.push(id);
             mix_cumulative.push(acc);
         }
-        assert!(acc > 0.0, "ThreadWorkload: profile has an empty syscall mix");
+        assert!(
+            acc > 0.0,
+            "ThreadWorkload: profile has an empty syscall mix"
+        );
         let spill_fill_share = if profile.include_spill_fill {
             let r = profile.spill_fill_rate * profile.user_burst_mean;
             r / (1.0 + r)
@@ -140,7 +144,11 @@ impl ThreadWorkload {
         };
         let user_pc = space.base(Region::UserCode);
         let recent_user = vec![space.base(Region::UserData); 32];
-        let residual = [rng.next_u64() >> 16, rng.next_u64() >> 16, rng.next_u64() >> 16];
+        let residual = [
+            rng.next_u64() >> 16,
+            rng.next_u64() >> 16,
+            rng.next_u64() >> 16,
+        ];
         ThreadWorkload {
             profile,
             phases: Vec::new(),
@@ -321,8 +329,13 @@ impl ThreadWorkload {
         }
         let mem = if self.rng.gen_bool(p.user_mem_prob) {
             let m = if self.rng.gen_bool(p.user_shared_frac) {
-                let addr = self.space.sample(Region::SharedBuffer, p.user_locality_skew, &mut self.rng);
-                MemRef { addr, write: self.rng.gen_bool(p.user_shared_write_frac) }
+                let addr =
+                    self.space
+                        .sample(Region::SharedBuffer, p.user_locality_skew, &mut self.rng);
+                MemRef {
+                    addr,
+                    write: self.rng.gen_bool(p.user_shared_write_frac),
+                }
             } else {
                 let addr = self.space.sample_hot_cold(
                     Region::UserData,
@@ -331,7 +344,10 @@ impl ThreadWorkload {
                     p.user_locality_skew,
                     &mut self.rng,
                 );
-                MemRef { addr, write: self.rng.gen_bool(p.user_write_frac) }
+                MemRef {
+                    addr,
+                    write: self.rng.gen_bool(p.user_write_frac),
+                }
             };
             self.recent_user[self.recent_next] = m.addr;
             self.recent_next = (self.recent_next + 1) % self.recent_user.len();
@@ -410,10 +426,16 @@ impl ThreadWorkload {
                     p.os_locality_skew,
                     &mut self.rng,
                 );
-                Some(MemRef { addr, write: self.rng.gen_bool(p.os_write_frac) })
+                Some(MemRef {
+                    addr,
+                    write: self.rng.gen_bool(p.os_write_frac),
+                })
             } else {
                 let addr = self.space.sample(Region::KernelThread, 1.0, &mut self.rng);
-                Some(MemRef { addr, write: self.rng.gen_bool(p.os_write_frac) })
+                Some(MemRef {
+                    addr,
+                    write: self.rng.gen_bool(p.os_write_frac),
+                })
             }
         } else {
             None
@@ -487,7 +509,10 @@ mod tests {
                 saw_sf |= inv.class() == OsClass::SpillFill;
             }
         }
-        assert!(!saw_sf, "spill/fill generated despite include_spill_fill=false");
+        assert!(
+            !saw_sf,
+            "spill/fill generated despite include_spill_fill=false"
+        );
 
         let mut profile = Profile::apache();
         profile.include_spill_fill = true;
@@ -503,7 +528,10 @@ mod tests {
                 }
             }
         }
-        assert!(sf > total / 3, "spill/fill {sf}/{total} — should dominate counts");
+        assert!(
+            sf > total / 3,
+            "spill/fill {sf}/{total} — should dominate counts"
+        );
     }
 
     #[test]
@@ -550,9 +578,7 @@ mod tests {
         assert!(regions.contains(&Region::KernelThread));
         // User-side traffic is either the shared pool or the thread's
         // recent user lines (the recent-ring affinity model).
-        assert!(
-            regions.contains(&Region::SharedBuffer) || regions.contains(&Region::UserData)
-        );
+        assert!(regions.contains(&Region::SharedBuffer) || regions.contains(&Region::UserData));
         assert!(!regions.contains(&Region::UserCode));
     }
 
@@ -593,7 +619,11 @@ mod tests {
                 regs.insert(inv.regs);
             }
         }
-        assert!(regs.len() > 45, "interrupt regs repeat too much: {}", regs.len());
+        assert!(
+            regs.len() > 45,
+            "interrupt regs repeat too much: {}",
+            regs.len()
+        );
     }
 
     #[test]

@@ -177,9 +177,8 @@ mod tests {
         let mut rng = Rng64::seed_from(3);
         let mut shorter = 0;
         for _ in 0..500 {
-            let inv = OsInvocation::materialize(
-                SyscallId::Futex, 100, 0, 0.0, 0.0, 0.0, 0, &mut rng,
-            );
+            let inv =
+                OsInvocation::materialize(SyscallId::Futex, 100, 0, 0.0, 0.0, 0.0, 0, &mut rng);
             if inv.early_return {
                 assert!(inv.actual_len < inv.service_len);
                 shorter += 1;
@@ -195,9 +194,8 @@ mod tests {
         let mut rng = Rng64::seed_from(4);
         for _ in 0..500 {
             // brk has zero early-return probability, isolating the jitter.
-            let inv = OsInvocation::materialize(
-                SyscallId::Brk, 4, 4096, 1.0, 0.03, 0.0, 0, &mut rng,
-            );
+            let inv =
+                OsInvocation::materialize(SyscallId::Brk, 4, 4096, 1.0, 0.03, 0.0, 0, &mut rng);
             let lo = inv.service_len as f64 * 0.97 - 1.0;
             let hi = inv.service_len as f64 * 1.03 + 1.0;
             assert!(
@@ -214,7 +212,14 @@ mod tests {
         let mut extended = 0;
         for _ in 0..500 {
             let inv = OsInvocation::materialize(
-                SyscallId::Accept, 3, 0, 0.0, 0.0, 20_000.0, 4_000, &mut rng,
+                SyscallId::Accept,
+                3,
+                0,
+                0.0,
+                0.0,
+                20_000.0,
+                4_000,
+                &mut rng,
             );
             if inv.interrupt_extra > 0 {
                 assert!(inv.actual_len > inv.service_len);
@@ -247,7 +252,14 @@ mod tests {
         let mut rng = Rng64::seed_from(7);
         for _ in 0..200 {
             let inv = OsInvocation::materialize(
-                SyscallId::WindowSpill, 0, 0, 0.0, 0.0, 100.0, 1_000, &mut rng,
+                SyscallId::WindowSpill,
+                0,
+                0,
+                0.0,
+                0.0,
+                100.0,
+                1_000,
+                &mut rng,
             );
             assert_eq!(inv.interrupt_extra, 0);
         }
@@ -270,9 +282,8 @@ mod tests {
     fn actual_len_never_zero() {
         let mut rng = Rng64::seed_from(9);
         for _ in 0..500 {
-            let inv = OsInvocation::materialize(
-                SyscallId::GetPid, 0, 0, 1.0, 0.99, 0.0, 0, &mut rng,
-            );
+            let inv =
+                OsInvocation::materialize(SyscallId::GetPid, 0, 0, 1.0, 0.99, 0.0, 0, &mut rng);
             assert!(inv.actual_len >= 1);
         }
     }

@@ -138,8 +138,11 @@ impl Profile {
         match self.max_io_bytes {
             None => all.to_vec(),
             Some(cap) => {
-                let filtered: Vec<(u64, u64)> =
-                    all.iter().copied().filter(|&(_, arg1)| arg1 <= cap).collect();
+                let filtered: Vec<(u64, u64)> = all
+                    .iter()
+                    .copied()
+                    .filter(|&(_, arg1)| arg1 <= cap)
+                    .collect();
                 if filtered.is_empty() {
                     all.to_vec()
                 } else {
@@ -503,9 +506,16 @@ mod tests {
 
     #[test]
     fn mixes_reference_valid_weights() {
-        for p in Profile::all_server().into_iter().chain(Profile::all_compute()) {
+        for p in Profile::all_server()
+            .into_iter()
+            .chain(Profile::all_compute())
+        {
             let total: f64 = p.syscall_mix.iter().map(|&(_, w)| w).sum();
-            assert!((0.8..=1.5).contains(&total), "{}: weight sum {total}", p.name);
+            assert!(
+                (0.8..=1.5).contains(&total),
+                "{}: weight sum {total}",
+                p.name
+            );
             for &(_, w) in &p.syscall_mix {
                 assert!(w > 0.0);
             }
@@ -534,7 +544,10 @@ mod tests {
 
     #[test]
     fn by_name_round_trips() {
-        for p in Profile::all_server().into_iter().chain(Profile::all_compute()) {
+        for p in Profile::all_server()
+            .into_iter()
+            .chain(Profile::all_compute())
+        {
             let found = Profile::by_name(p.name).expect("by_name");
             assert_eq!(found.name, p.name);
         }
@@ -543,7 +556,10 @@ mod tests {
 
     #[test]
     fn probability_fields_are_probabilities() {
-        for p in Profile::all_server().into_iter().chain(Profile::all_compute()) {
+        for p in Profile::all_server()
+            .into_iter()
+            .chain(Profile::all_compute())
+        {
             for (label, v) in [
                 ("user_mem_prob", p.user_mem_prob),
                 ("user_write_frac", p.user_write_frac),

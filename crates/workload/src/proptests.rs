@@ -1,38 +1,35 @@
-//! Property-based tests for the workload models.
+//! Property-style tests for the workload models, driven by seeded
+//! [`Rng64`] case generation (dependency-free, bit-reproducible).
 
 use crate::catalog::{OsClass, SyscallId};
 use crate::invocation::{pointer_image, OsInvocation};
 use crate::profile::Profile;
 use osoffload_sim::Rng64;
-use proptest::prelude::*;
 
-fn any_syscall() -> impl Strategy<Value = SyscallId> {
-    (0..SyscallId::ALL.len()).prop_map(|i| SyscallId::ALL[i])
+const CASES: u64 = 64;
+
+fn any_syscall(g: &mut Rng64) -> SyscallId {
+    SyscallId::ALL[g.gen_range(0..SyscallId::ALL.len() as u64) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Materialised invocations always have a positive length, never
-    /// shrink below the early-return floor, and only ever *extend* via
-    /// interrupts (§III-A: "interrupts typically extend the duration of
-    /// OS invocations, almost never decreasing it").
-    #[test]
-    fn invocation_lengths_are_bounded(
-        syscall in any_syscall(),
-        arg1 in 0u64..1 << 17,
-        seed in prop::num::u64::ANY,
-        jitter in 0.0f64..1.0,
-    ) {
+/// Materialised invocations always have a positive length, never shrink
+/// below the early-return floor, and only ever *extend* via interrupts
+/// (§III-A: "interrupts typically extend the duration of OS invocations,
+/// almost never decreasing it").
+#[test]
+fn invocation_lengths_are_bounded() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x1E46_0000 + case);
+        let syscall = any_syscall(&mut g);
+        let arg1 = g.gen_range(0..1 << 17);
+        let seed = g.next_u64();
+        let jitter = g.next_f64();
         let mut rng = Rng64::seed_from(seed);
-        let inv = OsInvocation::materialize(
-            syscall, 4, arg1, jitter, 0.03, 50_000.0, 2_000, &mut rng,
-        );
-        prop_assert!(inv.actual_len >= 1);
-        let floor = (inv.service_len as f64
-            * crate::catalog::EARLY_RETURN_FACTOR
-            * 0.97) as u64;
-        prop_assert!(
+        let inv =
+            OsInvocation::materialize(syscall, 4, arg1, jitter, 0.03, 50_000.0, 2_000, &mut rng);
+        assert!(inv.actual_len >= 1);
+        let floor = (inv.service_len as f64 * crate::catalog::EARLY_RETURN_FACTOR * 0.97) as u64;
+        assert!(
             inv.actual_len + 1 >= floor.min(inv.service_len),
             "{}: actual {} below floor {}",
             inv.syscall,
@@ -40,53 +37,64 @@ proptest! {
             floor
         );
         if inv.interrupt_extra > 0 {
-            prop_assert!(inv.actual_len > inv.service_len.min(inv.actual_len - 1));
-            prop_assert!(syscall.spec().class != OsClass::SpillFill);
+            assert!(inv.actual_len > inv.service_len.min(inv.actual_len - 1));
+            assert!(syscall.spec().class != OsClass::SpillFill);
         }
     }
+}
 
-    /// The pointer-image register encoding is injective over
-    /// `(syscall, arg0)` for catalog-sized arguments.
-    #[test]
-    fn pointer_images_are_injective(
-        a in any_syscall(),
-        b in any_syscall(),
-        arg_a in 0u64..1 << 16,
-        arg_b in 0u64..1 << 16,
-    ) {
+/// The pointer-image register encoding is injective over
+/// `(syscall, arg0)` for catalog-sized arguments.
+#[test]
+fn pointer_images_are_injective() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x9043_0000 + case);
+        let a = any_syscall(&mut g);
+        let b = any_syscall(&mut g);
+        let arg_a = g.gen_range(0..1 << 16);
+        let arg_b = g.gen_range(0..1 << 16);
         let same_inputs = a == b && arg_a == arg_b;
-        prop_assert_eq!(pointer_image(a, arg_a) == pointer_image(b, arg_b), same_inputs);
+        assert_eq!(
+            pointer_image(a, arg_a) == pointer_image(b, arg_b),
+            same_inputs
+        );
     }
+}
 
-    /// The I/O-size filter never empties the context list and never
-    /// returns a context above the cap when a below-cap context exists.
-    #[test]
-    fn io_context_filter_is_safe(syscall in any_syscall(), cap in 0u64..1 << 17) {
+/// The I/O-size filter never empties the context list and never returns
+/// a context above the cap when a below-cap context exists.
+#[test]
+fn io_context_filter_is_safe() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x10C0_0000 + case);
+        let syscall = any_syscall(&mut g);
+        let cap = g.gen_range(0..1 << 17);
         let mut p = Profile::apache();
         p.max_io_bytes = Some(cap);
         let contexts = p.io_contexts(syscall);
-        prop_assert!(!contexts.is_empty());
+        assert!(!contexts.is_empty());
         let all = syscall.spec().arg_contexts;
         let any_under = all.iter().any(|&(_, a1)| a1 <= cap);
         if any_under {
-            prop_assert!(contexts.iter().all(|&(_, a1)| a1 <= cap));
+            assert!(contexts.iter().all(|&(_, a1)| a1 <= cap));
         } else {
-            prop_assert_eq!(contexts.len(), all.len());
+            assert_eq!(contexts.len(), all.len());
         }
     }
+}
 
-    /// Every profile's expected OS share is a probability, and the
-    /// expected invocation length is positive and finite.
-    #[test]
-    fn profile_expectations_are_sane(idx in 0usize..9) {
-        let profiles: Vec<Profile> = Profile::all_server()
-            .into_iter()
-            .chain(Profile::all_compute())
-            .collect();
-        let p = &profiles[idx];
+/// Every profile's expected OS share is a probability, and the expected
+/// invocation length is positive and finite.
+#[test]
+fn profile_expectations_are_sane() {
+    let profiles: Vec<Profile> = Profile::all_server()
+        .into_iter()
+        .chain(Profile::all_compute())
+        .collect();
+    for p in &profiles {
         let share = p.expected_os_share();
-        prop_assert!((0.0..1.0).contains(&share), "{}: share {share}", p.name);
+        assert!((0.0..1.0).contains(&share), "{}: share {share}", p.name);
         let len = p.expected_invocation_len();
-        prop_assert!(len > 0.0 && len.is_finite());
+        assert!(len > 0.0 && len.is_finite());
     }
 }

@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn every_profile_tracks_its_expectations() {
-        for profile in Profile::all_server().into_iter().chain(Profile::all_compute()) {
+        for profile in Profile::all_server()
+            .into_iter()
+            .chain(Profile::all_compute())
+        {
             let v = validate(&profile, 1_500_000, 7);
             // Invocation lengths are heavy-tailed, so accept either a
             // relative or a small absolute deviation (compute profiles

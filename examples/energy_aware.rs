@@ -41,7 +41,7 @@ fn main() {
         "design", "perf (norm)", "energy (norm)", "EDP (norm)"
     );
 
-    let mut show = |name: &str, report: &SimReport, params: &EnergyParams| {
+    let show = |name: &str, report: &SimReport, params: &EnergyParams| {
         let e = evaluate(report, params);
         println!(
             "{:<26} {:>11.3} {:>13.3} {:>10.3}",

@@ -30,7 +30,10 @@ fn main() {
 
     println!("AState(writev, 4 KB)  = {a_writev_4k}");
     println!("AState(writev, 64 KB) = {a_writev_64k}");
-    println!("distinct arguments hash to distinct AStates: {}\n", a_writev_4k != a_writev_64k);
+    println!(
+        "distinct arguments hash to distinct AStates: {}\n",
+        a_writev_4k != a_writev_64k
+    );
 
     // --- 2. Learning and the confidence counter -----------------------
     let mut cam = CamPredictor::paper_default();

@@ -31,13 +31,22 @@ fn main() {
     let baseline = run(PolicyKind::Baseline, 0);
     println!("baseline throughput: {:.4} insn/cyc\n", baseline.throughput);
 
-    for (label, latency) in [("conservative (5,000 cyc)", 5_000u64), ("aggressive (100 cyc)", 100)] {
+    for (label, latency) in [
+        ("conservative (5,000 cyc)", 5_000u64),
+        ("aggressive (100 cyc)", 100),
+    ] {
         println!("--- {label} ---");
         let policies = [
             ("SI", PolicyKind::StaticInstrumentation { stub_cost: 25 }),
             // N = 100: where the dynamic estimator settles for Apache
             // (see the threshold_tuning example).
-            ("DI", PolicyKind::DynamicInstrumentation { threshold: 100, cost: 120 }),
+            (
+                "DI",
+                PolicyKind::DynamicInstrumentation {
+                    threshold: 100,
+                    cost: 120,
+                },
+            ),
             ("HI", PolicyKind::HardwarePredictor { threshold: 100 }),
         ];
         for (name, policy) in policies {

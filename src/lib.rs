@@ -38,9 +38,10 @@
 //! ```
 
 pub use osoffload_core as core;
-pub use osoffload_energy as energy;
 pub use osoffload_cpu as cpu;
+pub use osoffload_energy as energy;
 pub use osoffload_mem as mem;
+pub use osoffload_runner as runner;
 pub use osoffload_sim as sim;
 pub use osoffload_system as system;
 pub use osoffload_workload as workload;

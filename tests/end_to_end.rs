@@ -19,9 +19,17 @@ fn run(profile: Profile, policy: PolicyKind, latency: u64, seed: u64) -> SimRepo
 }
 
 fn assert_report_sane(r: &SimReport) {
-    assert!(r.instructions >= 300_000, "short measurement: {}", r.instructions);
+    assert!(
+        r.instructions >= 300_000,
+        "short measurement: {}",
+        r.instructions
+    );
     assert!(r.cycles > 0);
-    assert!(r.throughput > 0.0 && r.throughput < 2.0, "tput {}", r.throughput);
+    assert!(
+        r.throughput > 0.0 && r.throughput < 2.0,
+        "tput {}",
+        r.throughput
+    );
     for (label, v) in [
         ("os_share", r.os_share),
         ("l1d", r.l1d_hit_rate),
@@ -33,7 +41,10 @@ fn assert_report_sane(r: &SimReport) {
     ] {
         assert!((0.0..=1.0).contains(&v), "{label} out of range: {v}");
     }
-    assert_eq!(r.queue.requests, r.offloads, "every offload goes through the queue");
+    assert_eq!(
+        r.queue.requests, r.offloads,
+        "every offload goes through the queue"
+    );
     // The cycle breakdown's base component equals retired instructions.
     assert_eq!(r.cycle_breakdown.base, r.instructions);
 }
@@ -45,9 +56,18 @@ fn every_policy_runs_end_to_end() {
         PolicyKind::AlwaysOffload,
         PolicyKind::HardwarePredictor { threshold: 500 },
         PolicyKind::HardwarePredictorDirectMapped { threshold: 500 },
-        PolicyKind::HardwarePredictorSized { threshold: 500, entries: 64 },
-        PolicyKind::HardwarePredictorDmSized { threshold: 500, entries: 256 },
-        PolicyKind::DynamicInstrumentation { threshold: 500, cost: 120 },
+        PolicyKind::HardwarePredictorSized {
+            threshold: 500,
+            entries: 64,
+        },
+        PolicyKind::HardwarePredictorDmSized {
+            threshold: 500,
+            entries: 256,
+        },
+        PolicyKind::DynamicInstrumentation {
+            threshold: 500,
+            cost: 120,
+        },
         PolicyKind::StaticInstrumentation { stub_cost: 25 },
         PolicyKind::Oracle { threshold: 500 },
     ];
@@ -65,16 +85,34 @@ fn every_policy_runs_end_to_end() {
 
 #[test]
 fn every_profile_runs_end_to_end() {
-    for profile in Profile::all_server().into_iter().chain(Profile::all_compute()) {
-        let r = run(profile, PolicyKind::HardwarePredictor { threshold: 1_000 }, 1_000, 2);
+    for profile in Profile::all_server()
+        .into_iter()
+        .chain(Profile::all_compute())
+    {
+        let r = run(
+            profile,
+            PolicyKind::HardwarePredictor { threshold: 1_000 },
+            1_000,
+            2,
+        );
         assert_report_sane(&r);
     }
 }
 
 #[test]
 fn identical_seeds_give_identical_reports() {
-    let a = run(Profile::derby(), PolicyKind::HardwarePredictor { threshold: 500 }, 100, 99);
-    let b = run(Profile::derby(), PolicyKind::HardwarePredictor { threshold: 500 }, 100, 99);
+    let a = run(
+        Profile::derby(),
+        PolicyKind::HardwarePredictor { threshold: 500 },
+        100,
+        99,
+    );
+    let b = run(
+        Profile::derby(),
+        PolicyKind::HardwarePredictor { threshold: 500 },
+        100,
+        99,
+    );
     assert_eq!(a, b, "simulation must be bit-for-bit deterministic");
 }
 
@@ -85,14 +123,22 @@ fn different_seeds_vary_but_agree_qualitatively() {
     assert_ne!(a.cycles, b.cycles);
     // Throughputs agree within a factor-level tolerance.
     let ratio = a.throughput / b.throughput;
-    assert!((0.7..1.4).contains(&ratio), "seed sensitivity too high: {ratio}");
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "seed sensitivity too high: {ratio}"
+    );
 }
 
 #[test]
 fn oracle_never_worse_than_predictor_on_decisions() {
     // The oracle off-loads exactly the invocations that exceed N; the
     // predictor approximates it. Their off-load counts must be close.
-    let oracle = run(Profile::apache(), PolicyKind::Oracle { threshold: 1_000 }, 1_000, 5);
+    let oracle = run(
+        Profile::apache(),
+        PolicyKind::Oracle { threshold: 1_000 },
+        1_000,
+        5,
+    );
     let hi = run(
         Profile::apache(),
         PolicyKind::HardwarePredictor { threshold: 1_000 },
@@ -116,9 +162,24 @@ fn always_offload_equals_zero_threshold_intent() {
 
 #[test]
 fn migration_latency_monotonically_hurts() {
-    let fast = run(Profile::apache(), PolicyKind::HardwarePredictor { threshold: 100 }, 0, 4);
-    let mid = run(Profile::apache(), PolicyKind::HardwarePredictor { threshold: 100 }, 1_000, 4);
-    let slow = run(Profile::apache(), PolicyKind::HardwarePredictor { threshold: 100 }, 5_000, 4);
+    let fast = run(
+        Profile::apache(),
+        PolicyKind::HardwarePredictor { threshold: 100 },
+        0,
+        4,
+    );
+    let mid = run(
+        Profile::apache(),
+        PolicyKind::HardwarePredictor { threshold: 100 },
+        1_000,
+        4,
+    );
+    let slow = run(
+        Profile::apache(),
+        PolicyKind::HardwarePredictor { threshold: 100 },
+        5_000,
+        4,
+    );
     assert!(
         fast.throughput >= mid.throughput && mid.throughput >= slow.throughput,
         "latency must monotonically reduce throughput: {} {} {}",
@@ -141,7 +202,12 @@ fn baseline_topology_has_no_os_core_activity() {
 fn spill_fill_profiles_run_end_to_end() {
     let mut profile = Profile::apache();
     profile.include_spill_fill = true;
-    let r = run(profile, PolicyKind::HardwarePredictor { threshold: 100 }, 100, 7);
+    let r = run(
+        profile,
+        PolicyKind::HardwarePredictor { threshold: 100 },
+        100,
+        7,
+    );
     assert_report_sane(&r);
     // Spill/fill traps flood the invocation count.
     assert!(r.offloads + r.local_invocations > 100);

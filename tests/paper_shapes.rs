@@ -74,7 +74,10 @@ fn specjbb_never_profits_at_conservative_latency() {
     // possible that off-loading may never be beneficial (see SPECjbb)."
     for n in [100u64, 1_000, 5_000] {
         let v = normalized(Profile::specjbb(), hi(n), 5_000);
-        assert!(v < 1.03, "SPECjbb at 5,000-cycle latency, N={n}: {v:.3} should be ~<=1");
+        assert!(
+            v < 1.03,
+            "SPECjbb at 5,000-cycle latency, N={n}: {v:.3} should be ~<=1"
+        );
     }
 }
 
@@ -211,7 +214,10 @@ fn hardware_beats_software_instrumentation() {
         let hi_v = run_single(Profile::apache(), hi(100), latency, 1, s).normalized_to(&base);
         let di_v = run_single(
             Profile::apache(),
-            PolicyKind::DynamicInstrumentation { threshold: 100, cost: 120 },
+            PolicyKind::DynamicInstrumentation {
+                threshold: 100,
+                cost: 120,
+            },
             latency,
             1,
             s,
@@ -225,7 +231,10 @@ fn hardware_beats_software_instrumentation() {
             s,
         )
         .normalized_to(&base);
-        assert!(hi_v >= di_v, "lat {latency}: HI {hi_v:.3} must be >= DI {di_v:.3}");
+        assert!(
+            hi_v >= di_v,
+            "lat {latency}: HI {hi_v:.3} must be >= DI {di_v:.3}"
+        );
         assert!(
             hi_v > si_v,
             "lat {latency}: HI {hi_v:.3} must beat SI {si_v:.3}"
@@ -256,7 +265,11 @@ fn tuner_adapts_across_a_program_phase_change() {
         .tuner(TunerConfig::scaled_down(1_000)) // 25K-insn samples
         .build();
     let (report, trace) = Simulation::new(cfg).run_with_tuner_trace();
-    assert!(trace.len() > 10, "tuner must keep sampling: {} events", trace.len());
+    assert!(
+        trace.len() > 10,
+        "tuner must keep sampling: {} events",
+        trace.len()
+    );
     assert!(report.final_threshold.is_some());
     // The run completes and the tuner stayed on its grid throughout.
     let grid = [0u64, 100, 500, 1_000, 5_000, 10_000];

@@ -1,11 +1,13 @@
-//! Property-based invariants across the whole stack.
+//! Property-style invariants across the whole stack, driven by seeded
+//! `Rng64` case generation (dependency-free, bit-reproducible).
 
 use osoffload::core::{AState, CamPredictor, RunLengthPredictor};
 use osoffload::mem::{Access, Address, CoreId, MemConfig, MemorySystem};
-use osoffload::sim::{Cycle, Instret};
+use osoffload::sim::{Cycle, Instret, Rng64};
 use osoffload::system::OsCoreQueue;
 use osoffload::workload::{Profile, Region, Segment, ThreadWorkload};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 fn small_mem(cores: usize) -> MemorySystem {
     let mut cfg = MemConfig::paper_baseline(cores);
@@ -15,57 +17,78 @@ fn small_mem(cores: usize) -> MemorySystem {
     MemorySystem::new(cfg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// MESI + directory + inclusion invariants hold under arbitrary
-    /// interleavings of reads/writes/fetches from multiple cores.
-    #[test]
-    fn coherence_invariants_hold_under_random_traffic(
-        ops in prop::collection::vec((0usize..3, 0u64..3, 0u64..64), 1..400)
-    ) {
+/// MESI + directory + inclusion invariants hold under arbitrary
+/// interleavings of reads/writes/fetches from multiple cores.
+#[test]
+fn coherence_invariants_hold_under_random_traffic() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xC0E4_0000 + case);
         let mut mem = small_mem(3);
-        for (kind, core, line) in ops {
-            let addr = Address::new(line * 64);
+        for _ in 0..g.gen_range(1..400) {
+            let kind = g.gen_range(0..3);
+            let core = g.gen_range(0..3) as usize;
+            let addr = Address::new(g.gen_range(0..64) * 64);
             let access = match kind {
                 0 => Access::read(addr),
                 1 => Access::write(addr),
                 _ => Access::fetch(addr),
             };
-            let outcome = mem.access(CoreId::new(core as usize), access);
-            prop_assert!(outcome.latency >= Cycle::new(1));
+            let outcome = mem.access(CoreId::new(core), access);
+            assert!(outcome.latency >= Cycle::new(1));
         }
         mem.check_invariants();
     }
+}
 
-    /// The same access sequence always produces the same latencies.
-    #[test]
-    fn memory_system_is_deterministic(
-        ops in prop::collection::vec((0u64..2, 0u64..2, 0u64..32), 1..200)
-    ) {
-        let runs: Vec<Vec<u64>> = (0..2).map(|_| {
-            let mut mem = small_mem(2);
-            ops.iter().map(|&(w, core, line)| {
-                let addr = Address::new(line * 64);
-                let access = if w == 1 { Access::write(addr) } else { Access::read(addr) };
-                mem.access(CoreId::new(core as usize), access).latency.as_u64()
-            }).collect()
-        }).collect();
-        prop_assert_eq!(&runs[0], &runs[1]);
+/// The same access sequence always produces the same latencies.
+#[test]
+fn memory_system_is_deterministic() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xDE7E_0000 + case);
+        let n = g.gen_range(1..200) as usize;
+        let ops: Vec<(u64, usize, u64)> = (0..n)
+            .map(|_| {
+                (
+                    g.gen_range(0..2),
+                    g.gen_range(0..2) as usize,
+                    g.gen_range(0..32),
+                )
+            })
+            .collect();
+        let runs: Vec<Vec<u64>> = (0..2)
+            .map(|_| {
+                let mut mem = small_mem(2);
+                ops.iter()
+                    .map(|&(w, core, line)| {
+                        let addr = Address::new(line * 64);
+                        let access = if w == 1 {
+                            Access::write(addr)
+                        } else {
+                            Access::read(addr)
+                        };
+                        mem.access(CoreId::new(core), access).latency.as_u64()
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
     }
+}
 
-    /// The predictor never forgets its capacity bound, and training on a
-    /// stable per-AState length converges to local predictions of it.
-    #[test]
-    fn predictor_converges_and_stays_bounded(
-        pairs in prop::collection::vec((0u64..40, 100u64..5_000), 10..300)
-    ) {
+/// The predictor never forgets its capacity bound, and training on a
+/// stable per-AState length converges to local predictions of it.
+#[test]
+fn predictor_converges_and_stays_bounded() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x9BED_0000 + case);
         let mut p = CamPredictor::new(32);
-        for &(a, len) in &pairs {
+        for _ in 0..g.gen_range(10..300) {
+            let a = g.gen_range(0..40);
+            let len = g.gen_range(100..5_000);
             let astate = AState::from(a.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let pred = p.predict(astate);
             p.learn(astate, pred, len);
-            prop_assert!(p.resident() <= 32);
+            assert!(p.resident() <= 32);
         }
         // Re-teaching one AState a constant length converges in 3 visits.
         let a = AState::from(0xABCDu64);
@@ -73,64 +96,82 @@ proptest! {
             let pred = p.predict(a);
             p.learn(a, pred, 777);
         }
-        prop_assert_eq!(p.predict(a).length, 777);
+        assert_eq!(p.predict(a).length, 777);
     }
+}
 
-    /// OS-core queue: service starts never precede arrivals, never
-    /// overlap, and stall counting is consistent.
-    #[test]
-    fn queue_is_causal_and_non_overlapping(
-        jobs in prop::collection::vec((0u64..10_000, 1u64..5_000), 1..100)
-    ) {
+/// OS-core queue: service starts never precede arrivals, never overlap,
+/// and stall counting is consistent.
+#[test]
+fn queue_is_causal_and_non_overlapping() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x05C0_0000 + case);
+        let n = g.gen_range(1..100) as usize;
+        let jobs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (g.gen_range(0..10_000), g.gen_range(1..5_000)))
+            .collect();
         let mut q = OsCoreQueue::new();
         let mut arrival = Cycle::ZERO;
         let mut last_end = Cycle::ZERO;
         for &(gap, service) in &jobs {
             arrival += gap;
             let start = q.acquire(arrival);
-            prop_assert!(start >= arrival, "service before arrival");
-            prop_assert!(start >= last_end, "overlapping service");
+            assert!(start >= arrival, "service before arrival");
+            assert!(start >= last_end, "overlapping service");
             let end = start + service;
             q.release(end);
             q.add_busy(end - start);
             last_end = end;
         }
-        prop_assert_eq!(q.requests(), jobs.len() as u64);
-        prop_assert!(q.stalled() <= q.requests());
+        assert_eq!(q.requests(), jobs.len() as u64);
+        assert!(q.stalled() <= q.requests());
         let total_service: u64 = jobs.iter().map(|&(_, s)| s).sum();
-        prop_assert_eq!(q.busy(), Cycle::new(total_service));
+        assert_eq!(q.busy(), Cycle::new(total_service));
     }
+}
 
-    /// Workload streams conserve the user/OS alternation and keep all
-    /// addresses inside the thread's regions.
-    #[test]
-    fn workload_streams_are_well_formed(seed in 0u64..1_000, thread in 0usize..4) {
+/// Workload streams conserve the user/OS alternation and keep all
+/// addresses inside the thread's regions.
+#[test]
+fn workload_streams_are_well_formed() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x3011_0000 + case);
+        let seed = g.gen_range(0..1_000);
+        let thread = g.gen_range(0..4) as usize;
         let mut wl = ThreadWorkload::new(Profile::derby(), thread, seed);
         let space = *wl.address_space();
         for i in 0..60 {
             match wl.next_segment() {
                 Segment::User { len } => {
-                    prop_assert!(i % 2 == 0, "user segment out of order");
-                    prop_assert!(len >= 1);
+                    assert!(i % 2 == 0, "user segment out of order");
+                    assert!(len >= 1);
                     let spec = wl.user_instr();
-                    prop_assert!(space.contains(Region::UserCode, spec.pc));
+                    assert!(space.contains(Region::UserCode, spec.pc));
                 }
                 Segment::Os(inv) => {
-                    prop_assert!(i % 2 == 1, "OS segment out of order");
-                    prop_assert!(inv.actual_len >= 1);
+                    assert!(i % 2 == 1, "OS segment out of order");
+                    assert!(inv.actual_len >= 1);
                     let spec = wl.os_instr(&inv, 0);
-                    prop_assert!(space.contains(Region::KernelCode, spec.pc));
+                    assert!(space.contains(Region::KernelCode, spec.pc));
                 }
             }
         }
     }
+}
 
-    /// Instret/Cycle arithmetic is consistent with u64 arithmetic.
-    #[test]
-    fn newtype_arithmetic_matches_raw(a in 0u64..1 << 40, b in 0u64..1 << 40) {
-        prop_assert_eq!((Cycle::new(a) + b).as_u64(), a + b);
-        prop_assert_eq!(Cycle::new(a).saturating_sub(Cycle::new(b)).as_u64(), a.saturating_sub(b));
-        prop_assert_eq!((Instret::new(a) + Instret::new(b)).as_u64(), a + b);
-        prop_assert_eq!(Cycle::new(a).max(Cycle::new(b)).as_u64(), a.max(b));
+/// Instret/Cycle arithmetic is consistent with u64 arithmetic.
+#[test]
+fn newtype_arithmetic_matches_raw() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xA217_0000 + case);
+        let a = g.gen_range(0..1 << 40);
+        let b = g.gen_range(0..1 << 40);
+        assert_eq!((Cycle::new(a) + b).as_u64(), a + b);
+        assert_eq!(
+            Cycle::new(a).saturating_sub(Cycle::new(b)).as_u64(),
+            a.saturating_sub(b)
+        );
+        assert_eq!((Instret::new(a) + Instret::new(b)).as_u64(), a + b);
+        assert_eq!(Cycle::new(a).max(Cycle::new(b)).as_u64(), a.max(b));
     }
 }

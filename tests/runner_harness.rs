@@ -1,0 +1,126 @@
+//! Integration tests for the parallel experiment harness: worker-count
+//! determinism, parity with the sequential drivers, and fault isolation.
+
+use osoffload::runner::{run_driver, run_plan_with, ExperimentPlan, Outcome, RunnerOptions};
+use osoffload::system::experiments::{self, fig4_grid_with, single_config, Scale};
+use osoffload::system::PolicyKind;
+use osoffload::workload::Profile;
+
+fn tiny() -> Scale {
+    Scale {
+        instructions: 60_000,
+        warmup: 20_000,
+        seed: 0xD0_0D,
+        compute_profiles: 1,
+    }
+}
+
+fn quiet(workers: usize) -> RunnerOptions {
+    RunnerOptions {
+        workers,
+        quiet: true,
+        ..RunnerOptions::default()
+    }
+}
+
+/// Builds a small mixed grid with split-derived per-point seeds.
+fn seeded_plan() -> ExperimentPlan {
+    let scale = tiny();
+    let mut plan = ExperimentPlan::new("det", 0xFEED);
+    for profile in [Profile::apache(), Profile::specjbb()] {
+        for threshold in [100u64, 1_000] {
+            plan.push(
+                format!("{}/N={threshold}", profile.name),
+                single_config(
+                    profile.clone(),
+                    PolicyKind::HardwarePredictor { threshold },
+                    1_000,
+                    1,
+                    scale,
+                ),
+            );
+        }
+    }
+    plan
+}
+
+/// A sweep of real simulations produces byte-identical deterministic
+/// rows whether one worker runs it or four do.
+#[test]
+fn sweep_rows_identical_across_worker_counts() {
+    let sequential = osoffload::runner::run_plan(&seeded_plan(), &quiet(1));
+    let parallel = osoffload::runner::run_plan(&seeded_plan(), &quiet(4));
+    assert_eq!(sequential.workers, 1);
+    assert_eq!(parallel.workers, 4);
+    let a: Vec<String> = sequential.rows.iter().map(|r| r.stable_json()).collect();
+    let b: Vec<String> = parallel.rows.iter().map(|r| r.stable_json()).collect();
+    assert_eq!(a, b, "rows must not depend on worker count or scheduling");
+    // The derived seeds are a pure function of master seed + plan order.
+    let seeds: Vec<u64> = seeded_plan()
+        .points()
+        .iter()
+        .map(|p| p.config.seed)
+        .collect();
+    assert_eq!(
+        seeds,
+        seeded_plan()
+            .points()
+            .iter()
+            .map(|p| p.config.seed)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        seeds.iter().collect::<std::collections::HashSet<_>>().len(),
+        seeds.len()
+    );
+}
+
+/// The record/replay bridge reproduces the sequential driver's rows
+/// exactly — same grid, same seeds, same floating-point results.
+#[test]
+fn parallel_fig4_matches_sequential_fig4() {
+    let scale = tiny();
+    let lats = [100u64];
+    let thrs = [100u64, 10_000];
+    let sequential = experiments::fig4_with_grid(scale, &lats, &thrs);
+    let (parallel, sweep) = run_driver("fig4-parity", scale.seed, &quiet(4), |ev| {
+        fig4_grid_with(scale, &lats, &thrs, ev)
+    });
+    assert!(sweep.failures().next().is_none());
+    assert_eq!(
+        sweep.rows.len(),
+        12,
+        "4 baselines + 4 groups x 1 lat x 2 thresholds"
+    );
+    assert_eq!(parallel.as_deref(), Some(&sequential[..]));
+}
+
+/// A point that panics is recorded as failed with its configuration and
+/// panic message; every other point still completes and the results
+/// document reflects both.
+#[test]
+fn panicking_point_does_not_kill_the_sweep() {
+    let plan = seeded_plan();
+    let sweep = run_plan_with(&plan, &quiet(3), |p| {
+        if p.index == 1 {
+            panic!("injected: simulated OOM at {}", p.id);
+        }
+        osoffload::system::Simulation::new(p.config.clone()).run()
+    });
+    assert_eq!(sweep.rows.len(), 4);
+    assert_eq!(sweep.failures().count(), 1);
+    assert_eq!(sweep.rows.iter().filter(|r| r.is_ok()).count(), 3);
+    match &sweep.rows[1].outcome {
+        Outcome::Failed { panic, attempts } => {
+            assert!(panic.contains("injected: simulated OOM"), "{panic}");
+            assert_eq!(*attempts, 1);
+        }
+        Outcome::Ok(_) => panic!("point 1 should have failed"),
+    }
+    let json = sweep.to_json();
+    assert!(json.contains("\"failed\":1"));
+    assert!(json.contains("\"status\":\"failed\""));
+    assert!(json.contains("\"status\":\"ok\""));
+    // The failed row still records which configuration it was.
+    assert!(sweep.rows[1].config_json.contains("\"profile\":\"apache\""));
+}

@@ -64,17 +64,29 @@ fn all_long() -> Profile {
 
 #[test]
 fn interrupt_storm_runs_and_defeats_the_predictor_gracefully() {
-    let r = run(interrupt_storm(), PolicyKind::HardwarePredictor { threshold: 1_000 }, 1_000);
+    let r = run(
+        interrupt_storm(),
+        PolicyKind::HardwarePredictor { threshold: 1_000 },
+        1_000,
+    );
     assert_sane(&r);
     // Interrupt AStates are residual register noise; exact prediction
     // should be near zero — but the run must complete and stay sane.
     let p = r.predictor.expect("predictor stats");
-    assert!(p.exact < 0.30, "interrupt AStates should be unpredictable: {}", p.exact);
+    assert!(
+        p.exact < 0.30,
+        "interrupt AStates should be unpredictable: {}",
+        p.exact
+    );
 }
 
 #[test]
 fn all_short_workload_never_offloads_above_threshold() {
-    let r = run(all_short(), PolicyKind::HardwarePredictor { threshold: 1_000 }, 1_000);
+    let r = run(
+        all_short(),
+        PolicyKind::HardwarePredictor { threshold: 1_000 },
+        1_000,
+    );
     assert_sane(&r);
     // Everything is far below N = 1,000: after warm-up no off-loads
     // should happen (a handful of cold global predictions may slip by).
@@ -88,7 +100,11 @@ fn all_short_workload_never_offloads_above_threshold() {
 
 #[test]
 fn all_long_workload_offloads_almost_everything() {
-    let r = run(all_long(), PolicyKind::HardwarePredictor { threshold: 1_000 }, 1_000);
+    let r = run(
+        all_long(),
+        PolicyKind::HardwarePredictor { threshold: 1_000 },
+        1_000,
+    );
     assert_sane(&r);
     assert!(
         (r.local_invocations as f64) < 0.2 * (r.offloads + r.local_invocations).max(1) as f64,
@@ -104,7 +120,10 @@ fn single_entry_predictor_still_works() {
     // poison the decisions beyond the global fallback's quality.
     let r = run(
         Profile::apache(),
-        PolicyKind::HardwarePredictorSized { threshold: 500, entries: 1 },
+        PolicyKind::HardwarePredictorSized {
+            threshold: 500,
+            entries: 1,
+        },
         1_000,
     );
     assert_sane(&r);
@@ -113,7 +132,11 @@ fn single_entry_predictor_still_works() {
 
 #[test]
 fn zero_latency_and_huge_latency_extremes() {
-    let fast = run(Profile::apache(), PolicyKind::HardwarePredictor { threshold: 100 }, 0);
+    let fast = run(
+        Profile::apache(),
+        PolicyKind::HardwarePredictor { threshold: 100 },
+        0,
+    );
     assert_sane(&fast);
     let slow = run(
         Profile::apache(),
@@ -139,13 +162,25 @@ fn saturated_os_core_under_always_offload_and_eight_user_cores() {
     assert_sane(&r);
     // 16 threads hammering one OS core: the queue must show saturation.
     assert!(r.queue.stalled > 0);
-    assert!(r.queue.mean_delay > 1_000.0, "queue delay = {}", r.queue.mean_delay);
+    assert!(
+        r.queue.mean_delay > 1_000.0,
+        "queue delay = {}",
+        r.queue.mean_delay
+    );
 }
 
 #[test]
 fn pathological_profiles_are_deterministic_too() {
-    let a = run(interrupt_storm(), PolicyKind::HardwarePredictor { threshold: 500 }, 500);
-    let b = run(interrupt_storm(), PolicyKind::HardwarePredictor { threshold: 500 }, 500);
+    let a = run(
+        interrupt_storm(),
+        PolicyKind::HardwarePredictor { threshold: 500 },
+        500,
+    );
+    let b = run(
+        interrupt_storm(),
+        PolicyKind::HardwarePredictor { threshold: 500 },
+        500,
+    );
     assert_eq!(a, b);
 }
 
