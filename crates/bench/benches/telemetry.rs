@@ -1,0 +1,48 @@
+//! Per-event cost of the telemetry hot path: the disabled handle (one
+//! never-taken branch), the no-op sink (construct-and-discard, isolating
+//! event-construction cost), and the full ring-buffer sink.
+
+use osoffload_bench::timing::{bench, black_box};
+use osoffload_obs::{Event, EventKind, Telemetry, Track};
+
+fn invocation_event(astate: u64) -> Event {
+    Event {
+        ts: black_box(12_345),
+        dur: black_box(900),
+        track: Track::Thread(3),
+        kind: EventKind::Invocation {
+            name: "read",
+            trap: 0x100,
+            astate,
+            predicted: Some(1_000),
+            offloaded: true,
+            actual_len: 900,
+            queue_delay: 10,
+        },
+    }
+}
+
+fn main() {
+    let mut off = Telemetry::off();
+    let mut n = 0u64;
+    bench("telemetry/emit_off", || {
+        n = n.wrapping_add(1);
+        off.emit_with(|| invocation_event(n));
+        off.seen()
+    });
+
+    let mut noop = Telemetry::noop();
+    bench("telemetry/emit_noop", || {
+        n = n.wrapping_add(1);
+        noop.emit_with(|| invocation_event(n));
+        noop.seen()
+    });
+
+    let mut full = Telemetry::buffered(1 << 16);
+    bench("telemetry/emit_full_ring", || {
+        n = n.wrapping_add(1);
+        full.emit_with(|| invocation_event(n));
+        full.seen()
+    });
+    black_box(full.dropped());
+}

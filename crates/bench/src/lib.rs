@@ -105,9 +105,9 @@ pub mod harness {
     use osoffload_system::experiments::{Evaluator, Scale};
 
     /// Parses `[quick|full|paper]` plus the runner flags
-    /// (`--workers=N`/`-jN`, `--retries=N`, `--quiet`, `--out=DIR`)
-    /// from the process arguments. Unknown arguments abort with usage
-    /// help.
+    /// (`--workers=N`/`-jN`, `--retries=N`, `--quiet`, `--out=DIR`,
+    /// `--telemetry`, `--trace-out=DIR`) from the process arguments.
+    /// Unknown arguments abort with usage help.
     pub fn parse_args() -> (Scale, RunnerOptions) {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let (opts, rest) = RunnerOptions::parse_flags(&args);
@@ -123,7 +123,10 @@ pub mod harness {
         eprintln!(
             "usage: <bin> [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]"
         );
+        eprintln!("             [--telemetry] [--trace-out=DIR]");
         eprintln!("       (default scale: full; default workers: all hardware threads)");
+        eprintln!("       --telemetry writes per-point Chrome traces + epoch metrics and");
+        eprintln!("       runner self-profiling under results/telemetry/ (see TELEMETRY.md)");
         std::process::exit(2);
     }
 
@@ -149,6 +152,16 @@ pub mod harness {
                 path.display()
             ),
             Err(e) => eprintln!("[{name}] could not write results file: {e}"),
+        }
+        if opts.telemetry {
+            match report::write_runner_telemetry(&sweep, &opts.telemetry_dir()) {
+                Ok(paths) => {
+                    for p in paths {
+                        eprintln!("[{name}] wrote {}", p.display());
+                    }
+                }
+                Err(e) => eprintln!("[{name}] could not write runner telemetry: {e}"),
+            }
         }
         match rows {
             Some(rows) => rows,

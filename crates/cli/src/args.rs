@@ -51,6 +51,10 @@ pub struct RunArgs {
     pub energy: bool,
     /// Emit the report as JSON instead of prose (`run` only).
     pub json: bool,
+    /// Capture full telemetry (spans + epoch metrics) during the run.
+    pub telemetry: bool,
+    /// Directory for telemetry files (implies `telemetry`).
+    pub trace_out: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -68,6 +72,8 @@ impl Default for RunArgs {
             adapt_milli: None,
             energy: false,
             json: false,
+            telemetry: false,
+            trace_out: None,
         }
     }
 }
@@ -176,6 +182,14 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, ParseArgsError> {
             "--adapt" => out.adapt_milli = Some(parse_u64(flag, it.next())?),
             "--energy" => out.energy = true,
             "--json" => out.json = true,
+            "--telemetry" => out.telemetry = true,
+            "--trace-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--trace-out needs a directory"))?;
+                out.trace_out = Some(v.to_string());
+                out.telemetry = true;
+            }
             other => return Err(err(format!("unknown flag '{other}'"))),
         }
     }
@@ -238,9 +252,14 @@ FLAGS (run/compare/sweep):
                                 locally, throttled by milli/1000 (no OS core)
         --energy                also score energy and EDP
         --json                  emit the report as JSON (run only)
+        --telemetry             capture spans + epoch metrics; write a Chrome
+                                trace and metric time series (see TELEMETRY.md)
+        --trace-out <dir>       telemetry output directory [results/telemetry]
+                                (implies --telemetry)
 
 EXAMPLES:
     osoffload run -p apache --policy hi:500 -l 1000 --energy
+    osoffload run -p apache --telemetry --trace-out results/telemetry
     osoffload compare -p specjbb2005 -l 5000
     osoffload sweep -p derby -l 100 -n 2000000
 ";
@@ -307,6 +326,21 @@ mod tests {
             panic!()
         };
         assert!(a.json);
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let Command::Run(a) = parse(&argv("run --telemetry")).unwrap() else {
+            panic!()
+        };
+        assert!(a.telemetry);
+        assert_eq!(a.trace_out, None);
+        let Command::Run(a) = parse(&argv("run --trace-out out/t")).unwrap() else {
+            panic!()
+        };
+        assert!(a.telemetry, "--trace-out implies --telemetry");
+        assert_eq!(a.trace_out.as_deref(), Some("out/t"));
+        assert!(parse(&argv("run --trace-out")).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::args::RunArgs;
 use osoffload_core::TunerConfig;
 use osoffload_energy::{evaluate, EnergyParams};
+use osoffload_obs::TelemetryMode;
 use osoffload_system::{OffloadMechanism, PolicyKind, SimReport, Simulation, SystemConfig};
 use osoffload_workload::Profile;
 
@@ -43,8 +44,33 @@ fn print_energy(report: &SimReport) {
 }
 
 /// `osoffload run`: one simulation, detailed report.
+///
+/// With `--telemetry`, the run captures spans and epoch-sampled metrics
+/// and writes `<profile>.trace.json`, `<profile>.metrics.csv`, and
+/// `<profile>.metrics.json` under `--trace-out` (default
+/// `results/telemetry`). Telemetry is observational: the printed report
+/// is bit-identical with or without it.
 pub fn run(a: &RunArgs) -> i32 {
-    let report = simulate(a, a.policy);
+    let report = if a.telemetry {
+        let mut cfg = build_config(a, a.policy);
+        cfg.telemetry = TelemetryMode::Full;
+        let (report, telemetry) = Simulation::new(cfg).run_with_telemetry();
+        let dir = std::path::PathBuf::from(a.trace_out.as_deref().unwrap_or("results/telemetry"));
+        match telemetry.write_files(&dir, &a.profile) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("telemetry: wrote {}", p.display());
+                }
+            }
+            Err(e) => eprintln!(
+                "telemetry: could not write files under {}: {e}",
+                dir.display()
+            ),
+        }
+        report
+    } else {
+        simulate(a, a.policy)
+    };
     if a.json {
         println!("{}", report.to_json());
         return 0;
@@ -64,11 +90,14 @@ pub fn run(a: &RunArgs) -> i32 {
     );
     if report.offloads > 0 {
         println!(
-            "  off-loading: {} migrated / {} local, queue mean {:.0} cyc (p95 {} cyc)",
+            "  off-loading: {} migrated / {} local, queue mean {:.0} cyc \
+             (p50 {} / p95 {} / p99 {} cyc)",
             report.offloads,
             report.local_invocations,
             report.queue.mean_delay,
-            report.queue.p95_delay
+            report.queue.p50_delay,
+            report.queue.p95_delay,
+            report.queue.p99_delay
         );
     }
     if let Some(p) = &report.predictor {
@@ -249,6 +278,21 @@ mod tests {
         let mut a = tiny_args();
         a.adapt_milli = Some(1_250);
         assert_eq!(run(&a), 0);
+    }
+
+    #[test]
+    fn run_with_telemetry_writes_files() {
+        let dir = std::env::temp_dir().join(format!("osoff-cli-telem-{}", std::process::id()));
+        let mut a = tiny_args();
+        a.telemetry = true;
+        a.trace_out = Some(dir.to_string_lossy().into_owned());
+        assert_eq!(run(&a), 0);
+        let trace = dir.join("apache.trace.json");
+        let text = std::fs::read_to_string(&trace).expect("trace file written");
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(dir.join("apache.metrics.csv").exists());
+        assert!(dir.join("apache.metrics.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

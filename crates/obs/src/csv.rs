@@ -1,0 +1,134 @@
+//! RFC 4180 CSV escaping and a small conforming parser.
+//!
+//! The writer side ([`field`]) quotes any field containing a comma,
+//! quote, or line break and doubles embedded quotes; everything else
+//! passes through verbatim. The parser exists so tests can prove
+//! round-trips (`parse(render(rows)) == rows`) without an external
+//! crate.
+
+/// Escapes one field per RFC 4180.
+///
+/// ```
+/// use osoffload_obs::csv;
+/// assert_eq!(csv::field("plain"), "plain");
+/// assert_eq!(csv::field("a,b"), "\"a,b\"");
+/// assert_eq!(csv::field("say \"hi\""), "\"say \"\"hi\"\"\"");
+/// ```
+pub fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders one record from already-unescaped fields.
+pub fn record(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| field(f))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses CSV text into records of unescaped fields.
+///
+/// Handles quoted fields, doubled quotes, and embedded separators or
+/// line breaks. A trailing newline does not produce an empty record.
+pub fn parse(text: &str) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut fld = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        fld.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => fld.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut fld)),
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    row.push(std::mem::take(&mut fld));
+                    records.push(std::mem::take(&mut row));
+                    saw_any = false;
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut fld));
+                    records.push(std::mem::take(&mut row));
+                    saw_any = false;
+                }
+                _ => fld.push(c),
+            }
+        }
+    }
+    if saw_any {
+        row.push(fld);
+        records.push(row);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(field("abc_123"), "abc_123");
+        assert_eq!(record(&["a".into(), "b".into()]), "a,b");
+    }
+
+    #[test]
+    fn special_fields_round_trip() {
+        let rows: Vec<Vec<String>> = vec![
+            vec!["name".into(), "value".into()],
+            vec!["comma,inside".into(), "1".into()],
+            vec!["quote\"inside".into(), "line\nbreak".into()],
+            vec!["".into(), "trailing".into()],
+        ];
+        let text = rows
+            .iter()
+            .map(|r| record(r))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        assert_eq!(parse(&text), rows);
+    }
+
+    #[test]
+    fn crlf_and_no_trailing_newline_parse() {
+        assert_eq!(
+            parse("a,b\r\nc,d"),
+            vec![
+                vec!["a".to_string(), "b".to_string()],
+                vec!["c".to_string(), "d".to_string()]
+            ]
+        );
+        assert!(parse("").is_empty());
+    }
+}

@@ -24,6 +24,11 @@ pub struct RunnerOptions {
     pub quiet: bool,
     /// Directory the JSON results file is written into.
     pub out_dir: PathBuf,
+    /// Records full telemetry for every point and writes per-point
+    /// trace/metrics files (see [`crate::report::write_runner_telemetry`]).
+    pub telemetry: bool,
+    /// Where telemetry files go; defaults to `<out_dir>/telemetry`.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for RunnerOptions {
@@ -33,6 +38,8 @@ impl Default for RunnerOptions {
             retries: 0,
             quiet: false,
             out_dir: PathBuf::from("results"),
+            telemetry: false,
+            trace_out: None,
         }
     }
 }
@@ -42,7 +49,8 @@ impl RunnerOptions {
     /// the parsed options and the untouched remainder.
     ///
     /// Recognised: `--workers=N` (or `-jN`), `--retries=N`, `--quiet`,
-    /// `--out=DIR`. Malformed values abort with a message on stderr.
+    /// `--out=DIR`, `--telemetry`, and `--trace-out=DIR` (implies
+    /// `--telemetry`). Malformed values abort with a message on stderr.
     pub fn parse_flags(args: &[String]) -> (RunnerOptions, Vec<String>) {
         let mut opts = RunnerOptions::default();
         let mut rest = Vec::new();
@@ -63,6 +71,11 @@ impl RunnerOptions {
                 opts.quiet = true;
             } else if let Some(v) = arg.strip_prefix("--out=") {
                 opts.out_dir = PathBuf::from(v);
+            } else if arg == "--telemetry" {
+                opts.telemetry = true;
+            } else if let Some(v) = arg.strip_prefix("--trace-out=") {
+                opts.telemetry = true;
+                opts.trace_out = Some(PathBuf::from(v));
             } else {
                 rest.push(arg.clone());
             }
@@ -78,6 +91,13 @@ impl RunnerOptions {
             self.workers
         };
         w.clamp(1, points.max(1))
+    }
+
+    /// The directory per-point telemetry files are written into.
+    pub fn telemetry_dir(&self) -> PathBuf {
+        self.trace_out
+            .clone()
+            .unwrap_or_else(|| self.out_dir.join("telemetry"))
     }
 }
 
@@ -110,8 +130,13 @@ pub struct PointResult {
     pub outcome: Outcome,
     /// Wall-clock milliseconds the evaluation took (non-deterministic).
     pub wall_ms: f64,
+    /// Milliseconds after sweep start the evaluation began
+    /// (non-deterministic; self-profiling timeline).
+    pub start_ms: f64,
     /// Which worker ran it (non-deterministic).
     pub worker: usize,
+    /// Evaluations performed, counting retries (1 = first try worked).
+    pub attempts: u32,
 }
 
 impl PointResult {
@@ -148,15 +173,18 @@ impl PointResult {
         o
     }
 
-    /// The full row as JSON, adding the non-deterministic `wall_ms` and
-    /// `worker` fields to [`stable_json`](Self::stable_json).
+    /// The full row as JSON, adding the non-deterministic `wall_ms`,
+    /// `start_ms`, `worker`, and `attempts` fields to
+    /// [`stable_json`](Self::stable_json).
     pub fn row_json(&self) -> String {
         let stable = self.stable_json();
         format!(
-            "{},\"wall_ms\":{:.3},\"worker\":{}}}",
+            "{},\"wall_ms\":{:.3},\"start_ms\":{:.3},\"worker\":{},\"attempts\":{}}}",
             &stable[..stable.len() - 1],
             self.wall_ms,
-            self.worker
+            self.start_ms,
+            self.worker,
+            self.attempts
         )
     }
 }
@@ -176,10 +204,60 @@ pub struct SweepResult {
     pub rows: Vec<PointResult>,
 }
 
+/// Self-profiling summary of one worker thread's share of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerProfile {
+    /// Worker index.
+    pub worker: usize,
+    /// Points this worker evaluated.
+    pub points: usize,
+    /// Milliseconds the worker spent evaluating points.
+    pub busy_ms: f64,
+    /// Extra evaluations due to retries.
+    pub retries: u64,
+    /// `busy_ms` over the sweep's wall-clock time.
+    pub utilization: f64,
+}
+
 impl SweepResult {
     /// The rows whose evaluation failed.
     pub fn failures(&self) -> impl Iterator<Item = &PointResult> {
         self.rows.iter().filter(|r| !r.is_ok())
+    }
+
+    /// Per-worker self-profiling: how the sweep's wall-clock time was
+    /// spent (derived from the per-point timings).
+    pub fn worker_profiles(&self) -> Vec<WorkerProfile> {
+        let mut profiles: Vec<WorkerProfile> = (0..self.workers)
+            .map(|worker| WorkerProfile {
+                worker,
+                points: 0,
+                busy_ms: 0.0,
+                retries: 0,
+                utilization: 0.0,
+            })
+            .collect();
+        for row in &self.rows {
+            if let Some(p) = profiles.get_mut(row.worker) {
+                p.points += 1;
+                p.busy_ms += row.wall_ms;
+                p.retries += u64::from(row.attempts.saturating_sub(1));
+            }
+        }
+        if self.wall_ms > 0.0 {
+            for p in &mut profiles {
+                p.utilization = (p.busy_ms / self.wall_ms).min(1.0);
+            }
+        }
+        profiles
+    }
+
+    /// Total queue wait: time points spent claimed-but-idle is not
+    /// tracked separately, so this reports the complement of busy time —
+    /// worker-milliseconds not spent evaluating.
+    pub fn idle_ms(&self) -> f64 {
+        let busy: f64 = self.rows.iter().map(|r| r.wall_ms).sum();
+        (self.wall_ms * self.workers as f64 - busy).max(0.0)
     }
 
     /// The reports in plan order, or `None` if any point failed.
@@ -219,10 +297,40 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Makes a point id safe to use as a file-name stem.
+pub(crate) fn sanitize_id(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Executes `plan` with the default evaluator (simulate the point's
 /// configuration).
+///
+/// With `opts.telemetry` set, every point runs under full telemetry and
+/// writes `<telemetry_dir>/<plan>/<id>.{trace.json,metrics.csv,metrics.json}`.
+/// Telemetry is observational, so the result rows stay bit-identical to a
+/// non-telemetry sweep of the same plan.
 pub fn run_plan(plan: &ExperimentPlan, opts: &RunnerOptions) -> SweepResult {
-    run_plan_with(plan, opts, |p| Simulation::new(p.config.clone()).run())
+    if !opts.telemetry {
+        return run_plan_with(plan, opts, |p| Simulation::new(p.config.clone()).run());
+    }
+    let dir = opts.telemetry_dir().join(plan.name());
+    run_plan_with(plan, opts, |p| {
+        let mut cfg = p.config.clone();
+        cfg.telemetry = osoffload_obs::TelemetryMode::Full;
+        let (report, telemetry) = Simulation::new(cfg).run_with_telemetry();
+        if let Err(e) = telemetry.write_files(&dir, &sanitize_id(&p.id)) {
+            eprintln!("telemetry write failed for {}: {e}", p.id);
+        }
+        report
+    })
 }
 
 /// Executes `plan` with a caller-supplied evaluator.
@@ -258,6 +366,7 @@ pub fn run_plan_with(
                 }
                 let point = &points[i];
                 let point_start = Instant::now();
+                let start_ms = point_start.duration_since(start).as_secs_f64() * 1e3;
                 let mut attempts = 0u32;
                 let outcome = loop {
                     attempts += 1;
@@ -280,7 +389,9 @@ pub fn run_plan_with(
                     config_json: config_json(&point.config),
                     outcome,
                     wall_ms: point_start.elapsed().as_secs_f64() * 1e3,
+                    start_ms,
                     worker,
+                    attempts,
                 };
                 let ok = result.is_ok();
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
@@ -425,6 +536,8 @@ mod tests {
             "--quiet",
             "--retries=1",
             "--out=tmp",
+            "--telemetry",
+            "--trace-out=tmp/traces",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -434,6 +547,51 @@ mod tests {
         assert_eq!(opts.retries, 1);
         assert!(opts.quiet);
         assert_eq!(opts.out_dir, std::path::PathBuf::from("tmp"));
+        assert!(opts.telemetry);
+        assert_eq!(opts.telemetry_dir(), std::path::PathBuf::from("tmp/traces"));
         assert_eq!(rest, vec!["quick".to_string()]);
+    }
+
+    #[test]
+    fn trace_out_implies_telemetry_and_defaults_under_out_dir() {
+        let args: Vec<String> = vec!["--trace-out=x".to_string()];
+        let (opts, _) = RunnerOptions::parse_flags(&args);
+        assert!(opts.telemetry);
+        let plain = RunnerOptions::default();
+        assert!(!plain.telemetry);
+        assert_eq!(
+            plain.telemetry_dir(),
+            std::path::PathBuf::from("results/telemetry")
+        );
+    }
+
+    #[test]
+    fn worker_profiles_account_for_every_row() {
+        let plan = plan(8);
+        let opts = RunnerOptions {
+            workers: 2,
+            quiet: true,
+            ..RunnerOptions::default()
+        };
+        let sweep = run_plan_with(&plan, &opts, fake_report);
+        let profiles = sweep.worker_profiles();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles.iter().map(|p| p.points).sum::<usize>(), 8);
+        for p in &profiles {
+            assert!((0.0..=1.0).contains(&p.utilization));
+            assert_eq!(p.retries, 0);
+        }
+        assert!(sweep.idle_ms() >= 0.0);
+        // Rows carry the timeline fields.
+        assert!(sweep.rows.iter().all(|r| r.attempts == 1));
+        assert!(sweep.rows.iter().all(|r| r.start_ms >= 0.0));
+        assert!(sweep.to_json().contains("\"start_ms\":"));
+        assert!(sweep.to_json().contains("\"attempts\":1"));
+    }
+
+    #[test]
+    fn sanitize_id_keeps_safe_chars_only() {
+        assert_eq!(sanitize_id("0001/apache N=500"), "0001_apache_N_500");
+        assert_eq!(sanitize_id("plain-id_0.1"), "plain-id_0.1");
     }
 }

@@ -44,7 +44,9 @@ mod progress;
 pub mod report;
 
 pub use driver::run_driver;
-pub use executor::{run_plan, run_plan_with, Outcome, PointResult, RunnerOptions, SweepResult};
+pub use executor::{
+    run_plan, run_plan_with, Outcome, PointResult, RunnerOptions, SweepResult, WorkerProfile,
+};
 pub use plan::{ExperimentPlan, Point};
 
 // Re-exported so downstream callers name configs without an extra

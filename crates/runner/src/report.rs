@@ -15,6 +15,7 @@
 //! bit-identical across worker counts.
 
 use crate::executor::SweepResult;
+use osoffload_obs::{chrome_trace, Event, EventKind, Track};
 use osoffload_system::SystemConfig;
 use std::fs;
 use std::io;
@@ -73,6 +74,70 @@ pub fn write_sweep(sweep: &SweepResult, dir: &Path) -> io::Result<PathBuf> {
     let path = dir.join(format!("{}.json", sweep.name));
     fs::write(&path, sweep.to_json())?;
     Ok(path)
+}
+
+/// Writes the runner's self-profiling telemetry for a sweep.
+///
+/// Produces two files in `dir`:
+///
+/// - `<name>_runner.trace.json` — a Chrome trace of the worker
+///   timeline: one complete span per point on its worker's track, with
+///   wall-clock microseconds since sweep start as timestamps. Load it
+///   in Perfetto / `chrome://tracing` to see scheduling, queue gaps and
+///   stragglers.
+/// - `<name>_runner.json` — a utilisation summary: sweep wall time,
+///   idle worker-milliseconds, retry counts and one row per worker.
+pub fn write_runner_telemetry(sweep: &SweepResult, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let events: Vec<Event> = sweep
+        .rows
+        .iter()
+        .map(|row| Event {
+            ts: (row.start_ms * 1_000.0) as u64,
+            dur: (row.wall_ms * 1_000.0).max(1.0) as u64,
+            track: Track::Worker(row.worker),
+            kind: EventKind::Task {
+                name: row.id.clone(),
+                ok: row.is_ok(),
+            },
+        })
+        .collect();
+    let meta = [
+        ("experiment".to_string(), sweep.name.clone()),
+        ("workers".to_string(), sweep.workers.to_string()),
+        ("wall_ms".to_string(), format!("{:.3}", sweep.wall_ms)),
+    ];
+    let trace_path = dir.join(format!("{}_runner.trace.json", sweep.name));
+    fs::write(&trace_path, chrome_trace(&events, None, &meta))?;
+
+    let profiles = sweep.worker_profiles();
+    let retries: u64 = profiles.iter().map(|p| p.retries).sum();
+    let profile_rows: Vec<String> = profiles
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"worker\":{},\"points\":{},\"busy_ms\":{:.3},\"retries\":{},\"utilization\":{:.4}}}",
+                p.worker, p.points, p.busy_ms, p.retries, p.utilization
+            )
+        })
+        .collect();
+    let json_path = dir.join(format!("{}_runner.json", sweep.name));
+    fs::write(
+        &json_path,
+        format!(
+            "{{\"experiment\":\"{}\",\"workers\":{},\"points\":{},\"failed\":{},\
+             \"wall_ms\":{:.3},\"idle_ms\":{:.3},\"retries\":{},\"worker_profiles\":[{}]}}",
+            json_escape(&sweep.name),
+            sweep.workers,
+            sweep.rows.len(),
+            sweep.failures().count(),
+            sweep.wall_ms,
+            sweep.idle_ms(),
+            retries,
+            profile_rows.join(",")
+        ),
+    )?;
+    Ok(vec![trace_path, json_path])
 }
 
 /// Writes a static (no-simulation) table to `<dir>/<name>.json` with
@@ -146,5 +211,44 @@ mod tests {
     fn escaping_handles_quotes_and_control() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn runner_telemetry_writes_trace_and_summary() {
+        use crate::executor::{Outcome, PointResult};
+        let row = |index: usize, worker: usize, start_ms: f64| PointResult {
+            index,
+            id: format!("p{index}"),
+            seed: index as u64,
+            config_json: "{}".to_string(),
+            outcome: Outcome::Failed {
+                panic: "synthetic".to_string(),
+                attempts: 2,
+            },
+            wall_ms: 5.0,
+            start_ms,
+            worker,
+            attempts: 2,
+        };
+        let sweep = SweepResult {
+            name: "unit".to_string(),
+            master_seed: 1,
+            workers: 2,
+            wall_ms: 12.0,
+            rows: vec![row(0, 0, 0.0), row(1, 1, 1.0), row(2, 0, 6.0)],
+        };
+        let dir = std::env::temp_dir().join(format!("osoff-runner-telem-{}", std::process::id()));
+        let paths = write_runner_telemetry(&sweep, &dir).expect("write telemetry");
+        assert_eq!(paths.len(), 2);
+        let trace = fs::read_to_string(&paths[0]).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"worker 0\""));
+        assert!(trace.contains("\"p2\""));
+        let summary = fs::read_to_string(&paths[1]).unwrap();
+        assert!(summary.contains("\"experiment\":\"unit\""));
+        assert!(summary.contains("\"workers\":2"));
+        assert!(summary.contains("\"retries\":3"));
+        assert!(summary.contains("\"worker_profiles\":[{"));
+        fs::remove_dir_all(&dir).ok();
     }
 }

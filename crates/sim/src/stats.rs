@@ -316,10 +316,14 @@ impl fmt::Display for Ratio {
     }
 }
 
-/// A base-2 logarithmic histogram for long-tailed quantities such as OS
-/// run lengths and queueing delays.
+/// A log-linear histogram for long-tailed quantities such as OS run
+/// lengths and queueing delays (the HDR-histogram layout).
 ///
-/// Bucket `i` covers `[2^i, 2^(i+1))`; bucket 0 additionally holds zero.
+/// Values below 64 get one bucket each (exact). Above that, every
+/// power-of-two octave is split into 32 linear sub-buckets, so any
+/// reported quantile is within 1/32 (≈3.1%) of the true sample —
+/// a large improvement over a pure base-2 histogram, whose buckets are
+/// up to 2× wide.
 ///
 /// # Examples
 ///
@@ -331,37 +335,73 @@ impl fmt::Display for Ratio {
 ///     h.record(x);
 /// }
 /// assert_eq!(h.count(), 5);
-/// assert!(h.percentile(50.0) <= 100);
-/// assert!(h.percentile(100.0) >= 4_096);
+/// assert_eq!(h.quantile(50.0), 3);     // exact below 64
+/// assert_eq!(h.quantile(100.0), 5_000); // p0/p100 are exact min/max
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: [u64; 64],
+    buckets: Box<[u64; Self::BUCKETS]>,
     count: u64,
     sum: u64,
+    min: u64,
+    max: u64,
 }
 
 impl Histogram {
+    /// Linear sub-buckets per octave (as a power of two).
+    const SUB_BITS: u32 = 5;
+    /// Linear sub-buckets per octave.
+    const SUBS: usize = 1 << Self::SUB_BITS;
+    /// Total bucket count: two exact low octaves (values `0..64`) plus
+    /// 59 subdivided octaves covering the rest of the `u64` range.
+    const BUCKETS: usize = Self::SUBS + (64 - Self::SUB_BITS as usize) * Self::SUBS;
+
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {
-            buckets: [0; 64],
+            buckets: Box::new([0; Self::BUCKETS]),
             count: 0,
             sum: 0,
+            min: u64::MAX,
+            max: 0,
         }
+    }
+
+    /// Bucket index of `value`.
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value < Self::SUBS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize;
+        let shift = msb - Self::SUB_BITS as usize;
+        let sub = ((value >> shift) as usize) - Self::SUBS;
+        shift * Self::SUBS + sub + Self::SUBS
+    }
+
+    /// Smallest value that maps into bucket `i`.
+    #[inline]
+    fn bucket_lower(i: usize) -> u64 {
+        if i < 2 * Self::SUBS {
+            return i as u64;
+        }
+        let shift = (i - Self::SUBS) / Self::SUBS;
+        let sub = (i - Self::SUBS) % Self::SUBS;
+        ((Self::SUBS + sub) as u64) << shift
     }
 
     /// Records one observation.
     #[inline]
     pub fn record(&mut self, value: u64) {
-        let bucket = if value <= 1 {
-            0
-        } else {
-            63 - value.leading_zeros() as usize
-        };
-        self.buckets[bucket] += 1;
+        self.buckets[Self::bucket_index(value)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
     }
 
     /// Number of observations.
@@ -376,6 +416,22 @@ impl Histogram {
         self.sum
     }
 
+    /// Smallest observation; 0 when empty.
+    #[inline]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; 0 when empty.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
     /// Mean observation; 0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -385,27 +441,40 @@ impl Histogram {
         }
     }
 
-    /// Approximate percentile (`p` in `[0, 100]`): returns the upper bound
-    /// of the bucket containing the requested rank, i.e. a value `v` such
-    /// that at least `p`% of observations are `< v`-or-in-its-bucket.
+    /// Exact nearest-rank quantile (`p` in `[0, 100]`): the value of the
+    /// `⌈p/100·n⌉`-th smallest observation, resolved to its bucket's
+    /// lower bound. Exact for values below 64 and for `p = 0`/`p = 100`
+    /// (which return the true min/max); within 3.1% otherwise.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
-    pub fn percentile(&self, p: f64) -> u64 {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "quantile out of range");
         if self.count == 0 {
             return 0;
         }
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return 1u64 << (i + 1).min(63);
+                return Self::bucket_lower(i).clamp(self.min, self.max);
             }
         }
-        u64::MAX
+        self.max
+    }
+
+    /// Alias for [`quantile`](Self::quantile), kept for the original API
+    /// name.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p)
     }
 
     /// Iterates over non-empty buckets as `(lower_bound, count)` pairs.
@@ -414,7 +483,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &n)| n > 0)
-            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << i }, n))
+            .map(|(i, &n)| (Self::bucket_lower(i), n))
     }
 
     /// Merges another histogram into this one.
@@ -424,6 +493,8 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -433,15 +504,27 @@ impl Default for Histogram {
     }
 }
 
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("nonempty_buckets", &self.iter().count())
+            .finish()
+    }
+}
+
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={:.1} p50<{} p99<{}",
+            "n={} mean={:.1} p50={} p99={}",
             self.count,
             self.mean(),
-            self.percentile(50.0),
-            self.percentile(99.0)
+            self.quantile(50.0),
+            self.quantile(99.0)
         )
     }
 }
@@ -668,8 +751,39 @@ mod tests {
         h.record(3);
         h.record(4);
         let buckets: Vec<(u64, u64)> = h.iter().collect();
-        // 0 and 1 in bucket 0; 2 and 3 in bucket [2,4); 4 in [4,8).
-        assert_eq!(buckets, vec![(0, 2), (2, 2), (4, 1)]);
+        // Values below 64 each get their own exact bucket.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        // The common queueing case: most delays are zero with a few
+        // stragglers. A pure base-2 histogram reported p95 = 2 here.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(0);
+        }
+        h.record(40);
+        assert_eq!(h.quantile(50.0), 0);
+        assert_eq!(h.quantile(95.0), 0);
+        assert_eq!(h.quantile(99.0), 0);
+        assert_eq!(h.quantile(100.0), 40);
+    }
+
+    #[test]
+    fn histogram_quantile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 37 + 11);
+        }
+        for p in [10.0, 50.0, 90.0, 95.0, 99.0] {
+            let rank = ((p / 100.0) * 10_000f64).ceil() as u64;
+            let exact = (rank - 1) * 37 + 11;
+            let got = h.quantile(p);
+            assert!(got <= exact, "quantile reports the bucket lower bound");
+            let err = (exact - got) as f64 / exact as f64;
+            assert!(err <= 1.0 / 32.0, "p{p}: got {got}, exact {exact}");
+        }
     }
 
     #[test]
@@ -682,7 +796,21 @@ mod tests {
         let p90 = h.percentile(90.0);
         let p100 = h.percentile(100.0);
         assert!(p50 <= p90 && p90 <= p100);
-        assert!((256..=1_024).contains(&p50), "p50 = {p50}");
+        assert!((480..=500).contains(&p50), "p50 = {p50}");
+        assert_eq!(p100, 999);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_index_round_trips() {
+        for v in (0..2_000u64).chain([63, 64, 65, 4_095, 4_096, 1 << 40, u64::MAX]) {
+            let i = Histogram::bucket_index(v);
+            let lower = Histogram::bucket_lower(i);
+            assert!(lower <= v, "lower({i}) = {lower} > {v}");
+            if i + 1 < Histogram::BUCKETS {
+                assert!(Histogram::bucket_lower(i + 1) > v, "v={v} above bucket {i}");
+            }
+        }
     }
 
     #[test]
@@ -694,11 +822,15 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!((a.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 30);
     }
 
     #[test]
     fn histogram_empty_percentile_is_zero() {
         assert_eq!(Histogram::new().percentile(99.0), 0);
+        assert_eq!(Histogram::new().min(), 0);
+        assert_eq!(Histogram::new().max(), 0);
     }
 
     #[test]

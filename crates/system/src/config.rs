@@ -8,6 +8,7 @@ use osoffload_core::{
     NeverOffload, OffloadPolicy, OraclePolicy, RoutineId, StaticInstrumentation, TunerConfig,
 };
 use osoffload_mem::MemConfig;
+use osoffload_obs::TelemetryMode;
 use osoffload_workload::Profile;
 use std::collections::HashMap;
 
@@ -252,6 +253,11 @@ pub struct SystemConfig {
     /// Per-invocation trace capacity (0 = tracing off). See
     /// [`trace`](crate::trace).
     pub trace_capacity: usize,
+    /// Structured-telemetry mode (spans, epoch-sampled metrics, Chrome
+    /// traces). [`TelemetryMode::Off`] costs nothing on the hot path.
+    pub telemetry: TelemetryMode,
+    /// Event-ring capacity when telemetry is [`TelemetryMode::Full`].
+    pub telemetry_capacity: usize,
 }
 
 impl SystemConfig {
@@ -302,6 +308,8 @@ pub struct SystemConfigBuilder {
     tuner: Option<TunerConfig>,
     mem_override: Option<MemConfig>,
     trace_capacity: usize,
+    telemetry: TelemetryMode,
+    telemetry_capacity: usize,
 }
 
 impl Default for SystemConfigBuilder {
@@ -322,6 +330,8 @@ impl Default for SystemConfigBuilder {
             tuner: None,
             mem_override: None,
             trace_capacity: 0,
+            telemetry: TelemetryMode::Off,
+            telemetry_capacity: 1 << 16,
         }
     }
 }
@@ -442,6 +452,20 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Selects the structured-telemetry mode (default
+    /// [`TelemetryMode::Off`]; see [`osoffload_obs`]).
+    pub fn telemetry(mut self, mode: TelemetryMode) -> Self {
+        self.telemetry = mode;
+        self
+    }
+
+    /// Retains the newest `capacity` telemetry events when the mode is
+    /// [`TelemetryMode::Full`] (default 65,536).
+    pub fn telemetry_capacity(mut self, capacity: usize) -> Self {
+        self.telemetry_capacity = capacity;
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Panics
@@ -475,6 +499,8 @@ impl SystemConfigBuilder {
             tuner: self.tuner,
             mem_override: self.mem_override,
             trace_capacity: self.trace_capacity,
+            telemetry: self.telemetry,
+            telemetry_capacity: self.telemetry_capacity,
         }
     }
 }

@@ -15,8 +15,13 @@ pub struct QueueReport {
     pub stalled: u64,
     /// Mean queueing delay in cycles.
     pub mean_delay: f64,
-    /// Approximate 95th-percentile queueing delay in cycles.
+    /// Exact median queueing delay in cycles (nearest-rank from the
+    /// log-scale delay histogram).
+    pub p50_delay: u64,
+    /// Exact 95th-percentile queueing delay in cycles.
     pub p95_delay: u64,
+    /// Exact 99th-percentile queueing delay in cycles.
+    pub p99_delay: u64,
 }
 
 /// Predictor accuracy, mirroring the paper's §III-A reporting.
@@ -288,11 +293,14 @@ impl SimReport {
             &mut o,
             "queue",
             format!(
-                "{{\"requests\":{},\"stalled\":{},\"mean_delay\":{:.3},\"p95_delay\":{}}}",
+                "{{\"requests\":{},\"stalled\":{},\"mean_delay\":{:.3},\
+                 \"p50_delay\":{},\"p95_delay\":{},\"p99_delay\":{}}}",
                 self.queue.requests,
                 self.queue.stalled,
                 self.queue.mean_delay,
-                self.queue.p95_delay
+                self.queue.p50_delay,
+                self.queue.p95_delay,
+                self.queue.p99_delay
             ),
         );
         field(
@@ -444,6 +452,9 @@ mod tests {
             "\"threshold\":500",
             "\"throughput\":0.700000",
             "\"queue\":{",
+            "\"p50_delay\":0",
+            "\"p95_delay\":0",
+            "\"p99_delay\":0",
             "\"predictor\":{\"exact\":0.700000",
             "\"binary_accuracy\":[{\"threshold\":100",
         ] {

@@ -27,12 +27,13 @@
 use crate::config::{PolicyKind, SystemConfig};
 use crate::metrics::{BinaryPoint, PredictorReport, QueueReport, SimReport};
 use crate::migration::{OffloadMechanism, OsCoreQueue};
-use crate::trace::{InvocationRecord, InvocationTrace};
+use crate::trace::InvocationTrace;
 use osoffload_core::{
     AState, BinaryAccuracyTracker, OffloadPolicy, OsEntry, PredictorStats, ThresholdTuner,
 };
 use osoffload_cpu::{ArchState, CoreParams, CoreState};
 use osoffload_mem::{Access, Address, CoreId, MemSnapshot, MemorySystem};
+use osoffload_obs::{Event, EventKind, MetricId, MetricsRegistry, RunTelemetry, Telemetry, Track};
 use osoffload_sim::{Counter, Cycle, EpochClock, EpochEvent, Instret, Rng64};
 use osoffload_workload::{InstrSpec, OsInvocation, Segment, ThreadWorkload};
 
@@ -41,6 +42,27 @@ struct ThreadCtx {
     arch: ArchState,
     clock: Cycle,
     user_core: usize,
+}
+
+/// Column handles into the telemetry metrics registry.
+#[derive(Clone, Copy)]
+struct MetricIds {
+    offloads: MetricId,
+    locals: MetricId,
+    overhead: MetricId,
+    queue_requests: MetricId,
+    queue_stalled: MetricId,
+    os_busy: MetricId,
+    os_share: MetricId,
+    l2_hit_rate: MetricId,
+    queue_mean_delay: MetricId,
+    queue_p95_delay: MetricId,
+    threshold: MetricId,
+}
+
+struct ObsMetrics {
+    reg: MetricsRegistry,
+    ids: MetricIds,
 }
 
 /// One configured simulation run.
@@ -75,6 +97,11 @@ pub struct Simulation {
     epoch: Option<EpochClock>,
     epoch_snapshot: MemSnapshot,
     trace: InvocationTrace,
+    telemetry: Telemetry,
+    metrics: Option<ObsMetrics>,
+    obs_clock: Option<EpochClock>,
+    obs_snapshot: MemSnapshot,
+    obs_epochs: u64,
     offloads: Counter,
     locals: Counter,
     overhead_cycles: Counter,
@@ -142,6 +169,11 @@ impl Simulation {
             tuner: cfg.tuner.clone().map(ThresholdTuner::new),
             epoch: None,
             epoch_snapshot: MemSnapshot::default(),
+            telemetry: Telemetry::off(),
+            metrics: None,
+            obs_clock: None,
+            obs_snapshot: MemSnapshot::default(),
+            obs_epochs: 0,
             offloads: Counter::new(),
             locals: Counter::new(),
             overhead_cycles: Counter::new(),
@@ -159,6 +191,13 @@ impl Simulation {
 
     /// Runs warm-up plus the measured region and produces the report.
     pub fn run(mut self) -> SimReport {
+        let measured_start = self.run_core();
+        self.build_report(measured_start)
+    }
+
+    /// The shared warm-up → reset → measure sequence behind every run
+    /// flavour. Returns the cycle the measured region started at.
+    fn run_core(&mut self) -> Cycle {
         if self.cfg.warmup > 0 {
             self.execute(Instret::new(self.cfg.warmup));
         }
@@ -168,10 +207,44 @@ impl Simulation {
             0.0
         };
         self.reset_statistics();
+        self.trace = InvocationTrace::new(self.cfg.trace_capacity);
         self.start_tuner(warmup_priv_frac);
+        self.start_observation();
         let measured_start = self.max_clock();
         self.execute(Instret::new(self.cfg.instructions));
-        self.build_report(measured_start)
+        measured_start
+    }
+
+    /// Arms telemetry for the measured region: warm-up never records, so
+    /// events, samples, and overhead all cover measurement only.
+    fn start_observation(&mut self) {
+        self.telemetry = Telemetry::from_mode(self.cfg.telemetry, self.cfg.telemetry_capacity);
+        self.obs_epochs = 0;
+        if !self.telemetry.is_enabled() {
+            self.obs_clock = None;
+            self.metrics = None;
+            return;
+        }
+        // Sample on an independent deterministic clock (~64 samples per
+        // run) so metric series exist with or without the tuner.
+        let interval = (self.cfg.instructions / 64).max(1);
+        self.obs_clock = Some(EpochClock::new(Instret::new(interval)));
+        self.obs_snapshot = self.mem.snapshot();
+        let mut reg = MetricsRegistry::new();
+        let ids = MetricIds {
+            offloads: reg.register_counter("offloads"),
+            locals: reg.register_counter("local_invocations"),
+            overhead: reg.register_counter("decision_overhead_cycles"),
+            queue_requests: reg.register_counter("queue_requests"),
+            queue_stalled: reg.register_counter("queue_stalled"),
+            os_busy: reg.register_counter("os_core_busy_cycles"),
+            os_share: reg.register_gauge("os_share"),
+            l2_hit_rate: reg.register_gauge("l2_hit_rate"),
+            queue_mean_delay: reg.register_gauge("queue_mean_delay"),
+            queue_p95_delay: reg.register_gauge("queue_p95_delay"),
+            threshold: reg.register_gauge("threshold"),
+        };
+        self.metrics = Some(ObsMetrics { reg, ids });
     }
 
     fn max_clock(&self) -> Cycle {
@@ -294,6 +367,12 @@ impl Simulation {
         self.cores[core_idx].add_busy(now - start);
         self.core_free[core_idx] = now;
         self.threads[t].clock = now;
+        self.telemetry.emit_with(|| Event {
+            ts: start.as_u64(),
+            dur: (now - start).as_u64(),
+            track: Track::Thread(t),
+            kind: EventKind::UserBurst { len },
+        });
         self.account(len, false);
     }
 
@@ -377,6 +456,35 @@ impl Simulation {
             self.queue.add_busy(os_now - os_start);
             self.cores[os_idx].retire_privileged(len);
             self.cores[os_idx].add_busy(os_now - os_start);
+            self.telemetry.emit_with(|| Event {
+                ts: now.as_u64(),
+                dur: (arrival - now).as_u64(),
+                track: Track::Thread(t),
+                kind: EventKind::Migration { outbound: true },
+            });
+            if traced_queue_delay > 0 {
+                self.telemetry.emit_with(|| Event {
+                    ts: arrival.as_u64(),
+                    dur: traced_queue_delay,
+                    track: Track::Thread(t),
+                    kind: EventKind::QueueWait,
+                });
+            }
+            self.telemetry.emit_with(|| Event {
+                ts: os_start.as_u64(),
+                dur: (os_now - os_start).as_u64(),
+                track: Track::Core(os_idx),
+                kind: EventKind::OsService {
+                    name: inv.syscall.spec().name,
+                    len,
+                },
+            });
+            self.telemetry.emit_with(|| Event {
+                ts: os_now.as_u64(),
+                dur: self.cfg.migration.one_way().as_u64(),
+                track: Track::Thread(t),
+                kind: EventKind::Migration { outbound: false },
+            });
             now = os_now + self.cfg.migration.one_way();
             if self.cfg.mechanism == OffloadMechanism::ThreadMigration {
                 self.core_free[core_idx] = now;
@@ -396,18 +504,25 @@ impl Simulation {
             self.core_free[core_idx] = now;
         }
 
-        if self.trace.is_enabled() {
-            self.trace.record(InvocationRecord {
-                thread: t,
-                syscall: inv.syscall,
-                astate: entry.astate.as_u64(),
-                predicted: decision.prediction.map(|p| p.length),
-                offloaded: decision.offload,
-                actual_len: len,
-                entry_cycle: entry_start.as_u64(),
-                queue_delay: traced_queue_delay,
-                total_cycles: (now - entry_start).as_u64(),
-            });
+        // One invocation event feeds both consumers: the per-invocation
+        // trace ring and the telemetry sink.
+        if self.trace.is_enabled() || self.telemetry.is_enabled() {
+            let event = Event {
+                ts: entry_start.as_u64(),
+                dur: (now - entry_start).as_u64(),
+                track: Track::Thread(t),
+                kind: EventKind::Invocation {
+                    name: inv.syscall.spec().name,
+                    trap: inv.syscall.trap_number(),
+                    astate: entry.astate.as_u64(),
+                    predicted: decision.prediction.map(|p| p.length),
+                    offloaded: decision.offload,
+                    actual_len: len,
+                    queue_delay: traced_queue_delay,
+                },
+            };
+            self.trace.consume(&event);
+            self.telemetry.emit_with(|| event);
         }
         self.threads[t].clock = now;
         self.policies[core_idx].complete(entry, &decision, len);
@@ -420,28 +535,116 @@ impl Simulation {
         if is_priv {
             self.retired_priv += n;
         }
-        // Epoch-driven threshold tuning (§III-B).
-        let Some(epoch) = self.epoch.as_mut() else {
+        self.tuner_epoch(n);
+        self.observe_epoch(n);
+    }
+
+    /// Epoch-driven threshold tuning (§III-B).
+    fn tuner_epoch(&mut self, n: u64) {
+        let mut decision = None;
+        {
+            let Some(epoch) = self.epoch.as_mut() else {
+                return;
+            };
+            if let EpochEvent::Boundary { count, .. } = epoch.advance(Instret::new(n)) {
+                // A whole segment (possibly one long privileged invocation)
+                // was advanced at once, so several epochs may have completed.
+                // The L2 hit rate measured over the spanned interval is the
+                // best per-epoch sample available for each of them; feed the
+                // tuner once per boundary so it never under-samples.
+                let snap = self.mem.snapshot();
+                let rate = snap.l2_hit_rate_since(&self.epoch_snapshot);
+                self.epoch_snapshot = snap;
+                let tuner = self.tuner.as_mut().expect("epoch implies tuner");
+                let mut directive = tuner.on_epoch_end(rate);
+                for _ in 1..count {
+                    directive = tuner.on_epoch_end(rate);
+                }
+                epoch.set_epoch_len(directive.epoch_len);
+                let prev = self.policies.first().and_then(|p| p.threshold());
+                for p in &mut self.policies {
+                    p.set_threshold(directive.threshold);
+                }
+                decision = Some((directive, prev));
+            }
+        }
+        if let Some((directive, prev)) = decision {
+            if self.telemetry.is_enabled() {
+                let ts = self.max_clock().as_u64();
+                self.telemetry.emit_with(|| Event {
+                    ts,
+                    dur: 0,
+                    track: Track::Control,
+                    kind: EventKind::TunerDecision {
+                        threshold: directive.threshold,
+                        epoch_len: directive.epoch_len.as_u64(),
+                        adopted: prev != Some(directive.threshold),
+                    },
+                });
+            }
+        }
+    }
+
+    /// The telemetry sampling clock: independent of the tuner's epoch so
+    /// metric series exist for every policy.
+    fn observe_epoch(&mut self, n: u64) {
+        let Some(clock) = self.obs_clock.as_mut() else {
             return;
         };
-        if let EpochEvent::Boundary { count, .. } = epoch.advance(Instret::new(n)) {
-            // A whole segment (possibly one long privileged invocation)
-            // was advanced at once, so several epochs may have completed.
-            // The L2 hit rate measured over the spanned interval is the
-            // best per-epoch sample available for each of them; feed the
-            // tuner once per boundary so it never under-samples.
-            let snap = self.mem.snapshot();
-            let rate = snap.l2_hit_rate_since(&self.epoch_snapshot);
-            self.epoch_snapshot = snap;
-            let tuner = self.tuner.as_mut().expect("epoch implies tuner");
-            let mut directive = tuner.on_epoch_end(rate);
-            for _ in 1..count {
-                directive = tuner.on_epoch_end(rate);
-            }
-            epoch.set_epoch_len(directive.epoch_len);
-            for p in &mut self.policies {
-                p.set_threshold(directive.threshold);
-            }
+        let EpochEvent::Boundary { first, count } = clock.advance(Instret::new(n)) else {
+            return;
+        };
+        // A long segment can span several epochs; one sample covers them
+        // all, indexed by the last epoch it completes.
+        self.obs_sample(first + count - 1);
+    }
+
+    /// Takes one epoch-boundary sample: snapshots the accumulators the
+    /// simulator already keeps (nothing is incremented on the hot path)
+    /// and emits the boundary instant.
+    fn obs_sample(&mut self, index: u64) {
+        let now = self.max_clock().as_u64();
+        let snap = self.mem.snapshot();
+        let rate = snap.l2_hit_rate_since(&self.obs_snapshot);
+        self.obs_snapshot = snap;
+        self.obs_epochs += 1;
+        self.telemetry.emit_with(|| Event {
+            ts: now,
+            dur: 0,
+            track: Track::Control,
+            kind: EventKind::Epoch {
+                index,
+                l2_hit_rate: rate,
+            },
+        });
+        let threshold = self
+            .policies
+            .first()
+            .and_then(|p| p.threshold())
+            .unwrap_or(0) as f64;
+        let os_share = if self.retired_total > Instret::ZERO {
+            self.retired_priv.as_f64() / self.retired_total.as_f64()
+        } else {
+            0.0
+        };
+        let queue_mean = self.queue.queue_delay().mean();
+        let queue_p95 = self.queue.queue_delay_hist().quantile(95.0) as f64;
+        let instructions = self.retired_total.as_u64();
+        if let Some(obs) = self.metrics.as_mut() {
+            let ids = obs.ids;
+            obs.reg.set(ids.offloads, self.offloads.get() as f64);
+            obs.reg.set(ids.locals, self.locals.get() as f64);
+            obs.reg.set(ids.overhead, self.overhead_cycles.get() as f64);
+            obs.reg
+                .set(ids.queue_requests, self.queue.requests() as f64);
+            obs.reg.set(ids.queue_stalled, self.queue.stalled() as f64);
+            obs.reg.set(ids.os_busy, self.queue.busy().as_f64());
+            obs.reg.set(ids.os_share, os_share);
+            obs.reg.set(ids.l2_hit_rate, rate);
+            obs.reg.set(ids.queue_mean_delay, queue_mean);
+            obs.reg.set(ids.queue_p95_delay, queue_p95);
+            obs.reg.set(ids.threshold, threshold);
+            obs.reg.commit_sample(index, instructions, now);
         }
     }
 
@@ -578,7 +781,9 @@ impl Simulation {
                 requests: self.queue.requests(),
                 stalled: self.queue.stalled(),
                 mean_delay: self.queue.queue_delay().mean(),
-                p95_delay: self.queue.queue_delay_hist().percentile(95.0),
+                p50_delay: self.queue.queue_delay_hist().quantile(50.0),
+                p95_delay: self.queue.queue_delay_hist().quantile(95.0),
+                p99_delay: self.queue.queue_delay_hist().quantile(99.0),
             },
             cycle_breakdown: crate::metrics::CycleBreakdown {
                 base: instructions,
@@ -607,19 +812,7 @@ impl Simulation {
     /// per-invocation trace (enable recording with
     /// [`SystemConfigBuilder::trace`](crate::config::SystemConfigBuilder::trace)).
     pub fn run_traced(mut self) -> (SimReport, InvocationTrace) {
-        if self.cfg.warmup > 0 {
-            self.execute(Instret::new(self.cfg.warmup));
-        }
-        let warmup_priv_frac = if self.retired_total > Instret::ZERO {
-            self.retired_priv.as_f64() / self.retired_total.as_f64()
-        } else {
-            0.0
-        };
-        self.reset_statistics();
-        self.trace = InvocationTrace::new(self.cfg.trace_capacity);
-        self.start_tuner(warmup_priv_frac);
-        let measured_start = self.max_clock();
-        self.execute(Instret::new(self.cfg.instructions));
+        let measured_start = self.run_core();
         let report = self.build_report(measured_start);
         (report, self.trace)
     }
@@ -631,18 +824,7 @@ impl Simulation {
 
     /// Runs to completion and returns both the report and the tuner log.
     pub fn run_with_tuner_trace(mut self) -> (SimReport, Vec<osoffload_core::TunerEvent>) {
-        if self.cfg.warmup > 0 {
-            self.execute(Instret::new(self.cfg.warmup));
-        }
-        let warmup_priv_frac = if self.retired_total > Instret::ZERO {
-            self.retired_priv.as_f64() / self.retired_total.as_f64()
-        } else {
-            0.0
-        };
-        self.reset_statistics();
-        self.start_tuner(warmup_priv_frac);
-        let measured_start = self.max_clock();
-        self.execute(Instret::new(self.cfg.instructions));
+        let measured_start = self.run_core();
         let report = self.build_report(measured_start);
         let trace = self
             .tuner
@@ -650,6 +832,33 @@ impl Simulation {
             .map(|t| t.history().to_vec())
             .unwrap_or_default();
         (report, trace)
+    }
+
+    /// Runs to completion and returns the report plus the recorded
+    /// telemetry (enable with
+    /// [`SystemConfigBuilder::telemetry`](crate::config::SystemConfigBuilder::telemetry)).
+    ///
+    /// Telemetry is purely observational: the report is identical to the
+    /// one [`run`](Self::run) produces for the same configuration and
+    /// seed, whatever the telemetry mode.
+    pub fn run_with_telemetry(mut self) -> (SimReport, RunTelemetry) {
+        let measured_start = self.run_core();
+        let report = self.build_report(measured_start);
+        let mode = self.telemetry.mode();
+        let events_seen = self.telemetry.seen();
+        let events_dropped = self.telemetry.dropped();
+        let events = self.telemetry.take_events();
+        let metrics = self.metrics.take().map(|m| m.reg).unwrap_or_default();
+        (
+            report,
+            RunTelemetry {
+                events,
+                events_seen,
+                events_dropped,
+                metrics,
+                mode,
+            },
+        )
     }
 }
 
@@ -834,6 +1043,80 @@ mod tests {
             "rpc {:.4} vs migration {:.4}",
             rpc.throughput,
             migration.throughput
+        );
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_report() {
+        use osoffload_obs::TelemetryMode;
+        let run = |mode: TelemetryMode| {
+            let mut cfg = small(PolicyKind::HardwarePredictor { threshold: 500 }, 1_000);
+            cfg.telemetry = mode;
+            Simulation::new(cfg).run_with_telemetry().0
+        };
+        let off = run(TelemetryMode::Off);
+        let noop = run(TelemetryMode::Noop);
+        let full = run(TelemetryMode::Full);
+        assert_eq!(off, noop, "no-op sink changed the simulation");
+        assert_eq!(off, full, "full tracing changed the simulation");
+        // And against the plain runner too.
+        let plain = Simulation::new(small(
+            PolicyKind::HardwarePredictor { threshold: 500 },
+            1_000,
+        ))
+        .run();
+        assert_eq!(off, plain);
+    }
+
+    #[test]
+    fn full_telemetry_captures_spans_and_metrics() {
+        use osoffload_obs::{EventKind, TelemetryMode};
+        let mut cfg = small(PolicyKind::HardwarePredictor { threshold: 500 }, 1_000);
+        cfg.telemetry = TelemetryMode::Full;
+        cfg.tuner = Some(osoffload_core::TunerConfig::scaled_down(2_000));
+        let (report, telemetry) = Simulation::new(cfg).run_with_telemetry();
+        assert_eq!(telemetry.mode, TelemetryMode::Full);
+        assert!(telemetry.events_seen > 0);
+        let count =
+            |f: fn(&EventKind) -> bool| telemetry.events.iter().filter(|e| f(&e.kind)).count();
+        assert!(count(|k| matches!(k, EventKind::Invocation { .. })) > 0);
+        assert!(count(|k| matches!(k, EventKind::UserBurst { .. })) > 0);
+        assert!(count(|k| matches!(k, EventKind::Epoch { .. })) > 0);
+        if report.offloads > 0 {
+            assert!(count(|k| matches!(k, EventKind::Migration { .. })) > 0);
+            assert!(count(|k| matches!(k, EventKind::OsService { .. })) > 0);
+        }
+        // Deterministic epoch sampling: long segments may merge epochs,
+        // but a healthy run still yields dozens of rows in epoch order.
+        let samples = telemetry.metrics.samples();
+        assert!(samples.len() >= 16, "only {} samples", samples.len());
+        assert!(samples.windows(2).all(|w| w[0].cycles <= w[1].cycles));
+        assert!(samples.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        assert_eq!(telemetry.metrics.metrics().len(), 11);
+        let trace = telemetry.chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"C\""), "counter series missing");
+    }
+
+    #[test]
+    fn trace_ring_consumes_the_unified_event_stream() {
+        use osoffload_obs::TelemetryMode;
+        let mut cfg = small(PolicyKind::HardwarePredictor { threshold: 500 }, 1_000);
+        cfg.trace_capacity = 1 << 14;
+        cfg.telemetry = TelemetryMode::Full;
+        cfg.telemetry_capacity = 1 << 20;
+        let (report, trace) = Simulation::new(cfg.clone()).run_traced();
+        let (report2, telemetry) = Simulation::new(cfg).run_with_telemetry();
+        assert_eq!(report, report2);
+        let invocation_events = telemetry
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, osoffload_obs::EventKind::Invocation { .. }))
+            .count();
+        assert_eq!(
+            trace.len() as u64 + trace.dropped(),
+            invocation_events as u64,
+            "trace ring and event stream disagree on invocation count"
         );
     }
 

@@ -14,6 +14,7 @@
 //! [`SystemConfig::builder().trace(capacity)`]: crate::config::SystemConfigBuilder::trace
 
 use core::fmt;
+use osoffload_obs::{csv, Event, EventKind, Track};
 use osoffload_workload::SyscallId;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -47,12 +48,14 @@ impl InvocationRecord {
     pub const CSV_HEADER: &'static str =
         "thread,syscall,astate,predicted,offloaded,actual_len,entry_cycle,queue_delay,total_cycles";
 
-    /// Renders the record as one CSV row (no trailing newline).
+    /// Renders the record as one CSV row (no trailing newline). String
+    /// fields are escaped per RFC 4180, so entry-point names containing
+    /// commas or quotes stay one field.
     pub fn to_csv_row(&self) -> String {
         format!(
             "{},{},{:#x},{},{},{},{},{},{}",
             self.thread,
-            self.syscall,
+            csv::field(&self.syscall.to_string()),
             self.astate,
             self.predicted.map_or(String::new(), |p| p.to_string()),
             self.offloaded,
@@ -61,6 +64,37 @@ impl InvocationRecord {
             self.queue_delay,
             self.total_cycles
         )
+    }
+
+    /// Reconstructs a record from a telemetry [`Event`], when the event
+    /// is an invocation span on a thread track with a known trap number.
+    pub fn from_event(ev: &Event) -> Option<InvocationRecord> {
+        let Track::Thread(thread) = ev.track else {
+            return None;
+        };
+        let EventKind::Invocation {
+            trap,
+            astate,
+            predicted,
+            offloaded,
+            actual_len,
+            queue_delay,
+            ..
+        } = ev.kind
+        else {
+            return None;
+        };
+        Some(InvocationRecord {
+            thread,
+            syscall: SyscallId::from_trap(trap)?,
+            astate,
+            predicted,
+            offloaded,
+            actual_len,
+            entry_cycle: ev.ts,
+            queue_delay,
+            total_cycles: ev.dur,
+        })
     }
 }
 
@@ -140,6 +174,18 @@ impl InvocationTrace {
             self.dropped += 1;
         }
         self.ring.push_back(r);
+    }
+
+    /// Records the invocation described by a telemetry event, ignoring
+    /// every other event kind — this makes the trace a consumer of the
+    /// unified event stream rather than a parallel recording path.
+    pub fn consume(&mut self, ev: &Event) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(r) = InvocationRecord::from_event(ev) {
+            self.record(r);
+        }
     }
 
     /// Number of records currently retained.
@@ -316,5 +362,112 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!InvocationTrace::new(4).to_string().is_empty());
+    }
+
+    #[test]
+    fn csv_round_trips_through_rfc4180_parser() {
+        let mut t = InvocationTrace::new(8);
+        t.record(rec(SyscallId::Read, 2_000, Some(1_950), true));
+        t.record(rec(SyscallId::GetPid, 130, None, false));
+        let parsed = csv::parse(&t.to_csv());
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(
+            parsed[0].join(","),
+            InvocationRecord::CSV_HEADER,
+            "header fields are plain"
+        );
+        for (row, r) in parsed[1..].iter().zip(t.iter()) {
+            assert_eq!(row.len(), 9);
+            assert_eq!(row[0], r.thread.to_string());
+            assert_eq!(row[1], r.syscall.to_string());
+            assert_eq!(row[2], format!("{:#x}", r.astate));
+            assert_eq!(row[3], r.predicted.map_or(String::new(), |p| p.to_string()));
+            assert_eq!(row[4], r.offloaded.to_string());
+            assert_eq!(row[5], r.actual_len.to_string());
+            assert_eq!(row[8], r.total_cycles.to_string());
+        }
+        // Escaping keeps a hostile name a single field.
+        let hostile = csv::field("open,\"really\"");
+        let row = csv::parse(&format!("0,{hostile},1\n"));
+        assert_eq!(row[0], vec!["0", "open,\"really\"", "1"]);
+    }
+
+    #[test]
+    fn eviction_accounting_exact_at_small_capacities() {
+        // Capacity 0: disabled — nothing retained, nothing evicted.
+        let mut t0 = InvocationTrace::new(0);
+        for i in 0..10u64 {
+            let mut r = rec(SyscallId::Read, 100, None, false);
+            r.astate = i;
+            t0.record(r);
+        }
+        assert_eq!((t0.len(), t0.dropped()), (0, 0));
+
+        // Capacity 1: exactly the newest survives; the rest are counted.
+        let mut t1 = InvocationTrace::new(1);
+        for i in 0..10u64 {
+            let mut r = rec(SyscallId::Read, 100, None, false);
+            r.astate = i;
+            t1.record(r);
+        }
+        assert_eq!((t1.len(), t1.dropped()), (1, 9));
+        assert_eq!(t1.iter().next().unwrap().astate, 9);
+
+        // Capacity < n: retained + dropped always equals records offered.
+        let mut t4 = InvocationTrace::new(4);
+        for i in 0..10u64 {
+            let mut r = rec(SyscallId::Read, 100, None, false);
+            r.astate = i;
+            t4.record(r);
+            assert_eq!(t4.len() as u64 + t4.dropped(), i + 1);
+        }
+        assert_eq!((t4.len(), t4.dropped()), (4, 6));
+        let astates: Vec<u64> = t4.iter().map(|r| r.astate).collect();
+        assert_eq!(astates, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn consume_accepts_only_invocation_events() {
+        let inv = Event {
+            ts: 500,
+            dur: 80,
+            track: Track::Thread(2),
+            kind: EventKind::Invocation {
+                name: "read",
+                trap: SyscallId::Read.trap_number(),
+                astate: 0x42,
+                predicted: Some(64),
+                offloaded: true,
+                actual_len: 70,
+                queue_delay: 5,
+            },
+        };
+        let mut t = InvocationTrace::new(4);
+        t.consume(&inv);
+        t.consume(&Event {
+            ts: 600,
+            dur: 0,
+            track: Track::Control,
+            kind: EventKind::Epoch {
+                index: 0,
+                l2_hit_rate: 0.9,
+            },
+        });
+        let mut unknown = inv.clone();
+        if let EventKind::Invocation { trap, .. } = &mut unknown.kind {
+            *trap = 0xDEAD_BEEF;
+        }
+        t.consume(&unknown);
+        assert_eq!(t.len(), 1, "only the known invocation lands");
+        let r = t.iter().next().unwrap();
+        assert_eq!(r.thread, 2);
+        assert_eq!(r.syscall, SyscallId::Read);
+        assert_eq!(r.entry_cycle, 500);
+        assert_eq!(r.total_cycles, 80);
+        assert_eq!(r.queue_delay, 5);
+
+        let mut off = InvocationTrace::new(0);
+        off.consume(&inv);
+        assert!(off.is_empty(), "disabled trace consumes nothing");
     }
 }

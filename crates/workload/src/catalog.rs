@@ -189,6 +189,15 @@ impl SyscallId {
         0x100 + self.index() as u64
     }
 
+    /// Inverse of [`trap_number`](Self::trap_number): recovers the entry
+    /// point from a trap-convention routine number, or `None` when the
+    /// number names no catalogued entry point.
+    pub fn from_trap(trap: u64) -> Option<SyscallId> {
+        trap.checked_sub(0x100)
+            .and_then(|i| usize::try_from(i).ok())
+            .and_then(|i| Self::ALL.get(i).copied())
+    }
+
     /// Looks up the specification for this entry point.
     pub fn spec(self) -> &'static SyscallSpec {
         &CATALOG[self.index()]
@@ -822,6 +831,19 @@ mod tests {
             assert_eq!(s.id.index(), i, "{} out of order", s.name);
             assert_eq!(s.id.spec().name, s.name);
         }
+    }
+
+    #[test]
+    fn trap_round_trips_through_from_trap() {
+        for &id in SyscallId::ALL {
+            assert_eq!(SyscallId::from_trap(id.trap_number()), Some(id));
+        }
+        assert_eq!(SyscallId::from_trap(0), None);
+        assert_eq!(SyscallId::from_trap(0xFF), None);
+        assert_eq!(
+            SyscallId::from_trap(0x100 + SyscallId::ALL.len() as u64),
+            None
+        );
     }
 
     #[test]

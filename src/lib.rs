@@ -14,6 +14,8 @@
 //!   off-loading decision policies, and the dynamic threshold tuner;
 //! * [`system`] — the assembled CMP with migration and queueing, plus
 //!   experiment drivers for every figure and table in the paper;
+//! * [`obs`] — telemetry substrate: structured spans, epoch-sampled
+//!   metric time series, and Chrome-trace export;
 //! * [`energy`] — energy/EDP scoring of finished runs (the paper's
 //!   stated future work), including the heterogeneous-OS-core case.
 //!
@@ -41,6 +43,7 @@ pub use osoffload_core as core;
 pub use osoffload_cpu as cpu;
 pub use osoffload_energy as energy;
 pub use osoffload_mem as mem;
+pub use osoffload_obs as obs;
 pub use osoffload_runner as runner;
 pub use osoffload_sim as sim;
 pub use osoffload_system as system;
