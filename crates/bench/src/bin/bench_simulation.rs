@@ -1,0 +1,292 @@
+//! Perf-regression bench for the simulation hot path.
+//!
+//! Times reference Figure 4 / Table III configurations best-of-N plus the
+//! whole Figure 4 quick sweep (sequential, single-threaded, so numbers are
+//! comparable across commits), prints a table, and archives
+//! `results/BENCH_simulation.json`.
+//!
+//! Modes:
+//!
+//! * `bench_simulation [quick|full|paper]` — measure and archive.
+//! * `--before=PATH` — embed a previous run's numbers as the "before"
+//!   section and report speedups against them.
+//! * `--check=PATH` — CI gate: compare the measured sweep time against the
+//!   `baseline_ms` recorded in PATH and exit non-zero on a >20%
+//!   regression.
+//!
+//! No external dependencies: timing via `std::time::Instant`, JSON written
+//! and scanned by hand.
+
+use osoffload_bench::render_table;
+use osoffload_system::experiments::{
+    fig4_grid_with, simulate, single_config, Scale, FIG4_LATENCIES, FIG4_THRESHOLDS,
+};
+use osoffload_system::PolicyKind;
+use osoffload_workload::Profile;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Regression factor the CI gate tolerates (>20% slower fails).
+const MAX_REGRESSION_FACTOR: f64 = 1.2;
+
+struct PointSpec {
+    name: &'static str,
+    profile: fn() -> Profile,
+    policy: PolicyKind,
+    latency: u64,
+}
+
+/// Reference single-run configurations: three Figure 4 points spanning
+/// the latency/threshold grid plus two Table III utilisation points.
+const POINTS: &[PointSpec] = &[
+    PointSpec {
+        name: "fig4_apache_n1000_lat1000",
+        profile: Profile::apache,
+        policy: PolicyKind::HardwarePredictor { threshold: 1_000 },
+        latency: 1_000,
+    },
+    PointSpec {
+        name: "fig4_specjbb_n100_lat100",
+        profile: Profile::specjbb,
+        policy: PolicyKind::HardwarePredictor { threshold: 100 },
+        latency: 100,
+    },
+    PointSpec {
+        name: "fig4_compute_baseline",
+        profile: Profile::blackscholes,
+        policy: PolicyKind::Baseline,
+        latency: 0,
+    },
+    PointSpec {
+        name: "table3_derby_n100_lat5000",
+        profile: Profile::derby,
+        policy: PolicyKind::HardwarePredictor { threshold: 100 },
+        latency: 5_000,
+    },
+    PointSpec {
+        name: "table3_specjbb_n10000_lat5000",
+        profile: Profile::specjbb,
+        policy: PolicyKind::HardwarePredictor { threshold: 10_000 },
+        latency: 5_000,
+    },
+];
+
+struct Args {
+    scale: Scale,
+    scale_word: &'static str,
+    out_dir: PathBuf,
+    before: Option<PathBuf>,
+    check: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_simulation [quick|full|paper] [--out=DIR] [--before=PATH] [--check=PATH]"
+    );
+    eprintln!("       --before=PATH  embed PATH's numbers as the 'before' section");
+    eprintln!("       --check=PATH   CI gate: fail on >20% regression vs PATH's baseline_ms");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::quick(),
+        scale_word: "quick",
+        out_dir: PathBuf::from("results"),
+        before: None,
+        check: None,
+    };
+    for arg in std::env::args().skip(1) {
+        if let Some(scale) = Scale::from_arg(&arg) {
+            args.scale = scale;
+            args.scale_word = match arg.trim_start_matches("--") {
+                "quick" => "quick",
+                "full" => "full",
+                _ => "paper",
+            };
+        } else if let Some(dir) = arg.strip_prefix("--out=") {
+            args.out_dir = PathBuf::from(dir);
+        } else if let Some(path) = arg.strip_prefix("--before=") {
+            args.before = Some(PathBuf::from(path));
+        } else if let Some(path) = arg.strip_prefix("--check=") {
+            args.check = Some(PathBuf::from(path));
+        } else {
+            eprintln!("bench_simulation: unknown argument {arg:?}");
+            usage();
+        }
+    }
+    args
+}
+
+/// Best-of-N wall time of `f` in milliseconds (one untimed warm pass).
+fn best_of_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < best {
+            best = ms;
+        }
+    }
+    best
+}
+
+/// Scans `json` for `"key": <number>` and returns the first match.
+fn scan_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Scans `json` for point `name`'s `best_ms` value (the first `best_ms`
+/// key following the name string).
+fn scan_point_ms(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{name}\""))?;
+    scan_number(&json[at..], "best_ms")
+}
+
+fn main() {
+    let args = parse_args();
+    let point_reps = 5;
+    let sweep_reps = if args.scale_word == "quick" { 2 } else { 3 };
+
+    eprintln!(
+        "[bench_simulation] scale={} point_reps={point_reps} sweep_reps={sweep_reps}",
+        args.scale_word
+    );
+
+    let mut point_ms = Vec::new();
+    for p in POINTS {
+        let ms = best_of_ms(point_reps, || {
+            simulate(single_config(
+                (p.profile)(),
+                p.policy,
+                p.latency,
+                1,
+                args.scale,
+            ))
+        });
+        eprintln!("[bench_simulation] {}: {ms:.1} ms", p.name);
+        point_ms.push(ms);
+    }
+
+    let sweep_ms = best_of_ms(sweep_reps, || {
+        fig4_grid_with(args.scale, FIG4_LATENCIES, FIG4_THRESHOLDS, &mut simulate)
+    });
+    eprintln!(
+        "[bench_simulation] fig4_{}_sweep: {sweep_ms:.1} ms",
+        args.scale_word
+    );
+
+    let before_json = args.before.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("--before={}: {e}", p.display()))
+    });
+    let before_sweep = before_json
+        .as_ref()
+        .and_then(|j| scan_number(j, "fig4_quick_sweep_ms"));
+
+    let mut rows = Vec::new();
+    for (p, &ms) in POINTS.iter().zip(&point_ms) {
+        let before = before_json.as_ref().and_then(|j| scan_point_ms(j, p.name));
+        rows.push(vec![
+            p.name.to_string(),
+            before.map_or_else(|| "-".into(), |b| format!("{b:.1}")),
+            format!("{ms:.1}"),
+            before.map_or_else(|| "-".into(), |b| format!("{:.2}x", b / ms)),
+        ]);
+    }
+    rows.push(vec![
+        format!("fig4_{}_sweep", args.scale_word),
+        before_sweep.map_or_else(|| "-".into(), |b| format!("{b:.1}")),
+        format!("{sweep_ms:.1}"),
+        before_sweep.map_or_else(|| "-".into(), |b| format!("{:.2}x", b / sweep_ms)),
+    ]);
+    println!(
+        "{}",
+        render_table(&["config", "before ms", "after ms", "speedup"], &rows)
+    );
+
+    // ---- archive JSON ----
+    let mut json = String::from("{\n  \"name\": \"bench_simulation\",\n");
+    json.push_str(&format!("  \"scale\": \"{}\",\n", args.scale_word));
+    json.push_str(&format!(
+        "  \"point_reps\": {point_reps},\n  \"sweep_reps\": {sweep_reps},\n"
+    ));
+    let section = |points: &[(String, f64)], sweep: f64| {
+        let mut s = String::from("{\n    \"points\": [\n");
+        for (i, (name, ms)) in points.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"name\": \"{name}\", \"best_ms\": {ms:.3}}}{}\n",
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    ],\n    \"fig4_quick_sweep_ms\": {sweep:.3}\n  }}"
+        ));
+        s
+    };
+    let current: Vec<(String, f64)> = POINTS
+        .iter()
+        .zip(&point_ms)
+        .map(|(p, &ms)| (p.name.to_string(), ms))
+        .collect();
+    if let Some(bj) = &before_json {
+        let before_points: Vec<(String, f64)> = POINTS
+            .iter()
+            .filter_map(|p| scan_point_ms(bj, p.name).map(|ms| (p.name.to_string(), ms)))
+            .collect();
+        if let Some(bs) = before_sweep {
+            json.push_str("  \"before\": ");
+            json.push_str(&section(&before_points, bs));
+            json.push_str(",\n");
+            json.push_str(&format!(
+                "  \"speedup_fig4_quick_sweep\": {:.3},\n",
+                bs / sweep_ms
+            ));
+        }
+    }
+    json.push_str("  \"after\": ");
+    json.push_str(&section(&current, sweep_ms));
+    json.push_str(",\n");
+    json.push_str(&format!(
+        "  \"gate\": {{\"metric\": \"fig4_quick_sweep_ms\", \"baseline_ms\": {sweep_ms:.3}, \"max_regression_factor\": {MAX_REGRESSION_FACTOR}}}\n}}\n"
+    ));
+
+    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
+    let out_path = args.out_dir.join("BENCH_simulation.json");
+    std::fs::write(&out_path, &json).expect("write results JSON");
+    eprintln!("[bench_simulation] wrote {}", out_path.display());
+
+    // ---- CI gate ----
+    if let Some(check) = &args.check {
+        let baseline = std::fs::read_to_string(check)
+            .ok()
+            .and_then(|j| scan_number(&j, "baseline_ms"))
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "[bench_simulation] GATE ERROR: no baseline_ms in {}",
+                    check.display()
+                );
+                std::process::exit(1);
+            });
+        let limit = baseline * MAX_REGRESSION_FACTOR;
+        if sweep_ms > limit {
+            eprintln!(
+                "[bench_simulation] GATE FAIL: sweep {sweep_ms:.1} ms > {limit:.1} ms \
+                 (baseline {baseline:.1} ms x {MAX_REGRESSION_FACTOR})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[bench_simulation] gate ok: sweep {sweep_ms:.1} ms <= {limit:.1} ms \
+             (baseline {baseline:.1} ms x {MAX_REGRESSION_FACTOR})"
+        );
+    }
+}

@@ -60,7 +60,7 @@ pub use policy::{
 };
 pub use predictor::{
     BinaryAccuracyTracker, CamPredictor, DirectMappedPredictor, Prediction, PredictionSource,
-    PredictorStats, RunLengthPredictor, CLOSE_FRACTION,
+    PredictorStats, ReferenceCamPredictor, RunLengthPredictor, CLOSE_FRACTION,
 };
 pub use setassoc::SetAssocPredictor;
 pub use tuner::{ThresholdTuner, TunerConfig, TunerDirective, TunerEvent};

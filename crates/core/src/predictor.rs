@@ -90,10 +90,14 @@ impl fmt::Display for PredictorStats {
 }
 
 /// Whether `predicted` is within ±[`CLOSE_FRACTION`] of `actual`.
+///
+/// Computed in pure integer arithmetic (`20·|Δ| ≤ actual`, rearranged to
+/// the overflow-free `|Δ| ≤ actual/20`) so the hot `learn` path does no
+/// float work; the tolerance floor of 1 for tiny lengths is preserved.
 #[inline]
 pub fn is_close(predicted: u64, actual: u64) -> bool {
-    let tolerance = (actual as f64 * CLOSE_FRACTION).max(1.0);
-    (predicted as f64 - actual as f64).abs() <= tolerance
+    let diff = predicted.abs_diff(actual);
+    diff <= 1 || diff <= actual / 20
 }
 
 /// Run lengths are stored in 16 bits (saturating), which is what keeps
@@ -156,7 +160,26 @@ fn clamp_len(actual: u64) -> u16 {
     actual.min(LEN_MAX) as u16
 }
 
+/// Size of the hash index fronting the CAM scan (power of two).
+const CAM_INDEX_SIZE: usize = 64;
+/// Sentinel for an empty index slot.
+const CAM_INDEX_NONE: u32 = u32::MAX;
+
+/// Fibonacci hash of an AState tag into the front-end index.
+#[inline]
+fn cam_index_hash(astate: AState) -> usize {
+    (astate.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize & (CAM_INDEX_SIZE - 1)
+}
+
 /// The paper's primary organisation: a fully-associative 200-entry CAM.
+///
+/// A 64-entry hash index over the AState tags fronts the associative
+/// array: a lookup probes one indexed slot first and only falls back to
+/// the linear scan when the probe misses or is stale. The index is a pure
+/// cache of scan results — slots are verified by tag before use — so the
+/// structure's observable behaviour (predictions, confidence updates,
+/// LRU victim order) is exactly that of the plain scan, which
+/// [`ReferenceCamPredictor`] retains for differential testing.
 ///
 /// # Examples
 ///
@@ -175,6 +198,13 @@ fn clamp_len(actual: u64) -> u16 {
 #[derive(Debug, Clone)]
 pub struct CamPredictor {
     entries: Vec<Entry>,
+    /// Hash index over AState tags: `index[h]` caches the slot the last
+    /// scan found (or installed) for a tag hashing to `h`. Stale slots
+    /// are detected by tag comparison and repaired on the next lookup.
+    index: [u32; CAM_INDEX_SIZE],
+    /// Valid entries occupy the prefix `0..valid_count` (entries are
+    /// allocated front-to-back and never invalidated).
+    valid_count: usize,
     clock: u64,
     global: WindowedMean,
     stats: PredictorStats,
@@ -190,6 +220,8 @@ impl CamPredictor {
         assert!(capacity > 0, "CamPredictor: capacity must be positive");
         CamPredictor {
             entries: vec![Entry::invalid(); capacity],
+            index: [CAM_INDEX_NONE; CAM_INDEX_SIZE],
+            valid_count: 0,
             clock: 0,
             global: WindowedMean::new(3),
             stats: PredictorStats::default(),
@@ -209,7 +241,7 @@ impl CamPredictor {
 
     /// Number of valid entries currently held.
     pub fn resident(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.valid_count
     }
 
     fn global_prediction(&self) -> Prediction {
@@ -219,10 +251,44 @@ impl CamPredictor {
         }
     }
 
-    fn find(&self, astate: AState) -> Option<usize> {
+    /// Locates `astate`'s slot: indexed probe first, exact scan over the
+    /// valid prefix on a stale or missing index entry. Valid entries hold
+    /// mutually distinct AStates (allocation happens only after a failed
+    /// lookup), so a verified probe returns the same slot the scan would.
+    fn find(&mut self, astate: AState) -> Option<usize> {
+        let h = cam_index_hash(astate);
+        let cached = self.index[h];
+        if cached != CAM_INDEX_NONE {
+            let e = &self.entries[cached as usize];
+            if e.valid && e.astate == astate {
+                return Some(cached as usize);
+            }
+        }
+        let found = self.entries[..self.valid_count]
+            .iter()
+            .position(|e| e.astate == astate);
+        if let Some(i) = found {
+            self.index[h] = i as u32;
+        }
+        found
+    }
+
+    /// Read-only view used by the differential tests: the raw entry
+    /// array, which fixes the LRU victim order.
+    #[cfg(test)]
+    pub(crate) fn entries_snapshot(&self) -> Vec<(u64, u16, u8, u64, bool)> {
         self.entries
             .iter()
-            .position(|e| e.valid && e.astate == astate)
+            .map(|e| {
+                (
+                    e.astate.as_u64(),
+                    e.last_len,
+                    e.confidence,
+                    e.last_use,
+                    e.valid,
+                )
+            })
+            .collect()
     }
 }
 
@@ -264,7 +330,161 @@ impl RunLengthPredictor for CamPredictor {
                 e.last_use = self.clock;
             }
             None => {
-                // Allocate, evicting the LRU entry if necessary.
+                // Allocate, evicting the LRU entry if necessary. Valid
+                // entries form a prefix, so the first free slot is just
+                // `valid_count`.
+                let slot = if self.valid_count < self.entries.len() {
+                    let s = self.valid_count;
+                    self.valid_count += 1;
+                    s
+                } else {
+                    self.entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_use)
+                        .map(|(i, _)| i)
+                        .expect("capacity > 0")
+                };
+                self.entries[slot] = Entry {
+                    astate,
+                    last_len: clamp_len(actual),
+                    confidence: 1,
+                    last_use: self.clock,
+                    valid: true,
+                };
+                self.index[cam_index_hash(astate)] = slot as u32;
+            }
+        }
+        self.global.record(actual as f64);
+    }
+
+    fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PredictorStats::default();
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // Per entry: 64-bit AState tag + 16-bit length + 2-bit confidence.
+        (self.entries.len() * (64 + LEN_BITS as usize + 2)).div_ceil(8)
+    }
+
+    fn organization(&self) -> &'static str {
+        "fully-associative CAM"
+    }
+}
+
+/// The pre-index CAM implementation: a plain linear scan over all
+/// entries. Retained verbatim as the behavioural reference the indexed
+/// [`CamPredictor`] is differentially tested against (see the predictor
+/// property tests); not used on any hot path.
+#[derive(Debug, Clone)]
+pub struct ReferenceCamPredictor {
+    entries: Vec<Entry>,
+    clock: u64,
+    global: WindowedMean,
+    stats: PredictorStats,
+}
+
+impl ReferenceCamPredictor {
+    /// Creates a reference CAM with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "ReferenceCamPredictor: capacity must be positive"
+        );
+        ReferenceCamPredictor {
+            entries: vec![Entry::invalid(); capacity],
+            clock: 0,
+            global: WindowedMean::new(3),
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// The paper's 200-entry configuration.
+    pub fn paper_default() -> Self {
+        ReferenceCamPredictor::new(200)
+    }
+
+    /// Number of valid entries currently held (full scan).
+    pub fn resident(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    fn global_prediction(&self) -> Prediction {
+        Prediction {
+            length: self.global.mean().round() as u64,
+            source: PredictionSource::Global,
+        }
+    }
+
+    fn find(&self, astate: AState) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.valid && e.astate == astate)
+    }
+
+    /// Read-only view used by the differential tests.
+    #[cfg(test)]
+    pub(crate) fn entries_snapshot(&self) -> Vec<(u64, u16, u8, u64, bool)> {
+        self.entries
+            .iter()
+            .map(|e| {
+                (
+                    e.astate.as_u64(),
+                    e.last_len,
+                    e.confidence,
+                    e.last_use,
+                    e.valid,
+                )
+            })
+            .collect()
+    }
+}
+
+impl RunLengthPredictor for ReferenceCamPredictor {
+    fn predict(&mut self, astate: AState) -> Prediction {
+        self.clock += 1;
+        match self.find(astate) {
+            Some(i) => {
+                self.entries[i].last_use = self.clock;
+                if self.entries[i].confidence == 0 {
+                    self.global_prediction()
+                } else {
+                    Prediction {
+                        length: self.entries[i].last_len as u64,
+                        source: PredictionSource::Local,
+                    }
+                }
+            }
+            None => self.global_prediction(),
+        }
+    }
+
+    fn learn(&mut self, astate: AState, prediction: Prediction, actual: u64) {
+        self.stats.record(prediction, actual);
+        self.clock += 1;
+        let close = is_close(prediction.length, actual);
+        match self.find(astate) {
+            Some(i) => {
+                let e = &mut self.entries[i];
+                if close {
+                    if e.confidence < 3 {
+                        e.confidence += 1;
+                    }
+                } else if e.confidence > 0 {
+                    e.confidence -= 1;
+                }
+                e.last_len = clamp_len(actual);
+                e.last_use = self.clock;
+            }
+            None => {
                 let slot = self
                     .entries
                     .iter()
@@ -298,12 +518,11 @@ impl RunLengthPredictor for CamPredictor {
     }
 
     fn storage_bytes(&self) -> usize {
-        // Per entry: 64-bit AState tag + 16-bit length + 2-bit confidence.
         (self.entries.len() * (64 + LEN_BITS as usize + 2)).div_ceil(8)
     }
 
     fn organization(&self) -> &'static str {
-        "fully-associative CAM"
+        "fully-associative CAM (reference scan)"
     }
 }
 

@@ -4,7 +4,8 @@
 use crate::astate::AState;
 use crate::policy::{DynamicInstrumentation, HardwarePredictor, OffloadPolicy, OsEntry};
 use crate::predictor::{
-    is_close, CamPredictor, DirectMappedPredictor, PredictionSource, RunLengthPredictor,
+    is_close, CamPredictor, DirectMappedPredictor, PredictionSource, ReferenceCamPredictor,
+    RunLengthPredictor, CLOSE_FRACTION,
 };
 use crate::tuner::{ThresholdTuner, TunerConfig};
 use osoffload_sim::{Instret, Rng64};
@@ -129,6 +130,87 @@ fn tuner_outputs_stay_on_grid() {
         }
         assert_eq!(tuner.history().len(), n as usize);
     }
+}
+
+/// The integer reformulation of the close check (`diff <= 1 || diff <=
+/// actual / 20`) classifies exactly like the original float band
+/// `|Δ| <= max(actual * CLOSE_FRACTION, 1)` — swept densely near the
+/// boundary and at random points across the range.
+#[test]
+fn integer_close_matches_float_band() {
+    let float_close = |predicted: u64, actual: u64| {
+        let tolerance = (actual as f64 * CLOSE_FRACTION).max(1.0);
+        ((predicted as f64) - (actual as f64)).abs() <= tolerance
+    };
+    // Dense sweep around the 5% boundary for every small actual.
+    for actual in 0..2_000u64 {
+        let band = actual / 20 + 2;
+        for predicted in actual.saturating_sub(band + 2)..=actual + band + 2 {
+            assert_eq!(
+                is_close(predicted, actual),
+                float_close(predicted, actual),
+                "predicted={predicted} actual={actual}"
+            );
+        }
+    }
+    // Random points across the practical range of run lengths.
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x1C10_5E00 + case);
+        for _ in 0..256 {
+            let actual = g.gen_range(0..2_000_000);
+            let offset = g.gen_range(0..actual / 10 + 4);
+            for predicted in [actual.saturating_sub(offset), actual + offset] {
+                assert_eq!(
+                    is_close(predicted, actual),
+                    float_close(predicted, actual),
+                    "predicted={predicted} actual={actual}"
+                );
+            }
+        }
+    }
+}
+
+/// The indexed CAM is observationally identical to the retained
+/// linear-scan reference: same predictions, same confidence/LRU entry
+/// state (hence same victim order), same stats — over long random
+/// observation streams that force aliasing and LRU eviction.
+#[test]
+fn indexed_cam_matches_reference_scan() {
+    let mut total_obs = 0u64;
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0xCA3D_0000 + case);
+        // Small capacities force eviction; AState pools larger than both
+        // the capacity and the 64-slot index force aliasing in the index.
+        let capacity = g.gen_range(1..48) as usize;
+        let mut cam = CamPredictor::new(capacity);
+        let mut reference = ReferenceCamPredictor::new(capacity);
+        let pool = g.gen_range(2..400);
+        for _ in 0..256 {
+            let astate = AState::from(g.gen_range(0..pool).wrapping_mul(0x9E37_79B9));
+            let len = g.gen_range(1..50_000);
+            let pc = cam.predict(astate);
+            let pr = reference.predict(astate);
+            assert_eq!(pc, pr, "prediction diverged (capacity {capacity})");
+            cam.learn(astate, pc, len);
+            reference.learn(astate, pr, len);
+            assert_eq!(
+                cam.entries_snapshot(),
+                reference.entries_snapshot(),
+                "entry state diverged (capacity {capacity})"
+            );
+            total_obs += 1;
+        }
+        assert_eq!(cam.resident(), reference.resident());
+        assert_eq!(cam.stats().exact.hits(), reference.stats().exact.hits());
+        assert_eq!(
+            cam.stats().within_close.hits(),
+            reference.stats().within_close.hits()
+        );
+    }
+    assert!(
+        total_obs >= 10_000,
+        "need >=10k observations, got {total_obs}"
+    );
 }
 
 /// Cold predictors always fall back to the global source.

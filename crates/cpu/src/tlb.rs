@@ -31,7 +31,16 @@ impl fmt::Display for TlbStats {
     }
 }
 
+/// Sentinel for an empty index slot.
+const INDEX_NONE: u32 = u32::MAX;
+
 /// A fully-associative, LRU-replaced TLB.
+///
+/// Lookups are O(1): a preallocated open-addressing hash index maps VPNs
+/// to entry slots, replacing the linear scan of the associative array.
+/// The clock/stamp discipline is exactly that of the plain scan, so hit
+/// and eviction behaviour (including LRU victim choice) is bit-identical;
+/// only the search is faster.
 ///
 /// # Examples
 ///
@@ -51,6 +60,21 @@ pub struct Tlb {
     page_shift: u32,
     miss_penalty: u64,
     entries: Vec<(u64, u64)>, // (vpn, last_use)
+    /// Open-addressing (linear-probe) hash index: `(vpn, slot)` pairs,
+    /// slot `INDEX_NONE` marking an empty position. Sized to a power of
+    /// two at least 4x `capacity`, so load stays below 25% and probe
+    /// chains are short. Removal uses backward-shift deletion, so the
+    /// table never holds tombstones.
+    index: Vec<(u64, u32)>,
+    index_mask: usize,
+    /// Self-verifying memo of the last two translated `(vpn, slot)`
+    /// pairs. Two entries because the core interleaves instruction-page
+    /// and data-page translations through this one TLB; one entry would
+    /// thrash on every instruction with a memory operand. The fast path
+    /// re-checks `entries[slot]` still holds the vpn, so a stale memo
+    /// (the slot was recycled) simply falls back — no invalidation
+    /// bookkeeping.
+    last: [(u64, u32); 2],
     clock: u64,
     stats: TlbStats,
 }
@@ -68,13 +92,81 @@ impl Tlb {
             page_bytes.is_power_of_two(),
             "Tlb: page size must be a power of two"
         );
+        let index_size = (capacity * 4).next_power_of_two();
         Tlb {
             capacity,
             page_shift: page_bytes.trailing_zeros(),
             miss_penalty,
             entries: Vec::with_capacity(capacity),
+            index: vec![(0, INDEX_NONE); index_size],
+            index_mask: index_size - 1,
+            last: [(u64::MAX, INDEX_NONE); 2],
             clock: 0,
             stats: TlbStats::default(),
+        }
+    }
+
+    /// Home position of `vpn` in the hash index (Fibonacci hashing).
+    #[inline]
+    fn index_home(&self, vpn: u64) -> usize {
+        (vpn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize & self.index_mask
+    }
+
+    /// Finds the index position holding `vpn`, or `None`.
+    #[inline]
+    fn index_find(&self, vpn: u64) -> Option<usize> {
+        let mut pos = self.index_home(vpn);
+        loop {
+            let (v, slot) = self.index[pos];
+            if slot == INDEX_NONE {
+                return None;
+            }
+            if v == vpn {
+                return Some(pos);
+            }
+            pos = (pos + 1) & self.index_mask;
+        }
+    }
+
+    /// Inserts a `vpn -> slot` mapping (the vpn must not be present).
+    fn index_insert(&mut self, vpn: u64, slot: u32) {
+        let mut pos = self.index_home(vpn);
+        while self.index[pos].1 != INDEX_NONE {
+            pos = (pos + 1) & self.index_mask;
+        }
+        self.index[pos] = (vpn, slot);
+    }
+
+    /// Points an existing `vpn` mapping at a new entry slot (used when a
+    /// `swap_remove` moves the tail entry into the vacated slot).
+    fn index_update(&mut self, vpn: u64, slot: u32) {
+        let pos = self.index_find(vpn).expect("vpn must be indexed");
+        self.index[pos].1 = slot;
+    }
+
+    /// Removes `vpn` from the index with backward-shift deletion, which
+    /// keeps every remaining key reachable from its home position.
+    fn index_remove(&mut self, vpn: u64) {
+        let mask = self.index_mask;
+        let mut hole = self.index_find(vpn).expect("vpn must be indexed");
+        loop {
+            self.index[hole].1 = INDEX_NONE;
+            let mut probe = hole;
+            loop {
+                probe = (probe + 1) & mask;
+                let (v, slot) = self.index[probe];
+                if slot == INDEX_NONE {
+                    return;
+                }
+                // The entry at `probe` may fill the hole only if its home
+                // position is cyclically outside (hole, probe].
+                let home = self.index_home(v);
+                if (probe.wrapping_sub(home) & mask) >= (probe.wrapping_sub(hole) & mask) {
+                    self.index[hole] = self.index[probe];
+                    hole = probe;
+                    break;
+                }
+            }
         }
     }
 
@@ -89,15 +181,75 @@ impl Tlb {
 
     /// Translates a byte address, returning the added latency
     /// ([`Cycle::ZERO`] on hit, the miss penalty on a refill).
+    ///
+    /// The memo check is inlineable so repeat-page translations resolve
+    /// in the caller; everything past the memo is kept out of line.
+    #[inline]
     pub fn translate(&mut self, addr: u64) -> Cycle {
         let vpn = addr >> self.page_shift;
         self.clock += 1;
-        if let Some(entry) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
-            entry.1 = self.clock;
+        for &(mv, ms) in &self.last {
+            if vpn == mv {
+                let slot = ms as usize;
+                if slot < self.entries.len() && self.entries[slot].0 == vpn {
+                    self.entries[slot].1 = self.clock;
+                    self.stats.lookups.record(true);
+                    return Cycle::ZERO;
+                }
+            }
+        }
+        self.translate_indexed(vpn)
+    }
+
+    /// Memo-miss tail of [`Tlb::translate`]: full index lookup or refill.
+    #[inline(never)]
+    fn translate_indexed(&mut self, vpn: u64) -> Cycle {
+        if let Some(pos) = self.index_find(vpn) {
+            let slot = self.index[pos].1 as usize;
+            self.entries[slot].1 = self.clock;
+            self.last = [(vpn, slot as u32), self.last[0]];
             self.stats.lookups.record(true);
             return Cycle::ZERO;
         }
         self.stats.lookups.record(false);
+        self.refill(vpn);
+        self.last = [(vpn, (self.entries.len() - 1) as u32), self.last[0]];
+        Cycle::new(self.miss_penalty)
+    }
+
+    /// Translates `count` back-to-back accesses that all fall on the same
+    /// page, returning the total added latency. Bit-identical to calling
+    /// [`Tlb::translate`] `count` times with same-page addresses: the
+    /// clock advances by `count`, the entry's stamp lands on the final
+    /// tick, and at most the first access misses.
+    pub fn translate_run(&mut self, addr: u64, count: u64) -> Cycle {
+        if count == 0 {
+            return Cycle::ZERO;
+        }
+        let vpn = addr >> self.page_shift;
+        if let Some(pos) = self.index_find(vpn) {
+            self.clock += count;
+            let slot = self.index[pos].1 as usize;
+            self.entries[slot].1 = self.clock;
+            self.stats.lookups.record_bulk(count, count);
+            return Cycle::ZERO;
+        }
+        self.clock += 1;
+        self.stats.lookups.record(false);
+        self.refill(vpn);
+        if count > 1 {
+            // The remaining accesses hit the just-installed entry.
+            self.clock += count - 1;
+            let tail = self.entries.len() - 1;
+            self.entries[tail].1 = self.clock;
+            self.stats.lookups.record_bulk(count - 1, count - 1);
+        }
+        Cycle::new(self.miss_penalty)
+    }
+
+    /// Installs `vpn`, evicting the LRU entry when full. The caller has
+    /// already advanced the clock and recorded the miss.
+    fn refill(&mut self, vpn: u64) {
         if self.entries.len() == self.capacity {
             let lru = self
                 .entries
@@ -106,11 +258,17 @@ impl Tlb {
                 .min_by_key(|(_, (_, t))| *t)
                 .map(|(i, _)| i)
                 .expect("capacity > 0");
+            let victim_vpn = self.entries[lru].0;
             self.entries.swap_remove(lru);
+            self.index_remove(victim_vpn);
+            if lru < self.entries.len() {
+                // swap_remove moved the tail entry into `lru`.
+                self.index_update(self.entries[lru].0, lru as u32);
+            }
             self.stats.evictions.incr();
         }
+        self.index_insert(vpn, self.entries.len() as u32);
         self.entries.push((vpn, self.clock));
-        Cycle::new(self.miss_penalty)
     }
 
     /// Number of valid translations currently held.
@@ -126,6 +284,8 @@ impl Tlb {
     /// Invalidates every translation (context switch / ASID wipe).
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.index.fill((0, INDEX_NONE));
+        self.last = [(u64::MAX, INDEX_NONE); 2];
     }
 
     /// Statistics view.
@@ -210,5 +370,99 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!Tlb::paper_default().to_string().is_empty());
+    }
+
+    /// The pre-index implementation, kept as a behavioural oracle.
+    struct ScanTlb {
+        capacity: usize,
+        page_shift: u32,
+        miss_penalty: u64,
+        entries: Vec<(u64, u64)>,
+        clock: u64,
+    }
+
+    impl ScanTlb {
+        fn new(capacity: usize, page_bytes: u64, miss_penalty: u64) -> Self {
+            ScanTlb {
+                capacity,
+                page_shift: page_bytes.trailing_zeros(),
+                miss_penalty,
+                entries: Vec::new(),
+                clock: 0,
+            }
+        }
+
+        fn translate(&mut self, addr: u64) -> Cycle {
+            let vpn = addr >> self.page_shift;
+            self.clock += 1;
+            if let Some(entry) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+                entry.1 = self.clock;
+                return Cycle::ZERO;
+            }
+            if self.entries.len() == self.capacity {
+                let lru = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, t))| *t)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                self.entries.swap_remove(lru);
+            }
+            self.entries.push((vpn, self.clock));
+            Cycle::new(self.miss_penalty)
+        }
+    }
+
+    /// The indexed TLB returns the same latency on every access as the
+    /// plain linear scan (hence identical hit/miss/eviction behaviour),
+    /// across random streams that thrash small capacities, and the bulk
+    /// same-page API decomposes into repeated single translations.
+    #[test]
+    fn indexed_tlb_matches_reference_scan() {
+        use osoffload_sim::Rng64;
+        for case in 0..32u64 {
+            let mut g = Rng64::seed_from(0x71B0_0000 + case);
+            let capacity = g.gen_range(1..12) as usize;
+            let mut indexed = Tlb::new(capacity, 4096, 30);
+            let mut batched = Tlb::new(capacity, 4096, 30);
+            let mut reference = ScanTlb::new(capacity, 4096, 30);
+            for _ in 0..2_000 {
+                let addr = g.gen_range(0..4 * capacity as u64) * 4096 + g.gen_range(0..4096);
+                let run = g.gen_range(1..4);
+                let mut want = Cycle::ZERO;
+                let mut got = Cycle::ZERO;
+                for _ in 0..run {
+                    want += reference.translate(addr);
+                    got += indexed.translate(addr);
+                }
+                assert_eq!(got, want, "capacity {capacity}");
+                assert_eq!(
+                    batched.translate_run(addr, run),
+                    want,
+                    "capacity {capacity}"
+                );
+                if g.gen_range(0..512) == 0 {
+                    indexed.flush();
+                    batched.flush();
+                    reference.entries.clear();
+                }
+            }
+            assert_eq!(indexed.resident(), reference.entries.len());
+            assert_eq!(
+                indexed.stats().lookups.hits(),
+                batched.stats().lookups.hits()
+            );
+            assert_eq!(
+                indexed.stats().evictions.get(),
+                batched.stats().evictions.get()
+            );
+            // Entry state (and therefore future LRU victims) agrees too.
+            let mut a = indexed.entries.clone();
+            let mut b = reference.entries.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
     }
 }

@@ -86,11 +86,6 @@ impl CacheGeometry {
     pub fn capacity_lines(&self) -> u64 {
         self.size_bytes / crate::addr::LINE_BYTES
     }
-
-    #[inline]
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.as_u64() & (self.sets() - 1)) as usize
-    }
 }
 
 impl fmt::Display for CacheGeometry {
@@ -209,6 +204,11 @@ pub struct Cache {
     rng: Rng64,
     resident: u64,
     stats: CacheStats,
+    // Cached from `geometry` so the per-access set lookup is a mask and a
+    // multiply instead of re-deriving `sets()` (a runtime division by the
+    // associativity) on every probe.
+    set_mask: u64,
+    ways_per_set: usize,
 }
 
 impl Cache {
@@ -217,6 +217,8 @@ impl Cache {
     pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy, seed: u64) -> Self {
         let total = geometry.capacity_lines() as usize;
         Cache {
+            set_mask: geometry.sets() - 1,
+            ways_per_set: geometry.ways as usize,
             geometry,
             policy,
             ways: vec![EMPTY; total],
@@ -250,9 +252,10 @@ impl Cache {
 
     #[inline]
     fn set_range(&self, line: LineAddr) -> core::ops::Range<usize> {
-        let set = self.geometry.set_index(line);
-        let w = self.geometry.ways as usize;
-        set * w..(set + 1) * w
+        let set = (line.as_u64() & self.set_mask) as usize;
+        let w = self.ways_per_set;
+        let start = set * w;
+        start..start + w
     }
 
     /// Returns the MESI state of `line` if resident, without touching
@@ -355,7 +358,7 @@ impl Cache {
         }
 
         // Choose a victim.
-        let ways_per_set = self.geometry.ways as usize;
+        let ways_per_set = self.ways_per_set;
         let victim_offset = match self.policy {
             ReplacementPolicy::Lru => {
                 let mut best = 0usize;

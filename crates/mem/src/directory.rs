@@ -14,6 +14,41 @@ use crate::addr::{CoreId, LineAddr};
 use core::fmt;
 use osoffload_sim::Counter;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-mix hasher for line-address keys.
+///
+/// Directory lookups sit on the L2-miss path; SipHash (the standard
+/// `HashMap` default) costs more than the rest of the lookup combined.
+/// Line addresses are already well-distributed integers, so one odd
+/// multiply plus a high-to-low mix is collision-safe here. The map is
+/// never iterated (only `entry`/`get_mut`/`remove`/`len`), so the hash
+/// function cannot affect simulation output.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer writes (unused by u64 keys).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+type LineMap<V> = HashMap<LineAddr, V, BuildHasherDefault<LineHasher>>;
 
 /// Per-line directory record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,13 +73,84 @@ pub enum DataSource {
     },
 }
 
+/// A set of cores packed into a 64-bit mask.
+///
+/// Directory actions carry their target cores in this form instead of a
+/// `Vec<CoreId>` so answering a miss never allocates. Iteration yields
+/// cores in ascending id order — the same order the old vector held them
+/// in — so applying an action is order-identical to the old code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreSet(u64);
+
+impl CoreSet {
+    /// The empty set.
+    pub const EMPTY: CoreSet = CoreSet(0);
+
+    /// Wraps a raw sharer bitmask.
+    pub fn from_mask(mask: u64) -> Self {
+        CoreSet(mask)
+    }
+
+    /// Number of cores in the set.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `core` is in the set.
+    pub fn contains(&self, core: CoreId) -> bool {
+        self.0 & core.bit() != 0
+    }
+
+    /// Iterates the member cores in ascending id order.
+    pub fn iter(&self) -> CoreSetIter {
+        CoreSetIter(self.0)
+    }
+}
+
+impl IntoIterator for CoreSet {
+    type Item = CoreId;
+    type IntoIter = CoreSetIter;
+    fn into_iter(self) -> CoreSetIter {
+        CoreSetIter(self.0)
+    }
+}
+
+/// Iterator over a [`CoreSet`], ascending by core id.
+#[derive(Debug, Clone)]
+pub struct CoreSetIter(u64);
+
+impl Iterator for CoreSetIter {
+    type Item = CoreId;
+    fn next(&mut self) -> Option<CoreId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(CoreId::new(i as usize))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CoreSetIter {}
+
 /// The directory's answer to a read miss.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadMissAction {
     /// Where the requester obtains the data.
     pub source: DataSource,
     /// Cores whose copy must be *downgraded* M/E → S.
-    pub downgrade: Vec<CoreId>,
+    pub downgrade: CoreSet,
     /// Whether the requester may install the line Exclusive (no sharers).
     pub exclusive: bool,
 }
@@ -56,7 +162,7 @@ pub struct WriteMissAction {
     /// an upgrade, where the requester already has the data).
     pub source: DataSource,
     /// Cores whose copy must be invalidated.
-    pub invalidate: Vec<CoreId>,
+    pub invalidate: CoreSet,
 }
 
 /// Counters for directory activity.
@@ -122,7 +228,7 @@ impl fmt::Display for DirectoryStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<LineAddr, DirEntry>,
+    entries: LineMap<DirEntry>,
     stats: DirectoryStats,
 }
 
@@ -130,6 +236,17 @@ impl Directory {
     /// Creates an empty directory.
     pub fn new() -> Self {
         Directory::default()
+    }
+
+    /// Creates an empty directory pre-sized for `lines` tracked lines, so
+    /// steady-state operation never grows the map. The tracked-line count
+    /// is bounded by the total L2 capacity of the system (entries are
+    /// dropped as soon as their last sharer evicts).
+    pub fn with_capacity(lines: usize) -> Self {
+        Directory {
+            entries: LineMap::with_capacity_and_hasher(lines, BuildHasherDefault::default()),
+            stats: DirectoryStats::default(),
+        }
     }
 
     /// Directory activity counters.
@@ -157,10 +274,10 @@ impl Directory {
         self.entries.get(&line).and_then(|e| e.dirty_owner)
     }
 
-    fn sharer_ids(mask: u64) -> impl Iterator<Item = CoreId> {
-        (0..64u32)
-            .filter(move |i| mask & (1u64 << i) != 0)
-            .map(|i| CoreId::new(i as usize))
+    /// First (lowest-id) core in `mask`, which must be non-zero.
+    fn first_sharer(mask: u64) -> CoreId {
+        debug_assert!(mask != 0, "first_sharer: empty mask");
+        CoreId::new(mask.trailing_zeros() as usize)
     }
 
     /// Handles a read miss by `requester`; registers it as a sharer.
@@ -175,7 +292,7 @@ impl Directory {
             self.stats.memory_fetches.incr();
             ReadMissAction {
                 source: DataSource::Memory,
-                downgrade: Vec::new(),
+                downgrade: CoreSet::EMPTY,
                 exclusive: true,
             }
         } else {
@@ -183,16 +300,13 @@ impl Directory {
             // be downgraded and its data is the only valid copy).
             let (owner, dirty) = match entry.dirty_owner {
                 Some(o) if o != requester => (o, true),
-                _ => (
-                    Self::sharer_ids(others).next().expect("others non-empty"),
-                    false,
-                ),
+                _ => (Self::first_sharer(others), false),
             };
             self.stats.cache_to_cache.incr();
             // M or E holders downgrade to S. We ask the hierarchy to
             // downgrade every other sharer; S→S downgrades are no-ops
             // there, so only genuine M/E copies pay.
-            let downgrade: Vec<CoreId> = Self::sharer_ids(others).collect();
+            let downgrade = CoreSet::from_mask(others);
             self.stats.downgrades_sent.add(downgrade.len() as u64);
             ReadMissAction {
                 source: DataSource::RemoteCache { owner, dirty },
@@ -225,15 +339,12 @@ impl Directory {
         } else {
             let (owner, dirty) = match entry.dirty_owner {
                 Some(o) if o != requester => (o, true),
-                _ => (
-                    Self::sharer_ids(others).next().expect("others non-empty"),
-                    false,
-                ),
+                _ => (Self::first_sharer(others), false),
             };
             self.stats.cache_to_cache.incr();
             DataSource::RemoteCache { owner, dirty }
         };
-        let invalidate: Vec<CoreId> = Self::sharer_ids(others).collect();
+        let invalidate = CoreSet::from_mask(others);
         self.stats.invalidations_sent.add(invalidate.len() as u64);
         entry.sharers = requester.bit();
         entry.dirty_owner = Some(requester);
@@ -322,7 +433,7 @@ mod tests {
             }
         );
         assert!(!a.exclusive);
-        assert_eq!(a.downgrade, vec![c[0]]);
+        assert_eq!(a.downgrade.iter().collect::<Vec<_>>(), vec![c[0]]);
         assert_eq!(dir.sharers(L), 0b11);
         dir.check_invariants();
     }
@@ -352,8 +463,8 @@ mod tests {
         dir.read_miss(L, c[0]);
         dir.read_miss(L, c[1]);
         let a = dir.write_miss(L, c[2]);
-        let mut inv = a.invalidate.clone();
-        inv.sort_by_key(|c| c.index());
+        // CoreSet iteration is ascending by construction.
+        let inv: Vec<_> = a.invalidate.iter().collect();
         assert_eq!(inv, vec![c[0], c[1]]);
         assert_eq!(dir.sharers(L), c[2].bit());
         assert_eq!(dir.dirty_owner(L), Some(c[2]));
@@ -372,7 +483,7 @@ mod tests {
             DataSource::Memory,
             "upgrade needs no data transfer"
         );
-        assert_eq!(a.invalidate, vec![c[1]]);
+        assert_eq!(a.invalidate.iter().collect::<Vec<_>>(), vec![c[1]]);
         // No extra memory fetch was counted for the upgrade itself.
         assert_eq!(dir.stats().memory_fetches.get(), 1);
         dir.check_invariants();
@@ -440,7 +551,7 @@ mod tests {
                 dirty: true
             }
         );
-        assert_eq!(a.invalidate, vec![c[0]]);
+        assert_eq!(a.invalidate.iter().collect::<Vec<_>>(), vec![c[0]]);
         assert_eq!(dir.dirty_owner(L), Some(c[1]));
         dir.check_invariants();
     }

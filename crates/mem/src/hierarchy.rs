@@ -151,6 +151,12 @@ struct CoreCaches {
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
+    /// Line (and its MESI state) the L1I served most recently. A repeat
+    /// fetch of this line short-circuits the full lookup; see
+    /// [`MemorySystem::access`].
+    memo_i: Option<(crate::addr::LineAddr, MesiState)>,
+    /// Same memo for the L1D.
+    memo_d: Option<(crate::addr::LineAddr, MesiState)>,
 }
 
 /// Snapshot of the counters a feedback mechanism needs, cheap to copy.
@@ -217,15 +223,20 @@ impl MemorySystem {
                     l1i: Cache::new(config.l1i, config.replacement, seed ^ 0x11),
                     l1d: Cache::new(config.l1d, config.replacement, seed ^ 0x22),
                     l2: Cache::new(config.l2, config.replacement, seed ^ 0x33),
+                    memo_i: None,
+                    memo_d: None,
                 }
             })
             .collect();
+        // Pre-size the directory for every line the L2s can hold, so the
+        // map never grows (and thus never allocates) during simulation.
+        let tracked = config.l2.capacity_lines() as usize * config.cores;
         MemorySystem {
             interconnect: config.interconnect,
             dram: Dram::new(config.dram_latency),
             config,
             cores,
-            directory: Directory::new(),
+            directory: Directory::with_capacity(tracked),
         }
     }
 
@@ -244,9 +255,54 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics if `core` is out of range.
+    ///
+    /// The repeat-hit memo check is inlineable so back-to-back accesses
+    /// to the same line resolve in the caller; the full hierarchy walk
+    /// stays out of line.
+    #[inline]
     pub fn access(&mut self, core: CoreId, access: Access) -> AccessOutcome {
         let line = access.addr.line();
         let kind = access.kind;
+
+        // ---- Repeat-hit fast path ----
+        // If this L1 served exactly this line last time and no permission
+        // work is needed (writes require an M copy), the access is a plain
+        // hit. Skipping the LRU touch is order-preserving: the memoized
+        // line is already the cache's most recently used, and repeat hits
+        // cannot change any line's relative recency.
+        {
+            let caches = &mut self.cores[core.index()];
+            let memo = match kind {
+                AccessKind::Fetch => caches.memo_i,
+                AccessKind::Read | AccessKind::Write => caches.memo_d,
+            };
+            if let Some((mline, mstate)) = memo {
+                if mline == line && (kind != AccessKind::Write || mstate == MesiState::Modified) {
+                    let l1 = match kind {
+                        AccessKind::Fetch => &mut caches.l1i,
+                        AccessKind::Read | AccessKind::Write => &mut caches.l1d,
+                    };
+                    l1.stats_mut().hits.incr();
+                    return AccessOutcome {
+                        latency: Cycle::new(self.config.l1_latency),
+                        level: HitLevel::L1,
+                        upgraded: false,
+                    };
+                }
+            }
+        }
+        self.access_walk(core, line, kind)
+    }
+
+    /// Memo-miss tail of [`MemorySystem::access`]: the L1 → L2 →
+    /// directory walk.
+    #[inline(never)]
+    fn access_walk(
+        &mut self,
+        core: CoreId,
+        line: crate::addr::LineAddr,
+        kind: AccessKind,
+    ) -> AccessOutcome {
         let mut latency = Cycle::new(self.config.l1_latency);
 
         // ---- L1 ----
@@ -254,14 +310,20 @@ impl MemorySystem {
         match l1_state {
             Some(state) if kind != AccessKind::Write || state.can_write() => {
                 self.l1_of(core, kind).stats_mut().hits.incr();
-                if kind == AccessKind::Write && state == MesiState::Exclusive {
-                    // Silent E→M upgrade, mirrored in L2 and the directory.
-                    self.l1_of(core, kind).set_state(line, MesiState::Modified);
-                    self.cores[core.index()]
-                        .l2
-                        .set_state(line, MesiState::Modified);
-                    self.directory.silent_upgrade(line, core);
-                }
+                let final_state = if kind == AccessKind::Write {
+                    if state == MesiState::Exclusive {
+                        // Silent E→M upgrade, mirrored in L2 and the directory.
+                        self.l1_of(core, kind).set_state(line, MesiState::Modified);
+                        self.cores[core.index()]
+                            .l2
+                            .set_state(line, MesiState::Modified);
+                        self.directory.silent_upgrade(line, core);
+                    }
+                    MesiState::Modified
+                } else {
+                    state
+                };
+                self.set_memo(core, kind, line, final_state);
                 return AccessOutcome {
                     latency,
                     level: HitLevel::L1,
@@ -272,6 +334,7 @@ impl MemorySystem {
                 // Write to a Shared copy: data is local, permission is not.
                 self.l1_of(core, kind).stats_mut().hits.incr();
                 latency += self.upgrade_to_modified(core, line, kind);
+                self.set_memo(core, kind, line, MesiState::Modified);
                 return AccessOutcome {
                     latency,
                     level: HitLevel::L1,
@@ -301,6 +364,7 @@ impl MemorySystem {
                     state
                 };
                 self.fill_l1(core, kind, line, fill_state);
+                self.set_memo(core, kind, line, fill_state);
                 return AccessOutcome {
                     latency,
                     level: HitLevel::L2,
@@ -311,6 +375,7 @@ impl MemorySystem {
                 self.cores[core.index()].l2.stats_mut().hits.incr();
                 latency += self.upgrade_to_modified(core, line, kind);
                 self.fill_l1(core, kind, line, MesiState::Modified);
+                self.set_memo(core, kind, line, MesiState::Modified);
                 return AccessOutcome {
                     latency,
                     level: HitLevel::L2,
@@ -368,10 +433,39 @@ impl MemorySystem {
 
         self.install_l2(core, line, fill_state);
         self.fill_l1(core, kind, line, fill_state);
+        self.set_memo(core, kind, line, fill_state);
         AccessOutcome {
             latency,
             level,
             upgraded: false,
+        }
+    }
+
+    /// Records the line (and state) an L1 just served, arming the
+    /// repeat-hit fast path.
+    fn set_memo(
+        &mut self,
+        core: CoreId,
+        kind: AccessKind,
+        line: crate::addr::LineAddr,
+        state: MesiState,
+    ) {
+        let caches = &mut self.cores[core.index()];
+        match kind {
+            AccessKind::Fetch => caches.memo_i = Some((line, state)),
+            AccessKind::Read | AccessKind::Write => caches.memo_d = Some((line, state)),
+        }
+    }
+
+    /// Drops `core`'s memos if they reference `line` (any external state
+    /// change to that line makes the memo stale).
+    fn clear_memo(&mut self, core: CoreId, line: crate::addr::LineAddr) {
+        let caches = &mut self.cores[core.index()];
+        if caches.memo_i.is_some_and(|(l, _)| l == line) {
+            caches.memo_i = None;
+        }
+        if caches.memo_d.is_some_and(|(l, _)| l == line) {
+            caches.memo_d = None;
         }
     }
 
@@ -425,6 +519,7 @@ impl MemorySystem {
             self.cores[core.index()]
                 .l1d
                 .set_state(evicted.line, MesiState::Invalid);
+            self.clear_memo(core, evicted.line);
         }
     }
 
@@ -446,6 +541,7 @@ impl MemorySystem {
         caches.l2.invalidate(line);
         caches.l1i.set_state(line, MesiState::Invalid);
         caches.l1d.set_state(line, MesiState::Invalid);
+        self.clear_memo(victim, line);
         self.directory.evicted(line, victim); // write_miss re-registered the writer only
     }
 
@@ -467,6 +563,7 @@ impl MemorySystem {
         if caches.l1d.state_of(line).is_some() {
             caches.l1d.set_state(line, MesiState::Shared);
         }
+        self.clear_memo(holder, line);
     }
 
     /// L1 data cache statistics of `core`.

@@ -46,7 +46,7 @@ mod proptests;
 
 pub use addr::{Address, CoreId, LineAddr, LINE_BYTES};
 pub use cache::{Cache, CacheGeometry, CacheStats, ReplacementPolicy};
-pub use directory::{Directory, DirectoryStats};
+pub use directory::{CoreSet, Directory, DirectoryStats};
 pub use dram::Dram;
 pub use hierarchy::{
     Access, AccessKind, AccessOutcome, HitLevel, MemConfig, MemSnapshot, MemorySystem,

@@ -1,0 +1,92 @@
+//! Allocation audit hooks for the measured simulation region.
+//!
+//! The hot path of the simulator — everything executed between
+//! [`region_enter`] and [`region_exit`] — is required to be
+//! allocation-free: every buffer is sized at construction time, and the
+//! inner instruction loop must never touch the global allocator. This
+//! module provides the *hook* half of the audit: cheap thread-local
+//! bookkeeping that a test harness's `#[global_allocator]` shim can call
+//! from its `alloc`/`realloc` paths via [`note_alloc`].
+//!
+//! The shim itself lives in an integration test (it needs `unsafe` and a
+//! process-wide allocator, neither of which belongs in this
+//! `#![forbid(unsafe_code)]` crate). In production builds nothing calls
+//! [`note_alloc`], so the region markers cost two thread-local stores per
+//! simulation run.
+//!
+//! # Examples
+//!
+//! ```
+//! use osoffload_sim::alloc_audit;
+//!
+//! alloc_audit::region_enter();
+//! // ... measured hot path; an instrumented allocator calls
+//! // `alloc_audit::note_alloc()` on every allocation ...
+//! alloc_audit::region_exit();
+//! assert_eq!(alloc_audit::take_region_allocs(), 0);
+//! ```
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Whether this thread is currently inside the measured region.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+    /// Allocations observed while inside the measured region.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Marks the start of the measured (allocation-free) region on this
+/// thread.
+pub fn region_enter() {
+    IN_REGION.with(|f| f.set(true));
+}
+
+/// Marks the end of the measured region on this thread.
+pub fn region_exit() {
+    IN_REGION.with(|f| f.set(false));
+}
+
+/// Returns whether this thread is currently inside the measured region.
+pub fn in_region() -> bool {
+    IN_REGION.with(|f| f.get())
+}
+
+/// Records one allocation if the thread is inside the measured region.
+///
+/// Call this from an instrumented `#[global_allocator]`'s `alloc` and
+/// `realloc` implementations. It is safe to call from allocator context:
+/// it performs no allocation itself.
+pub fn note_alloc() {
+    IN_REGION.with(|f| {
+        if f.get() {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+        }
+    });
+}
+
+/// Returns the number of in-region allocations recorded on this thread
+/// and resets the counter to zero.
+pub fn take_region_allocs() -> u64 {
+    ALLOCS.with(|c| c.replace(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notes_count_only_inside_region() {
+        assert_eq!(take_region_allocs(), 0);
+        note_alloc();
+        assert_eq!(take_region_allocs(), 0);
+        region_enter();
+        assert!(in_region());
+        note_alloc();
+        note_alloc();
+        region_exit();
+        assert!(!in_region());
+        note_alloc();
+        assert_eq!(take_region_allocs(), 2);
+        assert_eq!(take_region_allocs(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Exact strength-reduced modulo by a fixed divisor.
+//!
+//! The address-locality samplers reduce a scrambled line index modulo the
+//! region's line count on every memory reference; a hardware `div` there
+//! is one of the hottest single instructions in the whole simulator.
+//! [`FastMod`] replaces it with the direct-remainder scheme of Lemire,
+//! Kaser & Kurz (*Faster Remainder by Direct Computation*, 2019): with
+//! `c = ceil(2^128 / d)` precomputed once, `n mod d` is the high 64 bits
+//! of `(c · n mod 2^128) · d >> 64` — three multiplies, no division.
+//! With a 128-bit fraction the result is **exact** for every `u64`
+//! dividend and divisor, so substituting it for `%` preserves
+//! bit-identical simulation output (the tests sweep edge divisors to
+//! enforce this).
+
+/// Precomputed `mod d` for a fixed divisor `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastMod {
+    d: u64,
+    /// `ceil(2^128 / d) mod 2^128` (wraps to 0 for `d == 1`).
+    c: u128,
+}
+
+impl FastMod {
+    /// `mod 1` — always 0. Handy as a placeholder in caches.
+    pub const ONE: FastMod = FastMod { d: 1, c: 0 };
+
+    /// Prepares the reciprocal fraction for divisor `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "FastMod: divisor must be positive");
+        // floor((2^128 - 1) / d) + 1 == ceil(2^128 / d) for every d > 0;
+        // for d == 1 it wraps to 0, and the multiply-high below then
+        // yields 0 — which is n mod 1.
+        FastMod {
+            d,
+            c: (u128::MAX / d as u128).wrapping_add(1),
+        }
+    }
+
+    /// The divisor this was prepared for.
+    pub fn divisor(&self) -> u64 {
+        self.d
+    }
+
+    /// Returns `n % self.divisor()`, exactly.
+    #[inline]
+    pub fn rem(&self, n: u64) -> u64 {
+        let low = self.c.wrapping_mul(n as u128);
+        // Multiply-high of a 128-bit value by a 64-bit value via two
+        // 64x64 partial products; the sum cannot overflow u128.
+        let hi = (low >> 64) as u64 as u128;
+        let lo = low as u64 as u128;
+        let d = self.d as u128;
+        ((hi * d + ((lo * d) >> 64)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn matches_hardware_remainder_on_edge_divisors() {
+        let divisors = [
+            1u64,
+            2,
+            3,
+            5,
+            7,
+            63,
+            64,
+            65,
+            10_240,
+            (1 << 32) - 1,
+            1 << 32,
+            (1 << 32) + 1,
+            u64::MAX / 3,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let dividends = [0u64, 1, 2, 63, 64, 1 << 32, u64::MAX - 1, u64::MAX];
+        for &d in &divisors {
+            let fm = FastMod::new(d);
+            for &n in &dividends {
+                assert_eq!(fm.rem(n), n % d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_hardware_remainder_on_random_pairs() {
+        let mut rng = Rng64::seed_from(0x00FA_570D);
+        for _ in 0..200_000 {
+            let d = rng.next_u64().max(1);
+            let n = rng.next_u64();
+            let fm = FastMod::new(d);
+            assert_eq!(fm.rem(n), n % d, "n={n} d={d}");
+        }
+        // Small divisors like the samplers actually use.
+        for _ in 0..200_000 {
+            let d = (rng.next_u64() % (1 << 26)).max(1);
+            let n = rng.next_u64();
+            let fm = FastMod::new(d);
+            assert_eq!(fm.rem(n), n % d, "n={n} d={d}");
+        }
+    }
+}

@@ -38,8 +38,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_audit;
 pub mod cycle;
 pub mod epoch;
+pub mod fastmod;
 pub mod rng;
 pub mod stats;
 
@@ -48,5 +50,6 @@ mod proptests;
 
 pub use cycle::{Cycle, Instret};
 pub use epoch::{EpochClock, EpochEvent};
-pub use rng::Rng64;
+pub use fastmod::FastMod;
+pub use rng::{Rng64, ZipfApprox};
 pub use stats::{Counter, Histogram, Ratio, RunningStats, WindowedMean};

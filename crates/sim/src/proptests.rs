@@ -6,10 +6,43 @@
 
 use crate::cycle::{ipc, Cycle, Instret};
 use crate::epoch::{EpochClock, EpochEvent};
-use crate::rng::Rng64;
+use crate::rng::{Rng64, ZipfApprox};
 use crate::stats::{Histogram, Ratio, RunningStats, WindowedMean};
 
 const CASES: u64 = 64;
+
+/// The prepared-constant Zipf sampler draws the exact same values as the
+/// on-the-fly [`Rng64::sample_zipf_approx`] — including the degenerate
+/// `s == 1` branch and the `n == 1` no-draw short-circuit.
+#[test]
+fn prepared_zipf_matches_on_the_fly_sampler() {
+    for case in 0..CASES {
+        let mut g = Rng64::seed_from(0x21FF_0000 + case);
+        let n = match case % 4 {
+            0 => 1,
+            1 => g.gen_range(2..10),
+            _ => g.gen_range(2..1 << 24),
+        };
+        let s = match case % 3 {
+            0 => 1.0,
+            1 => 0.8 + g.next_f64() * 0.5,
+            _ => g.next_f64() * 3.0,
+        };
+        let prepared = ZipfApprox::new(n, s);
+        assert_eq!(prepared.n(), n);
+        let mut a = Rng64::seed_from(0x5A3F_0000 + case);
+        let mut b = a.clone();
+        for draw in 0..512 {
+            assert_eq!(
+                a.sample_zipf_approx(n, s),
+                prepared.sample(&mut b),
+                "case {case} draw {draw}: n={n} s={s}"
+            );
+            // Both must have consumed identical randomness.
+            assert_eq!(a.next_u64(), b.next_u64(), "case {case} draw {draw}");
+        }
+    }
+}
 
 /// Epoch boundaries fire exactly `total / len` times under
 /// per-instruction advancement, in strictly increasing order.

@@ -246,6 +246,68 @@ impl Rng64 {
     }
 }
 
+/// Precomputed constants for [`Rng64::sample_zipf_approx`] with a fixed
+/// `(n, s)` pair.
+///
+/// The sampler's inverse-CDF costs two `powf` calls per draw; for fixed
+/// `(n, s)` one of them — `(n as f64).powf(1.0 - s)` — and the
+/// reciprocal exponent are constants. Hot paths drawing millions of
+/// values from the same distribution prepare them once and call
+/// [`ZipfApprox::sample`], which consumes the same random draw and
+/// evaluates the same float expressions as `sample_zipf_approx`, so the
+/// results are bit-identical (a property test enforces this).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfApprox {
+    n: u64,
+    /// `(n as f64).powf(1.0 - s)`; unused on the degenerate branch.
+    pow_n_exp: f64,
+    /// `1.0 / (1.0 - s)`; unused on the degenerate branch.
+    inv_exp: f64,
+    /// `(n as f64).ln()`, for the `s ≈ 1` degenerate branch.
+    ln_n: f64,
+    /// Whether `|1 - s| < 1e-9` (the degenerate inverse-CDF form).
+    degenerate: bool,
+}
+
+impl ZipfApprox {
+    /// Prepares the constants for `sample_zipf_approx(n, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "ZipfApprox: n must be positive");
+        let exp = 1.0 - s;
+        ZipfApprox {
+            n,
+            pow_n_exp: (n as f64).powf(exp),
+            inv_exp: 1.0 / exp,
+            ln_n: (n as f64).ln(),
+            degenerate: exp.abs() < 1e-9,
+        }
+    }
+
+    /// The table size this sampler was prepared for.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one value, bit-identical to `rng.sample_zipf_approx(n, s)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u = rng.next_f64();
+        let x = if self.degenerate {
+            (self.ln_n * u).exp()
+        } else {
+            (self.pow_n_exp * u + (1.0 - u)).powf(self.inv_exp)
+        };
+        (x as u64).min(self.n - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,14 +34,25 @@ use osoffload_core::{
 use osoffload_cpu::{ArchState, CoreParams, CoreState};
 use osoffload_mem::{Access, Address, CoreId, MemSnapshot, MemorySystem};
 use osoffload_obs::{Event, EventKind, MetricId, MetricsRegistry, RunTelemetry, Telemetry, Track};
-use osoffload_sim::{Counter, Cycle, EpochClock, EpochEvent, Instret, Rng64};
-use osoffload_workload::{InstrSpec, OsInvocation, Segment, ThreadWorkload};
+use osoffload_sim::{alloc_audit, Counter, Cycle, EpochClock, EpochEvent, Instret, Rng64};
+#[cfg(feature = "reference-stepper")]
+use osoffload_workload::InstrSpec;
+use osoffload_workload::{OsInvocation, Segment, ThreadWorkload};
 
 struct ThreadCtx {
     wl: ThreadWorkload,
     arch: ArchState,
     clock: Cycle,
     user_core: usize,
+}
+
+/// Where a batched segment draws its instruction stream from.
+#[derive(Clone, Copy)]
+enum InstrSource<'a> {
+    /// User-mode burst.
+    User,
+    /// Body of a privileged invocation.
+    Os(&'a OsInvocation),
 }
 
 /// Column handles into the telemetry metrics registry.
@@ -113,6 +124,10 @@ pub struct Simulation {
     retired_total: Instret,
     retired_priv: Instret,
     l1_latency: u64,
+    /// Route segments through the retained per-instruction stepper
+    /// instead of the batched one (bit-identity testing only).
+    #[cfg(feature = "reference-stepper")]
+    reference_stepper: bool,
 }
 
 impl Simulation {
@@ -185,12 +200,24 @@ impl Simulation {
             retired_total: Instret::ZERO,
             retired_priv: Instret::ZERO,
             l1_latency,
+            #[cfg(feature = "reference-stepper")]
+            reference_stepper: false,
             cfg,
         }
     }
 
     /// Runs warm-up plus the measured region and produces the report.
     pub fn run(mut self) -> SimReport {
+        let measured_start = self.run_core();
+        self.build_report(measured_start)
+    }
+
+    /// Runs the simulation through the retained per-instruction reference
+    /// stepper instead of the batched one. Exists solely so the
+    /// bit-identity suite can prove the batched stepper changes nothing.
+    #[cfg(feature = "reference-stepper")]
+    pub fn run_reference(mut self) -> SimReport {
+        self.reference_stepper = true;
         let measured_start = self.run_core();
         self.build_report(measured_start)
     }
@@ -211,7 +238,9 @@ impl Simulation {
         self.start_tuner(warmup_priv_frac);
         self.start_observation();
         let measured_start = self.max_clock();
+        alloc_audit::region_enter();
         self.execute(Instret::new(self.cfg.instructions));
+        alloc_audit::region_exit();
         measured_start
     }
 
@@ -308,20 +337,115 @@ impl Simulation {
             .expect("at least one thread")
     }
 
-    /// Cost of one dynamic instruction on `core_idx`, in cycles of the
-    /// *user-core* clock domain. A heterogeneous (slower, more
-    /// efficient) OS core stretches its instructions by the configured
-    /// slowdown.
-    fn exec_instr_scaled(&mut self, core_idx: usize, spec: &InstrSpec) -> u64 {
-        let raw = self.exec_instr(core_idx, spec);
-        if Some(core_idx) == self.os_core && self.cfg.os_core_slowdown_milli != 1_000 {
-            raw * self.cfg.os_core_slowdown_milli / 1_000
-        } else {
-            raw
+    /// Executes `len` instructions of `source` for thread `t` on
+    /// `core_idx`, returning the elapsed cycles in the issuing clock
+    /// domain.
+    ///
+    /// This is the batched stepper: per-instruction penalty cycles
+    /// accumulate in locals and commit to the shared counters once per
+    /// segment, so the inner loop touches only the TLB/cache/branch
+    /// structures each instruction actually exercises. The sequence of
+    /// workload draws and structure updates is exactly that of stepping
+    /// one instruction at a time (the retained reference stepper), which
+    /// the bit-identity suite verifies.
+    ///
+    /// `scale_milli` stretches each instruction's cost by `/1000` with
+    /// per-instruction floor division — heterogeneous OS cores and
+    /// resource-adaptation throttling both scale this way, and the floor
+    /// must stay per-instruction (a sum of floors is not the floor of the
+    /// sum).
+    fn run_batch(
+        &mut self,
+        t: usize,
+        core_idx: usize,
+        len: u64,
+        source: InstrSource,
+        scale_milli: u64,
+    ) -> Cycle {
+        #[cfg(feature = "reference-stepper")]
+        if self.reference_stepper {
+            return self.run_batch_reference(t, core_idx, len, source, scale_milli);
         }
+        let cid = CoreId::new(core_idx);
+        let l1_latency = self.l1_latency;
+        let mut elapsed = 0u64;
+        let (mut acc_tlb, mut acc_fetch, mut acc_data, mut acc_branch) = (0u64, 0u64, 0u64, 0u64);
+        for j in 0..len {
+            let spec = match source {
+                InstrSource::User => self.threads[t].wl.user_instr(),
+                InstrSource::Os(inv) => self.threads[t].wl.os_instr(inv, j),
+            };
+            let mut cost = 1u64;
+            let tlb_i = self.cores[core_idx].tlb_mut().translate(spec.pc).as_u64();
+            let fetch = self.mem.access(cid, Access::fetch(Address::new(spec.pc)));
+            let fetch_extra = fetch.latency.as_u64() - l1_latency;
+            cost += tlb_i + fetch_extra;
+            acc_tlb += tlb_i;
+            acc_fetch += fetch_extra;
+            if let Some(m) = spec.mem {
+                let tlb_d = self.cores[core_idx].tlb_mut().translate(m.addr).as_u64();
+                let access = if m.write {
+                    Access::write(Address::new(m.addr))
+                } else {
+                    Access::read(Address::new(m.addr))
+                };
+                let outcome = self.mem.access(cid, access);
+                let data_extra = outcome.latency.as_u64() - l1_latency;
+                cost += tlb_d + data_extra;
+                acc_tlb += tlb_d;
+                acc_data += data_extra;
+            }
+            if let Some(taken) = spec.branch {
+                let bp = self.cores[core_idx]
+                    .branch_mut()
+                    .execute(spec.pc, taken)
+                    .as_u64();
+                cost += bp;
+                acc_branch += bp;
+            }
+            elapsed += if scale_milli == 1_000 {
+                cost
+            } else {
+                cost * scale_milli / 1_000
+            };
+        }
+        self.cyc_tlb.add(acc_tlb);
+        self.cyc_fetch.add(acc_fetch);
+        self.cyc_data.add(acc_data);
+        self.cyc_branch.add(acc_branch);
+        Cycle::new(elapsed)
+    }
+
+    /// The pre-batching stepper: one instruction per call, counters
+    /// committed immediately. Retained behind the `reference-stepper`
+    /// feature as the oracle the bit-identity suite compares against.
+    #[cfg(feature = "reference-stepper")]
+    fn run_batch_reference(
+        &mut self,
+        t: usize,
+        core_idx: usize,
+        len: u64,
+        source: InstrSource,
+        scale_milli: u64,
+    ) -> Cycle {
+        let mut elapsed = 0u64;
+        for j in 0..len {
+            let spec = match source {
+                InstrSource::User => self.threads[t].wl.user_instr(),
+                InstrSource::Os(inv) => self.threads[t].wl.os_instr(inv, j),
+            };
+            let cost = self.exec_instr(core_idx, &spec);
+            elapsed += if scale_milli == 1_000 {
+                cost
+            } else {
+                cost * scale_milli / 1_000
+            };
+        }
+        Cycle::new(elapsed)
     }
 
     /// Cost of one dynamic instruction on `core_idx`, in cycles.
+    #[cfg(feature = "reference-stepper")]
     fn exec_instr(&mut self, core_idx: usize, spec: &InstrSpec) -> u64 {
         let cid = CoreId::new(core_idx);
         let mut cost = 1u64;
@@ -358,11 +482,7 @@ impl Simulation {
     fn run_user_burst(&mut self, t: usize, len: u64) {
         let core_idx = self.threads[t].user_core;
         let start = self.threads[t].clock.max(self.core_free[core_idx]);
-        let mut now = start;
-        for _ in 0..len {
-            let spec = self.threads[t].wl.user_instr();
-            now += self.exec_instr(core_idx, &spec);
-        }
+        let now = start + self.run_batch(t, core_idx, len, InstrSource::User, 1_000);
         self.cores[core_idx].retire_user(len);
         self.cores[core_idx].add_busy(now - start);
         self.core_free[core_idx] = now;
@@ -412,10 +532,7 @@ impl Simulation {
             let slowdown = self.cfg.resource_adaptation.expect("checked");
             self.offloads.incr();
             let throttle_start = now;
-            for j in 0..len {
-                let spec = self.threads[t].wl.os_instr(&inv, j);
-                now += self.exec_instr(core_idx, &spec) * slowdown / 1_000;
-            }
+            now += self.run_batch(t, core_idx, len, InstrSource::Os(&inv), slowdown);
             self.throttled_cycles.add((now - throttle_start).as_u64());
             self.cores[core_idx].retire_privileged(len);
             self.cores[core_idx].add_busy(now - entry_start);
@@ -447,11 +564,8 @@ impl Simulation {
             let arrival = now + self.cfg.migration.one_way();
             let os_start = self.queue.acquire(arrival);
             traced_queue_delay = (os_start - arrival).as_u64();
-            let mut os_now = os_start;
-            for j in 0..len {
-                let spec = self.threads[t].wl.os_instr(&inv, j);
-                os_now += self.exec_instr_scaled(os_idx, &spec);
-            }
+            let os_scale = self.cfg.os_core_slowdown_milli;
+            let os_now = os_start + self.run_batch(t, os_idx, len, InstrSource::Os(&inv), os_scale);
             self.queue.release(os_now);
             self.queue.add_busy(os_now - os_start);
             self.cores[os_idx].retire_privileged(len);
@@ -495,10 +609,7 @@ impl Simulation {
             }
         } else {
             self.locals.incr();
-            for j in 0..len {
-                let spec = self.threads[t].wl.os_instr(&inv, j);
-                now += self.exec_instr(core_idx, &spec);
-            }
+            now += self.run_batch(t, core_idx, len, InstrSource::Os(&inv), 1_000);
             self.cores[core_idx].retire_privileged(len);
             self.cores[core_idx].add_busy(now - entry_start);
             self.core_free[core_idx] = now;

@@ -9,7 +9,7 @@
 //! samples addresses with a hot/cold Zipf-like locality profile.
 
 use core::fmt;
-use osoffload_sim::Rng64;
+use osoffload_sim::{FastMod, Rng64, ZipfApprox};
 
 /// Logical memory region an access falls in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -204,6 +204,95 @@ impl AddressSpace {
         let footprint = self.footprints.of(region).max(64);
         self.base(region) + (i * 8) % footprint
     }
+
+    /// Prepares a sampler equivalent to [`AddressSpace::sample`] with
+    /// this `(region, skew)` fixed — hoisting the Zipf `powf` constants
+    /// and the scatter modulo out of the per-access path.
+    pub fn flat_sampler(&self, region: Region, skew: f64) -> FlatSampler {
+        let footprint = self.footprints.of(region).max(64);
+        let lines = footprint / 64;
+        FlatSampler {
+            base: self.base(region),
+            zipf: ZipfApprox::new(lines, skew),
+            lines: FastMod::new(lines),
+        }
+    }
+
+    /// Prepares a sampler equivalent to [`AddressSpace::sample_hot_cold`]
+    /// with this `(region, hot_frac, hot_bytes, skew)` fixed.
+    pub fn hot_cold_sampler(
+        &self,
+        region: Region,
+        hot_frac: f64,
+        hot_bytes: u64,
+        skew: f64,
+    ) -> HotColdSampler {
+        let footprint = self.footprints.of(region).max(64);
+        let hot = hot_bytes.clamp(64, footprint);
+        HotColdSampler {
+            base: self.base(region),
+            hot_frac,
+            hot_zipf: ZipfApprox::new((hot / 64).max(1), skew),
+            cold_zipf: ZipfApprox::new((footprint / 64).max(1), skew),
+            lines: FastMod::new(footprint / 64),
+        }
+    }
+}
+
+/// Scatters a Zipf popularity rank across the region's line count, so
+/// hot lines don't all land in the same cache sets.
+#[inline]
+fn scatter(line: u64, lines: &FastMod) -> u64 {
+    lines.rem(line.wrapping_mul(0x9E37_79B9) ^ (line >> 7))
+}
+
+/// [`AddressSpace::sample`] with region and skew baked in at
+/// construction. Produces bit-identical addresses from identical RNG
+/// state; the only difference is that the Zipf constants and the scatter
+/// reciprocal are computed once instead of per access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatSampler {
+    base: u64,
+    zipf: ZipfApprox,
+    lines: FastMod,
+}
+
+impl FlatSampler {
+    /// Draws one address; bit-identical to the [`AddressSpace::sample`]
+    /// call this sampler was prepared from.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let line = self.zipf.sample(rng);
+        self.base + scatter(line, &self.lines) * 64 + (rng.next_u64() & 0x38)
+    }
+}
+
+/// [`AddressSpace::sample_hot_cold`] with all distribution parameters
+/// baked in at construction; same bit-identity contract as
+/// [`FlatSampler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotColdSampler {
+    base: u64,
+    hot_frac: f64,
+    hot_zipf: ZipfApprox,
+    cold_zipf: ZipfApprox,
+    lines: FastMod,
+}
+
+impl HotColdSampler {
+    /// Draws one address; bit-identical to the
+    /// [`AddressSpace::sample_hot_cold`] call this sampler was prepared
+    /// from.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let zipf = if rng.gen_bool(self.hot_frac) {
+            &self.hot_zipf
+        } else {
+            &self.cold_zipf
+        };
+        let line = zipf.sample(rng);
+        self.base + scatter(line, &self.lines) * 64 + (rng.next_u64() & 0x38)
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +385,53 @@ mod tests {
         assert_eq!(second - first, 8);
         for i in 0..100_000u64 {
             assert!(a.contains(Region::SharedBuffer, a.stream(Region::SharedBuffer, i)));
+        }
+    }
+
+    #[test]
+    fn flat_sampler_matches_sample_bit_for_bit() {
+        let a = AddressSpace::new(1, fp());
+        for (case, &region) in Region::ALL.iter().enumerate() {
+            for &skew in &[1.0, 1.1, 1.3, 0.5] {
+                let prepared = a.flat_sampler(region, skew);
+                let mut r1 = Rng64::seed_from(0xF1A7 + case as u64);
+                let mut r2 = r1.clone();
+                for draw in 0..2_000 {
+                    assert_eq!(
+                        a.sample(region, skew, &mut r1),
+                        prepared.sample(&mut r2),
+                        "{region} skew={skew} draw={draw}"
+                    );
+                }
+                assert_eq!(r1.next_u64(), r2.next_u64(), "rng streams diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_cold_sampler_matches_sample_hot_cold_bit_for_bit() {
+        let a = AddressSpace::new(2, fp());
+        let mut g = Rng64::seed_from(0x401C);
+        for case in 0..32u64 {
+            let region = Region::ALL[(case % Region::ALL.len() as u64) as usize];
+            let hot_frac = g.next_f64();
+            let hot_bytes = g.gen_range(0..2 << 20);
+            let skew = if case % 5 == 0 {
+                1.0
+            } else {
+                0.8 + g.next_f64()
+            };
+            let prepared = a.hot_cold_sampler(region, hot_frac, hot_bytes, skew);
+            let mut r1 = Rng64::seed_from(0x9001 + case);
+            let mut r2 = r1.clone();
+            for draw in 0..2_000 {
+                assert_eq!(
+                    a.sample_hot_cold(region, hot_frac, hot_bytes, skew, &mut r1),
+                    prepared.sample(&mut r2),
+                    "case {case} {region} draw={draw}"
+                );
+            }
+            assert_eq!(r1.next_u64(), r2.next_u64(), "rng streams diverged");
         }
     }
 

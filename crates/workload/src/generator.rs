@@ -7,12 +7,12 @@
 //! asking for an [`InstrSpec`] per instruction, feed each spec through
 //! the core and memory models, repeat.
 
-use crate::address_space::{AddressSpace, Region};
+use crate::address_space::{AddressSpace, FlatSampler, HotColdSampler, Region};
 use crate::catalog::{OsClass, SyscallId};
 use crate::invocation::OsInvocation;
 use crate::profile::Profile;
 use core::fmt;
-use osoffload_sim::Rng64;
+use osoffload_sim::{FastMod, Rng64, ZipfApprox};
 
 /// One data-memory reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +64,54 @@ pub enum Segment {
     Os(OsInvocation),
 }
 
+/// Prepared per-instruction samplers, rebuilt whenever the profile
+/// changes (construction and phase boundaries). Each is bit-identical
+/// to the on-the-fly sampling call it replaces; preparing them hoists
+/// the Zipf `powf` constants and scatter reciprocals out of the
+/// per-instruction path, which dominated the simulator's profile.
+#[derive(Debug, Clone, Copy)]
+struct Samplers {
+    /// Taken-branch target block over the user code region (skew 1.1).
+    user_code_zipf: ZipfApprox,
+    /// `profile.footprints.user_code.max(64)`, for the sequential-pc wrap.
+    user_code_size: u64,
+    /// User-mode accesses into the shared buffer pool.
+    user_shared: FlatSampler,
+    /// User-mode accesses into the private data working set.
+    user_data: HotColdSampler,
+    /// OS-side accesses into the shared buffer pool (skew 1.15).
+    os_shared: FlatSampler,
+    /// OS accesses into global kernel data.
+    os_kernel_data: HotColdSampler,
+    /// OS accesses into per-thread kernel stack/task data (skew 1.0).
+    os_kernel_thread: FlatSampler,
+}
+
+impl Samplers {
+    fn new(space: &AddressSpace, p: &Profile) -> Self {
+        let user_code_size = p.footprints.user_code.max(64);
+        Samplers {
+            user_code_zipf: ZipfApprox::new(user_code_size / 64, 1.1),
+            user_code_size,
+            user_shared: space.flat_sampler(Region::SharedBuffer, p.user_locality_skew),
+            user_data: space.hot_cold_sampler(
+                Region::UserData,
+                p.user_hot_frac,
+                p.user_hot_bytes,
+                p.user_locality_skew,
+            ),
+            os_shared: space.flat_sampler(Region::SharedBuffer, 1.15),
+            os_kernel_data: space.hot_cold_sampler(
+                Region::KernelData,
+                p.os_hot_frac,
+                p.os_hot_bytes,
+                p.os_locality_skew,
+            ),
+            os_kernel_thread: space.flat_sampler(Region::KernelThread, 1.0),
+        }
+    }
+}
+
 /// Deterministic per-thread workload stream.
 ///
 /// # Examples
@@ -90,6 +138,11 @@ pub struct ThreadWorkload {
     rng: Rng64,
     mix_ids: Vec<SyscallId>,
     mix_cumulative: Vec<f64>,
+    /// Per-mix-slot I/O argument contexts, precomputed so drawing an
+    /// invocation never allocates ([`Profile::io_contexts`] builds a
+    /// fresh `Vec` per call). Parallel to `mix_ids`; empty for
+    /// interrupt-class entries, which never consult contexts.
+    mix_contexts: Vec<Vec<(u64, u64)>>,
     /// Probability that the next invocation is a spill/fill trap rather
     /// than a draw from the syscall mix.
     spill_fill_share: f64,
@@ -106,7 +159,36 @@ pub struct ThreadWorkload {
     recent_next: usize,
     /// Wide-range residual register values interrupts inherit.
     residual: [u64; 3],
+    /// Prepared address/branch-target samplers for the current profile.
+    samplers: Samplers,
+    /// Cached kernel-text PC constants for the syscall most recently
+    /// generated by [`ThreadWorkload::os_instr`]. Both the handler's
+    /// block offset and its body length depend only on the syscall (and
+    /// the profile), while `os_instr` runs once per instruction — the
+    /// cache turns two runtime divisions per OS instruction into one
+    /// comparison. Invalidated on phase changes.
+    os_pc: OsPcCache,
     thread_id: usize,
+}
+
+/// See [`ThreadWorkload::os_pc`].
+#[derive(Debug, Clone, Copy)]
+struct OsPcCache {
+    /// `SyscallId::index` of the cached syscall, or `u64::MAX` when
+    /// empty.
+    syscall: u64,
+    /// Handler block offset within kernel text.
+    block_off: u64,
+    /// Exact remainder by the handler body length in bytes.
+    body: FastMod,
+}
+
+impl OsPcCache {
+    const EMPTY: OsPcCache = OsPcCache {
+        syscall: u64::MAX,
+        block_off: 0,
+        body: FastMod::ONE,
+    };
 }
 
 impl fmt::Debug for ThreadWorkload {
@@ -126,11 +208,17 @@ impl ThreadWorkload {
             Rng64::seed_from(seed ^ (thread_id as u64).wrapping_mul(0xA5A5_5A5A_1234_5678));
         let mut mix_ids = Vec::with_capacity(profile.syscall_mix.len());
         let mut mix_cumulative = Vec::with_capacity(profile.syscall_mix.len());
+        let mut mix_contexts = Vec::with_capacity(profile.syscall_mix.len());
         let mut acc = 0.0;
         for &(id, w) in &profile.syscall_mix {
             acc += w;
             mix_ids.push(id);
             mix_cumulative.push(acc);
+            mix_contexts.push(if id.spec().class == OsClass::Interrupt {
+                Vec::new()
+            } else {
+                profile.io_contexts(id)
+            });
         }
         assert!(
             acc > 0.0,
@@ -143,6 +231,7 @@ impl ThreadWorkload {
             0.0
         };
         let user_pc = space.base(Region::UserCode);
+        let samplers = Samplers::new(&space, &profile);
         let recent_user = vec![space.base(Region::UserData); 32];
         let residual = [
             rng.next_u64() >> 16,
@@ -157,6 +246,7 @@ impl ThreadWorkload {
             rng,
             mix_ids,
             mix_cumulative,
+            mix_contexts,
             spill_fill_share,
             next_is_user: true,
             user_pc,
@@ -164,6 +254,8 @@ impl ThreadWorkload {
             recent_user,
             recent_next: 0,
             residual,
+            samplers,
+            os_pc: OsPcCache::EMPTY,
             thread_id,
         }
     }
@@ -192,13 +284,24 @@ impl ThreadWorkload {
     fn rebuild_mix(&mut self) {
         self.mix_ids.clear();
         self.mix_cumulative.clear();
+        self.mix_contexts.clear();
         let mut acc = 0.0;
         for &(id, w) in &self.profile.syscall_mix {
             acc += w;
             self.mix_ids.push(id);
             self.mix_cumulative.push(acc);
+            self.mix_contexts
+                .push(if id.spec().class == OsClass::Interrupt {
+                    Vec::new()
+                } else {
+                    self.profile.io_contexts(id)
+                });
         }
         assert!(acc > 0.0, "ThreadWorkload: phase has an empty syscall mix");
+        self.samplers = Samplers::new(&self.space, &self.profile);
+        // `block_off` depends on the (possibly changed) profile
+        // footprints.
+        self.os_pc = OsPcCache::EMPTY;
         self.spill_fill_share = if self.profile.include_spill_fill {
             let r = self.profile.spill_fill_rate * self.profile.user_burst_mean;
             r / (1.0 + r)
@@ -294,7 +397,7 @@ impl ThreadWorkload {
             return OsInvocation::materialize_interrupt(id, self.residual, &mut self.rng);
         }
 
-        let contexts = self.profile.io_contexts(id);
+        let contexts = &self.mix_contexts[pick];
         let (arg0, arg1) = contexts[self.rng.gen_range(0..contexts.len() as u64) as usize];
         self.shared_cursor = self.rng.gen_range(0..1 << 20);
         OsInvocation::materialize(
@@ -320,37 +423,38 @@ impl ThreadWorkload {
             None
         };
         if branch == Some(true) {
-            let code_lines = p.footprints.user_code.max(64) / 64;
-            let block = self.rng.sample_zipf_approx(code_lines, 1.1);
+            let block = self.samplers.user_code_zipf.sample(&mut self.rng);
             self.user_pc = self.space.base(Region::UserCode) + block * 64;
         } else {
             let base = self.space.base(Region::UserCode);
-            self.user_pc = base + (self.user_pc - base + 4) % p.footprints.user_code.max(64);
+            let size = self.samplers.user_code_size;
+            // Subtract-to-wrap equals `% size` here: the offset stays
+            // below `size` between calls, so at most one subtraction runs
+            // (the loop only spins after a phase shrinks the footprint).
+            let mut off = self.user_pc - base + 4;
+            while off >= size {
+                off -= size;
+            }
+            self.user_pc = base + off;
         }
         let mem = if self.rng.gen_bool(p.user_mem_prob) {
             let m = if self.rng.gen_bool(p.user_shared_frac) {
-                let addr =
-                    self.space
-                        .sample(Region::SharedBuffer, p.user_locality_skew, &mut self.rng);
                 MemRef {
-                    addr,
+                    addr: self.samplers.user_shared.sample(&mut self.rng),
                     write: self.rng.gen_bool(p.user_shared_write_frac),
                 }
             } else {
-                let addr = self.space.sample_hot_cold(
-                    Region::UserData,
-                    p.user_hot_frac,
-                    p.user_hot_bytes,
-                    p.user_locality_skew,
-                    &mut self.rng,
-                );
                 MemRef {
-                    addr,
+                    addr: self.samplers.user_data.sample(&mut self.rng),
                     write: self.rng.gen_bool(p.user_write_frac),
                 }
             };
             self.recent_user[self.recent_next] = m.addr;
-            self.recent_next = (self.recent_next + 1) % self.recent_user.len();
+            self.recent_next = if self.recent_next + 1 == self.recent_user.len() {
+                0
+            } else {
+                self.recent_next + 1
+            };
             Some(m)
         } else {
             None
@@ -375,23 +479,31 @@ impl ThreadWorkload {
     /// Behaviour of instruction `j` (0-based) of privileged invocation
     /// `inv`.
     pub fn os_instr(&mut self, inv: &OsInvocation, j: u64) -> InstrSpec {
-        let p = &self.profile;
         let spec = inv.syscall.spec();
 
         // Each entry point owns a code block in the (globally shared)
         // kernel text; the handler loops within it, so repeated
         // invocations — from any thread — hit the same lines. This is the
         // constructive interference at a shared OS core (§I).
-        let body_bytes: u64 = match spec.class {
-            // Window traps and TLB refills are a handful of hand-written
-            // assembly lines; they barely perturb the I-cache.
-            OsClass::SpillFill => 128,
-            OsClass::Fault if spec.base_len < 200 => 128,
-            _ => 512 + (spec.base_len / 8).min(3_584),
-        };
+        let idx = inv.syscall.index() as u64;
+        if self.os_pc.syscall != idx {
+            let body_bytes: u64 = match spec.class {
+                // Window traps and TLB refills are a handful of
+                // hand-written assembly lines; they barely perturb the
+                // I-cache.
+                OsClass::SpillFill => 128,
+                OsClass::Fault if spec.base_len < 200 => 128,
+                _ => 512 + (spec.base_len / 8).min(3_584),
+            };
+            self.os_pc = OsPcCache {
+                syscall: idx,
+                block_off: (idx * 4096) % self.profile.footprints.kernel_code.max(4096),
+                body: FastMod::new(body_bytes),
+            };
+        }
+        let p = &self.profile;
         let kc_base = self.space.base(Region::KernelCode);
-        let block_off = (inv.syscall.index() as u64 * 4096) % p.footprints.kernel_code.max(4096);
-        let pc = kc_base + block_off + (j * 4) % body_bytes;
+        let pc = kc_base + self.os_pc.block_off + self.os_pc.body.rem(j * 4);
 
         let branch = if self.rng.gen_bool(p.os_branch_prob) {
             Some(self.rng.gen_bool(branch_bias(pc, p.os_branch_taken)))
@@ -412,28 +524,20 @@ impl ThreadWorkload {
                     let i = self.rng.gen_range(0..self.recent_user.len() as u64) as usize;
                     self.recent_user[i]
                 } else {
-                    self.space.sample(Region::SharedBuffer, 1.15, &mut self.rng)
+                    self.samplers.os_shared.sample(&mut self.rng)
                 };
                 Some(MemRef {
                     addr,
                     write: self.rng.gen_bool(spec.shared_write_frac),
                 })
             } else if r < spec.user_shared_frac + spec.kernel_data_frac {
-                let addr = self.space.sample_hot_cold(
-                    Region::KernelData,
-                    p.os_hot_frac,
-                    p.os_hot_bytes,
-                    p.os_locality_skew,
-                    &mut self.rng,
-                );
                 Some(MemRef {
-                    addr,
+                    addr: self.samplers.os_kernel_data.sample(&mut self.rng),
                     write: self.rng.gen_bool(p.os_write_frac),
                 })
             } else {
-                let addr = self.space.sample(Region::KernelThread, 1.0, &mut self.rng);
                 Some(MemRef {
-                    addr,
+                    addr: self.samplers.os_kernel_thread.sample(&mut self.rng),
                     write: self.rng.gen_bool(p.os_write_frac),
                 })
             }
