@@ -160,6 +160,34 @@ fn clamp_len(actual: u64) -> u16 {
     actual.min(LEN_MAX) as u16
 }
 
+/// FNV-1a-style fold of one word into a running state hash.
+#[inline]
+fn fp_fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x100_0000_01b3)
+}
+
+/// Order-sensitive digest of a CAM organisation's observable state: the
+/// raw entry array (tags, lengths, confidences, LRU stamps, validity),
+/// the LRU clock, and the global fallback window. The indexed
+/// [`CamPredictor`] and the linear-scan [`ReferenceCamPredictor`] are
+/// behaviourally identical by construction, so after identical
+/// `predict`/`learn` sequences their fingerprints must match — the
+/// fuzzer's predictor-differential oracle checks exactly that.
+fn fingerprint_state(entries: &[Entry], clock: u64, global: &WindowedMean) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    h = fp_fold(h, entries.len() as u64);
+    for e in entries {
+        h = fp_fold(h, e.astate.as_u64());
+        h = fp_fold(h, e.last_len as u64);
+        h = fp_fold(h, e.confidence as u64);
+        h = fp_fold(h, e.last_use);
+        h = fp_fold(h, e.valid as u64);
+    }
+    h = fp_fold(h, clock);
+    h = fp_fold(h, global.mean().to_bits());
+    h
+}
+
 /// Size of the hash index fronting the CAM scan (power of two).
 const CAM_INDEX_SIZE: usize = 64;
 /// Sentinel for an empty index slot.
@@ -271,6 +299,15 @@ impl CamPredictor {
             self.index[h] = i as u32;
         }
         found
+    }
+
+    /// Digest of the observable table state (entries, LRU clock, global
+    /// window). Matches [`ReferenceCamPredictor::fingerprint`] exactly
+    /// when the two organisations have processed identical
+    /// `predict`/`learn` sequences; the front-end hash index is a pure
+    /// cache and deliberately excluded.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_state(&self.entries, self.clock, &self.global)
     }
 
     /// Read-only view used by the differential tests: the raw entry
@@ -428,6 +465,12 @@ impl ReferenceCamPredictor {
         self.entries
             .iter()
             .position(|e| e.valid && e.astate == astate)
+    }
+
+    /// Digest of the observable table state; see
+    /// [`CamPredictor::fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_state(&self.entries, self.clock, &self.global)
     }
 
     /// Read-only view used by the differential tests.
@@ -724,6 +767,45 @@ impl BinaryAccuracyTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprints_match_across_organisations() {
+        let mut cam = CamPredictor::new(8);
+        let mut reference = ReferenceCamPredictor::new(8);
+        assert_eq!(cam.fingerprint(), reference.fingerprint(), "cold tables");
+        // Deterministic pseudo-random drive: enough distinct AStates to
+        // force evictions in an 8-entry table.
+        let mut x = 0x9E37_79B9u64;
+        for step in 0..600 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = AState::from(x >> 56); // 256 possible tags
+            let actual = (x >> 32) & 0xFFF;
+            let pc = cam.predict(a);
+            let pr = reference.predict(a);
+            assert_eq!(pc, pr, "step {step}");
+            cam.learn(a, pc, actual);
+            reference.learn(a, pr, actual);
+            assert_eq!(cam.fingerprint(), reference.fingerprint(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_observable_state() {
+        let mut p = CamPredictor::new(4);
+        let cold = p.fingerprint();
+        let a = AState::from(7u64);
+        let pr = p.predict(a);
+        assert_ne!(p.fingerprint(), cold, "predict advances the LRU clock");
+        let before_learn = p.fingerprint();
+        p.learn(a, pr, 321);
+        assert_ne!(p.fingerprint(), before_learn, "learn installs an entry");
+        // Stats are not part of the fingerprint.
+        let trained = p.fingerprint();
+        p.reset_stats();
+        assert_eq!(p.fingerprint(), trained);
+    }
 
     fn a(v: u64) -> AState {
         AState::from(v)

@@ -1,0 +1,542 @@
+//! The fuzzer's case model: a small, serialisable description of one
+//! simulation run.
+//!
+//! A [`FuzzCase`] is deliberately *not* a [`SystemConfig`]: it names a
+//! catalog profile instead of embedding one, and collapses the policy
+//! and memory options into flat enums, so that a case can be archived as
+//! a few lines of JSON, diffed against [`FuzzCase::default`], and
+//! shrunk field by field. [`FuzzCase::to_config`] lowers it to a real
+//! configuration, running [`SystemConfig::validate`] on the way — a
+//! corpus file edited into a degenerate geometry is rejected with a
+//! typed error, never a deep panic.
+
+use crate::json::Value;
+use osoffload_core::TunerConfig;
+use osoffload_mem::MemConfig;
+use osoffload_obs::TelemetryMode;
+use osoffload_system::{MigrationModel, OffloadMechanism, PolicyKind, SystemConfig};
+use osoffload_workload::Profile;
+
+/// Serialisable mirror of [`PolicyKind`] (the fuzzed subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// No off-loading.
+    Baseline,
+    /// Off-load everything.
+    Always,
+    /// CAM-backed hardware predictor.
+    Hi {
+        /// Off-load threshold in instructions.
+        threshold: u64,
+    },
+    /// Direct-mapped hardware predictor.
+    HiDm {
+        /// Off-load threshold in instructions.
+        threshold: u64,
+    },
+    /// CAM predictor with explicit capacity.
+    HiSized {
+        /// Off-load threshold in instructions.
+        threshold: u64,
+        /// CAM entry count.
+        entries: usize,
+    },
+    /// Software dynamic instrumentation.
+    Di {
+        /// Off-load threshold in instructions.
+        threshold: u64,
+        /// Per-entry instrumentation cost in cycles.
+        cost: u64,
+    },
+    /// Off-line profiling + static instrumentation.
+    Si {
+        /// Stub cost in cycles.
+        stub_cost: u64,
+    },
+    /// Oracle decisions on the true run length.
+    Oracle {
+        /// Off-load threshold in instructions.
+        threshold: u64,
+    },
+}
+
+impl PolicySpec {
+    /// Lowers to the simulator's policy enum.
+    pub fn to_policy(self) -> PolicyKind {
+        match self {
+            PolicySpec::Baseline => PolicyKind::Baseline,
+            PolicySpec::Always => PolicyKind::AlwaysOffload,
+            PolicySpec::Hi { threshold } => PolicyKind::HardwarePredictor { threshold },
+            PolicySpec::HiDm { threshold } => {
+                PolicyKind::HardwarePredictorDirectMapped { threshold }
+            }
+            PolicySpec::HiSized { threshold, entries } => {
+                PolicyKind::HardwarePredictorSized { threshold, entries }
+            }
+            PolicySpec::Di { threshold, cost } => {
+                PolicyKind::DynamicInstrumentation { threshold, cost }
+            }
+            PolicySpec::Si { stub_cost } => PolicyKind::StaticInstrumentation { stub_cost },
+            PolicySpec::Oracle { threshold } => PolicyKind::Oracle { threshold },
+        }
+    }
+
+    fn to_value(self) -> Value {
+        let mut fields = Vec::new();
+        let kind = match self {
+            PolicySpec::Baseline => "baseline",
+            PolicySpec::Always => "always",
+            PolicySpec::Hi { threshold } => {
+                fields.push(("threshold".into(), Value::UInt(threshold)));
+                "hi"
+            }
+            PolicySpec::HiDm { threshold } => {
+                fields.push(("threshold".into(), Value::UInt(threshold)));
+                "hi-dm"
+            }
+            PolicySpec::HiSized { threshold, entries } => {
+                fields.push(("threshold".into(), Value::UInt(threshold)));
+                fields.push(("entries".into(), Value::UInt(entries as u64)));
+                "hi-sized"
+            }
+            PolicySpec::Di { threshold, cost } => {
+                fields.push(("threshold".into(), Value::UInt(threshold)));
+                fields.push(("cost".into(), Value::UInt(cost)));
+                "di"
+            }
+            PolicySpec::Si { stub_cost } => {
+                fields.push(("stub_cost".into(), Value::UInt(stub_cost)));
+                "si"
+            }
+            PolicySpec::Oracle { threshold } => {
+                fields.push(("threshold".into(), Value::UInt(threshold)));
+                "oracle"
+            }
+        };
+        fields.insert(0, ("kind".into(), Value::Str(kind.into())));
+        Value::Object(fields)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("policy: missing kind")?;
+        let threshold = || {
+            v.get("threshold")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("policy {kind}: missing threshold"))
+        };
+        match kind {
+            "baseline" => Ok(PolicySpec::Baseline),
+            "always" => Ok(PolicySpec::Always),
+            "hi" => Ok(PolicySpec::Hi {
+                threshold: threshold()?,
+            }),
+            "hi-dm" => Ok(PolicySpec::HiDm {
+                threshold: threshold()?,
+            }),
+            "hi-sized" => Ok(PolicySpec::HiSized {
+                threshold: threshold()?,
+                entries: v
+                    .get("entries")
+                    .and_then(Value::as_usize)
+                    .ok_or("policy hi-sized: missing entries")?,
+            }),
+            "di" => Ok(PolicySpec::Di {
+                threshold: threshold()?,
+                cost: v
+                    .get("cost")
+                    .and_then(Value::as_u64)
+                    .ok_or("policy di: missing cost")?,
+            }),
+            "si" => Ok(PolicySpec::Si {
+                stub_cost: v
+                    .get("stub_cost")
+                    .and_then(Value::as_u64)
+                    .ok_or("policy si: missing stub_cost")?,
+            }),
+            "oracle" => Ok(PolicySpec::Oracle {
+                threshold: threshold()?,
+            }),
+            other => Err(format!("policy: unknown kind {other:?}")),
+        }
+    }
+}
+
+/// One generated (or shrunken, or archived) simulation case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Catalog profile name ([`Profile::by_name`]).
+    pub profile: String,
+    /// Phase switches: `(at_instruction, profile_name)`.
+    pub phases: Vec<(u64, String)>,
+    /// Decision policy.
+    pub policy: PolicySpec,
+    /// One-way migration latency in cycles.
+    pub migration_one_way: u64,
+    /// Whether off-loads use remote calls instead of thread migration.
+    pub remote_call: bool,
+    /// OS-core per-instruction slowdown, milli-units.
+    pub os_core_slowdown_milli: u64,
+    /// SMT contexts on the OS core.
+    pub os_core_contexts: usize,
+    /// Resource-adaptation slowdown (milli-units), `None` = off-loading.
+    pub resource_adaptation: Option<u64>,
+    /// User cores.
+    pub user_cores: usize,
+    /// Measured instructions.
+    pub instructions: u64,
+    /// Warm-up instructions.
+    pub warmup: u64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Dynamic-threshold tuner, as a `TunerConfig::scaled_down` factor.
+    pub tuner_scale: Option<u64>,
+    /// Use the §V-B half-size-L2 memory variant.
+    pub half_l2: bool,
+}
+
+impl Default for FuzzCase {
+    /// The shrinker's target: the simplest interesting run — one user
+    /// core, apache, the paper's HI policy, defaults everywhere else.
+    fn default() -> Self {
+        FuzzCase {
+            profile: "apache".into(),
+            phases: Vec::new(),
+            policy: PolicySpec::Hi { threshold: 500 },
+            migration_one_way: 5_000,
+            remote_call: false,
+            os_core_slowdown_milli: 1_000,
+            os_core_contexts: 1,
+            resource_adaptation: None,
+            user_cores: 1,
+            instructions: 40_000,
+            warmup: 10_000,
+            seed: 0,
+            tuner_scale: None,
+            half_l2: false,
+        }
+    }
+}
+
+impl FuzzCase {
+    /// Lowers the case to a validated [`SystemConfig`].
+    ///
+    /// Errors if a profile name is unknown or the resulting
+    /// configuration fails [`SystemConfig::validate`] — the two ways a
+    /// hand-edited corpus file can be degenerate.
+    pub fn to_config(&self) -> Result<SystemConfig, String> {
+        let profile = Profile::by_name(&self.profile)
+            .ok_or_else(|| format!("unknown profile {:?}", self.profile))?;
+        if self.tuner_scale == Some(0) {
+            return Err("tuner_scale must be positive".into());
+        }
+        let mut phases = Vec::with_capacity(self.phases.len());
+        for (at, name) in &self.phases {
+            let p =
+                Profile::by_name(name).ok_or_else(|| format!("unknown phase profile {name:?}"))?;
+            phases.push((*at, p));
+        }
+        let mut cfg = SystemConfig {
+            profile,
+            phases,
+            policy: self.policy.to_policy(),
+            migration: MigrationModel::new(self.migration_one_way),
+            mechanism: if self.remote_call {
+                OffloadMechanism::RemoteCall
+            } else {
+                OffloadMechanism::ThreadMigration
+            },
+            os_core_slowdown_milli: self.os_core_slowdown_milli,
+            os_core_contexts: self.os_core_contexts,
+            resource_adaptation: self.resource_adaptation,
+            user_cores: self.user_cores,
+            instructions: self.instructions,
+            warmup: self.warmup,
+            seed: self.seed,
+            tuner: self.tuner_scale.map(TunerConfig::scaled_down),
+            mem_override: None,
+            trace_capacity: 0,
+            telemetry: TelemetryMode::Off,
+            telemetry_capacity: 1 << 16,
+        };
+        if self.half_l2 {
+            let cores = cfg.total_cores().clamp(1, 64);
+            cfg.mem_override = Some(MemConfig::half_l2_variant(cores));
+        }
+        cfg.validate().map_err(|e| e.to_string())?;
+        Ok(cfg)
+    }
+
+    /// Serialises to a JSON object (stable field order).
+    pub fn to_value(&self) -> Value {
+        let opt = |o: Option<u64>| o.map_or(Value::Null, Value::UInt);
+        Value::Object(vec![
+            ("profile".into(), Value::Str(self.profile.clone())),
+            (
+                "phases".into(),
+                Value::Array(
+                    self.phases
+                        .iter()
+                        .map(|(at, name)| {
+                            Value::Object(vec![
+                                ("at".into(), Value::UInt(*at)),
+                                ("profile".into(), Value::Str(name.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("policy".into(), self.policy.to_value()),
+            (
+                "migration_one_way".into(),
+                Value::UInt(self.migration_one_way),
+            ),
+            ("remote_call".into(), Value::Bool(self.remote_call)),
+            (
+                "os_core_slowdown_milli".into(),
+                Value::UInt(self.os_core_slowdown_milli),
+            ),
+            (
+                "os_core_contexts".into(),
+                Value::UInt(self.os_core_contexts as u64),
+            ),
+            ("resource_adaptation".into(), opt(self.resource_adaptation)),
+            ("user_cores".into(), Value::UInt(self.user_cores as u64)),
+            ("instructions".into(), Value::UInt(self.instructions)),
+            ("warmup".into(), Value::UInt(self.warmup)),
+            ("seed".into(), Value::UInt(self.seed)),
+            ("tuner_scale".into(), opt(self.tuner_scale)),
+            ("half_l2".into(), Value::Bool(self.half_l2)),
+        ])
+    }
+
+    /// Deserialises from the [`to_value`](Self::to_value) format.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let str_field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("case: missing string {key:?}"))
+        };
+        let u64_field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("case: missing integer {key:?}"))
+        };
+        let usize_field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_usize)
+                .ok_or_else(|| format!("case: missing integer {key:?}"))
+        };
+        let bool_field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("case: missing bool {key:?}"))
+        };
+        let opt_field = |key: &str| match v.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(val) => val
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("case: bad optional integer {key:?}")),
+        };
+        let mut phases = Vec::new();
+        for item in v
+            .get("phases")
+            .and_then(Value::as_array)
+            .ok_or("case: missing phases")?
+        {
+            let at = item
+                .get("at")
+                .and_then(Value::as_u64)
+                .ok_or("case: phase missing at")?;
+            let name = item
+                .get("profile")
+                .and_then(Value::as_str)
+                .ok_or("case: phase missing profile")?;
+            phases.push((at, name.to_string()));
+        }
+        Ok(FuzzCase {
+            profile: str_field("profile")?,
+            phases,
+            policy: PolicySpec::from_value(v.get("policy").ok_or("case: missing policy")?)?,
+            migration_one_way: u64_field("migration_one_way")?,
+            remote_call: bool_field("remote_call")?,
+            os_core_slowdown_milli: u64_field("os_core_slowdown_milli")?,
+            os_core_contexts: usize_field("os_core_contexts")?,
+            resource_adaptation: opt_field("resource_adaptation")?,
+            user_cores: usize_field("user_cores")?,
+            instructions: u64_field("instructions")?,
+            warmup: u64_field("warmup")?,
+            seed: u64_field("seed")?,
+            tuner_scale: opt_field("tuner_scale")?,
+            half_l2: bool_field("half_l2")?,
+        })
+    }
+
+    /// Lists the fields where this case differs from
+    /// [`FuzzCase::default`], as `(field, value)` strings — the
+    /// "distance from trivial" a shrunken repro is judged by.
+    pub fn diff_from_default(&self) -> Vec<(&'static str, String)> {
+        let d = FuzzCase::default();
+        let mut diff: Vec<(&'static str, String)> = Vec::new();
+        if self.profile != d.profile {
+            diff.push(("profile", self.profile.clone()));
+        }
+        if self.phases != d.phases {
+            diff.push(("phases", format!("{:?}", self.phases)));
+        }
+        if self.policy != d.policy {
+            diff.push(("policy", format!("{:?}", self.policy)));
+        }
+        if self.migration_one_way != d.migration_one_way {
+            diff.push(("migration_one_way", self.migration_one_way.to_string()));
+        }
+        if self.remote_call != d.remote_call {
+            diff.push(("remote_call", self.remote_call.to_string()));
+        }
+        if self.os_core_slowdown_milli != d.os_core_slowdown_milli {
+            diff.push((
+                "os_core_slowdown_milli",
+                self.os_core_slowdown_milli.to_string(),
+            ));
+        }
+        if self.os_core_contexts != d.os_core_contexts {
+            diff.push(("os_core_contexts", self.os_core_contexts.to_string()));
+        }
+        if self.resource_adaptation != d.resource_adaptation {
+            diff.push((
+                "resource_adaptation",
+                format!("{:?}", self.resource_adaptation),
+            ));
+        }
+        if self.user_cores != d.user_cores {
+            diff.push(("user_cores", self.user_cores.to_string()));
+        }
+        if self.instructions != d.instructions {
+            diff.push(("instructions", self.instructions.to_string()));
+        }
+        if self.warmup != d.warmup {
+            diff.push(("warmup", self.warmup.to_string()));
+        }
+        if self.seed != d.seed {
+            diff.push(("seed", format!("{:#x}", self.seed)));
+        }
+        if self.tuner_scale != d.tuner_scale {
+            diff.push(("tuner_scale", format!("{:?}", self.tuner_scale)));
+        }
+        if self.half_l2 != d.half_l2 {
+            diff.push(("half_l2", self.half_l2.to_string()));
+        }
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn default_case_lowers_to_a_valid_config() {
+        let cfg = FuzzCase::default().to_config().unwrap();
+        assert_eq!(cfg.user_cores, 1);
+        assert_eq!(cfg.instructions, 40_000);
+        assert!(matches!(
+            cfg.policy,
+            PolicyKind::HardwarePredictor { threshold: 500 }
+        ));
+        assert!(FuzzCase::default().diff_from_default().is_empty());
+    }
+
+    #[test]
+    fn cases_round_trip_through_json() {
+        let case = FuzzCase {
+            profile: "derby".into(),
+            phases: vec![(20_000, "mcf".into())],
+            policy: PolicySpec::Di {
+                threshold: 1_000,
+                cost: 120,
+            },
+            migration_one_way: 100,
+            remote_call: true,
+            os_core_slowdown_milli: 1_667,
+            os_core_contexts: 2,
+            resource_adaptation: None,
+            user_cores: 3,
+            instructions: 60_000,
+            warmup: 0,
+            seed: u64::MAX - 1,
+            tuner_scale: Some(40),
+            half_l2: true,
+        };
+        let text = case.to_value().to_json_pretty();
+        let back = FuzzCase::from_value(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, case);
+        assert!(back.to_config().is_ok());
+    }
+
+    #[test]
+    fn every_policy_spec_round_trips() {
+        for policy in [
+            PolicySpec::Baseline,
+            PolicySpec::Always,
+            PolicySpec::Hi { threshold: 1 },
+            PolicySpec::HiDm { threshold: 2 },
+            PolicySpec::HiSized {
+                threshold: 3,
+                entries: 8,
+            },
+            PolicySpec::Di {
+                threshold: 4,
+                cost: 5,
+            },
+            PolicySpec::Si { stub_cost: 6 },
+            PolicySpec::Oracle { threshold: 7 },
+        ] {
+            let v = policy.to_value();
+            assert_eq!(PolicySpec::from_value(&v).unwrap(), policy);
+        }
+    }
+
+    #[test]
+    fn degenerate_cases_are_rejected_not_panicked() {
+        let mut case = FuzzCase {
+            profile: "no-such-workload".into(),
+            ..FuzzCase::default()
+        };
+        assert!(case.to_config().unwrap_err().contains("unknown profile"));
+
+        case = FuzzCase::default();
+        case.instructions = 0;
+        assert!(case
+            .to_config()
+            .unwrap_err()
+            .contains("need a measured region"));
+
+        case = FuzzCase::default();
+        case.policy = PolicySpec::HiSized {
+            threshold: 500,
+            entries: 0,
+        };
+        assert!(case.to_config().is_err());
+
+        case = FuzzCase::default();
+        case.tuner_scale = Some(0); // would assert inside scaled_down
+        assert!(case.to_config().unwrap_err().contains("tuner_scale"));
+    }
+
+    #[test]
+    fn diff_counts_changed_fields() {
+        let case = FuzzCase {
+            seed: 42,
+            user_cores: 2,
+            ..FuzzCase::default()
+        };
+        let diff = case.diff_from_default();
+        assert_eq!(diff.len(), 2);
+        assert!(diff.iter().any(|(f, v)| *f == "seed" && v == "0x2a"));
+    }
+}

@@ -1,0 +1,424 @@
+//! The five oracles a case is judged by.
+//!
+//! Each oracle runs the case (or a stream derived from it) and checks a
+//! property that must hold for *every* valid configuration:
+//!
+//! 1. **differential** — the batched stepper's report equals the
+//!    retained per-instruction reference stepper's, field for field;
+//! 2. **predictor** — the hash-indexed [`CamPredictor`] and the
+//!    linear-scan [`ReferenceCamPredictor`] make identical predictions
+//!    and hold identical table state after every step;
+//! 3. **invariants** — conservation and range properties of the
+//!    [`SimReport`] (accounting sums, probabilities in `[0, 1]`,
+//!    ordered percentiles);
+//! 4. **telemetry** — enabling telemetry must not change the report;
+//! 5. **alloc** — the measured region performs zero heap allocations
+//!    (meaningful only under a counting `#[global_allocator]`, which the
+//!    fuzz binary and the corpus regression test both install; without
+//!    one the oracle passes vacuously).
+
+use crate::case::FuzzCase;
+use crate::json;
+use osoffload_core::{AState, CamPredictor, ReferenceCamPredictor, RunLengthPredictor};
+use osoffload_obs::TelemetryMode;
+use osoffload_sim::alloc_audit;
+use osoffload_system::{PolicyKind, SimReport, Simulation};
+use osoffload_workload::{Segment, ThreadWorkload};
+
+/// Which oracle to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Batched vs reference stepper report equality.
+    Differential,
+    /// Indexed vs linear-scan CAM predictor equality.
+    Predictor,
+    /// Report conservation/range invariants.
+    Invariants,
+    /// Telemetry-on vs telemetry-off report identity.
+    Telemetry,
+    /// Measured region allocates nothing.
+    Alloc,
+}
+
+impl OracleKind {
+    /// Every oracle, in canonical run order.
+    pub const ALL: [OracleKind; 5] = [
+        OracleKind::Differential,
+        OracleKind::Predictor,
+        OracleKind::Invariants,
+        OracleKind::Telemetry,
+        OracleKind::Alloc,
+    ];
+
+    /// Stable CLI / corpus-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Differential => "differential",
+            OracleKind::Predictor => "predictor",
+            OracleKind::Invariants => "invariants",
+            OracleKind::Telemetry => "telemetry",
+            OracleKind::Alloc => "alloc",
+        }
+    }
+
+    /// Parses a [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<OracleKind> {
+        OracleKind::ALL.into_iter().find(|o| o.name() == s)
+    }
+}
+
+impl core::fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A failed oracle check.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// Which oracle failed.
+    pub oracle: OracleKind,
+    /// Deterministic human-readable explanation.
+    pub detail: String,
+}
+
+impl core::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "oracle {}: {}", self.oracle, self.detail)
+    }
+}
+
+/// Runs one oracle over `case`.
+///
+/// A case that does not lower to a valid configuration fails whichever
+/// oracle it was checked under (relevant only for hand-edited corpus
+/// files — the generator and the shrinker produce valid cases).
+pub fn check(case: &FuzzCase, oracle: OracleKind) -> Result<(), OracleFailure> {
+    let fail = |detail: String| OracleFailure { oracle, detail };
+    let cfg = case
+        .to_config()
+        .map_err(|e| fail(format!("case does not lower to a valid config: {e}")))?;
+    match oracle {
+        OracleKind::Differential => {
+            let batched = Simulation::new(cfg.clone()).run();
+            let reference = Simulation::new(cfg).run_reference();
+            if batched != reference {
+                return Err(fail(format!(
+                    "batched and reference reports differ: {}",
+                    report_diff(&batched, &reference)
+                )));
+            }
+            Ok(())
+        }
+        OracleKind::Predictor => check_predictor(case).map_err(fail),
+        OracleKind::Invariants => {
+            let report = Simulation::new(cfg.clone()).run();
+            check_invariants(&cfg, &report).map_err(fail)
+        }
+        OracleKind::Telemetry => {
+            let base = Simulation::new(cfg.clone()).run();
+            let mut noop_cfg = cfg.clone();
+            noop_cfg.telemetry = TelemetryMode::Noop;
+            let noop = Simulation::new(noop_cfg).run();
+            if noop != base {
+                return Err(fail(format!(
+                    "telemetry=noop changed the report: {}",
+                    report_diff(&base, &noop)
+                )));
+            }
+            let mut full_cfg = cfg;
+            full_cfg.telemetry = TelemetryMode::Full;
+            let (full, _telemetry) = Simulation::new(full_cfg).run_with_telemetry();
+            if full != base {
+                return Err(fail(format!(
+                    "telemetry=full changed the report: {}",
+                    report_diff(&base, &full)
+                )));
+            }
+            Ok(())
+        }
+        OracleKind::Alloc => {
+            // Phase switches and tuner decisions rebuild state at epoch
+            // boundaries by design; the allocation-free contract covers
+            // the steady-state stepper, so normalise those options away.
+            let mut normalized = case.clone();
+            normalized.phases.clear();
+            normalized.tuner_scale = None;
+            let cfg = normalized
+                .to_config()
+                .map_err(|e| fail(format!("normalised case invalid: {e}")))?;
+            let _ = alloc_audit::take_region_allocs();
+            let report = Simulation::new(cfg).run();
+            let allocs = alloc_audit::take_region_allocs();
+            if allocs != 0 {
+                return Err(fail(format!(
+                    "measured region allocated {allocs} times (throughput {:.4})",
+                    report.throughput()
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Runs `case` through every oracle, collecting all failures.
+pub fn check_all(case: &FuzzCase) -> Vec<OracleFailure> {
+    OracleKind::ALL
+        .into_iter()
+        .filter_map(|o| check(case, o).err())
+        .collect()
+}
+
+/// Differential check of the two CAM organisations, driven by the
+/// case's own workload stream (AState images and observed run lengths
+/// exactly as the simulator would see them).
+fn check_predictor(case: &FuzzCase) -> Result<(), String> {
+    let profile = osoffload_workload::Profile::by_name(&case.profile)
+        .ok_or_else(|| format!("unknown profile {:?}", case.profile))?;
+    // Small capacities stress eviction; the paper's 200 entries stress
+    // steady state. Derive from the case seed so campaigns cover both.
+    let capacity = [1usize, 2, 8, 200][(case.seed % 4) as usize];
+    let mut cam = CamPredictor::new(capacity);
+    let mut reference = ReferenceCamPredictor::new(capacity);
+    let mut wl = ThreadWorkload::new(profile, 0, case.seed);
+    let mut generated = 0u64;
+    let mut invocations = 0u64;
+    while generated < case.instructions && invocations < 2_000 {
+        match wl.next_segment() {
+            Segment::User { len } => generated += len,
+            Segment::Os(inv) => {
+                generated += inv.actual_len;
+                invocations += 1;
+                // Same register image the simulator folds into an AState
+                // tag; the exact folding does not matter, identical
+                // streams on both sides do.
+                let tag = inv.regs[0] ^ inv.regs[1].rotate_left(21) ^ inv.regs[2].rotate_left(42);
+                let astate = AState::from(tag);
+                let pc = cam.predict(astate);
+                let pr = reference.predict(astate);
+                if pc != pr {
+                    return Err(format!(
+                        "invocation {invocations}: indexed predicted {pc:?}, reference {pr:?}"
+                    ));
+                }
+                cam.learn(astate, pc, inv.actual_len);
+                reference.learn(astate, pr, inv.actual_len);
+                let (fc, fr) = (cam.fingerprint(), reference.fingerprint());
+                if fc != fr {
+                    return Err(format!(
+                        "invocation {invocations}: table fingerprints diverged \
+                         ({fc:#018x} vs {fr:#018x})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Conservation and range invariants every report must satisfy.
+fn check_invariants(cfg: &osoffload_system::SystemConfig, r: &SimReport) -> Result<(), String> {
+    let mut problems: Vec<String> = Vec::new();
+    let mut require = |ok: bool, what: String| {
+        if !ok {
+            problems.push(what);
+        }
+    };
+
+    require(
+        r.instructions >= cfg.instructions,
+        format!(
+            "measured region retired {} < requested {}",
+            r.instructions, cfg.instructions
+        ),
+    );
+    require(r.cycles > 0, "zero cycles".into());
+    let recomputed = r.instructions as f64 / r.cycles as f64;
+    require(
+        (r.throughput - recomputed).abs() < 1e-9,
+        format!(
+            "throughput {} != instructions/cycles {}",
+            r.throughput, recomputed
+        ),
+    );
+    require(
+        r.cycle_breakdown.base == r.instructions,
+        format!(
+            "cycle breakdown base {} != retired instructions {}",
+            r.cycle_breakdown.base, r.instructions
+        ),
+    );
+    require(
+        r.threads == cfg.user_cores * cfg.profile.threads_per_core,
+        format!("thread count {} inconsistent with topology", r.threads),
+    );
+    let expect_os_cores =
+        usize::from(!(cfg.policy.is_baseline() || cfg.resource_adaptation.is_some()));
+    require(
+        r.os_cores == expect_os_cores,
+        format!("os_cores {} != expected {expect_os_cores}", r.os_cores),
+    );
+    if matches!(cfg.policy, PolicyKind::Baseline) {
+        require(
+            r.offloads == 0,
+            format!("baseline off-loaded {}", r.offloads),
+        );
+    }
+    if cfg.resource_adaptation.is_none() {
+        require(
+            r.throttled_cycles == 0,
+            format!("throttled {} cycles without adaptation", r.throttled_cycles),
+        );
+    }
+    if cfg.tuner.is_none() {
+        require(
+            r.tuner_events == 0,
+            format!("{} tuner events without a tuner", r.tuner_events),
+        );
+    }
+
+    for (name, x) in [
+        ("os_share", r.os_share),
+        ("l1d_hit_rate", r.l1d_hit_rate),
+        ("l1i_hit_rate", r.l1i_hit_rate),
+        ("user_branch_accuracy", r.user_branch_accuracy),
+        ("l2_user_hit_rate", r.l2_user_hit_rate),
+        ("l2_os_hit_rate", r.l2_os_hit_rate),
+        ("l2_mean_hit_rate", r.l2_mean_hit_rate),
+        ("os_core_busy_frac", r.os_core_busy_frac),
+        ("user_cores_busy_frac", r.user_cores_busy_frac),
+    ] {
+        require(
+            x.is_finite() && (0.0..=1.0).contains(&x),
+            format!("{name} = {x} outside [0, 1]"),
+        );
+    }
+
+    require(
+        r.queue.stalled <= r.queue.requests,
+        format!(
+            "queue stalled {} > requests {}",
+            r.queue.stalled, r.queue.requests
+        ),
+    );
+    require(
+        r.queue.p50_delay <= r.queue.p95_delay && r.queue.p95_delay <= r.queue.p99_delay,
+        format!(
+            "queue percentiles unordered: p50 {} p95 {} p99 {}",
+            r.queue.p50_delay, r.queue.p95_delay, r.queue.p99_delay
+        ),
+    );
+    require(
+        r.queue.mean_delay.is_finite() && r.queue.mean_delay >= 0.0,
+        format!("queue mean delay {}", r.queue.mean_delay),
+    );
+
+    if let Some(p) = &r.predictor {
+        for (name, x) in [
+            ("exact", p.exact),
+            ("within_5pct", p.within_5pct),
+            ("underestimates", p.underestimates),
+            ("local_fraction", p.local_fraction),
+        ] {
+            require(
+                x.is_finite() && (0.0..=1.0).contains(&x),
+                format!("predictor {name} = {x} outside [0, 1]"),
+            );
+        }
+        require(
+            p.within_5pct >= p.exact,
+            format!("within_5pct {} < exact {}", p.within_5pct, p.exact),
+        );
+    }
+
+    require(
+        r.binary_accuracy
+            .windows(2)
+            .all(|w| w[0].threshold < w[1].threshold),
+        "binary accuracy thresholds not ascending".into(),
+    );
+    for b in &r.binary_accuracy {
+        require(
+            b.accuracy.is_finite() && (0.0..=1.0).contains(&b.accuracy),
+            format!("binary accuracy at N={} is {}", b.threshold, b.accuracy),
+        );
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("; "))
+    }
+}
+
+/// Compact top-level diff of two reports (both sides hand-rolled JSON,
+/// so parse and compare key by key).
+fn report_diff(a: &SimReport, b: &SimReport) -> String {
+    let (ja, jb) = (json::parse(&a.to_json()), json::parse(&b.to_json()));
+    let (Ok(json::Value::Object(fa)), Ok(json::Value::Object(fb))) = (ja, jb) else {
+        return "reports differ (unparsable)".into();
+    };
+    let mut out: Vec<String> = Vec::new();
+    for ((ka, va), (_, vb)) in fa.iter().zip(fb.iter()) {
+        if va != vb {
+            out.push(format!("{ka}: {} vs {}", va.to_json(), vb.to_json()));
+        }
+    }
+    if out.is_empty() {
+        "reports differ in unreported state".into()
+    } else {
+        out.join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_names_round_trip() {
+        for o in OracleKind::ALL {
+            assert_eq!(OracleKind::parse(o.name()), Some(o));
+        }
+        assert_eq!(OracleKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_case_passes_every_oracle() {
+        let failures = check_all(&FuzzCase::default());
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn invalid_case_fails_with_a_typed_message() {
+        let case = FuzzCase {
+            profile: "no-such".into(),
+            ..FuzzCase::default()
+        };
+        let err = check(&case, OracleKind::Invariants).unwrap_err();
+        assert_eq!(err.oracle, OracleKind::Invariants);
+        assert!(err.detail.contains("valid config"), "{err}");
+    }
+
+    #[test]
+    fn invariant_violations_are_reported() {
+        let cfg = FuzzCase::default().to_config().unwrap();
+        let mut report = Simulation::new(cfg.clone()).run();
+        report.os_share = 1.5;
+        report.queue.p95_delay = report.queue.p99_delay + 1;
+        let err = check_invariants(&cfg, &report).unwrap_err();
+        assert!(err.contains("os_share"), "{err}");
+        assert!(err.contains("percentiles"), "{err}");
+    }
+
+    #[test]
+    fn report_diff_names_the_differing_fields() {
+        let cfg = FuzzCase::default().to_config().unwrap();
+        let a = Simulation::new(cfg).run();
+        let mut b = a.clone();
+        b.offloads += 1;
+        let diff = report_diff(&a, &b);
+        assert!(diff.contains("offloads"), "{diff}");
+        assert!(!diff.contains("cycles:"), "{diff}");
+    }
+}

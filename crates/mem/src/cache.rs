@@ -29,26 +29,81 @@ pub struct CacheGeometry {
     ways: u32,
 }
 
+/// Why a requested cache geometry cannot exist.
+///
+/// Returned by [`CacheGeometry::try_new`] so configuration layers (and
+/// the fuzzer's repro loader) can reject degenerate geometries with a
+/// typed error instead of panicking mid-construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// Associativity of zero.
+    ZeroWays,
+    /// Size is not a positive multiple of `ways * line size`.
+    NotLineMultiple {
+        /// Requested total size in bytes.
+        size_bytes: u64,
+        /// Requested associativity.
+        ways: u32,
+    },
+    /// The implied set count is not a power of two, so addresses cannot
+    /// be indexed by masking.
+    NonPowerOfTwoSets {
+        /// The implied set count.
+        sets: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::ZeroWays => {
+                write!(f, "CacheGeometry: associativity must be positive")
+            }
+            GeometryError::NotLineMultiple { size_bytes, ways } => write!(
+                f,
+                "CacheGeometry: size must be a multiple of ways * line size \
+                 ({size_bytes} B / {ways}-way)"
+            ),
+            GeometryError::NonPowerOfTwoSets { sets } => write!(
+                f,
+                "CacheGeometry: set count must be a power of two (got {sets})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
 impl CacheGeometry {
+    /// Creates a geometry from total size and associativity, rejecting
+    /// impossible shapes with a typed error.
+    pub fn try_new(size_bytes: u64, ways: u32) -> Result<Self, GeometryError> {
+        if ways == 0 {
+            return Err(GeometryError::ZeroWays);
+        }
+        let lines = size_bytes / crate::addr::LINE_BYTES;
+        if lines == 0 || !lines.is_multiple_of(ways as u64) {
+            return Err(GeometryError::NotLineMultiple { size_bytes, ways });
+        }
+        let sets = lines / ways as u64;
+        if !sets.is_power_of_two() {
+            return Err(GeometryError::NonPowerOfTwoSets { sets });
+        }
+        Ok(CacheGeometry { size_bytes, ways })
+    }
+
     /// Creates a geometry from total size and associativity.
     ///
     /// # Panics
     ///
     /// Panics unless the implied set count is a non-zero power of two
-    /// (so addresses can be indexed by masking).
+    /// (so addresses can be indexed by masking); [`try_new`](Self::try_new)
+    /// is the non-panicking variant.
     pub fn new(size_bytes: u64, ways: u32) -> Self {
-        assert!(ways > 0, "CacheGeometry: associativity must be positive");
-        let lines = size_bytes / crate::addr::LINE_BYTES;
-        assert!(
-            lines > 0 && lines.is_multiple_of(ways as u64),
-            "CacheGeometry: size must be a multiple of ways * line size"
-        );
-        let sets = lines / ways as u64;
-        assert!(
-            sets.is_power_of_two(),
-            "CacheGeometry: set count must be a power of two"
-        );
-        CacheGeometry { size_bytes, ways }
+        match Self::try_new(size_bytes, ways) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The paper's L1 geometry: 32 KB, 2-way (Table II).

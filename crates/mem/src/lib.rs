@@ -45,7 +45,7 @@ pub mod mesi;
 mod proptests;
 
 pub use addr::{Address, CoreId, LineAddr, LINE_BYTES};
-pub use cache::{Cache, CacheGeometry, CacheStats, ReplacementPolicy};
+pub use cache::{Cache, CacheGeometry, CacheStats, GeometryError, ReplacementPolicy};
 pub use directory::{CoreSet, Directory, DirectoryStats};
 pub use dram::Dram;
 pub use hierarchy::{

@@ -2,12 +2,14 @@
 //! seeds are fixed at construction time.
 //!
 //! Because every seed is decided *when the point is pushed* — either
-//! pinned by the caller or derived from the plan's master seed via
-//! [`Rng64::split`](osoffload_sim::Rng64::split) in plan order — the
-//! results of executing a plan are bit-identical regardless of how many
-//! workers run it or in which order they pick up points.
+//! pinned by the caller or derived from the plan's master seed via the
+//! shared [`SeedSequence`] in plan order — the results of executing a
+//! plan are bit-identical regardless of how many workers run it or in
+//! which order they pick up points. The fuzzer derives its per-case
+//! seeds through the same `SeedSequence`, so a fuzz case index is as
+//! reproducible as a plan point index.
 
-use osoffload_sim::Rng64;
+use osoffload_sim::SeedSequence;
 use osoffload_system::SystemConfig;
 
 /// One named simulation point of a plan.
@@ -26,7 +28,7 @@ pub struct Point {
 pub struct ExperimentPlan {
     name: String,
     master_seed: u64,
-    seeder: Rng64,
+    seeder: SeedSequence,
     points: Vec<Point>,
 }
 
@@ -38,7 +40,7 @@ impl ExperimentPlan {
         ExperimentPlan {
             name: name.into(),
             master_seed,
-            seeder: Rng64::seed_from(master_seed),
+            seeder: SeedSequence::new(master_seed),
             points: Vec::new(),
         }
     }
@@ -59,7 +61,7 @@ impl ExperimentPlan {
     ///
     /// Returns the point's index.
     pub fn push(&mut self, id: impl Into<String>, mut config: SystemConfig) -> usize {
-        config.seed = self.seeder.split().next_u64();
+        config.seed = self.seeder.next_seed();
         self.push_pinned(id, config)
     }
 

@@ -51,5 +51,5 @@ mod proptests;
 pub use cycle::{Cycle, Instret};
 pub use epoch::{EpochClock, EpochEvent};
 pub use fastmod::FastMod;
-pub use rng::{Rng64, ZipfApprox};
+pub use rng::{Rng64, SeedSequence, ZipfApprox};
 pub use stats::{Counter, Histogram, Ratio, RunningStats, WindowedMean};

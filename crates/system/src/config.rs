@@ -207,6 +207,150 @@ impl fmt::Display for PolicyKind {
     }
 }
 
+/// Why a [`SystemConfig`] cannot be simulated.
+///
+/// Every variant corresponds to a degenerate geometry that would
+/// otherwise surface as a panic deep inside the simulation (an empty
+/// candidate grid asserts in `ThresholdTuner::new`, a zero epoch in
+/// `EpochClock::new`, an oversized topology in
+/// `MemConfig::paper_baseline`, …). [`SystemConfig::validate`] and
+/// [`SystemConfigBuilder::try_build`] report them up front as typed
+/// errors instead, which is what lets the fuzzer treat "config rejected"
+/// and "simulation panicked" as different outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// No workload profile was supplied to the builder.
+    MissingProfile,
+    /// The base profile or a phase profile fails its own validation.
+    Profile {
+        /// Which profile: `"profile"` or `"phase i"`.
+        context: String,
+        /// The underlying violation.
+        error: osoffload_workload::ProfileError,
+    },
+    /// `user_cores` is zero.
+    NoUserCores,
+    /// `instructions` is zero: there is no measured region.
+    NoInstructions,
+    /// `os_core_slowdown_milli` is zero (an infinitely fast OS core).
+    ZeroOsCoreSlowdown,
+    /// `os_core_contexts` is zero.
+    NoOsCoreContexts,
+    /// `resource_adaptation` is `Some(0)` (an infinitely fast throttled
+    /// mode).
+    ZeroAdaptationSlowdown,
+    /// The topology exceeds the memory model's 64-core ceiling.
+    TooManyCores {
+        /// Total cores the topology needs (user cores + OS core).
+        total: usize,
+    },
+    /// A sized predictor policy was given zero entries / sets / ways.
+    ZeroPredictorCapacity,
+    /// The tuner's candidate grid is empty.
+    TunerEmptyCandidates,
+    /// The tuner's candidate grid is not strictly ascending.
+    TunerUnsortedCandidates,
+    /// A tuner epoch length is zero (`EpochClock` requires positive
+    /// epochs).
+    TunerZeroEpoch {
+        /// Which field: `"sample_epoch"`, `"stable_base"`, or
+        /// `"stable_cap"`.
+        field: &'static str,
+    },
+    /// The memory override provisions fewer cores than the topology
+    /// needs.
+    MemTooFewCores {
+        /// Cores in the override.
+        cores: usize,
+        /// Cores the topology needs.
+        need: usize,
+    },
+    /// The memory override's core count is outside `1..=64`.
+    MemBadCoreCount {
+        /// Cores in the override.
+        cores: usize,
+    },
+    /// The memory override's L2 hit latency is below its L1 hit latency
+    /// (the hierarchy model charges the L1 probe as part of every
+    /// access).
+    MemLatencyInversion {
+        /// L1 hit latency, cycles.
+        l1: u64,
+        /// L2 hit latency, cycles.
+        l2: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingProfile => write!(f, "SystemConfig: profile is required"),
+            ConfigError::Profile { context, error } => {
+                write!(f, "SystemConfig: {context} is invalid: {error}")
+            }
+            ConfigError::NoUserCores => write!(f, "SystemConfig: need at least one user core"),
+            ConfigError::NoInstructions => write!(f, "SystemConfig: need a measured region"),
+            ConfigError::ZeroOsCoreSlowdown => {
+                write!(f, "SystemConfig: slowdown must be positive")
+            }
+            ConfigError::NoOsCoreContexts => {
+                write!(f, "SystemConfig: need at least one OS-core context")
+            }
+            ConfigError::ZeroAdaptationSlowdown => {
+                write!(f, "SystemConfig: adaptation slowdown must be positive")
+            }
+            ConfigError::TooManyCores { total } => {
+                write!(
+                    f,
+                    "SystemConfig: topology needs {total} cores, the memory model supports at most 64"
+                )
+            }
+            ConfigError::ZeroPredictorCapacity => {
+                write!(f, "SystemConfig: predictor must have at least one entry")
+            }
+            ConfigError::TunerEmptyCandidates => {
+                write!(f, "SystemConfig: tuner candidate grid is empty")
+            }
+            ConfigError::TunerUnsortedCandidates => {
+                write!(
+                    f,
+                    "SystemConfig: tuner candidates must be strictly ascending"
+                )
+            }
+            ConfigError::TunerZeroEpoch { field } => {
+                write!(f, "SystemConfig: tuner {field} must be positive")
+            }
+            ConfigError::MemTooFewCores { cores, need } => {
+                write!(
+                    f,
+                    "SystemConfig: memory override provisions {cores} cores but the topology needs {need}"
+                )
+            }
+            ConfigError::MemBadCoreCount { cores } => {
+                write!(
+                    f,
+                    "SystemConfig: memory override has {cores} cores, supported range is 1..=64"
+                )
+            }
+            ConfigError::MemLatencyInversion { l1, l2 } => {
+                write!(
+                    f,
+                    "SystemConfig: memory override L2 latency {l2} is below L1 latency {l1}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Profile { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -287,6 +431,94 @@ impl SystemConfig {
         self.mem_override
             .clone()
             .unwrap_or_else(|| MemConfig::paper_baseline(self.total_cores()))
+    }
+
+    /// Checks every constructive precondition of the simulation,
+    /// returning the first violation found.
+    ///
+    /// A config that validates will not panic while *building* the
+    /// simulation (topology, caches, policies, tuner, workload streams).
+    /// `Simulation::new` calls this and reports the violation at the
+    /// surface instead of asserting somewhere deep in a subsystem.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.user_cores == 0 {
+            return Err(ConfigError::NoUserCores);
+        }
+        if self.instructions == 0 {
+            return Err(ConfigError::NoInstructions);
+        }
+        if self.os_core_slowdown_milli == 0 {
+            return Err(ConfigError::ZeroOsCoreSlowdown);
+        }
+        if self.os_core_contexts == 0 {
+            return Err(ConfigError::NoOsCoreContexts);
+        }
+        if self.resource_adaptation == Some(0) {
+            return Err(ConfigError::ZeroAdaptationSlowdown);
+        }
+        let total = self.total_cores();
+        if total > 64 {
+            return Err(ConfigError::TooManyCores { total });
+        }
+        self.profile
+            .validate()
+            .map_err(|error| ConfigError::Profile {
+                context: "profile".into(),
+                error,
+            })?;
+        for (i, (_, profile)) in self.phases.iter().enumerate() {
+            profile.validate().map_err(|error| ConfigError::Profile {
+                context: format!("phase {i}"),
+                error,
+            })?;
+        }
+        match self.policy {
+            PolicyKind::HardwarePredictorSized { entries, .. }
+            | PolicyKind::HardwarePredictorDmSized { entries, .. }
+                if entries == 0 =>
+            {
+                return Err(ConfigError::ZeroPredictorCapacity);
+            }
+            PolicyKind::HardwarePredictorSetAssoc { sets, ways, .. } if sets == 0 || ways == 0 => {
+                return Err(ConfigError::ZeroPredictorCapacity);
+            }
+            _ => {}
+        }
+        if let Some(tuner) = &self.tuner {
+            if tuner.candidates.is_empty() {
+                return Err(ConfigError::TunerEmptyCandidates);
+            }
+            if !tuner.candidates.windows(2).all(|w| w[0] < w[1]) {
+                return Err(ConfigError::TunerUnsortedCandidates);
+            }
+            for (field, len) in [
+                ("sample_epoch", tuner.sample_epoch),
+                ("stable_base", tuner.stable_base),
+                ("stable_cap", tuner.stable_cap),
+            ] {
+                if len.as_u64() == 0 {
+                    return Err(ConfigError::TunerZeroEpoch { field });
+                }
+            }
+        }
+        if let Some(mem) = &self.mem_override {
+            if !(1..=64).contains(&mem.cores) {
+                return Err(ConfigError::MemBadCoreCount { cores: mem.cores });
+            }
+            if mem.cores < total {
+                return Err(ConfigError::MemTooFewCores {
+                    cores: mem.cores,
+                    need: total,
+                });
+            }
+            if mem.l2_latency < mem.l1_latency {
+                return Err(ConfigError::MemLatencyInversion {
+                    l1: mem.l1_latency,
+                    l2: mem.l2_latency,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -471,9 +703,13 @@ impl SystemConfigBuilder {
     /// # Panics
     ///
     /// Panics if no profile was supplied, or if `user_cores` or
-    /// `instructions` is zero.
-    pub fn build(self) -> SystemConfig {
-        let profile = self.profile.expect("SystemConfig: profile is required");
+    /// `instructions` is zero. Use [`try_build`](Self::try_build) to get
+    /// a typed error instead.
+    pub fn build(mut self) -> SystemConfig {
+        let profile = self
+            .profile
+            .take()
+            .expect("SystemConfig: profile is required");
         assert!(
             self.user_cores >= 1,
             "SystemConfig: need at least one user core"
@@ -482,6 +718,22 @@ impl SystemConfigBuilder {
             self.instructions > 0,
             "SystemConfig: need a measured region"
         );
+        self.finish(profile)
+    }
+
+    /// Finalises the configuration, running the full
+    /// [`SystemConfig::validate`] check and returning the first
+    /// violation as a typed [`ConfigError`] instead of panicking.
+    pub fn try_build(self) -> Result<SystemConfig, ConfigError> {
+        let Some(profile) = self.profile.clone() else {
+            return Err(ConfigError::MissingProfile);
+        };
+        let cfg = self.finish(profile);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn finish(self, profile: Profile) -> SystemConfig {
         let warmup = self.warmup.unwrap_or(self.instructions / 4);
         SystemConfig {
             profile,
@@ -535,6 +787,143 @@ mod tests {
     #[should_panic(expected = "profile is required")]
     fn missing_profile_panics() {
         SystemConfig::builder().build();
+    }
+
+    #[test]
+    fn try_build_reports_missing_profile() {
+        assert_eq!(
+            SystemConfig::builder().try_build().err(),
+            Some(ConfigError::MissingProfile)
+        );
+    }
+
+    #[test]
+    fn validate_accepts_every_catalog_profile() {
+        for profile in Profile::all_server()
+            .into_iter()
+            .chain(Profile::all_compute())
+        {
+            let cfg = SystemConfig::builder()
+                .profile(profile)
+                .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+                .tuner(TunerConfig::paper_default())
+                .build();
+            assert_eq!(cfg.validate(), Ok(()), "{}", cfg.profile.name);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_geometries() {
+        let base = || SystemConfig::builder().profile(Profile::apache());
+
+        let mut cfg = base().build();
+        cfg.user_cores = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoUserCores));
+
+        let mut cfg = base().build();
+        cfg.instructions = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoInstructions));
+
+        let mut cfg = base().build();
+        cfg.os_core_slowdown_milli = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroOsCoreSlowdown));
+
+        let mut cfg = base().build();
+        cfg.os_core_contexts = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoOsCoreContexts));
+
+        let mut cfg = base().build();
+        cfg.resource_adaptation = Some(0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroAdaptationSlowdown));
+
+        let mut cfg = base()
+            .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+            .build();
+        cfg.user_cores = 64; // + OS core = 65
+        assert_eq!(cfg.validate(), Err(ConfigError::TooManyCores { total: 65 }));
+
+        let cfg = base()
+            .policy(PolicyKind::HardwarePredictorSized {
+                threshold: 500,
+                entries: 0,
+            })
+            .build();
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroPredictorCapacity));
+
+        let mut cfg = base().tuner(TunerConfig::paper_default()).build();
+        cfg.tuner.as_mut().unwrap().candidates.clear();
+        assert_eq!(cfg.validate(), Err(ConfigError::TunerEmptyCandidates));
+
+        let mut cfg = base().tuner(TunerConfig::paper_default()).build();
+        cfg.tuner.as_mut().unwrap().candidates = vec![500, 500];
+        assert_eq!(cfg.validate(), Err(ConfigError::TunerUnsortedCandidates));
+
+        let mut cfg = base().tuner(TunerConfig::paper_default()).build();
+        cfg.tuner.as_mut().unwrap().sample_epoch = osoffload_sim::Instret::new(0);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::TunerZeroEpoch {
+                field: "sample_epoch"
+            })
+        );
+
+        let cfg = base()
+            .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+            .user_cores(2)
+            .mem_override(MemConfig::paper_baseline(2)) // needs 3
+            .build();
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::MemTooFewCores { cores: 2, need: 3 })
+        );
+
+        let mut mem = MemConfig::paper_baseline(1);
+        mem.l2_latency = 0;
+        let cfg = base().mem_override(mem).build();
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::MemLatencyInversion { l1: 1, l2: 0 })
+        );
+
+        let mut cfg = base().build();
+        cfg.profile.syscall_mix.clear();
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::Profile { context, error })
+                if context == "profile"
+                    && error == osoffload_workload::ProfileError::EmptySyscallMix
+        ));
+    }
+
+    #[test]
+    fn config_error_display_keeps_builder_panic_messages() {
+        // The builder's assert messages are load-bearing for
+        // `should_panic(expected = ...)` tests across the workspace;
+        // the typed errors must render the same phrases.
+        assert_eq!(
+            ConfigError::MissingProfile.to_string(),
+            "SystemConfig: profile is required"
+        );
+        assert_eq!(
+            ConfigError::NoUserCores.to_string(),
+            "SystemConfig: need at least one user core"
+        );
+        assert_eq!(
+            ConfigError::NoInstructions.to_string(),
+            "SystemConfig: need a measured region"
+        );
+        assert_eq!(
+            ConfigError::ZeroOsCoreSlowdown.to_string(),
+            "SystemConfig: slowdown must be positive"
+        );
+        assert_eq!(
+            ConfigError::NoOsCoreContexts.to_string(),
+            "SystemConfig: need at least one OS-core context"
+        );
+        assert_eq!(
+            ConfigError::ZeroAdaptationSlowdown.to_string(),
+            "SystemConfig: adaptation slowdown must be positive"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod migration;
 pub mod simulation;
 pub mod trace;
 
-pub use config::{PolicyKind, SystemConfig, SystemConfigBuilder};
+pub use config::{ConfigError, PolicyKind, SystemConfig, SystemConfigBuilder};
 pub use metrics::{BinaryPoint, CycleBreakdown, PredictorReport, QueueReport, SimReport};
 pub use migration::{MigrationModel, OffloadMechanism, OsCoreQueue};
 pub use simulation::Simulation;

@@ -132,7 +132,28 @@ pub struct Simulation {
 
 impl Simulation {
     /// Builds a cold simulation from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`];
+    /// use [`try_new`](Self::try_new) to get the violation as a typed
+    /// error instead.
     pub fn new(cfg: SystemConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a cold simulation, rejecting a degenerate configuration
+    /// with a typed [`ConfigError`](crate::ConfigError) instead of
+    /// panicking deep inside a subsystem constructor.
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, crate::ConfigError> {
+        cfg.validate()?;
+        Ok(Self::build_validated(cfg))
+    }
+
+    fn build_validated(cfg: SystemConfig) -> Self {
         let mut mem_cfg = cfg.mem_config();
         mem_cfg.seed ^= cfg.seed;
         let l1_latency = mem_cfg.l1_latency;

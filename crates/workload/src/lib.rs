@@ -47,5 +47,5 @@ pub use address_space::{AddressSpace, Footprints, Region};
 pub use catalog::{OsClass, OsSyscallCount, SyscallId, SyscallSpec, CATALOG, OS_SYSCALL_TABLE};
 pub use generator::{InstrSpec, MemRef, Segment, ThreadWorkload};
 pub use invocation::OsInvocation;
-pub use profile::{Profile, ProfileKind};
+pub use profile::{Profile, ProfileError, ProfileKind};
 pub use validation::{validate, ProfileValidation};

@@ -106,7 +106,178 @@ pub struct Profile {
     pub max_io_bytes: Option<u64>,
 }
 
+/// Why a profile cannot drive a workload generator.
+///
+/// The generator samples cumulative weight tables, exponential burst
+/// lengths, and Zipf working-set indices; each has preconditions that a
+/// hand-edited or fuzz-mutated profile can violate. [`Profile::validate`]
+/// checks them all up front so configuration layers can reject a
+/// degenerate profile with a typed error instead of panicking deep in
+/// the instruction stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// The syscall mix is empty: there is no invocation to draw.
+    EmptySyscallMix,
+    /// A mix weight is zero, negative, or non-finite.
+    BadMixWeight {
+        /// Name of the offending entry.
+        syscall: &'static str,
+        /// The weight found.
+        weight: f64,
+    },
+    /// `threads_per_core` is zero: no thread would exist to simulate.
+    ZeroThreadsPerCore,
+    /// `user_burst_mean` is not finite and positive (it is the mean of
+    /// an exponential draw).
+    BadBurstMean {
+        /// The mean found.
+        mean: f64,
+    },
+    /// A probability-valued field is outside `[0, 1]` or non-finite.
+    BadProbability {
+        /// Field name.
+        field: &'static str,
+        /// The value found.
+        value: f64,
+    },
+    /// A Zipf locality skew is negative or non-finite.
+    BadLocalitySkew {
+        /// Field name.
+        field: &'static str,
+        /// The value found.
+        value: f64,
+    },
+    /// A memory-region footprint is smaller than one cache line, so the
+    /// Zipf address sampler would have an empty index range.
+    FootprintTooSmall {
+        /// Region name.
+        region: &'static str,
+        /// The size found, in bytes.
+        bytes: u64,
+    },
+    /// The interrupt inter-arrival mean is negative or non-finite
+    /// (zero is valid and disables nesting).
+    BadIrqInterval {
+        /// The value found.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::EmptySyscallMix => write!(f, "syscall mix is empty"),
+            ProfileError::BadMixWeight { syscall, weight } => {
+                write!(
+                    f,
+                    "mix weight for {syscall} must be finite and positive, got {weight}"
+                )
+            }
+            ProfileError::ZeroThreadsPerCore => write!(f, "threads_per_core must be at least 1"),
+            ProfileError::BadBurstMean { mean } => {
+                write!(f, "user_burst_mean must be finite and positive, got {mean}")
+            }
+            ProfileError::BadProbability { field, value } => {
+                write!(f, "{field} must be a probability in [0, 1], got {value}")
+            }
+            ProfileError::BadLocalitySkew { field, value } => {
+                write!(f, "{field} must be finite and non-negative, got {value}")
+            }
+            ProfileError::FootprintTooSmall { region, bytes } => {
+                write!(
+                    f,
+                    "footprint {region} must cover at least one cache line, got {bytes} B"
+                )
+            }
+            ProfileError::BadIrqInterval { value } => {
+                write!(
+                    f,
+                    "irq_mean_interval must be finite and non-negative, got {value}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 impl Profile {
+    /// Checks every generator precondition, returning the first
+    /// violation found.
+    ///
+    /// The built-in catalog profiles always validate; this exists for
+    /// profiles assembled or mutated programmatically (the fuzzer's
+    /// shrunken repros travel through JSON and back).
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.syscall_mix.is_empty() {
+            return Err(ProfileError::EmptySyscallMix);
+        }
+        for &(id, w) in &self.syscall_mix {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(ProfileError::BadMixWeight {
+                    syscall: id.spec().name,
+                    weight: w,
+                });
+            }
+        }
+        if self.threads_per_core == 0 {
+            return Err(ProfileError::ZeroThreadsPerCore);
+        }
+        if !(self.user_burst_mean.is_finite() && self.user_burst_mean > 0.0) {
+            return Err(ProfileError::BadBurstMean {
+                mean: self.user_burst_mean,
+            });
+        }
+        for (field, value) in [
+            ("user_mem_prob", self.user_mem_prob),
+            ("user_write_frac", self.user_write_frac),
+            ("user_shared_frac", self.user_shared_frac),
+            ("user_shared_write_frac", self.user_shared_write_frac),
+            ("user_branch_prob", self.user_branch_prob),
+            ("user_branch_taken", self.user_branch_taken),
+            ("user_hot_frac", self.user_hot_frac),
+            ("os_mem_prob", self.os_mem_prob),
+            ("os_write_frac", self.os_write_frac),
+            ("os_branch_prob", self.os_branch_prob),
+            ("os_branch_taken", self.os_branch_taken),
+            ("os_hot_frac", self.os_hot_frac),
+            ("length_jitter_prob", self.length_jitter_prob),
+            ("length_jitter_span", self.length_jitter_span),
+            ("spill_fill_rate", self.spill_fill_rate),
+        ] {
+            if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+                return Err(ProfileError::BadProbability { field, value });
+            }
+        }
+        for (field, value) in [
+            ("user_locality_skew", self.user_locality_skew),
+            ("os_locality_skew", self.os_locality_skew),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(ProfileError::BadLocalitySkew { field, value });
+            }
+        }
+        const LINE: u64 = 64;
+        for (region, bytes) in [
+            ("user_code", self.footprints.user_code),
+            ("user_data", self.footprints.user_data),
+            ("shared_buffer", self.footprints.shared_buffer),
+            ("kernel_code", self.footprints.kernel_code),
+            ("kernel_data", self.footprints.kernel_data),
+            ("kernel_thread", self.footprints.kernel_thread),
+        ] {
+            if bytes < LINE {
+                return Err(ProfileError::FootprintTooSmall { region, bytes });
+            }
+        }
+        if !(self.irq_mean_interval.is_finite() && self.irq_mean_interval >= 0.0) {
+            return Err(ProfileError::BadIrqInterval {
+                value: self.irq_mean_interval,
+            });
+        }
+        Ok(())
+    }
+
     /// Mean service length (instructions) of one privileged invocation
     /// under this profile's mix, before disturbances.
     pub fn expected_invocation_len(&self) -> f64 {
