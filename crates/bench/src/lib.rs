@@ -106,8 +106,10 @@ pub mod harness {
 
     /// Parses `[quick|full|paper]` plus the runner flags
     /// (`--workers=N`/`-jN`, `--retries=N`, `--quiet`, `--out=DIR`,
-    /// `--telemetry`, `--trace-out=DIR`) from the process arguments.
-    /// Unknown arguments abort with usage help.
+    /// `--telemetry`, `--trace-out=DIR`, `--journal=FILE`,
+    /// `--resume=FILE`, `--deadline-ms=N`, `--backoff-ms=N`,
+    /// `--canonical`, `--inject-faults=SEED`) from the process
+    /// arguments. Unknown arguments abort with usage help.
     pub fn parse_args() -> (Scale, RunnerOptions) {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let (opts, rest) = RunnerOptions::parse_flags(&args);
@@ -123,10 +125,16 @@ pub mod harness {
         eprintln!(
             "usage: <bin> [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]"
         );
-        eprintln!("             [--telemetry] [--trace-out=DIR]");
+        eprintln!("             [--telemetry] [--trace-out=DIR] [--journal=FILE] [--resume=FILE]");
+        eprintln!(
+            "             [--deadline-ms=N] [--backoff-ms=N] [--canonical] [--inject-faults=SEED]"
+        );
         eprintln!("       (default scale: full; default workers: all hardware threads)");
         eprintln!("       --telemetry writes per-point Chrome traces + epoch metrics and");
         eprintln!("       runner self-profiling under results/telemetry/ (see TELEMETRY.md)");
+        eprintln!("       --journal/--resume give crash-safe checkpointed campaigns, and");
+        eprintln!("       --deadline-ms/--inject-faults add watchdogs and chaos testing");
+        eprintln!("       (see ROBUSTNESS.md)");
         std::process::exit(2);
     }
 
@@ -167,11 +175,19 @@ pub mod harness {
             Some(rows) => rows,
             None => {
                 for f in sweep.failures() {
-                    if let osoffload_runner::Outcome::Failed { panic, attempts } = &f.outcome {
-                        eprintln!(
+                    match &f.outcome {
+                        osoffload_runner::Outcome::Failed { panic, attempts } => eprintln!(
                             "[{name}] point {} FAILED after {attempts} attempt(s): {panic}",
                             f.id
-                        );
+                        ),
+                        osoffload_runner::Outcome::TimedOut {
+                            deadline_ms,
+                            attempts,
+                        } => eprintln!(
+                            "[{name}] point {} TIMED OUT ({deadline_ms} ms deadline, {attempts} attempt(s))",
+                            f.id
+                        ),
+                        osoffload_runner::Outcome::Ok(_) => {}
                     }
                 }
                 eprintln!(

@@ -3,7 +3,7 @@
 //! The fuzzer draws arbitrary-but-valid system configurations, workload
 //! mixes and seeds from a master-seeded RNG (the same splitting scheme
 //! the experiment runner uses, so campaigns replay bit-identically) and
-//! executes each case under five oracles:
+//! executes each case under six oracles:
 //!
 //! 1. **differential** — the batched fast path ([`run`]) against the
 //!    retained per-instruction reference stepper ([`run_reference`]);
@@ -14,6 +14,10 @@
 //!    instruction counts, rates in range, percentile ordering…).
 //! 4. **telemetry** — telemetry on vs off must not change the report.
 //! 5. **alloc** — the steady-state simulation loop must not allocate.
+//! 6. **crash-recovery** — a journaled campaign built from the case,
+//!    fault-injected from the case seed, killed by truncating its
+//!    journal and resumed, must finish with a byte-identical archive
+//!    (see `ROBUSTNESS.md`).
 //!
 //! Failures are automatically shrunk ([`shrink`]) to a locally-minimal
 //! case and archived as self-contained JSON repros ([`corpus`]) with an

@@ -67,8 +67,8 @@ OPTIONS:
     --time-budget <SECS>  stop after this many seconds instead
     --master-seed <SEED>  campaign seed (default 0)
     --oracle <NAMES>      comma-separated subset of:
-                          differential,predictor,invariants,telemetry,alloc
-                          (repeatable; default: all)
+                          differential,predictor,invariants,telemetry,alloc,
+                          crash-recovery (repeatable; default: all)
     --corpus-dir <DIR>    repro archive directory (default fuzz/corpus)
     -h, --help            this text";
 

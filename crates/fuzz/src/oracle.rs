@@ -1,4 +1,4 @@
-//! The five oracles a case is judged by.
+//! The six oracles a case is judged by.
 //!
 //! Each oracle runs the case (or a stream derived from it) and checks a
 //! property that must hold for *every* valid configuration:
@@ -15,7 +15,13 @@
 //! 5. **alloc** — the measured region performs zero heap allocations
 //!    (meaningful only under a counting `#[global_allocator]`, which the
 //!    fuzz binary and the corpus regression test both install; without
-//!    one the oracle passes vacuously).
+//!    one the oracle passes vacuously);
+//! 6. **crash-recovery** — a journaled campaign derived from the case,
+//!    run under a seed-derived fault plan (injected panics, delays and
+//!    journal I/O errors), then "crashed" by truncating its journal and
+//!    resumed, must produce a final archive byte-identical to the
+//!    uninterrupted run — and fault recovery must not change any result
+//!    relative to a fault-free reference.
 
 use crate::case::FuzzCase;
 use crate::json;
@@ -38,16 +44,20 @@ pub enum OracleKind {
     Telemetry,
     /// Measured region allocates nothing.
     Alloc,
+    /// Kill-and-resume a journaled campaign under injected faults; the
+    /// resumed archive must be byte-identical.
+    CrashRecovery,
 }
 
 impl OracleKind {
     /// Every oracle, in canonical run order.
-    pub const ALL: [OracleKind; 5] = [
+    pub const ALL: [OracleKind; 6] = [
         OracleKind::Differential,
         OracleKind::Predictor,
         OracleKind::Invariants,
         OracleKind::Telemetry,
         OracleKind::Alloc,
+        OracleKind::CrashRecovery,
     ];
 
     /// Stable CLI / corpus-file name.
@@ -58,6 +68,7 @@ impl OracleKind {
             OracleKind::Invariants => "invariants",
             OracleKind::Telemetry => "telemetry",
             OracleKind::Alloc => "alloc",
+            OracleKind::CrashRecovery => "crash-recovery",
         }
     }
 
@@ -158,7 +169,125 @@ pub fn check(case: &FuzzCase, oracle: OracleKind) -> Result<(), OracleFailure> {
             }
             Ok(())
         }
+        OracleKind::CrashRecovery => check_crash_recovery(case).map_err(fail),
     }
+}
+
+/// End-to-end crash-recovery check: build a small campaign from the
+/// case, run it once uninterrupted (fault-free reference), once under a
+/// seed-derived fault plan with a write-ahead journal, then "crash" the
+/// campaign by truncating the journal (including a torn half-line) and
+/// resume it. The resumed archive must be byte-identical to the
+/// uninterrupted faulty run, and fault recovery must not have changed
+/// any result relative to the reference.
+fn check_crash_recovery(case: &FuzzCase) -> Result<(), String> {
+    use osoffload_runner::{run_plan, ExperimentPlan, FaultConfig, FaultPlan, RunnerOptions};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Clamp the case to oracle-sized runs: the property under test is
+    // journal/resume correctness, not simulation scale.
+    let mut base = case.clone();
+    base.instructions = base.instructions.clamp(5_000, 30_000);
+    base.warmup = base.warmup.min(base.instructions / 4);
+    let cfg = base
+        .to_config()
+        .map_err(|e| format!("clamped case invalid: {e}"))?;
+
+    const POINTS: usize = 3;
+    let mut plan = ExperimentPlan::new("crash-recovery", case.seed);
+    for i in 0..POINTS {
+        plan.push(format!("cr{i}"), cfg.clone());
+    }
+    let fault_cfg = FaultConfig {
+        panic_pct: 80,
+        max_panics: 2,
+        delay_pct: 50,
+        max_delay_ms: 3,
+        io_pct: 60,
+        max_io_failures: 2,
+    };
+    let fault_plan = FaultPlan::derive(case.seed, POINTS, &fault_cfg);
+    let retries = fault_plan.max_panics();
+
+    static DIR_N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "osoffload_fuzz_cr_{}_{:x}_{}",
+        std::process::id(),
+        case.seed,
+        DIR_N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("temp dir: {e}"))?;
+    let journal_path = dir.join("campaign.journal");
+    let result = (|| {
+        let canonical = RunnerOptions {
+            workers: 2,
+            quiet: true,
+            canonical: true,
+            backoff_ms: 1,
+            ..RunnerOptions::default()
+        };
+
+        // 1. Fault-free reference.
+        let reference = run_plan(&plan, &canonical);
+
+        // 2. Uninterrupted faulty run, journaled.
+        let faulty_opts = RunnerOptions {
+            retries,
+            journal: Some(journal_path.clone()),
+            fault_plan: Some(fault_plan.clone()),
+            ..canonical.clone()
+        };
+        let faulty = run_plan(&plan, &faulty_opts);
+        if faulty.failures().count() != 0 {
+            return Err(format!(
+                "faulty run failed {} points despite retries={retries} ({})",
+                faulty.failures().count(),
+                fault_plan.describe()
+            ));
+        }
+        for (r, f) in reference.rows.iter().zip(&faulty.rows) {
+            if r.stable_json() != f.stable_json() {
+                return Err(format!(
+                    "fault recovery changed point {}: {} vs {}",
+                    r.index,
+                    r.stable_json(),
+                    f.stable_json()
+                ));
+            }
+        }
+        let expected = faulty.to_json();
+
+        // 3. Crash: keep the header plus k whole records and a torn
+        // fragment of the next line, then resume.
+        let text = std::fs::read_to_string(&journal_path).map_err(|e| format!("journal: {e}"))?;
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        let records = lines.len().saturating_sub(1);
+        let keep = (case.seed % (POINTS as u64 + 1)) as usize % (records + 1);
+        let mut truncated: String = lines[..1 + keep].concat();
+        if let Some(next) = lines.get(1 + keep) {
+            truncated.push_str(&next[..next.len() / 2]); // torn write
+        }
+        std::fs::write(&journal_path, &truncated).map_err(|e| format!("truncate: {e}"))?;
+        let resume_opts = RunnerOptions {
+            retries,
+            resume: Some(journal_path.clone()),
+            fault_plan: Some(fault_plan.clone()),
+            ..canonical
+        };
+        let resumed = run_plan(&plan, &resume_opts);
+        if resumed.to_json() != expected {
+            return Err(format!(
+                "resumed archive differs after keeping {keep}/{records} records \
+                 ({}): resumed {} vs uninterrupted {}",
+                fault_plan.describe(),
+                resumed.to_json(),
+                expected
+            ));
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
 }
 
 /// Runs `case` through every oracle, collecting all failures.

@@ -111,6 +111,25 @@ pub enum EventKind {
         /// Whether the evaluation completed.
         ok: bool,
     },
+    /// A point evaluation being re-run after a failed attempt (instant,
+    /// runner control track).
+    Retry {
+        /// The attempt that failed (1 = first try).
+        attempt: u32,
+    },
+    /// A point cancelled by the worker watchdog (instant, runner
+    /// control track).
+    Timeout {
+        /// The soft deadline that expired, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// Deterministic fault-plan injections firing on a point (instant,
+    /// runner control track).
+    Fault {
+        /// How many injections (panics, delays, I/O errors) hit the
+        /// point.
+        injected: u32,
+    },
 }
 
 impl EventKind {
@@ -125,6 +144,9 @@ impl EventKind {
             EventKind::Epoch { .. } => "epoch",
             EventKind::TunerDecision { .. } => "tuner",
             EventKind::Task { name, .. } => name,
+            EventKind::Retry { .. } => "retry",
+            EventKind::Timeout { .. } => "timeout",
+            EventKind::Fault { .. } => "fault",
         }
     }
 
@@ -139,6 +161,9 @@ impl EventKind {
             EventKind::Epoch { .. } => "epoch",
             EventKind::TunerDecision { .. } => "tuner",
             EventKind::Task { .. } => "runner",
+            EventKind::Retry { .. } | EventKind::Timeout { .. } | EventKind::Fault { .. } => {
+                "runner"
+            }
         }
     }
 
@@ -146,7 +171,11 @@ impl EventKind {
     pub fn is_instant(&self) -> bool {
         matches!(
             self,
-            EventKind::Epoch { .. } | EventKind::TunerDecision { .. }
+            EventKind::Epoch { .. }
+                | EventKind::TunerDecision { .. }
+                | EventKind::Retry { .. }
+                | EventKind::Timeout { .. }
+                | EventKind::Fault { .. }
         )
     }
 }

@@ -75,6 +75,9 @@ fn kind_args(kind: &EventKind) -> String {
             format!("{{\"threshold\":{threshold},\"epoch_len\":{epoch_len},\"adopted\":{adopted}}}")
         }
         EventKind::Task { ok, .. } => format!("{{\"ok\":{ok}}}"),
+        EventKind::Retry { attempt } => format!("{{\"attempt\":{attempt}}}"),
+        EventKind::Timeout { deadline_ms } => format!("{{\"deadline_ms\":{deadline_ms}}}"),
+        EventKind::Fault { injected } => format!("{{\"injected\":{injected}}}"),
     }
 }
 
@@ -205,7 +208,6 @@ impl RunTelemetry {
     /// Writes `<base>.trace.json`, `<base>.metrics.csv`, and
     /// `<base>.metrics.json` under `dir`, returning the paths written.
     pub fn write_files(&self, dir: &Path, base: &str) -> io::Result<Vec<PathBuf>> {
-        std::fs::create_dir_all(dir)?;
         let mut written = Vec::new();
         for (suffix, body) in [
             ("trace.json", self.chrome_trace()),
@@ -213,7 +215,7 @@ impl RunTelemetry {
             ("metrics.json", self.metrics_json()),
         ] {
             let path = dir.join(format!("{base}.{suffix}"));
-            std::fs::write(&path, body)?;
+            crate::fsio::atomic_write(&path, body.as_bytes())?;
             written.push(path);
         }
         Ok(written)

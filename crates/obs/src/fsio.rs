@@ -1,0 +1,108 @@
+//! Crash-safe file output.
+//!
+//! Every results or telemetry file the workspace writes goes through
+//! [`atomic_write`]: the bytes land in a temporary file in the target
+//! directory, are fsynced, and are renamed over the destination, after
+//! which the directory itself is fsynced. A reader (or a run that
+//! crashed mid-write and was resumed) therefore sees either the
+//! complete previous file or the complete new one — never a torn
+//! prefix.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically (temp file + fsync + rename +
+/// directory fsync), creating parent directories as needed.
+///
+/// The temporary file's name embeds the process id, so concurrent
+/// writers in different processes cannot collide on the staging file;
+/// concurrent writers to the *same* destination still last-write-win,
+/// as with a plain write.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    fs::create_dir_all(&dir)?;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{file_name}.tmp.{}", std::process::id()));
+
+    let result = (|| {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself: fsync the containing directory.
+        // Not every filesystem supports opening a directory for sync
+        // (and none of the portable fallbacks do better), so treat a
+        // failure to sync the directory as best-effort.
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("osoffload-fsio-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = tmp_dir("basic");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("out.json");
+        atomic_write(&path, b"one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        atomic_write(&path, b"two-longer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two-longer");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = tmp_dir("clean");
+        let _ = fs::remove_dir_all(&dir);
+        atomic_write(&dir.join("a.txt"), b"x").unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.txt".to_string()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failing_write_cleans_up_its_temp_file() {
+        let dir = tmp_dir("dirpath");
+        let _ = fs::remove_dir_all(&dir);
+        let target = dir.join("occupied");
+        fs::create_dir_all(&target).unwrap();
+        // Renaming a file over an existing directory fails; the staged
+        // temp file must not be left behind.
+        assert!(atomic_write(&target, b"x").is_err());
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["occupied".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

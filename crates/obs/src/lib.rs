@@ -24,10 +24,12 @@
 pub mod csv;
 pub mod event;
 pub mod export;
+pub mod fsio;
 pub mod metrics;
 pub mod telemetry;
 
 pub use event::{Event, EventKind, Track};
 pub use export::{chrome_trace, json_escape, json_string, RunTelemetry};
+pub use fsio::atomic_write;
 pub use metrics::{MetricId, MetricKind, MetricsRegistry, SampleRow};
 pub use telemetry::{EventBuffer, Telemetry, TelemetryMode};

@@ -115,7 +115,9 @@ pub fn run_driver<R>(
         next += 1;
         match &row.outcome {
             Outcome::Ok(report) => (**report).clone(),
-            Outcome::Failed { .. } => unreachable!("failures handled above"),
+            Outcome::Failed { .. } | Outcome::TimedOut { .. } => {
+                unreachable!("failures handled above")
+            }
         }
     });
     assert_eq!(

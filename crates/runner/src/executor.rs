@@ -1,15 +1,21 @@
 //! Parallel plan executor: scoped worker threads pulling points off a
-//! shared index, with per-point panic isolation and optional retry.
+//! shared index, with per-point panic isolation, watchdog deadlines,
+//! retry with deterministic backoff, fault injection, and a write-ahead
+//! results journal for crash-safe resume.
 
+use crate::fault::{FaultConfig, FaultPlan, InjectedPanic, PointFaults};
+use crate::journal::{self, Journal, JournalHeader};
 use crate::plan::{ExperimentPlan, Point};
 use crate::progress::Progress;
 use crate::report::config_json;
+use osoffload_sim::{CancelToken, Cancelled, Rng64};
 use osoffload_system::{SimReport, Simulation};
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs of a sweep execution.
 #[derive(Debug, Clone)]
@@ -17,8 +23,8 @@ pub struct RunnerOptions {
     /// Worker threads; `0` = one per available hardware thread, capped
     /// at the number of points.
     pub workers: usize,
-    /// How many times a panicking point is re-evaluated before being
-    /// recorded as failed.
+    /// How many times a panicking or timed-out point is re-evaluated
+    /// before being recorded as failed.
     pub retries: u32,
     /// Suppresses the stderr progress reporter.
     pub quiet: bool,
@@ -29,6 +35,30 @@ pub struct RunnerOptions {
     pub telemetry: bool,
     /// Where telemetry files go; defaults to `<out_dir>/telemetry`.
     pub trace_out: Option<PathBuf>,
+    /// Write-ahead journal path: every completed point is appended as
+    /// one fsynced line before it is acknowledged.
+    pub journal: Option<PathBuf>,
+    /// Resume path: journaled points are restored verbatim and skipped;
+    /// new completions append to the same file. A missing file starts a
+    /// fresh journal there, so the flag is safe on the first run too.
+    pub resume: Option<PathBuf>,
+    /// Per-point soft deadline in milliseconds; a worker watchdog
+    /// cancels attempts that exceed it and the point is recorded as
+    /// [`Outcome::TimedOut`]. `None` disables the watchdog entirely.
+    pub deadline_ms: Option<u64>,
+    /// Base retry backoff in milliseconds (doubled per retry, with
+    /// deterministic jitter — see [`backoff_delay_ms`]). `0` restores
+    /// immediate re-runs.
+    pub backoff_ms: u64,
+    /// Zeroes the non-deterministic row fields (`wall_ms`, `start_ms`,
+    /// `worker`, `attempt_ms`) so two runs of the same plan produce
+    /// byte-identical archives — the mode the crash-recovery proofs use.
+    pub canonical: bool,
+    /// Derives a [`FaultPlan`] from this seed (default rates) and
+    /// injects it into the sweep — chaos testing from the CLI.
+    pub fault_seed: Option<u64>,
+    /// An explicit fault plan (takes precedence over `fault_seed`).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RunnerOptions {
@@ -40,6 +70,13 @@ impl Default for RunnerOptions {
             out_dir: PathBuf::from("results"),
             telemetry: false,
             trace_out: None,
+            journal: None,
+            resume: None,
+            deadline_ms: None,
+            backoff_ms: 25,
+            canonical: false,
+            fault_seed: None,
+            fault_plan: None,
         }
     }
 }
@@ -49,12 +86,21 @@ impl RunnerOptions {
     /// the parsed options and the untouched remainder.
     ///
     /// Recognised: `--workers=N` (or `-jN`), `--retries=N`, `--quiet`,
-    /// `--out=DIR`, `--telemetry`, and `--trace-out=DIR` (implies
-    /// `--telemetry`). Malformed values abort with a message on stderr.
+    /// `--out=DIR`, `--telemetry`, `--trace-out=DIR` (implies
+    /// `--telemetry`), `--journal=FILE`, `--resume=FILE`,
+    /// `--deadline-ms=N`, `--backoff-ms=N`, `--canonical`, and
+    /// `--inject-faults=SEED`. Malformed values abort with a message on
+    /// stderr.
     pub fn parse_flags(args: &[String]) -> (RunnerOptions, Vec<String>) {
         let mut opts = RunnerOptions::default();
         let mut rest = Vec::new();
         let parse_num = |flag: &str, v: &str| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {flag}: {v:?}");
+                std::process::exit(2);
+            })
+        };
+        let parse_u64 = |flag: &str, v: &str| -> u64 {
             v.parse().unwrap_or_else(|_| {
                 eprintln!("invalid value for {flag}: {v:?}");
                 std::process::exit(2);
@@ -76,6 +122,18 @@ impl RunnerOptions {
             } else if let Some(v) = arg.strip_prefix("--trace-out=") {
                 opts.telemetry = true;
                 opts.trace_out = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--journal=") {
+                opts.journal = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--resume=") {
+                opts.resume = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--deadline-ms=") {
+                opts.deadline_ms = Some(parse_u64("--deadline-ms", v));
+            } else if let Some(v) = arg.strip_prefix("--backoff-ms=") {
+                opts.backoff_ms = parse_u64("--backoff-ms", v);
+            } else if arg == "--canonical" {
+                opts.canonical = true;
+            } else if let Some(v) = arg.strip_prefix("--inject-faults=") {
+                opts.fault_seed = Some(parse_u64("--inject-faults", v));
             } else {
                 rest.push(arg.clone());
             }
@@ -113,6 +171,14 @@ pub enum Outcome {
         /// Evaluations attempted (1 + retries).
         attempts: u32,
     },
+    /// Every attempt exceeded the watchdog deadline; the sweep carried
+    /// on without it.
+    TimedOut {
+        /// The soft deadline that expired, in milliseconds.
+        deadline_ms: u64,
+        /// Evaluations attempted (1 + retries).
+        attempts: u32,
+    },
 }
 
 /// One row of a sweep's results.
@@ -137,6 +203,18 @@ pub struct PointResult {
     pub worker: usize,
     /// Evaluations performed, counting retries (1 = first try worked).
     pub attempts: u32,
+    /// Wall-clock milliseconds of each attempt, oldest first
+    /// (non-deterministic; lets failed points be diagnosed from the
+    /// archive alone).
+    pub attempt_ms: Vec<f64>,
+    /// Faults the active [`FaultPlan`] scheduled for this point (0
+    /// without fault injection).
+    pub injected_faults: u32,
+    /// When the row was restored from a results journal, the verbatim
+    /// stable-row text as originally archived. [`stable_json`]
+    /// (Self::stable_json) returns it unchanged, which is what makes a
+    /// resumed archive byte-identical to an uninterrupted one.
+    pub restored: Option<String>,
 }
 
 impl PointResult {
@@ -145,10 +223,21 @@ impl PointResult {
         matches!(self.outcome, Outcome::Ok(_))
     }
 
+    /// FNV-1a digest of the point's configuration JSON, archived with
+    /// failed rows so any failure is reproducible from the archive
+    /// alone.
+    pub fn config_digest(&self) -> String {
+        format!("{:016x}", journal::fnv1a64(self.config_json.as_bytes()))
+    }
+
     /// The deterministic portion of the row as JSON: everything except
-    /// `wall_ms` and `worker`. Two sweeps of the same plan agree on this
-    /// string for every row, whatever their worker counts.
+    /// the wall-clock timings and worker assignment. Two sweeps of the
+    /// same plan (and fault plan) agree on this string for every row,
+    /// whatever their worker counts.
     pub fn stable_json(&self) -> String {
+        if let Some(verbatim) = &self.restored {
+            return verbatim.clone();
+        }
         let mut o = format!(
             "{{\"index\":{},\"id\":\"{}\",\"seed\":{},\"config\":{}",
             self.index,
@@ -163,9 +252,21 @@ impl PointResult {
             }
             Outcome::Failed { panic, attempts } => {
                 o.push_str(&format!(
-                    ",\"status\":\"failed\",\"panic\":\"{}\",\"attempts\":{}",
+                    ",\"status\":\"failed\",\"panic\":\"{}\",\"attempts\":{},\"config_digest\":\"{}\"",
                     crate::report::json_escape(panic),
-                    attempts
+                    attempts,
+                    self.config_digest()
+                ));
+            }
+            Outcome::TimedOut {
+                deadline_ms,
+                attempts,
+            } => {
+                o.push_str(&format!(
+                    ",\"status\":\"timeout\",\"deadline_ms\":{},\"attempts\":{},\"config_digest\":\"{}\"",
+                    deadline_ms,
+                    attempts,
+                    self.config_digest()
                 ));
             }
         }
@@ -174,17 +275,25 @@ impl PointResult {
     }
 
     /// The full row as JSON, adding the non-deterministic `wall_ms`,
-    /// `start_ms`, `worker`, and `attempts` fields to
-    /// [`stable_json`](Self::stable_json).
+    /// `start_ms`, `worker`, `attempts`, `injected_faults`, and
+    /// `attempt_ms` fields to [`stable_json`](Self::stable_json).
     pub fn row_json(&self) -> String {
         let stable = self.stable_json();
+        let attempt_ms: Vec<String> = self
+            .attempt_ms
+            .iter()
+            .map(|ms| format!("{ms:.3}"))
+            .collect();
         format!(
-            "{},\"wall_ms\":{:.3},\"start_ms\":{:.3},\"worker\":{},\"attempts\":{}}}",
+            "{},\"wall_ms\":{:.3},\"start_ms\":{:.3},\"worker\":{},\"attempts\":{},\
+             \"injected_faults\":{},\"attempt_ms\":[{}]}}",
             &stable[..stable.len() - 1],
             self.wall_ms,
             self.start_ms,
             self.worker,
-            self.attempts
+            self.attempts,
+            self.injected_faults,
+            attempt_ms.join(",")
         )
     }
 }
@@ -215,14 +324,29 @@ pub struct WorkerProfile {
     pub busy_ms: f64,
     /// Extra evaluations due to retries.
     pub retries: u64,
+    /// Points this worker recorded as timed out.
+    pub timeouts: u64,
     /// `busy_ms` over the sweep's wall-clock time.
     pub utilization: f64,
 }
 
 impl SweepResult {
-    /// The rows whose evaluation failed.
+    /// The rows whose evaluation failed (panicked or timed out).
     pub fn failures(&self) -> impl Iterator<Item = &PointResult> {
         self.rows.iter().filter(|r| !r.is_ok())
+    }
+
+    /// The rows recorded as timed out by the worker watchdog.
+    pub fn timeouts(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::TimedOut { .. }))
+            .count()
+    }
+
+    /// Total fault-plan injections scheduled across the sweep.
+    pub fn injected_faults(&self) -> u64 {
+        self.rows.iter().map(|r| u64::from(r.injected_faults)).sum()
     }
 
     /// Per-worker self-profiling: how the sweep's wall-clock time was
@@ -234,6 +358,7 @@ impl SweepResult {
                 points: 0,
                 busy_ms: 0.0,
                 retries: 0,
+                timeouts: 0,
                 utilization: 0.0,
             })
             .collect();
@@ -242,6 +367,7 @@ impl SweepResult {
                 p.points += 1;
                 p.busy_ms += row.wall_ms;
                 p.retries += u64::from(row.attempts.saturating_sub(1));
+                p.timeouts += u64::from(matches!(row.outcome, Outcome::TimedOut { .. }));
             }
         }
         if self.wall_ms > 0.0 {
@@ -266,7 +392,7 @@ impl SweepResult {
             .iter()
             .map(|r| match &r.outcome {
                 Outcome::Ok(rep) => Some(rep.as_ref()),
-                Outcome::Failed { .. } => None,
+                Outcome::Failed { .. } | Outcome::TimedOut { .. } => None,
             })
             .collect()
     }
@@ -275,16 +401,33 @@ impl SweepResult {
     pub fn to_json(&self) -> String {
         let rows: Vec<String> = self.rows.iter().map(|r| r.row_json()).collect();
         format!(
-            "{{\"experiment\":\"{}\",\"master_seed\":{},\"workers\":{},\"points\":{},\"failed\":{},\"wall_ms\":{:.3},\"rows\":[{}]}}",
+            "{{\"experiment\":\"{}\",\"master_seed\":{},\"workers\":{},\"points\":{},\"failed\":{},\"timeouts\":{},\"wall_ms\":{:.3},\"rows\":[{}]}}",
             crate::report::json_escape(&self.name),
             self.master_seed,
             self.workers,
             self.rows.len(),
             self.failures().count(),
+            self.timeouts(),
             self.wall_ms,
             rows.join(",")
         )
     }
+}
+
+/// The deterministic backoff before retry `retry` (1-based): `base_ms ×
+/// 2^(retry-1)`, capped at two seconds, scaled by a jitter factor in
+/// `[0.5, 1.5)` drawn from the point's seed and the retry number. Pure,
+/// so a replayed campaign sleeps the identical schedule.
+pub fn backoff_delay_ms(base_ms: u64, retry: u32, seed: u64) -> u64 {
+    if base_ms == 0 || retry == 0 {
+        return 0;
+    }
+    let exp = base_ms
+        .saturating_mul(1u64 << u64::from((retry - 1).min(16)))
+        .min(2_000);
+    let mut rng = Rng64::seed_from(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(retry)));
+    let jitter = 0.5 + rng.next_f64();
+    ((exp as f64) * jitter) as u64
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -292,9 +435,34 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(p) = payload.downcast_ref::<InjectedPanic>() {
+        p.message()
+    } else if payload.downcast_ref::<Cancelled>().is_some() {
+        "cancelled by the worker watchdog".to_string()
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// Silences the default panic printer for the payloads the runner
+/// itself schedules (injected faults, watchdog cancellations), which
+/// would otherwise spam stderr on every planned recovery. Genuine
+/// panics keep the previous hook's full output. Installed once per
+/// process, only when fault injection or a deadline is active.
+fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_some()
+                || info.payload().downcast_ref::<Cancelled>().is_some()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
 }
 
 /// Makes a point id safe to use as a file-name stem.
@@ -310,6 +478,17 @@ pub(crate) fn sanitize_id(id: &str) -> String {
         .collect()
 }
 
+/// Per-attempt context handed to [`run_plan_ctx`] evaluators.
+#[derive(Debug, Clone)]
+pub struct EvalCtx {
+    /// The attempt number (1 = first try).
+    pub attempt: u32,
+    /// Cancellation token the worker watchdog raises when the attempt
+    /// outlives its deadline; install it into the simulation (see
+    /// [`Simulation::with_cancel`]) so hung points can be reclaimed.
+    pub cancel: CancelToken,
+}
+
 /// Executes `plan` with the default evaluator (simulate the point's
 /// configuration).
 ///
@@ -318,14 +497,31 @@ pub(crate) fn sanitize_id(id: &str) -> String {
 /// Telemetry is observational, so the result rows stay bit-identical to a
 /// non-telemetry sweep of the same plan.
 pub fn run_plan(plan: &ExperimentPlan, opts: &RunnerOptions) -> SweepResult {
+    // The cancellation token is only installed when a watchdog can
+    // raise it, keeping deadline-free runs on the token-free path.
+    let armed = opts.deadline_ms.is_some();
     if !opts.telemetry {
-        return run_plan_with(plan, opts, |p| Simulation::new(p.config.clone()).run());
+        return run_plan_ctx(plan, opts, |p, ctx| {
+            let sim = Simulation::new(p.config.clone());
+            let sim = if armed {
+                sim.with_cancel(ctx.cancel.clone())
+            } else {
+                sim
+            };
+            sim.run()
+        });
     }
     let dir = opts.telemetry_dir().join(plan.name());
-    run_plan_with(plan, opts, |p| {
+    run_plan_ctx(plan, opts, |p, ctx| {
         let mut cfg = p.config.clone();
         cfg.telemetry = osoffload_obs::TelemetryMode::Full;
-        let (report, telemetry) = Simulation::new(cfg).run_with_telemetry();
+        let sim = Simulation::new(cfg);
+        let sim = if armed {
+            sim.with_cancel(ctx.cancel.clone())
+        } else {
+            sim
+        };
+        let (report, telemetry) = sim.run_with_telemetry();
         if let Err(e) = telemetry.write_files(&dir, &sanitize_id(&p.id)) {
             eprintln!("telemetry write failed for {}: {e}", p.id);
         }
@@ -333,69 +529,303 @@ pub fn run_plan(plan: &ExperimentPlan, opts: &RunnerOptions) -> SweepResult {
     })
 }
 
-/// Executes `plan` with a caller-supplied evaluator.
-///
-/// Points are claimed from a shared atomic index by `opts.workers`
-/// scoped threads. A panicking evaluation is caught, retried up to
-/// `opts.retries` times, and finally recorded as
-/// [`Outcome::Failed`] — one bad point never aborts the sweep. Rows
-/// come back in plan order.
+/// Executes `plan` with a caller-supplied evaluator that ignores the
+/// attempt context. See [`run_plan_ctx`] for the full semantics.
 pub fn run_plan_with(
     plan: &ExperimentPlan,
     opts: &RunnerOptions,
     eval: impl Fn(&Point) -> SimReport + Sync,
 ) -> SweepResult {
+    run_plan_ctx(plan, opts, move |p, _ctx| eval(p))
+}
+
+/// Executes `plan` with a caller-supplied evaluator.
+///
+/// Points are claimed from a shared atomic index by `opts.workers`
+/// scoped threads. A panicking evaluation is caught, retried up to
+/// `opts.retries` times (with exponential backoff and deterministic
+/// jitter between attempts), and finally recorded as
+/// [`Outcome::Failed`] — one bad point never aborts the sweep. Rows
+/// come back in plan order.
+///
+/// With `opts.deadline_ms` set, a watchdog thread raises each attempt's
+/// [`EvalCtx::cancel`] token once the deadline passes; an attempt that
+/// unwinds with [`Cancelled`] counts against the retry budget and is
+/// finally recorded as [`Outcome::TimedOut`].
+///
+/// With `opts.journal`/`opts.resume` set, every completed point is
+/// appended to a write-ahead journal as one fsynced line before it is
+/// acknowledged, and journaled points of an interrupted sweep are
+/// restored verbatim instead of re-evaluated.
+///
+/// With a fault plan active (`opts.fault_plan`/`opts.fault_seed`), the
+/// scheduled panics, delays, and journal-write errors are injected at
+/// the scheduled attempts — deterministically, so a crashed campaign
+/// and its resume see the identical failure sequence.
+pub fn run_plan_ctx(
+    plan: &ExperimentPlan,
+    opts: &RunnerOptions,
+    eval: impl Fn(&Point, &EvalCtx) -> SimReport + Sync,
+) -> SweepResult {
     let points = plan.points();
     let n = points.len();
     let workers = opts.effective_workers(n);
-    let next = AtomicUsize::new(0);
+    let deadline = opts.deadline_ms;
+
+    let fault_plan: Option<FaultPlan> = opts.fault_plan.clone().or_else(|| {
+        opts.fault_seed
+            .map(|seed| FaultPlan::derive(seed, n, &FaultConfig::default()))
+    });
+    if fault_plan.is_some() || deadline.is_some() {
+        install_quiet_panic_hook();
+    }
+    if let (Some(fp), false) = (&fault_plan, opts.quiet) {
+        eprintln!("[{}] {}", plan.name(), fp.describe());
+    }
+
+    let header = JournalHeader {
+        experiment: plan.name().to_string(),
+        master_seed: plan.master_seed(),
+        points: n,
+    };
     let slots: Vec<Mutex<Option<PointResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut restored_ok = 0usize;
+    let mut restored_failed = 0usize;
+    let journal_writer: Option<Journal> = if let Some(path) = &opts.resume {
+        if path.exists() {
+            let loaded = journal::load(path)
+                .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+            assert_eq!(
+                (
+                    loaded.header.experiment.as_str(),
+                    loaded.header.master_seed,
+                    loaded.header.points
+                ),
+                (plan.name(), plan.master_seed(), n),
+                "journal {} belongs to a different campaign",
+                path.display()
+            );
+            for row in loaded.rows {
+                assert!(row.index < n, "journal row index out of range");
+                assert_eq!(
+                    row.config_json,
+                    config_json(&points[row.index].config),
+                    "journal row {} does not match the plan's configuration",
+                    row.index
+                );
+                if row.is_ok() {
+                    restored_ok += 1;
+                } else {
+                    restored_failed += 1;
+                }
+                let index = row.index;
+                *slots[index].lock().expect("result slot poisoned") = Some(row);
+            }
+            Some(
+                Journal::open_append(path)
+                    .unwrap_or_else(|e| panic!("cannot append to journal {}: {e}", path.display())),
+            )
+        } else {
+            Some(
+                Journal::create(path, &header)
+                    .unwrap_or_else(|e| panic!("cannot create journal {}: {e}", path.display())),
+            )
+        }
+    } else {
+        opts.journal.as_ref().map(|path| {
+            Journal::create(path, &header)
+                .unwrap_or_else(|e| panic!("cannot create journal {}: {e}", path.display()))
+        })
+    };
+    let journal_writer = Mutex::new(journal_writer);
+
     let progress = Progress::new(plan.name(), n, opts.quiet);
+    if restored_ok + restored_failed > 0 {
+        progress.skip(restored_ok, restored_failed);
+        if !opts.quiet {
+            eprintln!(
+                "[{}] resumed {}/{} points from journal ({} failed)",
+                plan.name(),
+                restored_ok + restored_failed,
+                n,
+                restored_failed
+            );
+        }
+    }
+
+    let next = AtomicUsize::new(0);
     let start = Instant::now();
+    // One arm slot per worker: the attempt's start time and its token,
+    // scanned by the watchdog thread.
+    type ArmSlot = Mutex<Option<(Instant, CancelToken)>>;
+    let watch: Vec<ArmSlot> = (0..workers).map(|_| Mutex::new(None)).collect();
+    let active_workers = AtomicUsize::new(workers);
+    let stop_watchdog = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
+        if let Some(ms) = deadline {
+            let watch = &watch;
+            let stop = &stop_watchdog;
+            scope.spawn(move || {
+                let poll = Duration::from_millis((ms / 4).clamp(1, 50));
+                let limit = Duration::from_millis(ms);
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(poll);
+                    for slot in watch {
+                        if let Some((armed_at, token)) = &*slot.lock().expect("watch slot poisoned")
+                        {
+                            if armed_at.elapsed() >= limit {
+                                token.cancel();
+                            }
+                        }
+                    }
+                }
+            });
+        }
         for worker in 0..workers {
             let next = &next;
             let slots = &slots;
             let progress = &progress;
             let eval = &eval;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let point = &points[i];
-                let point_start = Instant::now();
-                let start_ms = point_start.duration_since(start).as_secs_f64() * 1e3;
-                let mut attempts = 0u32;
-                let outcome = loop {
-                    attempts += 1;
-                    match catch_unwind(AssertUnwindSafe(|| eval(point))) {
-                        Ok(report) => break Outcome::Ok(Box::new(report)),
-                        Err(payload) => {
-                            if attempts > opts.retries {
-                                break Outcome::Failed {
-                                    panic: panic_message(payload),
-                                    attempts,
-                                };
+            let fault_plan = &fault_plan;
+            let journal_writer = &journal_writer;
+            let watch = &watch;
+            let active_workers = &active_workers;
+            let stop_watchdog = &stop_watchdog;
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if slots[i].lock().expect("result slot poisoned").is_some() {
+                        continue; // restored from the journal
+                    }
+                    let point = &points[i];
+                    let faults: PointFaults = fault_plan
+                        .as_ref()
+                        .map(|fp| fp.point(i))
+                        .unwrap_or_default();
+                    let point_start = Instant::now();
+                    let start_ms = point_start.duration_since(start).as_secs_f64() * 1e3;
+                    let mut attempts = 0u32;
+                    let mut attempt_ms: Vec<f64> = Vec::new();
+                    let outcome = loop {
+                        attempts += 1;
+                        if attempts > 1 {
+                            let delay =
+                                backoff_delay_ms(opts.backoff_ms, attempts - 1, point.config.seed);
+                            if delay > 0 {
+                                std::thread::sleep(Duration::from_millis(delay));
+                            }
+                        }
+                        let attempt_start = Instant::now();
+                        let token = CancelToken::new();
+                        if deadline.is_some() {
+                            *watch[worker].lock().expect("watch slot poisoned") =
+                                Some((attempt_start, token.clone()));
+                        }
+                        let ctx = EvalCtx {
+                            attempt: attempts,
+                            cancel: token,
+                        };
+                        let injected_delay = if attempts == 1 { faults.delay_ms } else { None };
+                        let inject_panic = attempts <= faults.panics;
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(ms) = injected_delay {
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                            if inject_panic {
+                                std::panic::panic_any(InjectedPanic {
+                                    point: i,
+                                    attempt: attempts,
+                                });
+                            }
+                            eval(point, &ctx)
+                        }));
+                        if deadline.is_some() {
+                            *watch[worker].lock().expect("watch slot poisoned") = None;
+                        }
+                        attempt_ms.push(attempt_start.elapsed().as_secs_f64() * 1e3);
+                        match result {
+                            Ok(report) => break Outcome::Ok(Box::new(report)),
+                            Err(payload) => {
+                                let timed_out = payload.downcast_ref::<Cancelled>().is_some();
+                                if attempts > opts.retries {
+                                    break if timed_out {
+                                        Outcome::TimedOut {
+                                            deadline_ms: deadline.unwrap_or(0),
+                                            attempts,
+                                        }
+                                    } else {
+                                        Outcome::Failed {
+                                            panic: panic_message(payload),
+                                            attempts,
+                                        }
+                                    };
+                                }
+                            }
+                        }
+                    };
+                    let wall_ms = point_start.elapsed().as_secs_f64() * 1e3;
+                    let (wall_ms, start_ms, worker_id, attempt_ms) = if opts.canonical {
+                        (0.0, 0.0, 0, vec![0.0; attempt_ms.len()])
+                    } else {
+                        (wall_ms, start_ms, worker, attempt_ms)
+                    };
+                    let result = PointResult {
+                        index: i,
+                        id: point.id.clone(),
+                        seed: point.config.seed,
+                        config_json: config_json(&point.config),
+                        outcome,
+                        wall_ms,
+                        start_ms,
+                        worker: worker_id,
+                        attempts,
+                        attempt_ms,
+                        injected_faults: faults.injected(),
+                        restored: None,
+                    };
+                    // Write-ahead: the row reaches the fsynced journal
+                    // (surviving injected I/O errors via retry) before it
+                    // is acknowledged to the progress reporter.
+                    if let Some(j) = journal_writer
+                        .lock()
+                        .expect("journal writer poisoned")
+                        .as_mut()
+                    {
+                        let body = journal::record_body(&result);
+                        let mut remaining_injected = faults.io_failures;
+                        let mut tries = 0u32;
+                        loop {
+                            tries += 1;
+                            let res = if remaining_injected > 0 {
+                                remaining_injected -= 1;
+                                Err(io::Error::other(format!(
+                                    "fault-injected journal write error (point {i})"
+                                )))
+                            } else {
+                                j.append(&body)
+                            };
+                            match res {
+                                Ok(()) => break,
+                                Err(e) => {
+                                    if tries > 3 {
+                                        eprintln!("journal append failed for {}: {e}", result.id);
+                                        break;
+                                    }
+                                }
                             }
                         }
                     }
-                };
-                let result = PointResult {
-                    index: i,
-                    id: point.id.clone(),
-                    seed: point.config.seed,
-                    config_json: config_json(&point.config),
-                    outcome,
-                    wall_ms: point_start.elapsed().as_secs_f64() * 1e3,
-                    start_ms,
-                    worker,
-                    attempts,
-                };
-                let ok = result.is_ok();
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-                progress.point_done(&point.id, ok);
+                    let ok = result.is_ok();
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    progress.point_done(&point.id, ok);
+                }
+                if active_workers.fetch_sub(1, Ordering::Relaxed) == 1 {
+                    stop_watchdog.store(true, Ordering::Relaxed);
+                }
             });
         }
     });
@@ -404,7 +834,11 @@ pub fn run_plan_with(
         name: plan.name().to_string(),
         master_seed: plan.master_seed(),
         workers,
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        wall_ms: if opts.canonical {
+            0.0
+        } else {
+            start.elapsed().as_secs_f64() * 1e3
+        },
         rows: slots
             .into_iter()
             .map(|slot| {
@@ -494,6 +928,7 @@ mod tests {
         });
         assert_eq!(sweep.rows.len(), 6);
         assert_eq!(sweep.failures().count(), 1);
+        assert_eq!(sweep.timeouts(), 0);
         let failed = &sweep.rows[4];
         assert!(!failed.is_ok());
         match &failed.outcome {
@@ -501,10 +936,14 @@ mod tests {
                 assert!(panic.contains("injected fault at p4"), "{panic}");
                 assert_eq!(*attempts, 1);
             }
-            Outcome::Ok(_) => unreachable!(),
+            _ => unreachable!(),
         }
         assert!(sweep.reports().is_none());
         assert!(sweep.to_json().contains("\"status\":\"failed\""));
+        assert!(
+            failed.stable_json().contains("\"config_digest\":\""),
+            "failed rows archive their config digest"
+        );
     }
 
     #[test]
@@ -514,6 +953,7 @@ mod tests {
             workers: 1,
             retries: 2,
             quiet: true,
+            backoff_ms: 1, // keep the unit test fast
             ..RunnerOptions::default()
         };
         let sweep = run_plan_with(&plan, &opts, |p| {
@@ -524,8 +964,9 @@ mod tests {
         });
         match &sweep.rows[1].outcome {
             Outcome::Failed { attempts, .. } => assert_eq!(*attempts, 3, "1 try + 2 retries"),
-            Outcome::Ok(_) => unreachable!(),
+            _ => unreachable!(),
         }
+        assert_eq!(sweep.rows[1].attempt_ms.len(), 3);
     }
 
     #[test]
@@ -538,6 +979,11 @@ mod tests {
             "--out=tmp",
             "--telemetry",
             "--trace-out=tmp/traces",
+            "--journal=tmp/unit.journal",
+            "--deadline-ms=5000",
+            "--backoff-ms=7",
+            "--canonical",
+            "--inject-faults=99",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -549,6 +995,15 @@ mod tests {
         assert_eq!(opts.out_dir, std::path::PathBuf::from("tmp"));
         assert!(opts.telemetry);
         assert_eq!(opts.telemetry_dir(), std::path::PathBuf::from("tmp/traces"));
+        assert_eq!(
+            opts.journal,
+            Some(std::path::PathBuf::from("tmp/unit.journal"))
+        );
+        assert_eq!(opts.resume, None);
+        assert_eq!(opts.deadline_ms, Some(5_000));
+        assert_eq!(opts.backoff_ms, 7);
+        assert!(opts.canonical);
+        assert_eq!(opts.fault_seed, Some(99));
         assert_eq!(rest, vec!["quick".to_string()]);
     }
 
@@ -580,6 +1035,7 @@ mod tests {
         for p in &profiles {
             assert!((0.0..=1.0).contains(&p.utilization));
             assert_eq!(p.retries, 0);
+            assert_eq!(p.timeouts, 0);
         }
         assert!(sweep.idle_ms() >= 0.0);
         // Rows carry the timeline fields.
@@ -587,11 +1043,167 @@ mod tests {
         assert!(sweep.rows.iter().all(|r| r.start_ms >= 0.0));
         assert!(sweep.to_json().contains("\"start_ms\":"));
         assert!(sweep.to_json().contains("\"attempts\":1"));
+        assert!(sweep.to_json().contains("\"attempt_ms\":["));
     }
 
     #[test]
     fn sanitize_id_keeps_safe_chars_only() {
         assert_eq!(sanitize_id("0001/apache N=500"), "0001_apache_N_500");
         assert_eq!(sanitize_id("plain-id_0.1"), "plain-id_0.1");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        for retry in 1..=4u32 {
+            let a = backoff_delay_ms(20, retry, 0xABCD);
+            let b = backoff_delay_ms(20, retry, 0xABCD);
+            assert_eq!(a, b, "same inputs, same delay");
+            let nominal = 20u64 << (retry - 1);
+            assert!(
+                a >= nominal / 2 && a < nominal + nominal,
+                "retry {retry}: delay {a} outside [{}, {})",
+                nominal / 2,
+                2 * nominal
+            );
+        }
+        assert_eq!(backoff_delay_ms(0, 3, 1), 0, "backoff disabled");
+        assert_eq!(backoff_delay_ms(25, 0, 1), 0, "no delay before attempt 1");
+        assert!(backoff_delay_ms(1_000, 16, 1) < 3_000, "capped");
+        assert_ne!(
+            backoff_delay_ms(1_000, 1, 1),
+            backoff_delay_ms(1_000, 1, 2),
+            "jitter differs across seeds"
+        );
+    }
+
+    #[test]
+    fn canonical_mode_zeroes_wall_clock_fields() {
+        let plan = plan(4);
+        let opts = RunnerOptions {
+            workers: 2,
+            quiet: true,
+            canonical: true,
+            ..RunnerOptions::default()
+        };
+        let a = run_plan_with(&plan, &opts, fake_report);
+        let b = run_plan_with(&plan, &opts, fake_report);
+        assert_eq!(a.wall_ms, 0.0);
+        for row in &a.rows {
+            assert_eq!(row.wall_ms, 0.0);
+            assert_eq!(row.start_ms, 0.0);
+            assert_eq!(row.worker, 0);
+            assert!(row.attempt_ms.iter().all(|&ms| ms == 0.0));
+        }
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "canonical archives are bytes-equal"
+        );
+    }
+
+    #[test]
+    fn injected_faults_recover_with_enough_retries() {
+        let plan = plan(6);
+        let fault_cfg = FaultConfig {
+            panic_pct: 100,
+            max_panics: 1,
+            delay_pct: 0,
+            io_pct: 0,
+            ..FaultConfig::default()
+        };
+        let fault_plan = FaultPlan::derive(plan.master_seed(), plan.len(), &fault_cfg);
+        assert_eq!(fault_plan.max_panics(), 1);
+        let clean = run_plan_with(
+            &plan,
+            &RunnerOptions {
+                workers: 2,
+                quiet: true,
+                ..RunnerOptions::default()
+            },
+            fake_report,
+        );
+        let opts = RunnerOptions {
+            workers: 2,
+            retries: 1,
+            quiet: true,
+            backoff_ms: 1,
+            fault_plan: Some(fault_plan),
+            ..RunnerOptions::default()
+        };
+        let faulty = run_plan_with(&plan, &opts, fake_report);
+        assert_eq!(faulty.failures().count(), 0, "every injected panic retried");
+        assert!(faulty.rows.iter().all(|r| r.attempts == 2));
+        assert!(faulty.injected_faults() >= 6);
+        let a: Vec<String> = clean.rows.iter().map(|r| r.stable_json()).collect();
+        let b: Vec<String> = faulty.rows.iter().map(|r| r.stable_json()).collect();
+        assert_eq!(a, b, "fault recovery must not change any result");
+    }
+
+    #[test]
+    fn exhausted_injected_faults_record_a_typed_failure() {
+        let plan = plan(2);
+        let fault_cfg = FaultConfig {
+            panic_pct: 100,
+            max_panics: 1,
+            delay_pct: 0,
+            io_pct: 0,
+            ..FaultConfig::default()
+        };
+        let opts = RunnerOptions {
+            workers: 1,
+            quiet: true,
+            fault_plan: Some(FaultPlan::derive(
+                plan.master_seed(),
+                plan.len(),
+                &fault_cfg,
+            )),
+            ..RunnerOptions::default()
+        };
+        let sweep = run_plan_with(&plan, &opts, fake_report);
+        assert_eq!(sweep.failures().count(), 2);
+        for row in &sweep.rows {
+            match &row.outcome {
+                Outcome::Failed { panic, attempts } => {
+                    assert!(panic.contains("fault-injected panic"), "{panic}");
+                    assert_eq!(*attempts, 1);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_times_out_hung_points() {
+        let plan = plan(1);
+        let opts = RunnerOptions {
+            workers: 1,
+            quiet: true,
+            deadline_ms: Some(5),
+            ..RunnerOptions::default()
+        };
+        let sweep = run_plan_ctx(&plan, &opts, |_p, ctx| {
+            // A cooperative "hang": spin until the watchdog fires, then
+            // unwind exactly as Simulation::account would.
+            while !ctx.cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            std::panic::panic_any(Cancelled);
+        });
+        assert_eq!(sweep.timeouts(), 1);
+        match &sweep.rows[0].outcome {
+            Outcome::TimedOut {
+                deadline_ms,
+                attempts,
+            } => {
+                assert_eq!(*deadline_ms, 5);
+                assert_eq!(*attempts, 1);
+            }
+            _ => unreachable!("expected a timeout, got {:?}", sweep.rows[0].outcome),
+        }
+        let json = sweep.rows[0].stable_json();
+        assert!(json.contains("\"status\":\"timeout\""), "{json}");
+        assert!(json.contains("\"deadline_ms\":5"), "{json}");
+        assert_eq!(sweep.worker_profiles()[0].timeouts, 1);
+        assert!(sweep.to_json().contains("\"timeouts\":1"));
     }
 }

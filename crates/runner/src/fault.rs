@@ -1,0 +1,249 @@
+//! Deterministic fault injection for campaign robustness testing.
+//!
+//! A [`FaultPlan`] is derived from a master seed with the same
+//! [`SeedSequence`] splitting the experiment plan and the fuzzer use:
+//! one sub-seed per point, each expanded into that point's injected
+//! faults. The plan is a pure function of `(master_seed, point count,
+//! FaultConfig)`, so a campaign's entire failure schedule — which
+//! points panic on which attempts, which hang, which journal writes
+//! error — replays bit-for-bit from the seed alone.
+//!
+//! Three fault kinds are modelled, mirroring the ways a real campaign
+//! dies: evaluation **panics** (crashing points), artificial **delays**
+//! (hung points, which trip the worker watchdog when a deadline is
+//! set), and **I/O write errors** on the results journal.
+
+use osoffload_sim::{Rng64, SeedSequence};
+
+/// Injection rates and magnitudes for [`FaultPlan::derive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Percent of points whose early attempts panic.
+    pub panic_pct: u32,
+    /// Maximum consecutive panicking attempts per faulty point
+    /// (`retries >= max_panics` makes every injected panic recoverable).
+    pub max_panics: u32,
+    /// Percent of points delayed before their first attempt.
+    pub delay_pct: u32,
+    /// Maximum injected delay in milliseconds.
+    pub max_delay_ms: u64,
+    /// Percent of points whose journal append errors before succeeding.
+    pub io_pct: u32,
+    /// Maximum consecutive injected journal-write errors per point.
+    pub max_io_failures: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            panic_pct: 25,
+            max_panics: 2,
+            delay_pct: 15,
+            max_delay_ms: 10,
+            io_pct: 15,
+            max_io_failures: 2,
+        }
+    }
+}
+
+/// The faults injected into one point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PointFaults {
+    /// Attempts 1..=n that panic (always a consecutive prefix, so a
+    /// sufficient retry budget recovers the point deterministically).
+    pub panics: u32,
+    /// Delay injected before the first attempt, in milliseconds.
+    pub delay_ms: Option<u64>,
+    /// Journal appends that fail before one succeeds.
+    pub io_failures: u32,
+}
+
+impl PointFaults {
+    /// Total injections this point receives.
+    pub fn injected(&self) -> u32 {
+        self.panics + u32::from(self.delay_ms.is_some()) + self.io_failures
+    }
+}
+
+/// A replayable schedule of injected faults for one campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    points: Vec<PointFaults>,
+}
+
+impl FaultPlan {
+    /// Derives the plan for `n_points` from `master_seed`: one
+    /// [`SeedSequence`] split per point, expanded under `cfg`'s rates.
+    /// Pure — the same inputs always produce the same plan.
+    pub fn derive(master_seed: u64, n_points: usize, cfg: &FaultConfig) -> FaultPlan {
+        let mut seq = SeedSequence::new(master_seed);
+        let pct = |rng: &mut Rng64, p: u32| rng.next_u64() % 100 < u64::from(p);
+        let points = (0..n_points)
+            .map(|_| {
+                let mut rng = Rng64::seed_from(seq.next_seed());
+                let mut f = PointFaults::default();
+                if pct(&mut rng, cfg.panic_pct) {
+                    f.panics = 1 + (rng.next_u64() % u64::from(cfg.max_panics.max(1))) as u32;
+                }
+                if pct(&mut rng, cfg.delay_pct) {
+                    f.delay_ms = Some(1 + rng.next_u64() % cfg.max_delay_ms.max(1));
+                }
+                if pct(&mut rng, cfg.io_pct) {
+                    f.io_failures =
+                        1 + (rng.next_u64() % u64::from(cfg.max_io_failures.max(1))) as u32;
+                }
+                f
+            })
+            .collect();
+        FaultPlan {
+            seed: master_seed,
+            points,
+        }
+    }
+
+    /// The master seed the plan was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of points covered.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The faults for `point` (out-of-range points get no faults).
+    pub fn point(&self, point: usize) -> PointFaults {
+        self.points.get(point).cloned().unwrap_or_default()
+    }
+
+    /// Whether `attempt` (1-based) of `point` is scheduled to panic.
+    pub fn panics_at(&self, point: usize, attempt: u32) -> bool {
+        self.points.get(point).is_some_and(|f| attempt <= f.panics)
+    }
+
+    /// The largest panic streak any point carries — the retry budget
+    /// needed to make the whole plan recoverable.
+    pub fn max_panics(&self) -> u32 {
+        self.points.iter().map(|f| f.panics).max().unwrap_or(0)
+    }
+
+    /// Total injections across the plan.
+    pub fn injected_total(&self) -> u32 {
+        self.points.iter().map(PointFaults::injected).sum()
+    }
+
+    /// Compact deterministic rendering of the schedule, for logs:
+    /// `point→panics/delay/io` triples for every faulty point.
+    pub fn describe(&self) -> String {
+        let faulty: Vec<String> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.injected() > 0)
+            .map(|(i, f)| {
+                format!(
+                    "{i}:p{}d{}i{}",
+                    f.panics,
+                    f.delay_ms.unwrap_or(0),
+                    f.io_failures
+                )
+            })
+            .collect();
+        format!(
+            "fault-plan seed={} points={} injected={} [{}]",
+            self.seed,
+            self.points.len(),
+            self.injected_total(),
+            faulty.join(" ")
+        )
+    }
+}
+
+/// The panic payload of an injected panic, so the runner's quiet panic
+/// hook can tell scheduled faults from genuine bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedPanic {
+    /// Plan-order point index.
+    pub point: usize,
+    /// The attempt (1-based) the panic fired on.
+    pub attempt: u32,
+}
+
+impl InjectedPanic {
+    /// The deterministic failure message recorded if the point exhausts
+    /// its retries.
+    pub fn message(&self) -> String {
+        format!(
+            "fault-injected panic (point {}, attempt {})",
+            self.point, self.attempt
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_a_pure_function_of_the_seed() {
+        let cfg = FaultConfig::default();
+        let a = FaultPlan::derive(0xFEED, 64, &cfg);
+        let b = FaultPlan::derive(0xFEED, 64, &cfg);
+        assert_eq!(a, b, "same seed must replay the identical schedule");
+        let c = FaultPlan::derive(0xFEED + 1, 64, &cfg);
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn a_prefix_of_a_longer_plan_is_unchanged() {
+        // Point k's faults depend only on the master seed and k, so
+        // growing a plan never reshuffles existing points.
+        let cfg = FaultConfig::default();
+        let short = FaultPlan::derive(7, 8, &cfg);
+        let long = FaultPlan::derive(7, 32, &cfg);
+        for i in 0..8 {
+            assert_eq!(short.point(i), long.point(i));
+        }
+    }
+
+    #[test]
+    fn default_rates_inject_every_fault_kind() {
+        let plan = FaultPlan::derive(3, 256, &FaultConfig::default());
+        assert!(plan.points.iter().any(|f| f.panics > 0), "panics");
+        assert!(plan.points.iter().any(|f| f.delay_ms.is_some()), "delays");
+        assert!(plan.points.iter().any(|f| f.io_failures > 0), "io errors");
+        assert!(
+            plan.points.iter().any(|f| f.injected() == 0),
+            "clean points"
+        );
+        assert!(plan.max_panics() >= 1 && plan.max_panics() <= 2);
+        assert!(plan.injected_total() > 0);
+    }
+
+    #[test]
+    fn panics_at_is_a_consecutive_prefix() {
+        let plan = FaultPlan::derive(11, 128, &FaultConfig::default());
+        for i in 0..plan.len() {
+            let f = plan.point(i);
+            for attempt in 1..=4 {
+                assert_eq!(plan.panics_at(i, attempt), attempt <= f.panics);
+            }
+        }
+        assert!(!plan.panics_at(9_999, 1), "out of range never panics");
+    }
+
+    #[test]
+    fn describe_is_deterministic_and_mentions_the_seed() {
+        let cfg = FaultConfig::default();
+        let a = FaultPlan::derive(42, 16, &cfg).describe();
+        let b = FaultPlan::derive(42, 16, &cfg).describe();
+        assert_eq!(a, b);
+        assert!(a.contains("seed=42"), "{a}");
+    }
+}

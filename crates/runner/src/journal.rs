@@ -1,0 +1,617 @@
+//! Write-ahead results journal: crash-safe checkpoint/resume for
+//! campaigns.
+//!
+//! The journal is a line-oriented append-only file. Line one is a
+//! header identifying the campaign (experiment name, master seed, point
+//! count); every subsequent line records one completed point. Each line
+//! is an envelope `{"fnv":"<16-hex>","body":<body>}` whose checksum is
+//! FNV-1a over the body's bytes, and every append is flushed with
+//! `fdatasync` before the point is acknowledged — a crash can lose at
+//! most the point that was in flight, never a point the runner reported
+//! done.
+//!
+//! A record stores the row's **verbatim** stable JSON alongside the
+//! non-deterministic timings. Resume re-emits that stored text
+//! unchanged (see [`crate::PointResult::restored`]), which is what lets
+//! a resumed campaign produce a final archive byte-identical to an
+//! uninterrupted one without depending on float round-trips.
+//!
+//! The loader is deliberately forgiving: a torn final line (the classic
+//! crash artefact), a checksum mismatch, or trailing garbage ends the
+//! parse at the last good record instead of failing the resume — those
+//! points simply re-run.
+
+use crate::executor::{Outcome, PointResult};
+use crate::jsonv::{self, Value};
+use crate::report::json_escape;
+use osoffload_system::{BinaryPoint, PredictorReport, QueueReport, SimReport};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// The 64-bit FNV-1a hash of `bytes` — the journal's line checksum, and
+/// the digest archived with failed rows (`config_digest`).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The campaign identity a journal belongs to; resume refuses a journal
+/// whose header does not match the plan being run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Experiment (plan) name.
+    pub experiment: String,
+    /// The plan's master seed.
+    pub master_seed: u64,
+    /// Points in the plan.
+    pub points: usize,
+}
+
+impl JournalHeader {
+    fn body(&self) -> String {
+        format!(
+            "{{\"journal\":\"osoffload-runner\",\"version\":1,\"experiment\":\"{}\",\
+             \"master_seed\":{},\"points\":{}}}",
+            json_escape(&self.experiment),
+            self.master_seed,
+            self.points
+        )
+    }
+}
+
+fn envelope(body: &str) -> String {
+    format!(
+        "{{\"fnv\":\"{:016x}\",\"body\":{body}}}\n",
+        fnv1a64(body.as_bytes())
+    )
+}
+
+/// An open journal file in append mode.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Creates (truncating) a journal at `path` and writes the fsynced
+    /// header line.
+    pub fn create(path: &Path, header: &JournalHeader) -> io::Result<Journal> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut journal = Journal { file };
+        journal.write_line(&envelope(&header.body()))?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for appending (resume).
+    pub fn open_append(path: &Path) -> io::Result<Journal> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Journal { file })
+    }
+
+    /// Appends one record body as an fsynced envelope line. The line is
+    /// durable when this returns `Ok`.
+    pub fn append(&mut self, body: &str) -> io::Result<()> {
+        self.write_line(&envelope(body))
+    }
+
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// Renders the journal record body for one completed row: the
+/// non-deterministic timings plus the verbatim stable-row text. The
+/// `stable` key is deliberately last so the loader can slice it back out
+/// byte-for-byte (every preceding value is numeric).
+pub(crate) fn record_body(row: &PointResult) -> String {
+    let attempt_ms: Vec<String> = row.attempt_ms.iter().map(|ms| format!("{ms:.3}")).collect();
+    format!(
+        "{{\"index\":{},\"worker\":{},\"attempts\":{},\"injected_faults\":{},\
+         \"wall_ms\":{:.3},\"start_ms\":{:.3},\"attempt_ms\":[{}],\"stable\":{}}}",
+        row.index,
+        row.worker,
+        row.attempts,
+        row.injected_faults,
+        row.wall_ms,
+        row.start_ms,
+        attempt_ms.join(","),
+        row.stable_json()
+    )
+}
+
+/// A journal read back from disk: the campaign header and every intact
+/// record, restored as result rows.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The campaign the journal belongs to.
+    pub header: JournalHeader,
+    /// Restored rows, in journal (completion) order. Duplicate indices
+    /// keep the last record.
+    pub rows: Vec<PointResult>,
+}
+
+/// Reads a journal back, tolerating the torn/corrupt tail a crash
+/// leaves behind: parsing stops at the first line that is unterminated,
+/// fails its checksum, or does not parse — everything before it is
+/// kept. Errors only when the file is unreadable or its header is
+/// missing or invalid (such a file cannot safely seed a resume).
+pub fn load(path: &Path) -> Result<LoadedJournal, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    // Only '\n'-terminated lines are complete; a crash mid-append leaves
+    // an unterminated fragment, which is discarded here.
+    let complete = match text.rfind('\n') {
+        Some(end) => &text[..end],
+        None => "",
+    };
+    let mut lines = complete.split('\n').filter(|l| !l.is_empty());
+    let header_line = lines.next().ok_or("empty journal (no header line)")?;
+    let header_body = unwrap_envelope(header_line).ok_or("corrupt journal header line")?;
+    let header = parse_header(header_body)?;
+    let mut rows: Vec<PointResult> = Vec::new();
+    for line in lines {
+        let Some(body) = unwrap_envelope(line) else {
+            break; // torn or corrupt: keep everything before it
+        };
+        let Some(row) = restore_row(body) else {
+            break;
+        };
+        if let Some(existing) = rows.iter_mut().find(|r| r.index == row.index) {
+            *existing = row;
+        } else {
+            rows.push(row);
+        }
+    }
+    Ok(LoadedJournal { header, rows })
+}
+
+/// Validates one envelope line and returns the body slice, or `None`
+/// when the line is malformed or fails its checksum.
+fn unwrap_envelope(line: &str) -> Option<&str> {
+    const PREFIX: &str = "{\"fnv\":\"";
+    const MID: &str = "\",\"body\":";
+    let rest = line.strip_prefix(PREFIX)?;
+    let (hex, rest) = rest.split_at_checked(16)?;
+    let body_and_close = rest.strip_prefix(MID)?;
+    let body = body_and_close.strip_suffix('}')?;
+    let want = u64::from_str_radix(hex, 16).ok()?;
+    (fnv1a64(body.as_bytes()) == want).then_some(body)
+}
+
+fn parse_header(body: &str) -> Result<JournalHeader, String> {
+    let v = jsonv::parse(body).map_err(|e| format!("bad header: {e}"))?;
+    if v.get("journal").and_then(Value::as_str) != Some("osoffload-runner") {
+        return Err("not an osoffload-runner journal".into());
+    }
+    if v.get("version").and_then(Value::as_u64) != Some(1) {
+        return Err("unsupported journal version".into());
+    }
+    Ok(JournalHeader {
+        experiment: v
+            .get("experiment")
+            .and_then(Value::as_str)
+            .ok_or("header missing experiment")?
+            .to_string(),
+        master_seed: v
+            .get("master_seed")
+            .and_then(Value::as_u64)
+            .ok_or("header missing master_seed")?,
+        points: v
+            .get("points")
+            .and_then(Value::as_usize)
+            .ok_or("header missing points")?,
+    })
+}
+
+/// Rebuilds one result row from a record body, or `None` if anything
+/// about the record is off (the point then simply re-runs).
+fn restore_row(body: &str) -> Option<PointResult> {
+    let stable_text = extract_stable(body)?;
+    let v = jsonv::parse(body).ok()?;
+    let stable = jsonv::parse(stable_text).ok()?;
+    let config_json = extract_config(stable_text)?;
+    let outcome = match stable.get("status").and_then(Value::as_str)? {
+        "ok" => Outcome::Ok(Box::new(restore_report(stable.get("report")?)?)),
+        "failed" => Outcome::Failed {
+            panic: stable.get("panic").and_then(Value::as_str)?.to_string(),
+            attempts: stable.get("attempts").and_then(Value::as_u32)?,
+        },
+        "timeout" => Outcome::TimedOut {
+            deadline_ms: stable.get("deadline_ms").and_then(Value::as_u64)?,
+            attempts: stable.get("attempts").and_then(Value::as_u32)?,
+        },
+        _ => return None,
+    };
+    Some(PointResult {
+        index: v.get("index").and_then(Value::as_usize)?,
+        id: stable.get("id").and_then(Value::as_str)?.to_string(),
+        seed: stable.get("seed").and_then(Value::as_u64)?,
+        config_json,
+        outcome,
+        wall_ms: v.get("wall_ms").and_then(Value::as_f64)?,
+        start_ms: v.get("start_ms").and_then(Value::as_f64)?,
+        worker: v.get("worker").and_then(Value::as_usize)?,
+        attempts: v.get("attempts").and_then(Value::as_u32)?,
+        attempt_ms: v
+            .get("attempt_ms")
+            .and_then(Value::as_arr)?
+            .iter()
+            .map(Value::as_f64)
+            .collect::<Option<Vec<f64>>>()?,
+        injected_faults: v.get("injected_faults").and_then(Value::as_u32)?,
+        restored: Some(stable_text.to_string()),
+    })
+}
+
+/// Slices the verbatim stable-row text out of a record body. `stable`
+/// is the record's last key and every earlier value is numeric, so the
+/// first occurrence of the marker is the real one and the value runs to
+/// the body's closing brace.
+fn extract_stable(body: &str) -> Option<&str> {
+    const MARKER: &str = ",\"stable\":";
+    let start = body.find(MARKER)? + MARKER.len();
+    let stable = body.get(start..body.len().checked_sub(1)?)?;
+    (stable.starts_with('{') && stable.ends_with('}')).then_some(stable)
+}
+
+/// Slices the verbatim configuration JSON out of a stable-row text by
+/// walking its fixed field order: `{"index":N,"id":"...","seed":N,
+/// "config":{...},...}`. String-aware, so ids containing braces or a
+/// literal `"config"` cannot mislead it.
+fn extract_config(stable: &str) -> Option<String> {
+    let bytes = stable.as_bytes();
+    let mut pos = expect_str(stable, 0, "{\"index\":")?;
+    pos = skip_number(bytes, pos)?;
+    pos = expect_str(stable, pos, ",\"id\":")?;
+    pos = skip_string(bytes, pos)?;
+    pos = expect_str(stable, pos, ",\"seed\":")?;
+    pos = skip_number(bytes, pos)?;
+    pos = expect_str(stable, pos, ",\"config\":")?;
+    let end = skip_value(bytes, pos)?;
+    Some(stable[pos..end].to_string())
+}
+
+fn expect_str(text: &str, pos: usize, lit: &str) -> Option<usize> {
+    text[pos..].starts_with(lit).then_some(pos + lit.len())
+}
+
+fn skip_number(bytes: &[u8], mut pos: usize) -> Option<usize> {
+    let start = pos;
+    while pos < bytes.len() && matches!(bytes[pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        pos += 1;
+    }
+    (pos > start).then_some(pos)
+}
+
+fn skip_string(bytes: &[u8], mut pos: usize) -> Option<usize> {
+    if bytes.get(pos) != Some(&b'"') {
+        return None;
+    }
+    pos += 1;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos += 2,
+            b'"' => return Some(pos + 1),
+            _ => pos += 1,
+        }
+    }
+    None
+}
+
+/// Skips one balanced JSON value (object, array, string, or scalar).
+fn skip_value(bytes: &[u8], pos: usize) -> Option<usize> {
+    match bytes.get(pos)? {
+        b'"' => skip_string(bytes, pos),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut p = pos;
+            while p < bytes.len() {
+                match bytes[p] {
+                    b'"' => p = skip_string(bytes, p)?,
+                    b'{' | b'[' => {
+                        depth += 1;
+                        p += 1;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        p += 1;
+                        if depth == 0 {
+                            return Some(p);
+                        }
+                    }
+                    _ => p += 1,
+                }
+            }
+            None
+        }
+        _ => skip_number(bytes, pos),
+    }
+}
+
+/// Rebuilds a [`SimReport`] from its parsed JSON. `cycle_breakdown` is
+/// not serialised (it is a debugging view), so restored reports carry
+/// its default — the archived row text is unaffected because resume
+/// re-emits the stored stable text verbatim.
+fn restore_report(v: &Value) -> Option<SimReport> {
+    let f = |key: &str| v.get(key).and_then(Value::as_f64);
+    let u = |key: &str| v.get(key).and_then(Value::as_u64);
+    let us = |key: &str| v.get(key).and_then(Value::as_usize);
+    let opt_u = |key: &str| match v.get(key) {
+        Some(Value::Null) | None => Some(None),
+        Some(val) => val.as_u64().map(Some),
+    };
+    let queue = v.get("queue")?;
+    let predictor = match v.get("predictor") {
+        Some(Value::Null) | None => None,
+        Some(p) => Some(PredictorReport {
+            exact: p.get("exact").and_then(Value::as_f64)?,
+            within_5pct: p.get("within_5pct").and_then(Value::as_f64)?,
+            underestimates: p.get("underestimates").and_then(Value::as_f64)?,
+            local_fraction: p.get("local_fraction").and_then(Value::as_f64)?,
+        }),
+    };
+    Some(SimReport {
+        profile: v.get("profile").and_then(Value::as_str)?.to_string(),
+        policy: v.get("policy").and_then(Value::as_str)?.to_string(),
+        threshold: opt_u("threshold")?,
+        final_threshold: opt_u("final_threshold")?,
+        migration_one_way: u("migration_one_way")?,
+        user_cores: us("user_cores")?,
+        os_cores: us("os_cores")?,
+        threads: us("threads")?,
+        instructions: u("instructions")?,
+        cycles: u("cycles")?,
+        throughput: f("throughput")?,
+        os_share: f("os_share")?,
+        offloads: u("offloads")?,
+        local_invocations: u("local_invocations")?,
+        decision_overhead_cycles: u("decision_overhead_cycles")?,
+        l1d_hit_rate: f("l1d_hit_rate")?,
+        l1i_hit_rate: f("l1i_hit_rate")?,
+        user_branch_accuracy: f("user_branch_accuracy")?,
+        l2_user_hit_rate: f("l2_user_hit_rate")?,
+        l2_os_hit_rate: f("l2_os_hit_rate")?,
+        l2_mean_hit_rate: f("l2_mean_hit_rate")?,
+        c2c_transfers: u("c2c_transfers")?,
+        invalidation_rounds: u("invalidation_rounds")?,
+        l1d_accesses: u("l1d_accesses")?,
+        l1i_accesses: u("l1i_accesses")?,
+        l2_accesses: u("l2_accesses")?,
+        dram_accesses: u("dram_accesses")?,
+        throttled_cycles: u("throttled_cycles")?,
+        os_core_busy_frac: f("os_core_busy_frac")?,
+        user_cores_busy_frac: f("user_cores_busy_frac")?,
+        queue: QueueReport {
+            requests: queue.get("requests").and_then(Value::as_u64)?,
+            stalled: queue.get("stalled").and_then(Value::as_u64)?,
+            mean_delay: queue.get("mean_delay").and_then(Value::as_f64)?,
+            p50_delay: queue.get("p50_delay").and_then(Value::as_u64)?,
+            p95_delay: queue.get("p95_delay").and_then(Value::as_u64)?,
+            p99_delay: queue.get("p99_delay").and_then(Value::as_u64)?,
+        },
+        predictor,
+        cycle_breakdown: Default::default(),
+        binary_accuracy: v
+            .get("binary_accuracy")?
+            .as_arr()?
+            .iter()
+            .map(|b| {
+                Some(BinaryPoint {
+                    threshold: b.get("threshold").and_then(Value::as_u64)?,
+                    accuracy: b.get("accuracy").and_then(Value::as_f64)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        tuner_events: us("tuner_events")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "osoffload_journal_{tag}_{}_{}.journal",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            experiment: "unit".into(),
+            master_seed: 9,
+            points: 3,
+        }
+    }
+
+    fn sample_row(index: usize) -> PointResult {
+        PointResult {
+            index,
+            id: format!("p{index}"),
+            seed: 0xFFFF_FFFF_FFFF_FF00 + index as u64,
+            config_json: "{\"profile\":\"apache\",\"n\":1}".into(),
+            outcome: Outcome::Failed {
+                panic: "boom \"quoted\"".into(),
+                attempts: 2,
+            },
+            wall_ms: 1.5,
+            start_ms: 0.25,
+            worker: 1,
+            attempts: 2,
+            attempt_ms: vec![0.7, 0.8],
+            injected_faults: 1,
+            restored: None,
+        }
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn roundtrips_rows_through_disk() {
+        let path = temp_path("roundtrip");
+        let mut j = Journal::create(&path, &header()).expect("create");
+        let rows = [sample_row(0), sample_row(2)];
+        for row in &rows {
+            j.append(&record_body(row)).expect("append");
+        }
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.header, header());
+        assert_eq!(loaded.rows.len(), 2);
+        for (orig, restored) in rows.iter().zip(&loaded.rows) {
+            assert_eq!(restored.index, orig.index);
+            assert_eq!(restored.id, orig.id);
+            assert_eq!(restored.seed, orig.seed);
+            assert_eq!(restored.config_json, orig.config_json);
+            assert_eq!(restored.attempts, orig.attempts);
+            assert_eq!(restored.attempt_ms, orig.attempt_ms);
+            assert_eq!(restored.injected_faults, orig.injected_faults);
+            assert_eq!(
+                restored.stable_json(),
+                orig.stable_json(),
+                "stable text must survive verbatim"
+            );
+            assert_eq!(restored.row_json(), orig.row_json());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_and_corrupt_tails_are_discarded() {
+        let path = temp_path("torn");
+        let mut j = Journal::create(&path, &header()).expect("create");
+        j.append(&record_body(&sample_row(0))).expect("append");
+        j.append(&record_body(&sample_row(1))).expect("append");
+        let intact = std::fs::read_to_string(&path).expect("read");
+        // Torn final line: a prefix of a record without its newline.
+        let torn = format!("{intact}{}", &envelope("{\"x\":1}")[..9]);
+        std::fs::write(&path, &torn).expect("write");
+        assert_eq!(load(&path).expect("load").rows.len(), 2);
+        // Checksum flip on the last line drops that record only.
+        let flipped = intact.replace(
+            &envelope(&record_body(&sample_row(1))),
+            &envelope(&record_body(&sample_row(1))).replacen('0', "1", 1),
+        );
+        std::fs::write(&path, &flipped).expect("write");
+        assert_eq!(load(&path).expect("load").rows.len(), 1);
+        // Garbage line stops the parse but keeps the good prefix.
+        let garbage = format!("{intact}not json at all\n");
+        std::fs::write(&path, &garbage).expect("write");
+        assert_eq!(load(&path).expect("load").rows.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_journal_without_a_valid_header_is_refused() {
+        let path = temp_path("badheader");
+        std::fs::write(&path, "junk\n").expect("write");
+        assert!(load(&path).is_err());
+        std::fs::write(&path, "").expect("write");
+        assert!(load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+        assert!(load(&path).is_err(), "missing file is an error");
+    }
+
+    #[test]
+    fn duplicate_indices_keep_the_last_record() {
+        let path = temp_path("dup");
+        let mut j = Journal::create(&path, &header()).expect("create");
+        let mut first = sample_row(1);
+        first.attempts = 1;
+        j.append(&record_body(&first)).expect("append");
+        let mut second = sample_row(1);
+        second.attempts = 9;
+        j.append(&record_body(&second)).expect("append");
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.rows.len(), 1);
+        assert_eq!(loaded.rows[0].attempts, 9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn config_extraction_is_string_aware() {
+        // An id crafted to contain the markers a naive scan would trip
+        // on.
+        let stable = "{\"index\":0,\"id\":\"evil\\\",\\\"config\\\":{\",\"seed\":1,\
+                      \"config\":{\"a\":[1,{\"b\":\"}\"}]},\"status\":\"x\"}";
+        assert_eq!(
+            extract_config(stable).as_deref(),
+            Some("{\"a\":[1,{\"b\":\"}\"}]}")
+        );
+    }
+
+    #[test]
+    fn restores_ok_rows_with_full_reports() {
+        use osoffload_system::{PolicyKind, SystemConfig};
+        use osoffload_workload::Profile;
+        let cfg = SystemConfig::builder()
+            .profile(Profile::apache())
+            .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+            .instructions(20_000)
+            .warmup(5_000)
+            .seed(7)
+            .build();
+        let report = osoffload_system::Simulation::new(cfg.clone()).run();
+        let row = PointResult {
+            index: 0,
+            id: "ok-point".into(),
+            seed: 7,
+            config_json: crate::report::config_json(&cfg),
+            outcome: Outcome::Ok(Box::new(report.clone())),
+            wall_ms: 3.0,
+            start_ms: 0.0,
+            worker: 0,
+            attempts: 1,
+            attempt_ms: vec![3.0],
+            injected_faults: 0,
+            restored: None,
+        };
+        let path = temp_path("okrow");
+        let mut j = Journal::create(
+            &path,
+            &JournalHeader {
+                experiment: "unit".into(),
+                master_seed: 7,
+                points: 1,
+            },
+        )
+        .expect("create");
+        j.append(&record_body(&row)).expect("append");
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.rows.len(), 1);
+        let restored = &loaded.rows[0];
+        assert_eq!(restored.stable_json(), row.stable_json());
+        match &restored.outcome {
+            Outcome::Ok(r) => {
+                // Everything to_json serialises survives the round trip.
+                assert_eq!(r.to_json(), report.to_json());
+            }
+            other => unreachable!("expected Ok, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

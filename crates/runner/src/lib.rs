@@ -10,16 +10,25 @@
 //!   caller or derived from a master seed via
 //!   [`Rng64::split`](osoffload_sim::Rng64::split) in plan order.
 //!   Execution order therefore cannot influence any result.
-//! - [`run_plan`] / [`run_plan_with`] — a pool of scoped worker threads
-//!   claiming points from a shared atomic index, with per-point panic
-//!   isolation (a failed point is recorded with its configuration and
-//!   panic message; the sweep always completes) and optional retry.
+//! - [`run_plan`] / [`run_plan_with`] / [`run_plan_ctx`] — a pool of
+//!   scoped worker threads claiming points from a shared atomic index,
+//!   with per-point panic isolation (a failed point is recorded with
+//!   its configuration and panic message; the sweep always completes),
+//!   retry with exponential backoff and deterministic jitter, and
+//!   optional per-point watchdog deadlines ([`Outcome::TimedOut`]).
 //! - [`run_driver`] — record/replay bridge that executes an unmodified
 //!   `*_with` experiment driver in parallel and returns exactly the
 //!   rows the sequential path would produce.
-//! - [`report`] — schema-stable JSON results written into `results/`;
-//!   rows are bit-identical across worker counts except for the
-//!   explicitly non-deterministic `wall_ms`/`worker` fields.
+//! - [`report`] — schema-stable JSON results written atomically into
+//!   `results/`; rows are bit-identical across worker counts except for
+//!   the explicitly non-deterministic timing/worker fields.
+//! - [`journal`] — a write-ahead results journal: every completed point
+//!   is an fsynced, checksummed line, and `--resume` restores journaled
+//!   points verbatim so an interrupted campaign finishes with a final
+//!   archive byte-identical to an uninterrupted one.
+//! - [`fault`] — deterministic fault injection ([`FaultPlan`]): panics,
+//!   delays, and journal I/O errors scheduled purely from a seed, for
+//!   chaos-testing the recovery machinery itself (see `ROBUSTNESS.md`).
 //!
 //! ```
 //! use osoffload_runner::{run_driver, RunnerOptions};
@@ -39,14 +48,20 @@
 
 pub mod driver;
 pub mod executor;
+pub mod fault;
+pub mod journal;
+mod jsonv;
 pub mod plan;
 mod progress;
 pub mod report;
 
 pub use driver::run_driver;
 pub use executor::{
-    run_plan, run_plan_with, Outcome, PointResult, RunnerOptions, SweepResult, WorkerProfile,
+    backoff_delay_ms, run_plan, run_plan_ctx, run_plan_with, EvalCtx, Outcome, PointResult,
+    RunnerOptions, SweepResult, WorkerProfile,
 };
+pub use fault::{FaultConfig, FaultPlan, InjectedPanic, PointFaults};
+pub use journal::{fnv1a64, Journal, JournalHeader, LoadedJournal};
 pub use plan::{ExperimentPlan, Point};
 
 // Re-exported so downstream callers name configs without an extra

@@ -26,6 +26,14 @@ impl Progress {
         }
     }
 
+    /// Accounts for points restored from a results journal without
+    /// printing per-point lines (the executor prints one resume summary
+    /// instead).
+    pub(crate) fn skip(&self, ok: usize, failed: usize) {
+        self.done.fetch_add(ok + failed, Ordering::Relaxed);
+        self.failed.fetch_add(failed, Ordering::Relaxed);
+    }
+
     /// Records one finished point and prints a progress line:
     /// points done/total, throughput, ETA, and the point that finished.
     pub(crate) fn point_done(&self, id: &str, ok: bool) {

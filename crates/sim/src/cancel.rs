@@ -1,0 +1,67 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag a watchdog thread can
+//! raise while a simulation runs. The simulator polls it at epoch
+//! boundaries (one relaxed atomic load per accounting segment — nothing
+//! when no token is installed) and unwinds with a [`Cancelled`] panic
+//! payload, which the experiment runner catches and records as a
+//! timed-out point instead of a failure.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Cloning produces another handle to the same flag; once any handle
+/// calls [`cancel`](Self::cancel), every holder observes it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The panic payload a cancelled simulation unwinds with.
+///
+/// Carried through [`std::panic::panic_any`] so that a
+/// `catch_unwind`-ing caller can downcast it and distinguish a
+/// watchdog-initiated cancellation from a genuine failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_payload_downcasts() {
+        let err = std::panic::catch_unwind(|| std::panic::panic_any(Cancelled)).unwrap_err();
+        assert!(err.downcast_ref::<Cancelled>().is_some());
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_audit;
+pub mod cancel;
 pub mod cycle;
 pub mod epoch;
 pub mod fastmod;
@@ -48,6 +49,7 @@ pub mod stats;
 #[cfg(test)]
 mod proptests;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use cycle::{Cycle, Instret};
 pub use epoch::{EpochClock, EpochEvent};
 pub use fastmod::FastMod;

@@ -34,7 +34,9 @@ use osoffload_core::{
 use osoffload_cpu::{ArchState, CoreParams, CoreState};
 use osoffload_mem::{Access, Address, CoreId, MemSnapshot, MemorySystem};
 use osoffload_obs::{Event, EventKind, MetricId, MetricsRegistry, RunTelemetry, Telemetry, Track};
-use osoffload_sim::{alloc_audit, Counter, Cycle, EpochClock, EpochEvent, Instret, Rng64};
+use osoffload_sim::{
+    alloc_audit, CancelToken, Cancelled, Counter, Cycle, EpochClock, EpochEvent, Instret, Rng64,
+};
 #[cfg(feature = "reference-stepper")]
 use osoffload_workload::InstrSpec;
 use osoffload_workload::{OsInvocation, Segment, ThreadWorkload};
@@ -124,6 +126,7 @@ pub struct Simulation {
     retired_total: Instret,
     retired_priv: Instret,
     l1_latency: u64,
+    cancel: Option<CancelToken>,
     /// Route segments through the retained per-instruction stepper
     /// instead of the batched one (bit-identity testing only).
     #[cfg(feature = "reference-stepper")]
@@ -221,10 +224,24 @@ impl Simulation {
             retired_total: Instret::ZERO,
             retired_priv: Instret::ZERO,
             l1_latency,
+            cancel: None,
             #[cfg(feature = "reference-stepper")]
             reference_stepper: false,
             cfg,
         }
+    }
+
+    /// Installs a cancellation token the run polls at its segment
+    /// accounting boundaries (builder-style; call before `run`).
+    ///
+    /// When the token is raised mid-run the simulation unwinds with a
+    /// [`Cancelled`] panic payload — the experiment runner catches it
+    /// and records the point as timed out. Without a token the poll is
+    /// a single branch on a `None`, so watchdog-disabled runs stay
+    /// bit-identical and allocation-free.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Runs warm-up plus the measured region and produces the report.
@@ -663,6 +680,11 @@ impl Simulation {
     }
 
     fn account(&mut self, n: u64, is_priv: bool) {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                std::panic::panic_any(Cancelled);
+            }
+        }
         self.retired_total += n;
         if is_priv {
             self.retired_priv += n;

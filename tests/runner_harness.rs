@@ -115,7 +115,7 @@ fn panicking_point_does_not_kill_the_sweep() {
             assert!(panic.contains("injected: simulated OOM"), "{panic}");
             assert_eq!(*attempts, 1);
         }
-        Outcome::Ok(_) => panic!("point 1 should have failed"),
+        other => panic!("point 1 should have failed, got {other:?}"),
     }
     let json = sweep.to_json();
     assert!(json.contains("\"failed\":1"));
