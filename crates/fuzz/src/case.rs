@@ -14,7 +14,9 @@ use crate::json::Value;
 use osoffload_core::TunerConfig;
 use osoffload_mem::MemConfig;
 use osoffload_obs::TelemetryMode;
-use osoffload_system::{MigrationModel, OffloadMechanism, PolicyKind, SystemConfig};
+use osoffload_system::{
+    DispatchPolicy, MigrationModel, OffloadMechanism, PolicyKind, SystemConfig,
+};
 use osoffload_workload::Profile;
 
 /// Serialisable mirror of [`PolicyKind`] (the fuzzed subset).
@@ -181,6 +183,12 @@ pub struct FuzzCase {
     pub os_core_slowdown_milli: u64,
     /// SMT contexts on the OS core.
     pub os_core_contexts: usize,
+    /// OS cores in the pool.
+    pub os_cores: usize,
+    /// How off-loads pick an OS core.
+    pub dispatch: DispatchPolicy,
+    /// Cold-AState penalty on an OS core, in cycles.
+    pub os_cold_penalty: u64,
     /// Resource-adaptation slowdown (milli-units), `None` = off-loading.
     pub resource_adaptation: Option<u64>,
     /// User cores.
@@ -209,6 +217,9 @@ impl Default for FuzzCase {
             remote_call: false,
             os_core_slowdown_milli: 1_000,
             os_core_contexts: 1,
+            os_cores: 1,
+            dispatch: DispatchPolicy::LeastLoaded,
+            os_cold_penalty: 0,
             resource_adaptation: None,
             user_cores: 1,
             instructions: 40_000,
@@ -250,6 +261,9 @@ impl FuzzCase {
             },
             os_core_slowdown_milli: self.os_core_slowdown_milli,
             os_core_contexts: self.os_core_contexts,
+            os_cores: self.os_cores,
+            dispatch: self.dispatch,
+            os_cold_penalty: self.os_cold_penalty,
             resource_adaptation: self.resource_adaptation,
             user_cores: self.user_cores,
             instructions: self.instructions,
@@ -302,6 +316,9 @@ impl FuzzCase {
                 "os_core_contexts".into(),
                 Value::UInt(self.os_core_contexts as u64),
             ),
+            ("os_cores".into(), Value::UInt(self.os_cores as u64)),
+            ("dispatch".into(), Value::Str(self.dispatch.label().into())),
+            ("os_cold_penalty".into(), Value::UInt(self.os_cold_penalty)),
             ("resource_adaptation".into(), opt(self.resource_adaptation)),
             ("user_cores".into(), Value::UInt(self.user_cores as u64)),
             ("instructions".into(), Value::UInt(self.instructions)),
@@ -366,6 +383,26 @@ impl FuzzCase {
             remote_call: bool_field("remote_call")?,
             os_core_slowdown_milli: u64_field("os_core_slowdown_milli")?,
             os_core_contexts: usize_field("os_core_contexts")?,
+            // Topology fields default when absent so corpus files written
+            // before the multi-OS-core pool still parse.
+            os_cores: match v.get("os_cores") {
+                None => 1,
+                Some(val) => val.as_usize().ok_or("case: bad integer \"os_cores\"")?,
+            },
+            dispatch: match v.get("dispatch") {
+                None => DispatchPolicy::LeastLoaded,
+                Some(val) => {
+                    let label = val.as_str().ok_or("case: bad string \"dispatch\"")?;
+                    DispatchPolicy::parse(label)
+                        .ok_or_else(|| format!("case: unknown dispatch {label:?}"))?
+                }
+            },
+            os_cold_penalty: match v.get("os_cold_penalty") {
+                None => 0,
+                Some(val) => val
+                    .as_u64()
+                    .ok_or("case: bad integer \"os_cold_penalty\"")?,
+            },
             resource_adaptation: opt_field("resource_adaptation")?,
             user_cores: usize_field("user_cores")?,
             instructions: u64_field("instructions")?,
@@ -405,6 +442,15 @@ impl FuzzCase {
         }
         if self.os_core_contexts != d.os_core_contexts {
             diff.push(("os_core_contexts", self.os_core_contexts.to_string()));
+        }
+        if self.os_cores != d.os_cores {
+            diff.push(("os_cores", self.os_cores.to_string()));
+        }
+        if self.dispatch != d.dispatch {
+            diff.push(("dispatch", self.dispatch.label().to_string()));
+        }
+        if self.os_cold_penalty != d.os_cold_penalty {
+            diff.push(("os_cold_penalty", self.os_cold_penalty.to_string()));
         }
         if self.resource_adaptation != d.resource_adaptation {
             diff.push((
@@ -464,6 +510,9 @@ mod tests {
             remote_call: true,
             os_core_slowdown_milli: 1_667,
             os_core_contexts: 2,
+            os_cores: 3,
+            dispatch: DispatchPolicy::AStateAffinity,
+            os_cold_penalty: 750,
             resource_adaptation: None,
             user_cores: 3,
             instructions: 60_000,
@@ -476,6 +525,21 @@ mod tests {
         let back = FuzzCase::from_value(&json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, case);
         assert!(back.to_config().is_ok());
+    }
+
+    #[test]
+    fn legacy_corpus_files_without_topology_fields_parse() {
+        let Value::Object(fields) = FuzzCase::default().to_value() else {
+            unreachable!()
+        };
+        let legacy = Value::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| !matches!(k.as_str(), "os_cores" | "dispatch" | "os_cold_penalty"))
+                .collect(),
+        );
+        let back = FuzzCase::from_value(&legacy).unwrap();
+        assert_eq!(back, FuzzCase::default());
     }
 
     #[test]

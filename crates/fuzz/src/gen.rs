@@ -11,6 +11,7 @@
 
 use crate::case::{FuzzCase, PolicySpec};
 use osoffload_sim::{Rng64, SeedSequence};
+use osoffload_system::DispatchPolicy;
 use osoffload_workload::Profile;
 
 /// Streams [`FuzzCase`]s derived from a master seed.
@@ -94,6 +95,9 @@ pub fn generate(case_seed: u64) -> FuzzCase {
         remote_call: offloading && rare(&mut rng, 4),
         os_core_slowdown_milli: pick(&mut rng, &[600u64, 1_000, 1_667]),
         os_core_contexts: if rare(&mut rng, 8) { 2 } else { 1 },
+        os_cores: 1,
+        dispatch: DispatchPolicy::LeastLoaded,
+        os_cold_penalty: 0,
         resource_adaptation: None,
         user_cores: 1 + (rng.next_u64() % 4) as usize,
         instructions,
@@ -120,6 +124,15 @@ pub fn generate(case_seed: u64) -> FuzzCase {
     if rare(&mut rng, 6) {
         let other = pick(&mut rng, &profiles).to_string();
         case.phases.push((instructions / 2, other));
+    }
+    // Multi-OS-core topologies, so every oracle exercises the dispatch
+    // pool (the single-core default reduces to the legacy queue).
+    if offloading && rare(&mut rng, 3) {
+        case.os_cores = 2 + (rng.next_u64() % 3) as usize; // 2..=4
+        case.dispatch = pick(&mut rng, &DispatchPolicy::ALL);
+        if rare(&mut rng, 2) {
+            case.os_cold_penalty = pick(&mut rng, &[100u64, 500, 2_000]);
+        }
     }
     case
 }
@@ -177,6 +190,14 @@ mod tests {
             "adaptation"
         );
         assert!(cases.iter().any(|c| c.os_core_contexts > 1), "smt contexts");
+        assert!(cases.iter().any(|c| c.os_cores > 1), "multi OS cores");
+        assert!(cases.iter().any(|c| c.os_cold_penalty > 0), "cold penalty");
+        let dispatches: std::collections::HashSet<&'static str> = cases
+            .iter()
+            .filter(|c| c.os_cores > 1)
+            .map(|c| c.dispatch.label())
+            .collect();
+        assert_eq!(dispatches.len(), 4, "all dispatch policies generated");
         let policies: std::collections::HashSet<&'static str> = cases
             .iter()
             .map(|c| match c.policy {

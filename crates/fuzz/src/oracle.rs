@@ -10,7 +10,8 @@
 //!    and hold identical table state after every step;
 //! 3. **invariants** — conservation and range properties of the
 //!    [`SimReport`] (accounting sums, probabilities in `[0, 1]`,
-//!    ordered percentiles);
+//!    ordered percentiles, per-OS-core busy cycles summing to the
+//!    pool aggregate, and no dispatch starting before its arrival);
 //! 4. **telemetry** — enabling telemetry must not change the report;
 //! 5. **alloc** — the measured region performs zero heap allocations
 //!    (meaningful only under a counting `#[global_allocator]`, which the
@@ -381,12 +382,70 @@ fn check_invariants(cfg: &osoffload_system::SystemConfig, r: &SimReport) -> Resu
         r.threads == cfg.user_cores * cfg.profile.threads_per_core,
         format!("thread count {} inconsistent with topology", r.threads),
     );
-    let expect_os_cores =
-        usize::from(!(cfg.policy.is_baseline() || cfg.resource_adaptation.is_some()));
+    let expect_os_cores = if cfg.policy.is_baseline() || cfg.resource_adaptation.is_some() {
+        0
+    } else {
+        cfg.os_cores
+    };
     require(
         r.os_cores == expect_os_cores,
         format!("os_cores {} != expected {expect_os_cores}", r.os_cores),
     );
+
+    // Per-OS-core accounting: the pool's per-core busy cycles must sum to
+    // the report's aggregate, per-core utilisation must recompute from
+    // them, and no dispatch may start before its request arrived (which
+    // would show up as a stall count without any recorded delay).
+    require(
+        r.os_core_busy_cycles.len() == r.os_cores,
+        format!(
+            "os_core_busy_cycles has {} entries for {} OS cores",
+            r.os_core_busy_cycles.len(),
+            r.os_cores
+        ),
+    );
+    require(
+        r.os_core_utilisation.len() == r.os_cores,
+        format!(
+            "os_core_utilisation has {} entries for {} OS cores",
+            r.os_core_utilisation.len(),
+            r.os_cores
+        ),
+    );
+    let busy_sum: u64 = r.os_core_busy_cycles.iter().sum();
+    let expect_frac = (busy_sum as f64 / r.cycles as f64).min(1.0);
+    require(
+        r.os_core_busy_frac == expect_frac,
+        format!(
+            "os_core_busy_frac {} != per-core sum {busy_sum} / cycles {} = {expect_frac}",
+            r.os_core_busy_frac, r.cycles
+        ),
+    );
+    for (i, (&busy, &util)) in r
+        .os_core_busy_cycles
+        .iter()
+        .zip(&r.os_core_utilisation)
+        .enumerate()
+    {
+        let expect_util = (busy as f64 / r.cycles as f64).min(1.0);
+        require(
+            util == expect_util,
+            format!(
+                "os core {i} utilisation {util} != busy {busy} / cycles {}",
+                r.cycles
+            ),
+        );
+    }
+    if r.queue.stalled == 0 {
+        require(
+            r.queue.mean_delay == 0.0 && r.queue.p99_delay == 0,
+            format!(
+                "queueing delay (mean {}, p99 {}) recorded without any stalled request — \
+                 a dispatch started before its arrival",
+                r.queue.mean_delay, r.queue.p99_delay
+            ),
+        );
+    }
     if matches!(cfg.policy, PolicyKind::Baseline) {
         require(
             r.offloads == 0,

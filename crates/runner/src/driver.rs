@@ -35,6 +35,7 @@ pub fn placeholder_report() -> SimReport {
         migration_one_way: 0,
         user_cores: 0,
         os_cores: 0,
+        dispatch: String::new(),
         threads: 0,
         instructions: 0,
         cycles: 0,
@@ -57,6 +58,8 @@ pub fn placeholder_report() -> SimReport {
         dram_accesses: 0,
         throttled_cycles: 0,
         os_core_busy_frac: 0.0,
+        os_core_busy_cycles: Vec::new(),
+        os_core_utilisation: Vec::new(),
         user_cores_busy_frac: 0.0,
         queue: QueueReport::default(),
         predictor: None,

@@ -833,7 +833,9 @@ pub fn run_plan_ctx(
     SweepResult {
         name: plan.name().to_string(),
         master_seed: plan.master_seed(),
-        workers,
+        // Canonical archives must compare bytes-equal across worker
+        // counts, so the envelope can't record the real count either.
+        workers: if opts.canonical { 0 } else { workers },
         wall_ms: if opts.canonical {
             0.0
         } else {
@@ -1088,6 +1090,7 @@ mod tests {
         let a = run_plan_with(&plan, &opts, fake_report);
         let b = run_plan_with(&plan, &opts, fake_report);
         assert_eq!(a.wall_ms, 0.0);
+        assert_eq!(a.workers, 0, "canonical zeroes the worker count too");
         for row in &a.rows {
             assert_eq!(row.wall_ms, 0.0);
             assert_eq!(row.start_ms, 0.0);

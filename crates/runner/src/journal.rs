@@ -373,6 +373,13 @@ fn restore_report(v: &Value) -> Option<SimReport> {
         migration_one_way: u("migration_one_way")?,
         user_cores: us("user_cores")?,
         os_cores: us("os_cores")?,
+        // Absent in journals written before the topology fields existed;
+        // default rather than reject so old journals still resume.
+        dispatch: v
+            .get("dispatch")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string(),
         threads: us("threads")?,
         instructions: u("instructions")?,
         cycles: u("cycles")?,
@@ -395,6 +402,16 @@ fn restore_report(v: &Value) -> Option<SimReport> {
         dram_accesses: u("dram_accesses")?,
         throttled_cycles: u("throttled_cycles")?,
         os_core_busy_frac: f("os_core_busy_frac")?,
+        os_core_busy_cycles: v
+            .get("os_core_busy_cycles")
+            .and_then(Value::as_arr)
+            .map(|a| a.iter().filter_map(Value::as_u64).collect())
+            .unwrap_or_default(),
+        os_core_utilisation: v
+            .get("os_core_utilisation")
+            .and_then(Value::as_arr)
+            .map(|a| a.iter().filter_map(Value::as_f64).collect())
+            .unwrap_or_default(),
         user_cores_busy_frac: f("user_cores_busy_frac")?,
         queue: QueueReport {
             requests: queue.get("requests").and_then(Value::as_u64)?,

@@ -833,6 +833,75 @@ mod tests {
         assert_eq!(Histogram::new().max(), 0);
     }
 
+    /// What the histogram approximates: the `⌈p/100·n⌉`-th smallest
+    /// observation of the sorted sample.
+    fn reference_quantile(sorted: &[u64], p: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = (((p / 100.0) * sorted.len() as f64).ceil() as u64).clamp(1, sorted.len() as u64)
+            as usize;
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn histogram_quantiles_match_a_sorted_vector_reference() {
+        use crate::rng::Rng64;
+        let ps = [
+            0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0,
+        ];
+        let mut rng = Rng64::seed_from(0x9151);
+        for trial in 0..50 {
+            let n = 1 + (rng.next_u64() % 400) as usize;
+            let mut h = Histogram::new();
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Mix exact-range values (< 64), mid-range, and huge
+                // outliers so every bucket regime is exercised.
+                let v = match rng.next_u64() % 4 {
+                    0 => rng.next_u64() % 64,
+                    1 => rng.next_u64() % 10_000,
+                    2 => rng.next_u64() % 1_000_000,
+                    _ => u64::MAX - rng.next_u64() % 1_000,
+                };
+                h.record(v);
+                values.push(v);
+            }
+            values.sort_unstable();
+            for p in ps {
+                let exact = reference_quantile(&values, p);
+                let got = h.quantile(p);
+                // p = 0 / p = 100 (rank 1 / rank n) are exact min/max.
+                if p == 0.0 || p == 100.0 {
+                    assert_eq!(got, exact, "trial {trial}: p{p} of {n} values");
+                    continue;
+                }
+                assert!(
+                    got <= exact,
+                    "trial {trial}: p{p} = {got} above reference {exact}"
+                );
+                assert!(
+                    (h.min()..=h.max()).contains(&got),
+                    "trial {trial}: p{p} = {got} outside observed range"
+                );
+                if exact < 64 {
+                    assert_eq!(got, exact, "trial {trial}: small values are exact");
+                } else {
+                    // One sub-bucket of slack: lower bound within 1/32.
+                    let err = (exact - got) as f64 / exact as f64;
+                    assert!(
+                        err <= 1.0 / 32.0,
+                        "trial {trial}: p{p} = {got}, reference {exact}, err {err}"
+                    );
+                }
+            }
+        }
+        // The empty histogram answers 0 at every p.
+        for p in ps {
+            assert_eq!(Histogram::new().quantile(p), 0);
+        }
+    }
+
     #[test]
     fn windowed_mean_partial_fill() {
         let mut w = WindowedMean::new(4);

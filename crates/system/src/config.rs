@@ -2,6 +2,7 @@
 //! latency, and run lengths.
 
 use crate::migration::{MigrationModel, OffloadMechanism};
+use crate::topology::{DispatchPolicy, Topology};
 use core::fmt;
 use osoffload_core::{
     AlwaysOffload, CamPredictor, DirectMappedPredictor, DynamicInstrumentation, HardwarePredictor,
@@ -236,9 +237,17 @@ pub enum ConfigError {
     ZeroOsCoreSlowdown,
     /// `os_core_contexts` is zero.
     NoOsCoreContexts,
+    /// `os_cores` is zero: off-loading needs somewhere to off-load to.
+    NoOsCores,
     /// `resource_adaptation` is `Some(0)` (an infinitely fast throttled
     /// mode).
     ZeroAdaptationSlowdown,
+    /// The one-way migration latency is so large that a round trip would
+    /// overflow 64-bit cycle accounting.
+    MigrationOverflow {
+        /// The offending one-way latency, cycles.
+        one_way: u64,
+    },
     /// The topology exceeds the memory model's 64-core ceiling.
     TooManyCores {
         /// Total cores the topology needs (user cores + OS core).
@@ -296,8 +305,17 @@ impl fmt::Display for ConfigError {
             ConfigError::NoOsCoreContexts => {
                 write!(f, "SystemConfig: need at least one OS-core context")
             }
+            ConfigError::NoOsCores => {
+                write!(f, "SystemConfig: need at least one OS core")
+            }
             ConfigError::ZeroAdaptationSlowdown => {
                 write!(f, "SystemConfig: adaptation slowdown must be positive")
+            }
+            ConfigError::MigrationOverflow { one_way } => {
+                write!(
+                    f,
+                    "SystemConfig: migration latency {one_way} cycles overflows cycle accounting"
+                )
             }
             ConfigError::TooManyCores { total } => {
                 write!(
@@ -373,6 +391,16 @@ pub struct SystemConfig {
     /// SMT hardware contexts on the OS core (1 = the paper's non-SMT
     /// core; more contexts serve that many off-loads concurrently).
     pub os_core_contexts: usize,
+    /// Number of OS cores serving off-loaded work (default 1 = the
+    /// paper's topology; the §V-C extension provisions up to 8).
+    pub os_cores: usize,
+    /// How off-loaded invocations are spread over the OS cores (only
+    /// observable when `os_cores > 1` or `os_cold_penalty > 0`).
+    pub dispatch: DispatchPolicy,
+    /// Extra service cycles when the chosen OS core has not served the
+    /// request's AState recently (0 = warmth model off; see
+    /// [`topology`](crate::topology)).
+    pub os_cold_penalty: u64,
     /// Li & John-style resource adaptation (§VI-B): instead of migrating,
     /// invocations the policy selects run *locally* with this
     /// per-instruction slowdown (milli-units) while the core throttles to
@@ -410,14 +438,29 @@ impl SystemConfig {
         SystemConfigBuilder::default()
     }
 
-    /// Total core count of this topology (user cores plus the OS core
+    /// Total core count of this topology (user cores plus the OS cores
     /// when off-loading is enabled; resource adaptation reconfigures the
-    /// existing cores instead of adding one).
+    /// existing cores instead of adding any).
     pub fn total_cores(&self) -> usize {
         if self.policy.is_baseline() || self.resource_adaptation.is_some() {
             self.user_cores
         } else {
-            self.user_cores + 1
+            self.user_cores + self.os_cores
+        }
+    }
+
+    /// The run's core-count geometry as a [`Topology`] (OS cores are 0
+    /// for baseline and resource-adaptation runs, which provision none).
+    pub fn topology(&self) -> Topology {
+        let os_cores = if self.policy.is_baseline() || self.resource_adaptation.is_some() {
+            0
+        } else {
+            self.os_cores
+        };
+        Topology {
+            user_cores: self.user_cores,
+            os_cores,
+            contexts_per_core: self.os_core_contexts,
         }
     }
 
@@ -453,8 +496,15 @@ impl SystemConfig {
         if self.os_core_contexts == 0 {
             return Err(ConfigError::NoOsCoreContexts);
         }
+        if self.os_cores == 0 {
+            return Err(ConfigError::NoOsCores);
+        }
         if self.resource_adaptation == Some(0) {
             return Err(ConfigError::ZeroAdaptationSlowdown);
+        }
+        let one_way = self.migration.one_way().as_u64();
+        if one_way.checked_mul(2).is_none() {
+            return Err(ConfigError::MigrationOverflow { one_way });
         }
         let total = self.total_cores();
         if total > 64 {
@@ -532,6 +582,9 @@ pub struct SystemConfigBuilder {
     mechanism: OffloadMechanism,
     os_core_slowdown_milli: u64,
     os_core_contexts: usize,
+    os_cores: usize,
+    dispatch: DispatchPolicy,
+    os_cold_penalty: u64,
     resource_adaptation: Option<u64>,
     user_cores: usize,
     instructions: u64,
@@ -554,6 +607,9 @@ impl Default for SystemConfigBuilder {
             mechanism: OffloadMechanism::ThreadMigration,
             os_core_slowdown_milli: 1_000,
             os_core_contexts: 1,
+            os_cores: 1,
+            dispatch: DispatchPolicy::LeastLoaded,
+            os_cold_penalty: 0,
             resource_adaptation: None,
             user_cores: 1,
             instructions: 1_000_000,
@@ -621,6 +677,33 @@ impl SystemConfigBuilder {
     pub fn os_core_contexts(mut self, n: usize) -> Self {
         assert!(n > 0, "SystemConfig: need at least one OS-core context");
         self.os_core_contexts = n;
+        self
+    }
+
+    /// Provisions `n` OS cores (default 1 = the paper's topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn os_cores(mut self, n: usize) -> Self {
+        assert!(n > 0, "SystemConfig: need at least one OS core");
+        self.os_cores = n;
+        self
+    }
+
+    /// Selects how off-loaded invocations are spread over the OS cores
+    /// (default [`DispatchPolicy::LeastLoaded`], which reproduces the
+    /// single-queue behaviour exactly when `os_cores` is 1).
+    pub fn dispatch(mut self, policy: DispatchPolicy) -> Self {
+        self.dispatch = policy;
+        self
+    }
+
+    /// Charges `cycles` of extra service when the dispatched-to OS core
+    /// has not served the request's AState recently (default 0 = warmth
+    /// model off).
+    pub fn os_cold_penalty(mut self, cycles: u64) -> Self {
+        self.os_cold_penalty = cycles;
         self
     }
 
@@ -743,6 +826,9 @@ impl SystemConfigBuilder {
             mechanism: self.mechanism,
             os_core_slowdown_milli: self.os_core_slowdown_milli,
             os_core_contexts: self.os_core_contexts,
+            os_cores: self.os_cores,
+            dispatch: self.dispatch,
+            os_cold_penalty: self.os_cold_penalty,
             resource_adaptation: self.resource_adaptation,
             user_cores: self.user_cores,
             instructions: self.instructions,
@@ -781,6 +867,32 @@ mod tests {
             .build();
         assert_eq!(cfg.total_cores(), 3);
         assert_eq!(cfg.mem_config().cores, 3);
+    }
+
+    #[test]
+    fn multi_os_core_topologies_add_every_os_core() {
+        let cfg = SystemConfig::builder()
+            .profile(Profile::apache())
+            .policy(PolicyKind::HardwarePredictor { threshold: 500 })
+            .user_cores(8)
+            .os_cores(4)
+            .dispatch(DispatchPolicy::RoundRobin)
+            .os_cold_penalty(500)
+            .build();
+        assert_eq!(cfg.total_cores(), 12);
+        assert_eq!(cfg.mem_config().cores, 12);
+        assert_eq!(cfg.validate(), Ok(()));
+        let topo = cfg.topology();
+        assert_eq!(topo.user_cores, 8);
+        assert_eq!(topo.os_cores, 4);
+        assert_eq!(topo.contexts_per_core, 1);
+        // Baseline runs provision no OS cores regardless of the knob.
+        let base = SystemConfig::builder()
+            .profile(Profile::apache())
+            .os_cores(4)
+            .build();
+        assert_eq!(base.total_cores(), 1);
+        assert_eq!(base.topology().os_cores, 0);
     }
 
     #[test]
@@ -833,8 +945,25 @@ mod tests {
         assert_eq!(cfg.validate(), Err(ConfigError::NoOsCoreContexts));
 
         let mut cfg = base().build();
+        cfg.os_cores = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoOsCores));
+
+        let mut cfg = base().build();
         cfg.resource_adaptation = Some(0);
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroAdaptationSlowdown));
+
+        let mut cfg = base().build();
+        cfg.migration = MigrationModel::new(u64::MAX / 2 + 1);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::MigrationOverflow {
+                one_way: u64::MAX / 2 + 1
+            })
+        );
+        // The largest representable round trip is still accepted.
+        let mut cfg = base().build();
+        cfg.migration = MigrationModel::new(u64::MAX / 2);
+        assert_eq!(cfg.validate(), Ok(()));
 
         let mut cfg = base()
             .policy(PolicyKind::HardwarePredictor { threshold: 500 })
@@ -923,6 +1052,14 @@ mod tests {
         assert_eq!(
             ConfigError::ZeroAdaptationSlowdown.to_string(),
             "SystemConfig: adaptation slowdown must be positive"
+        );
+        assert_eq!(
+            ConfigError::NoOsCores.to_string(),
+            "SystemConfig: need at least one OS core"
+        );
+        assert_eq!(
+            ConfigError::MigrationOverflow { one_way: 7 }.to_string(),
+            "SystemConfig: migration latency 7 cycles overflows cycle accounting"
         );
     }
 

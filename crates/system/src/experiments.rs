@@ -10,6 +10,7 @@
 //! | [`fig5`] | Figure 5 — SI vs DI vs HI at conservative/aggressive latencies |
 //! | [`table3`] | Table III — OS-core utilisation vs `N` |
 //! | [`scalability`] | §V-C — user-core scaling against one OS core |
+//! | [`fig6_scalability`] | "Figure 6" — N user × M OS cores, per dispatch policy (beyond the paper) |
 //! | [`predictor_accuracy`] | §III-A — exact/±5% accuracy, CAM vs RAM, sizing |
 //! | [`tuner_trace`] | §III-B — dynamic-`N` estimator convergence |
 //!
@@ -570,6 +571,128 @@ pub fn scalability_with(scale: Scale, eval: Evaluator<'_>) -> Vec<ScalabilityRow
 }
 
 // ---------------------------------------------------------------------
+// "Figure 6" — N×M many-core scalability (beyond the paper)
+// ---------------------------------------------------------------------
+
+/// One point of the Figure 6 many-core campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Workload group.
+    pub workload: String,
+    /// Dispatch-policy label.
+    pub dispatch: String,
+    /// User cores in the topology.
+    pub user_cores: usize,
+    /// OS cores in the topology.
+    pub os_cores: usize,
+    /// Aggregate throughput (instructions per cycle), averaged over the
+    /// group's profiles.
+    pub throughput: f64,
+    /// Mean OS-core queueing delay in cycles.
+    pub mean_queue_delay: f64,
+    /// Median queueing delay in cycles (worst profile of the group).
+    pub p50_queue_delay: u64,
+    /// 95th-percentile queueing delay in cycles (worst profile).
+    pub p95_queue_delay: u64,
+    /// 99th-percentile queueing delay in cycles (worst profile).
+    pub p99_queue_delay: u64,
+    /// Mean per-OS-core utilisation across the pool.
+    pub mean_os_utilisation: f64,
+    /// Utilisation of the busiest OS core — the imbalance signal that
+    /// separates the dispatch policies.
+    pub max_os_utilisation: f64,
+}
+
+/// The user:OS core ratios of the Figure 6 sweep (max 40 cores, within
+/// the memory model's 64-core ceiling).
+pub const FIG6_RATIOS: &[(usize, usize)] =
+    &[(4, 1), (8, 1), (8, 2), (16, 2), (16, 4), (32, 4), (32, 8)];
+
+/// "Figure 6": the many-core scalability campaign the paper stops short
+/// of (§V-C ends at 4 user cores × 1 OS core). Sweeps user:OS core
+/// ratios per workload group under every [`DispatchPolicy`], with a
+/// 500-cycle cold penalty so AState affinity has cache state to exploit
+/// (HI, `N = 100`, 1,000-cycle off-loading overhead).
+///
+/// [`DispatchPolicy`]: crate::topology::DispatchPolicy
+pub fn fig6_scalability(scale: Scale) -> Vec<Fig6Row> {
+    fig6_scalability_with(scale, &mut simulate)
+}
+
+/// [`fig6_scalability`] with a pluggable [`Evaluator`].
+pub fn fig6_scalability_with(scale: Scale, eval: Evaluator<'_>) -> Vec<Fig6Row> {
+    fig6_scalability_grid_with(
+        scale,
+        FIG6_RATIOS,
+        &crate::topology::DispatchPolicy::ALL,
+        eval,
+    )
+}
+
+/// [`fig6_scalability`] over a custom ratio/policy grid.
+pub fn fig6_scalability_grid_with(
+    scale: Scale,
+    ratios: &[(usize, usize)],
+    policies: &[crate::topology::DispatchPolicy],
+    eval: Evaluator<'_>,
+) -> Vec<Fig6Row> {
+    let policy = PolicyKind::HardwarePredictor { threshold: 100 };
+    let mut rows = Vec::new();
+    for (name, profiles) in workload_groups(scale) {
+        for &dispatch in policies {
+            for &(user_cores, os_cores) in ratios {
+                let mut throughput = 0.0;
+                let mut mean_delay = 0.0;
+                let (mut p50, mut p95, mut p99) = (0u64, 0u64, 0u64);
+                let mut mean_util = 0.0;
+                let mut max_util = 0.0f64;
+                for p in &profiles {
+                    let cfg = SystemConfig::builder()
+                        .profile(p.clone())
+                        .policy(policy)
+                        .migration_latency(1_000)
+                        .user_cores(user_cores)
+                        .os_cores(os_cores)
+                        .dispatch(dispatch)
+                        .os_cold_penalty(500)
+                        .instructions(scale.instructions)
+                        .warmup(scale.warmup)
+                        .seed(scale.seed)
+                        .build();
+                    let r = eval(cfg);
+                    throughput += r.throughput;
+                    mean_delay += r.queue.mean_delay;
+                    p50 = p50.max(r.queue.p50_delay);
+                    p95 = p95.max(r.queue.p95_delay);
+                    p99 = p99.max(r.queue.p99_delay);
+                    let n = r.os_core_utilisation.len().max(1) as f64;
+                    mean_util += r.os_core_utilisation.iter().sum::<f64>() / n;
+                    max_util = r
+                        .os_core_utilisation
+                        .iter()
+                        .fold(max_util, |a, &b| a.max(b));
+                }
+                let n = profiles.len() as f64;
+                rows.push(Fig6Row {
+                    workload: name.clone(),
+                    dispatch: dispatch.label().to_string(),
+                    user_cores,
+                    os_cores,
+                    throughput: throughput / n,
+                    mean_queue_delay: mean_delay / n,
+                    p50_queue_delay: p50,
+                    p95_queue_delay: p95,
+                    p99_queue_delay: p99,
+                    mean_os_utilisation: mean_util / n,
+                    max_os_utilisation: max_util,
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
 // §III-A predictor accuracy
 // ---------------------------------------------------------------------
 
@@ -936,6 +1059,29 @@ mod tests {
         assert_eq!(cores, vec![1, 2, 4]);
         // Queue delays grow with sharing.
         assert!(rows[2].mean_queue_delay >= rows[0].mean_queue_delay);
+    }
+
+    #[test]
+    fn fig6_grid_covers_every_ratio_and_policy() {
+        use crate::topology::DispatchPolicy;
+        let ratios = &[(2, 1), (2, 2)];
+        let policies = &[DispatchPolicy::LeastLoaded, DispatchPolicy::RoundRobin];
+        let rows = fig6_scalability_grid_with(tiny(), ratios, policies, &mut simulate);
+        assert_eq!(rows.len(), 4 * 2 * 2);
+        for row in &rows {
+            assert!(row.throughput > 0.0, "{row:?}");
+            assert!(
+                (0.0..=1.0).contains(&row.mean_os_utilisation)
+                    && row.max_os_utilisation >= row.mean_os_utilisation,
+                "{row:?}"
+            );
+            assert!(row.p50_queue_delay <= row.p95_queue_delay);
+            assert!(row.p95_queue_delay <= row.p99_queue_delay);
+        }
+        // Both policies produced distinct, labelled rows for each cell.
+        let ll = rows.iter().filter(|r| r.dispatch == "least-loaded").count();
+        let rr = rows.iter().filter(|r| r.dispatch == "round-robin").count();
+        assert_eq!((ll, rr), (8, 8));
     }
 
     #[test]

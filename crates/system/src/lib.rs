@@ -30,10 +30,12 @@ pub mod experiments;
 pub mod metrics;
 pub mod migration;
 pub mod simulation;
+pub mod topology;
 pub mod trace;
 
 pub use config::{ConfigError, PolicyKind, SystemConfig, SystemConfigBuilder};
 pub use metrics::{BinaryPoint, CycleBreakdown, PredictorReport, QueueReport, SimReport};
 pub use migration::{MigrationModel, OffloadMechanism, OsCoreQueue};
 pub use simulation::Simulation;
+pub use topology::{DispatchPolicy, OsCorePool, OsDispatch, OsToken, Topology};
 pub use trace::{InvocationRecord, InvocationTrace};

@@ -87,8 +87,11 @@ pub struct SimReport {
     /// User cores in the topology.
     pub user_cores: usize,
     /// OS cores in the topology (0 for baseline and resource-adaptation
-    /// runs, 1 otherwise).
+    /// runs; the paper's topology has 1, the Figure 6 sweep up to 8).
     pub os_cores: usize,
+    /// Dispatch-policy label routing off-loads over the OS cores (see
+    /// [`DispatchPolicy`](crate::topology::DispatchPolicy)).
+    pub dispatch: String,
     /// Software threads simulated.
     pub threads: usize,
     /// Instructions retired in the measured region.
@@ -135,8 +138,16 @@ pub struct SimReport {
     /// Cycles spent executing under the throttled low-power mode (only
     /// non-zero in resource-adaptation topologies, §VI-B).
     pub throttled_cycles: u64,
-    /// Fraction of run time the OS core was busy (Table III).
+    /// Fraction of run time the OS cores (summed) were busy (Table III;
+    /// saturates at 1.0 when several OS cores are provisioned — see
+    /// `os_core_utilisation` for the per-core view).
     pub os_core_busy_frac: f64,
+    /// Busy cycles of each OS core, indexed by pool position (empty when
+    /// no OS core exists).
+    pub os_core_busy_cycles: Vec<u64>,
+    /// Per-OS-core utilisation: each core's busy cycles over the run's
+    /// wall-clock cycles, clamped to `[0, 1]`.
+    pub os_core_utilisation: Vec<f64>,
     /// Mean fraction of run time the user cores spent *executing*
     /// (reservation while a thread is migrated away does not count —
     /// the core can clock-gate, which is Mogul et al.'s energy story).
@@ -226,6 +237,7 @@ impl SimReport {
         );
         field(&mut o, "user_cores", self.user_cores.to_string());
         field(&mut o, "os_cores", self.os_cores.to_string());
+        field(&mut o, "dispatch", s(&self.dispatch));
         field(&mut o, "threads", self.threads.to_string());
         field(&mut o, "instructions", self.instructions.to_string());
         field(&mut o, "cycles", self.cycles.to_string());
@@ -283,6 +295,30 @@ impl SimReport {
             &mut o,
             "os_core_busy_frac",
             format!("{:.6}", self.os_core_busy_frac),
+        );
+        field(
+            &mut o,
+            "os_core_busy_cycles",
+            format!(
+                "[{}]",
+                self.os_core_busy_cycles
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        );
+        field(
+            &mut o,
+            "os_core_utilisation",
+            format!(
+                "[{}]",
+                self.os_core_utilisation
+                    .iter()
+                    .map(|u| format!("{u:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
         );
         field(
             &mut o,
@@ -375,6 +411,7 @@ mod tests {
             migration_one_way: 100,
             user_cores: 1,
             os_cores: 1,
+            dispatch: "least-loaded".into(),
             threads: 2,
             instructions: 1_000,
             cycles: 2_000,
@@ -397,6 +434,8 @@ mod tests {
             dram_accesses: 40,
             throttled_cycles: 0,
             os_core_busy_frac: 0.3,
+            os_core_busy_cycles: vec![600],
+            os_core_utilisation: vec![0.3],
             user_cores_busy_frac: 0.9,
             queue: QueueReport::default(),
             cycle_breakdown: CycleBreakdown::default(),
@@ -451,6 +490,9 @@ mod tests {
             "\"policy\":\"HI\"",
             "\"threshold\":500",
             "\"throughput\":0.700000",
+            "\"dispatch\":\"least-loaded\"",
+            "\"os_core_busy_cycles\":[600]",
+            "\"os_core_utilisation\":[0.300000]",
             "\"queue\":{",
             "\"p50_delay\":0",
             "\"p95_delay\":0",

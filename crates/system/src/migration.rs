@@ -7,6 +7,20 @@
 //! dimension: a non-SMT OS core serves one off-loaded invocation at a
 //! time, so concurrent requests stall — with 4 user cores the paper
 //! measures queueing delays exploding past 25,000 cycles.
+//!
+//! ## Queue semantics (fixed)
+//!
+//! [`OsCoreQueue`] is the paper's single-server model and deliberately
+//! admits **one request at a time**: a second `acquire` before `release`
+//! panics rather than corrupting busy-time accounting, even when spare
+//! SMT contexts are idle. Overlapping service — multiple requests in
+//! flight, released in any order, each holding a per-context reservation
+//! token — is provided by [`OsCorePool`](crate::topology::OsCorePool),
+//! which generalises this queue to N OS cores × k contexts and is what
+//! [`Simulation`](crate::Simulation) now drives. With one core, one
+//! context and the default dispatch policy the pool is cycle-for-cycle
+//! identical to this queue, which stays exported as the reference
+//! single-server model.
 
 use core::fmt;
 use osoffload_sim::{Counter, Cycle, Histogram, RunningStats};
@@ -78,9 +92,11 @@ impl MigrationModel {
     }
 
     /// Latency of a full off-load round trip (out and back), excluding
-    /// queueing and execution.
+    /// queueing and execution. Saturates instead of wrapping on absurd
+    /// latencies; [`SystemConfig::validate`](crate::SystemConfig)
+    /// rejects such configs up front.
     pub fn round_trip(&self) -> Cycle {
-        Cycle::new(self.one_way * 2)
+        Cycle::new(self.one_way.saturating_mul(2))
     }
 }
 
@@ -275,6 +291,15 @@ mod tests {
         );
         assert_eq!(MigrationModel::aggressive().round_trip(), Cycle::new(200));
         assert_eq!(MigrationModel::new(0).one_way(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn round_trip_saturates_instead_of_wrapping() {
+        let absurd = MigrationModel::new(u64::MAX - 3);
+        assert_eq!(absurd.round_trip(), Cycle::new(u64::MAX));
+        // Just under the edge still doubles exactly.
+        let edge = MigrationModel::new(u64::MAX / 2);
+        assert_eq!(edge.round_trip(), Cycle::new(u64::MAX - 1));
     }
 
     #[test]

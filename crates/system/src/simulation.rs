@@ -3,10 +3,10 @@
 //! [`Simulation`] connects every substrate: workload streams drive
 //! per-thread execution; instructions walk the core model (TLB, branch
 //! predictor) and the memory hierarchy; privileged invocations consult
-//! the configured decision policy; off-loaded invocations migrate to the
-//! OS core through the single-server queue; and the optional §III-B
-//! tuner adjusts the threshold at epoch boundaries using L2 hit-rate
-//! feedback.
+//! the configured decision policy; off-loaded invocations migrate to an
+//! OS core picked by the [`OsCorePool`]'s dispatch policy; and the
+//! optional §III-B tuner adjusts the threshold at epoch boundaries using
+//! L2 hit-rate feedback.
 //!
 //! ## Timing model
 //!
@@ -26,7 +26,8 @@
 
 use crate::config::{PolicyKind, SystemConfig};
 use crate::metrics::{BinaryPoint, PredictorReport, QueueReport, SimReport};
-use crate::migration::{OffloadMechanism, OsCoreQueue};
+use crate::migration::OffloadMechanism;
+use crate::topology::OsCorePool;
 use crate::trace::InvocationTrace;
 use osoffload_core::{
     AState, BinaryAccuracyTracker, OffloadPolicy, OsEntry, PredictorStats, ThresholdTuner,
@@ -101,10 +102,13 @@ pub struct Simulation {
     mem: MemorySystem,
     cores: Vec<CoreState>,
     core_free: Vec<Cycle>,
-    os_core: Option<usize>,
+    /// OS cores in this run's topology (0 for baseline and
+    /// resource-adaptation runs). OS core `i` of the pool occupies
+    /// physical core `cfg.user_cores + i`.
+    os_cores: usize,
     threads: Vec<ThreadCtx>,
     policies: Vec<Box<dyn OffloadPolicy>>,
-    queue: OsCoreQueue,
+    pool: OsCorePool,
     tracker: BinaryAccuracyTracker,
     tuner: Option<ThresholdTuner>,
     epoch: Option<EpochClock>,
@@ -166,10 +170,10 @@ impl Simulation {
         let cores: Vec<CoreState> = (0..total_cores)
             .map(|_| CoreState::new(CoreParams::paper_default()))
             .collect();
-        let os_core = if cfg.policy.is_baseline() || cfg.resource_adaptation.is_some() {
-            None
+        let os_cores = if cfg.policy.is_baseline() || cfg.resource_adaptation.is_some() {
+            0
         } else {
-            Some(total_cores - 1)
+            cfg.os_cores
         };
 
         let mut master = Rng64::seed_from(cfg.seed);
@@ -199,10 +203,15 @@ impl Simulation {
             mem,
             cores,
             core_free: vec![Cycle::ZERO; total_cores],
-            os_core,
+            os_cores,
             threads,
             policies,
-            queue: OsCoreQueue::with_contexts(cfg.os_core_contexts),
+            pool: OsCorePool::new(
+                cfg.os_cores.max(1),
+                cfg.os_core_contexts,
+                cfg.dispatch,
+                cfg.os_cold_penalty,
+            ),
             trace: InvocationTrace::new(cfg.trace_capacity),
             tracker: BinaryAccuracyTracker::paper_grid(),
             tuner: cfg.tuner.clone().map(ThresholdTuner::new),
@@ -326,7 +335,7 @@ impl Simulation {
         for c in &mut self.cores {
             c.reset_stats();
         }
-        self.queue.reset_stats();
+        self.pool.reset_stats();
         for p in &mut self.policies {
             p.reset_stats();
         }
@@ -575,7 +584,7 @@ impl Simulation {
             self.cores[core_idx].retire_privileged(len);
             self.cores[core_idx].add_busy(now - entry_start);
             self.core_free[core_idx] = now;
-        } else if decision.offload && self.os_core.is_some() {
+        } else if decision.offload && self.os_cores > 0 {
             self.offloads.incr();
             self.cores[core_idx].add_busy(now - entry_start);
             match self.cfg.mechanism {
@@ -598,16 +607,19 @@ impl Simulation {
                 }
             }
 
-            let os_idx = self.os_core.expect("checked above");
             let arrival = now + self.cfg.migration.one_way();
-            let os_start = self.queue.acquire(arrival);
-            traced_queue_delay = (os_start - arrival).as_u64();
+            let d = self.pool.dispatch(arrival, core_idx, entry.astate.as_u64());
+            // OS core `d.core` of the pool lives at this physical index.
+            let os_idx = self.cfg.user_cores + d.core;
+            traced_queue_delay = (d.start - arrival).as_u64();
             let os_scale = self.cfg.os_core_slowdown_milli;
-            let os_now = os_start + self.run_batch(t, os_idx, len, InstrSource::Os(&inv), os_scale);
-            self.queue.release(os_now);
-            self.queue.add_busy(os_now - os_start);
+            let os_now = d.start
+                + d.warm_up
+                + self.run_batch(t, os_idx, len, InstrSource::Os(&inv), os_scale);
+            self.pool.release(d.token, os_now);
+            self.pool.add_busy(d.core, os_now - d.start);
             self.cores[os_idx].retire_privileged(len);
-            self.cores[os_idx].add_busy(os_now - os_start);
+            self.cores[os_idx].add_busy(os_now - d.start);
             self.telemetry.emit_with(|| Event {
                 ts: now.as_u64(),
                 dur: (arrival - now).as_u64(),
@@ -623,8 +635,8 @@ impl Simulation {
                 });
             }
             self.telemetry.emit_with(|| Event {
-                ts: os_start.as_u64(),
-                dur: (os_now - os_start).as_u64(),
+                ts: d.start.as_u64(),
+                dur: (os_now - d.start).as_u64(),
                 track: Track::Core(os_idx),
                 kind: EventKind::OsService {
                     name: inv.syscall.spec().name,
@@ -781,18 +793,17 @@ impl Simulation {
         } else {
             0.0
         };
-        let queue_mean = self.queue.queue_delay().mean();
-        let queue_p95 = self.queue.queue_delay_hist().quantile(95.0) as f64;
+        let queue_mean = self.pool.queue_delay().mean();
+        let queue_p95 = self.pool.queue_delay_hist().quantile(95.0) as f64;
         let instructions = self.retired_total.as_u64();
         if let Some(obs) = self.metrics.as_mut() {
             let ids = obs.ids;
             obs.reg.set(ids.offloads, self.offloads.get() as f64);
             obs.reg.set(ids.locals, self.locals.get() as f64);
             obs.reg.set(ids.overhead, self.overhead_cycles.get() as f64);
-            obs.reg
-                .set(ids.queue_requests, self.queue.requests() as f64);
-            obs.reg.set(ids.queue_stalled, self.queue.stalled() as f64);
-            obs.reg.set(ids.os_busy, self.queue.busy().as_f64());
+            obs.reg.set(ids.queue_requests, self.pool.requests() as f64);
+            obs.reg.set(ids.queue_stalled, self.pool.stalled() as f64);
+            obs.reg.set(ids.os_busy, self.pool.busy().as_f64());
             obs.reg.set(ids.os_share, os_share);
             obs.reg.set(ids.l2_hit_rate, rate);
             obs.reg.set(ids.queue_mean_delay, queue_mean);
@@ -863,10 +874,18 @@ impl Simulation {
                 hits as f64 / total as f64
             }
         };
-        let l2_os_hit_rate = self
-            .os_core
-            .map(|i| self.mem.l2_stats(CoreId::new(i)).hit_rate())
-            .unwrap_or(0.0);
+        let l2_os_hit_rate = if self.os_cores == 0 {
+            0.0
+        } else {
+            (0..self.os_cores)
+                .map(|i| {
+                    self.mem
+                        .l2_stats(CoreId::new(self.cfg.user_cores + i))
+                        .hit_rate()
+                })
+                .sum::<f64>()
+                / self.os_cores as f64
+        };
 
         let predictor = self.merged_predictor_stats().map(|s| PredictorReport {
             exact: s.exact.rate(),
@@ -894,7 +913,8 @@ impl Simulation {
             final_threshold: self.policies.first().and_then(|p| p.threshold()),
             migration_one_way: self.cfg.migration.one_way().as_u64(),
             user_cores: self.cfg.user_cores,
-            os_cores: usize::from(self.os_core.is_some()),
+            os_cores: self.os_cores,
+            dispatch: self.cfg.dispatch.label().to_string(),
             threads: self.threads.len(),
             instructions,
             cycles,
@@ -924,7 +944,13 @@ impl Simulation {
             // heavily saturated OS core can accrue slightly more busy
             // time than the max-clock window; clamp to the definition's
             // domain.
-            os_core_busy_frac: (self.queue.busy().as_f64() / cycles as f64).min(1.0),
+            os_core_busy_frac: (self.pool.busy().as_f64() / cycles as f64).min(1.0),
+            os_core_busy_cycles: (0..self.os_cores)
+                .map(|i| self.pool.core_busy(i).as_u64())
+                .collect(),
+            os_core_utilisation: (0..self.os_cores)
+                .map(|i| (self.pool.core_busy(i).as_f64() / cycles as f64).min(1.0))
+                .collect(),
             user_cores_busy_frac: {
                 let busy: f64 = (0..self.cfg.user_cores)
                     .map(|i| self.cores[i].busy().as_f64())
@@ -932,12 +958,12 @@ impl Simulation {
                 (busy / (cycles as f64 * self.cfg.user_cores as f64)).min(1.0)
             },
             queue: QueueReport {
-                requests: self.queue.requests(),
-                stalled: self.queue.stalled(),
-                mean_delay: self.queue.queue_delay().mean(),
-                p50_delay: self.queue.queue_delay_hist().quantile(50.0),
-                p95_delay: self.queue.queue_delay_hist().quantile(95.0),
-                p99_delay: self.queue.queue_delay_hist().quantile(99.0),
+                requests: self.pool.requests(),
+                stalled: self.pool.stalled(),
+                mean_delay: self.pool.queue_delay().mean(),
+                p50_delay: self.pool.queue_delay_hist().quantile(50.0),
+                p95_delay: self.pool.queue_delay_hist().quantile(95.0),
+                p99_delay: self.pool.queue_delay_hist().quantile(99.0),
             },
             cycle_breakdown: crate::metrics::CycleBreakdown {
                 base: instructions,
@@ -945,8 +971,12 @@ impl Simulation {
                 data: self.cyc_data.get(),
                 tlb: self.cyc_tlb.get(),
                 branch: self.cyc_branch.get(),
-                migration: self.offloads.get() * 2 * self.cfg.migration.one_way().as_u64(),
-                queue_wait: self.queue.queue_delay().sum() as u64,
+                migration: self
+                    .offloads
+                    .get()
+                    .saturating_mul(2)
+                    .saturating_mul(self.cfg.migration.one_way().as_u64()),
+                queue_wait: self.pool.queue_delay().sum() as u64,
                 decision: self.overhead_cycles.get(),
             },
             binary_accuracy: self
@@ -1289,5 +1319,85 @@ mod tests {
         assert_eq!(r.user_cores, 2);
         assert_eq!(r.threads, 4);
         assert!(r.queue.requests > 0);
+    }
+
+    #[test]
+    fn multi_os_core_topology_spreads_load() {
+        use crate::topology::DispatchPolicy;
+        let cfg = SystemConfig::builder()
+            .profile(Profile::apache())
+            .policy(PolicyKind::HardwarePredictor { threshold: 100 })
+            .migration_latency(1_000)
+            .user_cores(4)
+            .os_cores(2)
+            .dispatch(DispatchPolicy::LeastLoaded)
+            .instructions(200_000)
+            .warmup(50_000)
+            .seed(11)
+            .build();
+        let r = Simulation::new(cfg).run();
+        assert_eq!(r.os_cores, 2);
+        assert_eq!(r.dispatch, "least-loaded");
+        assert_eq!(r.os_core_busy_cycles.len(), 2);
+        assert_eq!(r.os_core_utilisation.len(), 2);
+        assert!(r.offloads > 0);
+        // Least-loaded under contention must use both cores.
+        assert!(
+            r.os_core_busy_cycles.iter().all(|&b| b > 0),
+            "busy = {:?}",
+            r.os_core_busy_cycles
+        );
+        let total: u64 = r.os_core_busy_cycles.iter().sum();
+        let frac = (total as f64 / r.cycles as f64).min(1.0);
+        assert_eq!(r.os_core_busy_frac, frac, "per-core busy must sum to total");
+        for (&cycles, &util) in r.os_core_busy_cycles.iter().zip(&r.os_core_utilisation) {
+            assert_eq!(util, (cycles as f64 / r.cycles as f64).min(1.0));
+        }
+    }
+
+    #[test]
+    fn every_dispatch_policy_runs_and_is_deterministic() {
+        use crate::topology::DispatchPolicy;
+        for policy in DispatchPolicy::ALL {
+            let mk = || {
+                SystemConfig::builder()
+                    .profile(Profile::specjbb())
+                    .policy(PolicyKind::HardwarePredictor { threshold: 100 })
+                    .migration_latency(1_000)
+                    .user_cores(4)
+                    .os_cores(2)
+                    .dispatch(policy)
+                    .os_cold_penalty(500)
+                    .instructions(120_000)
+                    .warmup(40_000)
+                    .seed(5)
+                    .build()
+            };
+            let a = Simulation::new(mk()).run();
+            let b = Simulation::new(mk()).run();
+            assert_eq!(a, b, "{policy}: same seed, same report");
+            assert_eq!(a.dispatch, policy.label());
+            assert!(a.offloads > 0, "{policy}: nothing off-loaded");
+            assert_eq!(a.queue.requests, a.offloads);
+        }
+    }
+
+    #[test]
+    fn baseline_reports_no_os_cores() {
+        let r = Simulation::new(small(PolicyKind::Baseline, 0)).run();
+        assert_eq!(r.os_cores, 0);
+        assert!(r.os_core_busy_cycles.is_empty());
+        assert!(r.os_core_utilisation.is_empty());
+    }
+
+    #[test]
+    fn single_os_core_report_is_consistent_with_the_legacy_shape() {
+        let r = Simulation::new(small(PolicyKind::HardwarePredictor { threshold: 500 }, 100)).run();
+        assert_eq!(r.os_cores, 1);
+        assert_eq!(r.os_core_busy_cycles.len(), 1);
+        assert_eq!(
+            r.os_core_busy_frac,
+            (r.os_core_busy_cycles[0] as f64 / r.cycles as f64).min(1.0)
+        );
     }
 }
