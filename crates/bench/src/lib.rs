@@ -106,10 +106,10 @@ pub mod harness {
 
     /// Parses `[quick|full|paper]` plus the runner flags
     /// (`--workers=N`/`-jN`, `--retries=N`, `--quiet`, `--out=DIR`,
-    /// `--telemetry`, `--trace-out=DIR`, `--journal=FILE`,
-    /// `--resume=FILE`, `--deadline-ms=N`, `--backoff-ms=N`,
-    /// `--canonical`, `--inject-faults=SEED`) from the process
-    /// arguments. Unknown arguments abort with usage help.
+    /// `--telemetry`, `--trace-out=DIR`, `--profile`, `--journal=FILE`,
+    /// `--resume=FILE`, `--resume-retry-failed`, `--deadline-ms=N`,
+    /// `--backoff-ms=N`, `--canonical`, `--inject-faults=SEED`) from the
+    /// process arguments. Unknown arguments abort with usage help.
     pub fn parse_args() -> (Scale, RunnerOptions) {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let (opts, rest) = RunnerOptions::parse_flags(&args);
@@ -125,14 +125,16 @@ pub mod harness {
         eprintln!(
             "usage: <bin> [quick|full|paper] [--workers=N] [--retries=N] [--quiet] [--out=DIR]"
         );
-        eprintln!("             [--telemetry] [--trace-out=DIR] [--journal=FILE] [--resume=FILE]");
-        eprintln!(
-            "             [--deadline-ms=N] [--backoff-ms=N] [--canonical] [--inject-faults=SEED]"
-        );
+        eprintln!("             [--telemetry] [--trace-out=DIR] [--profile] [--journal=FILE]");
+        eprintln!("             [--resume=FILE] [--resume-retry-failed] [--deadline-ms=N]");
+        eprintln!("             [--backoff-ms=N] [--canonical] [--inject-faults=SEED]");
         eprintln!("       (default scale: full; default workers: all hardware threads)");
         eprintln!("       --telemetry writes per-point Chrome traces + epoch metrics and");
         eprintln!("       runner self-profiling under results/telemetry/ (see TELEMETRY.md)");
-        eprintln!("       --journal/--resume give crash-safe checkpointed campaigns, and");
+        eprintln!("       --profile writes per-point cycle-attribution profiles (collapsed");
+        eprintln!("       stacks + top-N tables) under results/profile/ (see TELEMETRY.md)");
+        eprintln!("       --journal/--resume give crash-safe checkpointed campaigns");
+        eprintln!("       (--resume-retry-failed re-attempts journaled failures), and");
         eprintln!("       --deadline-ms/--inject-faults add watchdogs and chaos testing");
         eprintln!("       (see ROBUSTNESS.md)");
         std::process::exit(2);

@@ -18,6 +18,8 @@ pub enum Command {
     Sweep(RunArgs),
     /// `osoffload trace …` — per-invocation CSV trace to stdout.
     Trace(RunArgs),
+    /// `osoffload inspect …` — run analytics over `results/` artefacts.
+    Inspect(InspectArgs),
     /// `osoffload list` — available profiles and policies.
     List,
     /// `osoffload help` (or `-h`/`--help`).
@@ -76,6 +78,38 @@ impl Default for RunArgs {
             trace_out: None,
         }
     }
+}
+
+/// What `osoffload inspect` should do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InspectArgs {
+    /// `inspect show <file>` — summarise an archive or journal, or
+    /// pretty-print any other JSON document (repro files, summaries).
+    Show {
+        /// Path of the artefact.
+        path: String,
+    },
+    /// `inspect find --digest=<hex> <paths…>` — locate the points whose
+    /// configuration hashes to the digest.
+    Find {
+        /// 16-hex-digit FNV-1a configuration digest.
+        digest: String,
+        /// Archives/journals to search.
+        paths: Vec<String>,
+    },
+    /// `inspect diff <A> <B>` — report-level deltas between two runs,
+    /// with an optional perf gate.
+    Diff {
+        /// Baseline artefact.
+        a: String,
+        /// Candidate artefact.
+        b: String,
+        /// Fail (exit 3) when the headline deltas exceed this percentage.
+        gate: Option<f64>,
+        /// Omit file paths from the output so it is byte-stable across
+        /// directories.
+        canonical: bool,
+    },
 }
 
 /// A parse failure with a user-facing message.
@@ -141,6 +175,73 @@ pub fn parse_policy(spec: &str) -> Result<PolicyKind, ParseArgsError> {
         other => Err(err(format!(
             "unknown policy '{other}' (expected baseline|always|hi|hi-dm|hi-sa|hi-global|hi-lastvalue|di|si|oracle)"
         ))),
+    }
+}
+
+fn parse_inspect_args(args: &[String]) -> Result<InspectArgs, ParseArgsError> {
+    match args.first().map(String::as_str) {
+        Some("show") => match args.get(1) {
+            Some(path) if args.len() == 2 => Ok(InspectArgs::Show { path: path.clone() }),
+            _ => Err(err("usage: inspect show <file>")),
+        },
+        Some("find") => {
+            let mut digest = None;
+            let mut paths = Vec::new();
+            for arg in &args[1..] {
+                if let Some(v) = arg.strip_prefix("--digest=") {
+                    if v.len() != 16 || !v.chars().all(|c| c.is_ascii_hexdigit()) {
+                        return Err(err(format!("--digest: '{v}' is not a 16-hex-digit digest")));
+                    }
+                    digest = Some(v.to_ascii_lowercase());
+                } else if arg.starts_with("--") {
+                    return Err(err(format!("inspect find: unknown flag '{arg}'")));
+                } else {
+                    paths.push(arg.clone());
+                }
+            }
+            let digest = digest.ok_or_else(|| err("inspect find needs --digest=<hex>"))?;
+            if paths.is_empty() {
+                return Err(err("inspect find needs at least one archive/journal path"));
+            }
+            Ok(InspectArgs::Find { digest, paths })
+        }
+        Some("diff") => {
+            let mut gate = None;
+            let mut canonical = false;
+            let mut paths = Vec::new();
+            for arg in &args[1..] {
+                if let Some(v) = arg.strip_prefix("--gate=") {
+                    let pct: f64 = v
+                        .parse()
+                        .map_err(|_| err(format!("--gate: '{v}' is not a number")))?;
+                    if !pct.is_finite() || pct < 0.0 {
+                        return Err(err("--gate must be a non-negative percentage"));
+                    }
+                    gate = Some(pct);
+                } else if arg == "--canonical" {
+                    canonical = true;
+                } else if arg.starts_with("--") {
+                    return Err(err(format!("inspect diff: unknown flag '{arg}'")));
+                } else {
+                    paths.push(arg.clone());
+                }
+            }
+            match <[String; 2]>::try_from(paths) {
+                Ok([a, b]) => Ok(InspectArgs::Diff {
+                    a,
+                    b,
+                    gate,
+                    canonical,
+                }),
+                Err(_) => Err(err(
+                    "usage: inspect diff <A> <B> [--gate=PCT] [--canonical]",
+                )),
+            }
+        }
+        Some(other) => Err(err(format!(
+            "unknown inspect subcommand '{other}' (expected show|find|diff)"
+        ))),
+        None => Err(err("usage: inspect <show|find|diff> …")),
     }
 }
 
@@ -214,8 +315,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         Some("compare") => Ok(Command::Compare(parse_run_args(&args[1..])?)),
         Some("sweep") => Ok(Command::Sweep(parse_run_args(&args[1..])?)),
         Some("trace") => Ok(Command::Trace(parse_run_args(&args[1..])?)),
+        Some("inspect") => Ok(Command::Inspect(parse_inspect_args(&args[1..])?)),
         Some(other) => Err(err(format!(
-            "unknown subcommand '{other}' (expected run|compare|sweep|trace|list|help)"
+            "unknown subcommand '{other}' (expected run|compare|sweep|trace|inspect|list|help)"
         ))),
     }
 }
@@ -225,13 +327,14 @@ pub const USAGE: &str = "\
 osoffload — selective off-loading of OS functionality (Nellans et al., WIOSCA 2010)
 
 USAGE:
-    osoffload <run|compare|sweep|list|help> [flags]
+    osoffload <run|compare|sweep|trace|inspect|list|help> [flags]
 
 SUBCOMMANDS:
     run       simulate one configuration and print the full report
     compare   baseline vs SI vs DI vs HI on one workload
     sweep     sweep the off-load threshold N for one workload/latency
     trace     per-invocation CSV trace to stdout (summary on stderr)
+    inspect   analytics over results/ artefacts (archives, journals)
     list      available workload profiles and policy specs
     help      this text
 
@@ -257,11 +360,25 @@ FLAGS (run/compare/sweep):
         --trace-out <dir>       telemetry output directory [results/telemetry]
                                 (implies --telemetry)
 
+INSPECT SUBCOMMANDS (see TELEMETRY.md, \"Profiling & inspection\"):
+    inspect show <file>                     summarise an archive or journal;
+                                            pretty-print any other JSON
+    inspect find --digest=<hex> <paths...>  locate points by config digest
+    inspect diff <A> <B> [--gate=PCT]       report-level deltas (IPC, cycle
+                [--canonical]               breakdown, queue percentiles,
+                                            per-OS-core utilisation); with
+                                            --gate, exit 3 when |dIPC| or
+                                            |dcycles| exceeds PCT percent;
+                                            --canonical omits file paths so
+                                            output is byte-stable
+
 EXAMPLES:
     osoffload run -p apache --policy hi:500 -l 1000 --energy
     osoffload run -p apache --telemetry --trace-out results/telemetry
     osoffload compare -p specjbb2005 -l 5000
     osoffload sweep -p derby -l 100 -n 2000000
+    osoffload inspect show results/fig4.json
+    osoffload inspect diff results/fig4.json results/fig4-new.json --gate=5
 ";
 
 #[cfg(test)]

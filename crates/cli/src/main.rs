@@ -4,6 +4,7 @@
 
 mod args;
 mod commands;
+mod inspect;
 
 use args::Command;
 
@@ -19,6 +20,7 @@ fn main() {
         Ok(Command::Compare(a)) => commands::compare(&a),
         Ok(Command::Sweep(a)) => commands::sweep(&a),
         Ok(Command::Trace(a)) => commands::trace(&a),
+        Ok(Command::Inspect(a)) => inspect::inspect(&a),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run 'osoffload help' for usage");

@@ -274,6 +274,7 @@ impl FuzzCase {
             trace_capacity: 0,
             telemetry: TelemetryMode::Off,
             telemetry_capacity: 1 << 16,
+            profiling: false,
         };
         if self.half_l2 {
             let cores = cfg.total_cores().clamp(1, 64);

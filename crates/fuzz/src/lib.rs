@@ -3,7 +3,7 @@
 //! The fuzzer draws arbitrary-but-valid system configurations, workload
 //! mixes and seeds from a master-seeded RNG (the same splitting scheme
 //! the experiment runner uses, so campaigns replay bit-identically) and
-//! executes each case under six oracles:
+//! executes each case under seven oracles:
 //!
 //! 1. **differential** — the batched fast path ([`run`]) against the
 //!    retained per-instruction reference stepper ([`run_reference`]);
@@ -18,6 +18,9 @@
 //!    fault-injected from the case seed, killed by truncating its
 //!    journal and resumed, must finish with a byte-identical archive
 //!    (see `ROBUSTNESS.md`).
+//! 7. **profile** — the cycle-attribution profiler must not change the
+//!    report, and its phase totals must reconcile with the report's
+//!    cycle accounting (see `TELEMETRY.md`).
 //!
 //! Failures are automatically shrunk ([`shrink`]) to a locally-minimal
 //! case and archived as self-contained JSON repros ([`corpus`]) with an

@@ -1,4 +1,4 @@
-//! The six oracles a case is judged by.
+//! The seven oracles a case is judged by.
 //!
 //! Each oracle runs the case (or a stream derived from it) and checks a
 //! property that must hold for *every* valid configuration:
@@ -22,14 +22,18 @@
 //!    journal I/O errors), then "crashed" by truncating its journal and
 //!    resumed, must produce a final archive byte-identical to the
 //!    uninterrupted run — and fault recovery must not change any result
-//!    relative to a fault-free reference.
+//!    relative to a fault-free reference;
+//! 7. **profile** — enabling the cycle-attribution profiler must not
+//!    change the report, and the per-phase totals it collects must
+//!    reconcile exactly with the report's own cycle accounting
+//!    (decision overhead, migration, queue wait, throttle).
 
 use crate::case::FuzzCase;
 use crate::json;
 use osoffload_core::{AState, CamPredictor, ReferenceCamPredictor, RunLengthPredictor};
 use osoffload_obs::TelemetryMode;
 use osoffload_sim::alloc_audit;
-use osoffload_system::{PolicyKind, SimReport, Simulation};
+use osoffload_system::{Phase, PolicyKind, SimReport, Simulation};
 use osoffload_workload::{Segment, ThreadWorkload};
 
 /// Which oracle to run.
@@ -48,17 +52,21 @@ pub enum OracleKind {
     /// Kill-and-resume a journaled campaign under injected faults; the
     /// resumed archive must be byte-identical.
     CrashRecovery,
+    /// Profiling-on vs profiling-off report identity, plus the profile's
+    /// phase totals reconciling with the report's cycle accounting.
+    Profile,
 }
 
 impl OracleKind {
     /// Every oracle, in canonical run order.
-    pub const ALL: [OracleKind; 6] = [
+    pub const ALL: [OracleKind; 7] = [
         OracleKind::Differential,
         OracleKind::Predictor,
         OracleKind::Invariants,
         OracleKind::Telemetry,
         OracleKind::Alloc,
         OracleKind::CrashRecovery,
+        OracleKind::Profile,
     ];
 
     /// Stable CLI / corpus-file name.
@@ -70,6 +78,7 @@ impl OracleKind {
             OracleKind::Telemetry => "telemetry",
             OracleKind::Alloc => "alloc",
             OracleKind::CrashRecovery => "crash-recovery",
+            OracleKind::Profile => "profile",
         }
     }
 
@@ -171,6 +180,60 @@ pub fn check(case: &FuzzCase, oracle: OracleKind) -> Result<(), OracleFailure> {
             Ok(())
         }
         OracleKind::CrashRecovery => check_crash_recovery(case).map_err(fail),
+        OracleKind::Profile => {
+            let base = Simulation::new(cfg.clone()).run();
+            let mut prof_cfg = cfg.clone();
+            prof_cfg.profiling = true;
+            let (profiled, profile) = Simulation::new(prof_cfg).run_with_profile();
+            if profiled != base {
+                return Err(fail(format!(
+                    "profiling changed the report: {}",
+                    report_diff(&base, &profiled)
+                )));
+            }
+            let eq = |what: &str, got: u64, want: u64| {
+                if got == want {
+                    Ok(())
+                } else {
+                    Err(format!("profile {what}: {got} != report's {want}"))
+                }
+            };
+            eq(
+                "decision total",
+                profile.total(Phase::Decision),
+                base.cycle_breakdown.decision,
+            )
+            .map_err(&fail)?;
+            eq(
+                "queue-wait total",
+                profile.total(Phase::QueueWait),
+                base.cycle_breakdown.queue_wait,
+            )
+            .map_err(&fail)?;
+            eq(
+                "throttled total",
+                profile.total(Phase::Throttled),
+                base.throttled_cycles,
+            )
+            .map_err(&fail)?;
+            let migration =
+                profile.total(Phase::MigrationOut) + profile.total(Phase::MigrationBack);
+            if cfg.resource_adaptation.is_none() {
+                eq("migration total", migration, base.cycle_breakdown.migration).map_err(&fail)?;
+            } else {
+                // Adaptation never migrates; the breakdown still charges
+                // the model's nominal cost, so only the profiler's view
+                // is pinned here.
+                eq("migration total under adaptation", migration, 0).map_err(&fail)?;
+            }
+            eq(
+                "decision count",
+                profile.count(Phase::Decision),
+                base.offloads + base.local_invocations,
+            )
+            .map_err(&fail)?;
+            Ok(())
+        }
     }
 }
 

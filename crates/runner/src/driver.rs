@@ -25,7 +25,11 @@ use osoffload_system::{CycleBreakdown, QueueReport, SimReport, SystemConfig};
 ///
 /// Throughput is 1.0 (not 0.0) so normalisations computed on discarded
 /// record-pass rows cannot trip the divide-by-zero assertion in
-/// [`SimReport::normalized_to`].
+/// [`SimReport::normalized_to`]. Every other field (including
+/// `cycle_breakdown`) is zeroed on purpose: the record pass only
+/// captures configurations, and its outputs never reach an archive —
+/// real values flow from the execute pass, which serialises and
+/// restores reports losslessly.
 pub fn placeholder_report() -> SimReport {
     SimReport {
         profile: String::new(),

@@ -42,6 +42,14 @@ pub struct RunnerOptions {
     /// new completions append to the same file. A missing file starts a
     /// fresh journal there, so the flag is safe on the first run too.
     pub resume: Option<PathBuf>,
+    /// With `resume`: re-attempt journaled failed/timed-out rows
+    /// instead of carrying them forward into the resumed archive.
+    pub resume_retry_failed: bool,
+    /// Runs every point with the cycle-attribution profiler and writes
+    /// `<profile_dir>/<plan>/<id>.{collapsed,attribution.txt}`.
+    /// Profiling is observational, so result rows stay bit-identical
+    /// to an unprofiled sweep of the same plan.
+    pub profile: bool,
     /// Per-point soft deadline in milliseconds; a worker watchdog
     /// cancels attempts that exceed it and the point is recorded as
     /// [`Outcome::TimedOut`]. `None` disables the watchdog entirely.
@@ -72,6 +80,8 @@ impl Default for RunnerOptions {
             trace_out: None,
             journal: None,
             resume: None,
+            resume_retry_failed: false,
+            profile: false,
             deadline_ms: None,
             backoff_ms: 25,
             canonical: false,
@@ -87,10 +97,10 @@ impl RunnerOptions {
     ///
     /// Recognised: `--workers=N` (or `-jN`), `--retries=N`, `--quiet`,
     /// `--out=DIR`, `--telemetry`, `--trace-out=DIR` (implies
-    /// `--telemetry`), `--journal=FILE`, `--resume=FILE`,
-    /// `--deadline-ms=N`, `--backoff-ms=N`, `--canonical`, and
-    /// `--inject-faults=SEED`. Malformed values abort with a message on
-    /// stderr.
+    /// `--telemetry`), `--profile`, `--journal=FILE`, `--resume=FILE`,
+    /// `--resume-retry-failed`, `--deadline-ms=N`, `--backoff-ms=N`,
+    /// `--canonical`, and `--inject-faults=SEED`. Malformed values
+    /// abort with a message on stderr.
     pub fn parse_flags(args: &[String]) -> (RunnerOptions, Vec<String>) {
         let mut opts = RunnerOptions::default();
         let mut rest = Vec::new();
@@ -126,6 +136,10 @@ impl RunnerOptions {
                 opts.journal = Some(PathBuf::from(v));
             } else if let Some(v) = arg.strip_prefix("--resume=") {
                 opts.resume = Some(PathBuf::from(v));
+            } else if arg == "--resume-retry-failed" {
+                opts.resume_retry_failed = true;
+            } else if arg == "--profile" {
+                opts.profile = true;
             } else if let Some(v) = arg.strip_prefix("--deadline-ms=") {
                 opts.deadline_ms = Some(parse_u64("--deadline-ms", v));
             } else if let Some(v) = arg.strip_prefix("--backoff-ms=") {
@@ -156,6 +170,12 @@ impl RunnerOptions {
         self.trace_out
             .clone()
             .unwrap_or_else(|| self.out_dir.join("telemetry"))
+    }
+
+    /// The directory per-point cycle-attribution profiles are written
+    /// into.
+    pub fn profile_dir(&self) -> PathBuf {
+        self.out_dir.join("profile")
     }
 }
 
@@ -494,13 +514,16 @@ pub struct EvalCtx {
 ///
 /// With `opts.telemetry` set, every point runs under full telemetry and
 /// writes `<telemetry_dir>/<plan>/<id>.{trace.json,metrics.csv,metrics.json}`.
-/// Telemetry is observational, so the result rows stay bit-identical to a
-/// non-telemetry sweep of the same plan.
+/// With `opts.profile` set, every point additionally runs the
+/// cycle-attribution profiler and writes
+/// `<profile_dir>/<plan>/<id>.{collapsed,attribution.txt}`. Both layers
+/// are observational, so the result rows stay bit-identical to a plain
+/// sweep of the same plan.
 pub fn run_plan(plan: &ExperimentPlan, opts: &RunnerOptions) -> SweepResult {
     // The cancellation token is only installed when a watchdog can
     // raise it, keeping deadline-free runs on the token-free path.
     let armed = opts.deadline_ms.is_some();
-    if !opts.telemetry {
+    if !opts.telemetry && !opts.profile {
         return run_plan_ctx(plan, opts, |p, ctx| {
             let sim = Simulation::new(p.config.clone());
             let sim = if armed {
@@ -511,19 +534,32 @@ pub fn run_plan(plan: &ExperimentPlan, opts: &RunnerOptions) -> SweepResult {
             sim.run()
         });
     }
-    let dir = opts.telemetry_dir().join(plan.name());
+    let telemetry_dir = opts.telemetry_dir().join(plan.name());
+    let profile_dir = opts.profile_dir().join(plan.name());
     run_plan_ctx(plan, opts, |p, ctx| {
         let mut cfg = p.config.clone();
-        cfg.telemetry = osoffload_obs::TelemetryMode::Full;
+        if opts.telemetry {
+            cfg.telemetry = osoffload_obs::TelemetryMode::Full;
+        }
+        cfg.profiling = opts.profile;
         let sim = Simulation::new(cfg);
         let sim = if armed {
             sim.with_cancel(ctx.cancel.clone())
         } else {
             sim
         };
-        let (report, telemetry) = sim.run_with_telemetry();
-        if let Err(e) = telemetry.write_files(&dir, &sanitize_id(&p.id)) {
-            eprintln!("telemetry write failed for {}: {e}", p.id);
+        let (report, telemetry, profile) = sim.run_full_observed();
+        if opts.telemetry {
+            if let Err(e) = telemetry.write_files(&telemetry_dir, &sanitize_id(&p.id)) {
+                eprintln!("telemetry write failed for {}: {e}", p.id);
+            }
+        }
+        if opts.profile {
+            if let Err(e) =
+                crate::report::write_profile(&profile, &profile_dir, &sanitize_id(&p.id))
+            {
+                eprintln!("profile write failed for {}: {e}", p.id);
+            }
         }
         report
     })
@@ -615,6 +651,11 @@ pub fn run_plan_ctx(
                 );
                 if row.is_ok() {
                     restored_ok += 1;
+                } else if opts.resume_retry_failed {
+                    // Leave the slot empty so a worker re-evaluates the
+                    // point; its fresh row (whatever the outcome) is
+                    // re-journaled like any new completion.
+                    continue;
                 } else {
                     restored_failed += 1;
                 }
@@ -986,6 +1027,8 @@ mod tests {
             "--backoff-ms=7",
             "--canonical",
             "--inject-faults=99",
+            "--profile",
+            "--resume-retry-failed",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -1006,6 +1049,9 @@ mod tests {
         assert_eq!(opts.backoff_ms, 7);
         assert!(opts.canonical);
         assert_eq!(opts.fault_seed, Some(99));
+        assert!(opts.profile);
+        assert_eq!(opts.profile_dir(), std::path::PathBuf::from("tmp/profile"));
+        assert!(opts.resume_retry_failed);
         assert_eq!(rest, vec!["quick".to_string()]);
     }
 

@@ -24,7 +24,7 @@
 use crate::executor::{Outcome, PointResult};
 use crate::jsonv::{self, Value};
 use crate::report::json_escape;
-use osoffload_system::{BinaryPoint, PredictorReport, QueueReport, SimReport};
+use osoffload_system::{BinaryPoint, CycleBreakdown, PredictorReport, QueueReport, SimReport};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::Path;
@@ -271,8 +271,10 @@ fn extract_stable(body: &str) -> Option<&str> {
 /// Slices the verbatim configuration JSON out of a stable-row text by
 /// walking its fixed field order: `{"index":N,"id":"...","seed":N,
 /// "config":{...},...}`. String-aware, so ids containing braces or a
-/// literal `"config"` cannot mislead it.
-fn extract_config(stable: &str) -> Option<String> {
+/// literal `"config"` cannot mislead it. Archive rows share the same
+/// leading field order, so `osoffload inspect` reuses this to recover
+/// the exact bytes behind an archived `config_digest`.
+pub fn extract_config(stable: &str) -> Option<String> {
     let bytes = stable.as_bytes();
     let mut pos = expect_str(stable, 0, "{\"index\":")?;
     pos = skip_number(bytes, pos)?;
@@ -343,10 +345,10 @@ fn skip_value(bytes: &[u8], pos: usize) -> Option<usize> {
     }
 }
 
-/// Rebuilds a [`SimReport`] from its parsed JSON. `cycle_breakdown` is
-/// not serialised (it is a debugging view), so restored reports carry
-/// its default — the archived row text is unaffected because resume
-/// re-emits the stored stable text verbatim.
+/// Rebuilds a [`SimReport`] from its parsed JSON, field for field —
+/// including `cycle_breakdown`, whose all-integer components round-trip
+/// exactly. Journals written before it was serialised restore it as
+/// zeroes (back-compat defaulting, same as `dispatch`).
 fn restore_report(v: &Value) -> Option<SimReport> {
     let f = |key: &str| v.get(key).and_then(Value::as_f64);
     let u = |key: &str| v.get(key).and_then(Value::as_u64);
@@ -422,7 +424,21 @@ fn restore_report(v: &Value) -> Option<SimReport> {
             p99_delay: queue.get("p99_delay").and_then(Value::as_u64)?,
         },
         predictor,
-        cycle_breakdown: Default::default(),
+        // Absent in journals written before the breakdown was archived;
+        // default rather than reject so old journals still resume.
+        cycle_breakdown: match v.get("cycle_breakdown") {
+            Some(cb) => CycleBreakdown {
+                base: cb.get("base").and_then(Value::as_u64)?,
+                fetch: cb.get("fetch").and_then(Value::as_u64)?,
+                data: cb.get("data").and_then(Value::as_u64)?,
+                tlb: cb.get("tlb").and_then(Value::as_u64)?,
+                branch: cb.get("branch").and_then(Value::as_u64)?,
+                migration: cb.get("migration").and_then(Value::as_u64)?,
+                queue_wait: cb.get("queue_wait").and_then(Value::as_u64)?,
+                decision: cb.get("decision").and_then(Value::as_u64)?,
+            },
+            None => CycleBreakdown::default(),
+        },
         binary_accuracy: v
             .get("binary_accuracy")?
             .as_arr()?

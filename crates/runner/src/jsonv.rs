@@ -8,7 +8,7 @@
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Value {
+pub enum Value {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -28,14 +28,16 @@ pub(crate) enum Value {
 }
 
 impl Value {
-    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
+    /// Looks up `key` in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The value as an exact `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::UInt(n) => Some(*n),
             Value::Int(n) => u64::try_from(*n).ok(),
@@ -43,15 +45,18 @@ impl Value {
         }
     }
 
-    pub(crate) fn as_usize(&self) -> Option<usize> {
+    /// The value as a `usize`, if it is a non-negative integer that fits.
+    pub fn as_usize(&self) -> Option<usize> {
         self.as_u64().and_then(|n| usize::try_from(n).ok())
     }
 
-    pub(crate) fn as_u32(&self) -> Option<u32> {
+    /// The value as a `u32`, if it is a non-negative integer that fits.
+    pub fn as_u32(&self) -> Option<u32> {
         self.as_u64().and_then(|n| u32::try_from(n).ok())
     }
 
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    /// The value as an `f64` (integers are converted).
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::UInt(n) => Some(*n as f64),
             Value::Int(n) => Some(*n as f64),
@@ -60,14 +65,16 @@ impl Value {
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Value]> {
+    /// The value as a slice of elements, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(items) => Some(items),
             _ => None,
@@ -76,7 +83,7 @@ impl Value {
 }
 
 /// Parses `text` as one JSON document (trailing whitespace allowed).
-pub(crate) fn parse(text: &str) -> Result<Value, String> {
+pub fn parse(text: &str) -> Result<Value, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;

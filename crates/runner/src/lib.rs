@@ -50,7 +50,7 @@ pub mod driver;
 pub mod executor;
 pub mod fault;
 pub mod journal;
-mod jsonv;
+pub mod jsonv;
 pub mod plan;
 mod progress;
 pub mod report;

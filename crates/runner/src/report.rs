@@ -25,7 +25,7 @@
 
 use crate::executor::{Outcome, SweepResult};
 use osoffload_obs::{atomic_write, chrome_trace, Event, EventKind, Track};
-use osoffload_system::SystemConfig;
+use osoffload_system::{CycleProfile, SystemConfig};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -82,6 +82,19 @@ pub fn write_sweep(sweep: &SweepResult, dir: &Path) -> io::Result<PathBuf> {
     let path = dir.join(format!("{}.json", sweep.name));
     atomic_write(&path, sweep.to_json().as_bytes())?;
     Ok(path)
+}
+
+/// Writes a point's cycle-attribution profile (both files atomic):
+///
+/// - `<base>.collapsed` — folded stacks (`syscall;phase cycles`),
+///   directly consumable by flamegraph tooling;
+/// - `<base>.attribution.txt` — the top-20 attribution table.
+pub fn write_profile(profile: &CycleProfile, dir: &Path, base: &str) -> io::Result<Vec<PathBuf>> {
+    let collapsed = dir.join(format!("{base}.collapsed"));
+    atomic_write(&collapsed, profile.to_collapsed().as_bytes())?;
+    let table = dir.join(format!("{base}.attribution.txt"));
+    atomic_write(&table, profile.top_table(20).as_bytes())?;
+    Ok(vec![collapsed, table])
 }
 
 /// Writes the runner's self-profiling telemetry for a sweep.

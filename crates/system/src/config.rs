@@ -430,6 +430,11 @@ pub struct SystemConfig {
     pub telemetry: TelemetryMode,
     /// Event-ring capacity when telemetry is [`TelemetryMode::Full`].
     pub telemetry_capacity: usize,
+    /// Cycle-attribution profiler (per-syscall × per-phase accounting,
+    /// sampled on the observation clock). Purely observational: the
+    /// report is bit-identical either way, and `false` costs nothing on
+    /// the hot path — the same contract as telemetry.
+    pub profiling: bool,
 }
 
 impl SystemConfig {
@@ -595,6 +600,7 @@ pub struct SystemConfigBuilder {
     trace_capacity: usize,
     telemetry: TelemetryMode,
     telemetry_capacity: usize,
+    profiling: bool,
 }
 
 impl Default for SystemConfigBuilder {
@@ -620,6 +626,7 @@ impl Default for SystemConfigBuilder {
             trace_capacity: 0,
             telemetry: TelemetryMode::Off,
             telemetry_capacity: 1 << 16,
+            profiling: false,
         }
     }
 }
@@ -781,6 +788,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Enables the cycle-attribution profiler (default off; see
+    /// [`profile`](crate::profile)).
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Panics
@@ -839,6 +853,7 @@ impl SystemConfigBuilder {
             trace_capacity: self.trace_capacity,
             telemetry: self.telemetry,
             telemetry_capacity: self.telemetry_capacity,
+            profiling: self.profiling,
         }
     }
 }

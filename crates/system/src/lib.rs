@@ -29,6 +29,7 @@ pub mod config;
 pub mod experiments;
 pub mod metrics;
 pub mod migration;
+pub mod profile;
 pub mod simulation;
 pub mod topology;
 pub mod trace;
@@ -36,6 +37,7 @@ pub mod trace;
 pub use config::{ConfigError, PolicyKind, SystemConfig, SystemConfigBuilder};
 pub use metrics::{BinaryPoint, CycleBreakdown, PredictorReport, QueueReport, SimReport};
 pub use migration::{MigrationModel, OffloadMechanism, OsCoreQueue};
+pub use profile::{CycleProfile, Phase, ProfileEntry, ProfileEpoch};
 pub use simulation::Simulation;
 pub use topology::{DispatchPolicy, OsCorePool, OsDispatch, OsToken, Topology};
 pub use trace::{InvocationRecord, InvocationTrace};

@@ -49,8 +49,9 @@ pub struct BinaryPoint {
 /// Where the cycles of a run went, summed over all cores/threads.
 ///
 /// Components are not disjoint with wall-clock time (threads overlap),
-/// but their ratios expose what dominates CPI — the debugging view used
-/// when calibrating workload models.
+/// but their ratios expose what dominates CPI. Serialised in full by
+/// [`SimReport::to_json`] (all components are exact integers) so
+/// archives and journal restores round-trip it losslessly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CycleBreakdown {
     /// One issue cycle per retired instruction.
@@ -156,7 +157,7 @@ pub struct SimReport {
     pub queue: QueueReport,
     /// Predictor accuracy (policies with a predictor).
     pub predictor: Option<PredictorReport>,
-    /// Where the cycles went (calibration/debugging view).
+    /// Where the cycles went (archived losslessly; all-integer fields).
     pub cycle_breakdown: CycleBreakdown,
     /// Binary decision accuracy across the Figure 3 threshold grid.
     pub binary_accuracy: Vec<BinaryPoint>,
@@ -352,6 +353,22 @@ impl SimReport {
         );
         field(
             &mut o,
+            "cycle_breakdown",
+            format!(
+                "{{\"base\":{},\"fetch\":{},\"data\":{},\"tlb\":{},\"branch\":{},\
+                 \"migration\":{},\"queue_wait\":{},\"decision\":{}}}",
+                self.cycle_breakdown.base,
+                self.cycle_breakdown.fetch,
+                self.cycle_breakdown.data,
+                self.cycle_breakdown.tlb,
+                self.cycle_breakdown.branch,
+                self.cycle_breakdown.migration,
+                self.cycle_breakdown.queue_wait,
+                self.cycle_breakdown.decision
+            ),
+        );
+        field(
+            &mut o,
             "binary_accuracy",
             format!(
                 "[{}]",
@@ -473,6 +490,16 @@ mod tests {
     #[test]
     fn json_has_expected_structure() {
         let mut r = report(0.7);
+        r.cycle_breakdown = CycleBreakdown {
+            base: 1_000,
+            fetch: 20,
+            data: 30,
+            tlb: 4,
+            branch: 5,
+            migration: 2_000,
+            queue_wait: 70,
+            decision: 15,
+        };
         r.binary_accuracy = vec![BinaryPoint {
             threshold: 100,
             accuracy: 0.95,
@@ -498,6 +525,8 @@ mod tests {
             "\"p95_delay\":0",
             "\"p99_delay\":0",
             "\"predictor\":{\"exact\":0.700000",
+            "\"cycle_breakdown\":{\"base\":1000,\"fetch\":20,\"data\":30,\"tlb\":4,\
+             \"branch\":5,\"migration\":2000,\"queue_wait\":70,\"decision\":15}",
             "\"binary_accuracy\":[{\"threshold\":100",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");

@@ -27,6 +27,7 @@
 use crate::config::{PolicyKind, SystemConfig};
 use crate::metrics::{BinaryPoint, PredictorReport, QueueReport, SimReport};
 use crate::migration::OffloadMechanism;
+use crate::profile::{CycleProfile, CycleProfiler, Phase};
 use crate::topology::OsCorePool;
 use crate::trace::InvocationTrace;
 use osoffload_core::{
@@ -77,6 +78,13 @@ struct MetricIds {
 struct ObsMetrics {
     reg: MetricsRegistry,
     ids: MetricIds,
+    /// Per-OS-core busy-cycle counters (PR 6 topology stats), indexed
+    /// by pool position.
+    core_busy: Vec<MetricId>,
+    /// Per-OS-core utilisation gauges, indexed by pool position.
+    core_util: Vec<MetricId>,
+    /// Dispatches in flight at the sample instant.
+    queue_depth: MetricId,
 }
 
 /// One configured simulation run.
@@ -116,9 +124,13 @@ pub struct Simulation {
     trace: InvocationTrace,
     telemetry: Telemetry,
     metrics: Option<ObsMetrics>,
+    profiler: Option<CycleProfiler>,
     obs_clock: Option<EpochClock>,
     obs_snapshot: MemSnapshot,
     obs_epochs: u64,
+    /// Cycle the observed (measured) region began at; utilisation
+    /// gauges divide busy cycles by the window elapsed since it.
+    obs_start: Cycle,
     offloads: Counter,
     locals: Counter,
     overhead_cycles: Counter,
@@ -219,9 +231,11 @@ impl Simulation {
             epoch_snapshot: MemSnapshot::default(),
             telemetry: Telemetry::off(),
             metrics: None,
+            profiler: None,
             obs_clock: None,
             obs_snapshot: MemSnapshot::default(),
             obs_epochs: 0,
+            obs_start: Cycle::ZERO,
             offloads: Counter::new(),
             locals: Counter::new(),
             overhead_cycles: Counter::new(),
@@ -291,21 +305,31 @@ impl Simulation {
         measured_start
     }
 
-    /// Arms telemetry for the measured region: warm-up never records, so
-    /// events, samples, and overhead all cover measurement only.
+    /// Arms observation (telemetry and/or the profiler) for the
+    /// measured region: warm-up never records, so events, samples,
+    /// profiles, and overhead all cover measurement only.
     fn start_observation(&mut self) {
         self.telemetry = Telemetry::from_mode(self.cfg.telemetry, self.cfg.telemetry_capacity);
         self.obs_epochs = 0;
-        if !self.telemetry.is_enabled() {
+        self.obs_start = self.max_clock();
+        self.profiler = self.cfg.profiling.then(CycleProfiler::new);
+        if !self.telemetry.is_enabled() && self.profiler.is_none() {
             self.obs_clock = None;
             self.metrics = None;
             return;
         }
         // Sample on an independent deterministic clock (~64 samples per
-        // run) so metric series exist with or without the tuner.
+        // run) so metric series exist with or without the tuner. The
+        // profiler shares this clock for its cumulative snapshots;
+        // boundary samples only *read* engine state, so arming the
+        // clock for a profiling-only run perturbs nothing.
         let interval = (self.cfg.instructions / 64).max(1);
         self.obs_clock = Some(EpochClock::new(Instret::new(interval)));
         self.obs_snapshot = self.mem.snapshot();
+        if !self.telemetry.is_enabled() {
+            self.metrics = None;
+            return;
+        }
         let mut reg = MetricsRegistry::new();
         let ids = MetricIds {
             offloads: reg.register_counter("offloads"),
@@ -320,7 +344,23 @@ impl Simulation {
             queue_p95_delay: reg.register_gauge("queue_p95_delay"),
             threshold: reg.register_gauge("threshold"),
         };
-        self.metrics = Some(ObsMetrics { reg, ids });
+        // PR 6's topology stats as epoch-sampled series: per-OS-core
+        // busy/utilisation plus the dispatch queue depth, so they show
+        // up in the Chrome-trace counter tracks and the metrics CSV.
+        let core_busy = (0..self.os_cores)
+            .map(|i| reg.register_counter(&format!("os_core{i}_busy_cycles")))
+            .collect();
+        let core_util = (0..self.os_cores)
+            .map(|i| reg.register_gauge(&format!("os_core{i}_utilisation")))
+            .collect();
+        let queue_depth = reg.register_gauge("dispatch_queue_depth");
+        self.metrics = Some(ObsMetrics {
+            reg,
+            ids,
+            core_busy,
+            core_util,
+            queue_depth,
+        });
     }
 
     fn max_clock(&self) -> Cycle {
@@ -534,6 +574,9 @@ impl Simulation {
         self.cores[core_idx].add_busy(now - start);
         self.core_free[core_idx] = now;
         self.threads[t].clock = now;
+        if let Some(p) = self.profiler.as_mut() {
+            p.record("user", Phase::UserExec, (now - start).as_u64());
+        }
         self.telemetry.emit_with(|| Event {
             ts: start.as_u64(),
             dur: (now - start).as_u64(),
@@ -571,6 +614,10 @@ impl Simulation {
         let entry_start = self.threads[t].clock.max(self.core_free[core_idx]);
         let mut now = entry_start + decision.overhead_cycles;
         let mut traced_queue_delay = 0u64;
+        let sys_name = inv.syscall.spec().name;
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(sys_name, Phase::Decision, decision.overhead_cycles);
+        }
 
         if decision.offload && self.cfg.resource_adaptation.is_some() {
             // Li & John resource adaptation (§VI-B): the invocation runs
@@ -581,6 +628,9 @@ impl Simulation {
             let throttle_start = now;
             now += self.run_batch(t, core_idx, len, InstrSource::Os(&inv), slowdown);
             self.throttled_cycles.add((now - throttle_start).as_u64());
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(sys_name, Phase::Throttled, (now - throttle_start).as_u64());
+            }
             self.cores[core_idx].retire_privileged(len);
             self.cores[core_idx].add_busy(now - entry_start);
             self.core_free[core_idx] = now;
@@ -620,6 +670,21 @@ impl Simulation {
             self.pool.add_busy(d.core, os_now - d.start);
             self.cores[os_idx].retire_privileged(len);
             self.cores[os_idx].add_busy(os_now - d.start);
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(sys_name, Phase::MigrationOut, (arrival - now).as_u64());
+                p.record(sys_name, Phase::QueueWait, traced_queue_delay);
+                p.record(sys_name, Phase::ColdPenalty, d.warm_up.as_u64());
+                p.record(
+                    sys_name,
+                    Phase::OsService,
+                    (os_now - d.start - d.warm_up).as_u64(),
+                );
+                p.record(
+                    sys_name,
+                    Phase::MigrationBack,
+                    self.cfg.migration.one_way().as_u64(),
+                );
+            }
             self.telemetry.emit_with(|| Event {
                 ts: now.as_u64(),
                 dur: (arrival - now).as_u64(),
@@ -659,7 +724,11 @@ impl Simulation {
             }
         } else {
             self.locals.incr();
+            let local_start = now;
             now += self.run_batch(t, core_idx, len, InstrSource::Os(&inv), 1_000);
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(sys_name, Phase::LocalExec, (now - local_start).as_u64());
+            }
             self.cores[core_idx].retire_privileged(len);
             self.cores[core_idx].add_busy(now - entry_start);
             self.core_free[core_idx] = now;
@@ -809,7 +878,22 @@ impl Simulation {
             obs.reg.set(ids.queue_mean_delay, queue_mean);
             obs.reg.set(ids.queue_p95_delay, queue_p95);
             obs.reg.set(ids.threshold, threshold);
+            let window = now.saturating_sub(self.obs_start.as_u64());
+            for i in 0..self.os_cores {
+                let busy = self.pool.core_busy(i).as_f64();
+                obs.reg.set(obs.core_busy[i], busy);
+                let util = if window == 0 {
+                    0.0
+                } else {
+                    (busy / window as f64).min(1.0)
+                };
+                obs.reg.set(obs.core_util[i], util);
+            }
+            obs.reg.set(obs.queue_depth, self.pool.in_flight() as f64);
             obs.reg.commit_sample(index, instructions, now);
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            p.epoch_sample(index, instructions, now);
         }
     }
 
@@ -1025,7 +1109,30 @@ impl Simulation {
     /// Telemetry is purely observational: the report is identical to the
     /// one [`run`](Self::run) produces for the same configuration and
     /// seed, whatever the telemetry mode.
-    pub fn run_with_telemetry(mut self) -> (SimReport, RunTelemetry) {
+    pub fn run_with_telemetry(self) -> (SimReport, RunTelemetry) {
+        let (report, telemetry, _) = self.run_full_observed();
+        (report, telemetry)
+    }
+
+    /// Runs to completion and returns the report plus the
+    /// cycle-attribution profile (enable with
+    /// [`SystemConfigBuilder::profiling`](crate::config::SystemConfigBuilder::profiling)).
+    ///
+    /// Profiling shares telemetry's observational contract: the report
+    /// is identical to [`run`](Self::run)'s for the same configuration
+    /// and seed, profiler on or off.
+    pub fn run_with_profile(self) -> (SimReport, CycleProfile) {
+        let (report, _, profile) = self.run_full_observed();
+        (report, profile)
+    }
+
+    /// Runs to completion and returns every observation artifact at
+    /// once: the report, the recorded telemetry, and the
+    /// cycle-attribution profile. The single run method behind
+    /// [`run_with_telemetry`](Self::run_with_telemetry) and
+    /// [`run_with_profile`](Self::run_with_profile); use it directly
+    /// when both layers are enabled so one simulation pays for both.
+    pub fn run_full_observed(mut self) -> (SimReport, RunTelemetry, CycleProfile) {
         let measured_start = self.run_core();
         let report = self.build_report(measured_start);
         let mode = self.telemetry.mode();
@@ -1033,6 +1140,11 @@ impl Simulation {
         let events_dropped = self.telemetry.dropped();
         let events = self.telemetry.take_events();
         let metrics = self.metrics.take().map(|m| m.reg).unwrap_or_default();
+        let profile = self
+            .profiler
+            .take()
+            .map(CycleProfiler::finish)
+            .unwrap_or_default();
         (
             report,
             RunTelemetry {
@@ -1042,6 +1154,7 @@ impl Simulation {
                 metrics,
                 mode,
             },
+            profile,
         )
     }
 }
@@ -1276,10 +1389,82 @@ mod tests {
         assert!(samples.len() >= 16, "only {} samples", samples.len());
         assert!(samples.windows(2).all(|w| w[0].cycles <= w[1].cycles));
         assert!(samples.windows(2).all(|w| w[0].epoch < w[1].epoch));
-        assert_eq!(telemetry.metrics.metrics().len(), 11);
+        // 11 scalar series plus the per-OS-core busy/utilisation pairs
+        // and the dispatch queue depth (one OS core here).
+        assert_eq!(telemetry.metrics.metrics().len(), 14);
+        let names: Vec<&str> = telemetry
+            .metrics
+            .metrics()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(names.contains(&"os_core0_busy_cycles"), "{names:?}");
+        assert!(names.contains(&"os_core0_utilisation"), "{names:?}");
+        assert!(names.contains(&"dispatch_queue_depth"), "{names:?}");
         let trace = telemetry.chrome_trace();
         assert!(trace.starts_with("{\"traceEvents\":["));
         assert!(trace.contains("\"ph\":\"C\""), "counter series missing");
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_report() {
+        use osoffload_obs::TelemetryMode;
+        let plain = Simulation::new(small(
+            PolicyKind::HardwarePredictor { threshold: 500 },
+            1_000,
+        ))
+        .run();
+        let mut cfg = small(PolicyKind::HardwarePredictor { threshold: 500 }, 1_000);
+        cfg.profiling = true;
+        let (profiled, profile) = Simulation::new(cfg.clone()).run_with_profile();
+        assert_eq!(plain, profiled, "profiling changed the simulation");
+        assert!(profile.enabled);
+        // Both observation layers on at once must also be a no-op.
+        cfg.telemetry = TelemetryMode::Full;
+        let (both, telemetry, profile2) = Simulation::new(cfg).run_full_observed();
+        assert_eq!(plain, both, "profiling + telemetry changed the simulation");
+        assert!(telemetry.events_seen > 0);
+        assert_eq!(profile.to_collapsed(), profile2.to_collapsed());
+    }
+
+    #[test]
+    fn profile_reconciles_with_the_cycle_breakdown() {
+        let mut cfg = small(PolicyKind::HardwarePredictor { threshold: 500 }, 1_000);
+        cfg.instructions = 200_000;
+        cfg.warmup = 100_000;
+        cfg.profiling = true;
+        let (r, p) = Simulation::new(cfg).run_with_profile();
+        assert!(r.offloads > 0 && r.local_invocations > 0);
+        assert_eq!(p.total(Phase::Decision), r.cycle_breakdown.decision);
+        assert_eq!(
+            p.total(Phase::MigrationOut) + p.total(Phase::MigrationBack),
+            r.cycle_breakdown.migration
+        );
+        assert_eq!(p.total(Phase::QueueWait), r.cycle_breakdown.queue_wait);
+        assert_eq!(
+            p.count(Phase::Decision),
+            r.offloads + r.local_invocations,
+            "every invocation is attributed exactly once"
+        );
+        assert_eq!(p.total(Phase::Throttled), r.throttled_cycles);
+        assert!(p.total(Phase::UserExec) > 0);
+        // Exports are non-empty and byte-stable across identical runs.
+        let collapsed = p.to_collapsed();
+        assert!(collapsed.contains(";os-service "), "{collapsed}");
+        assert!(collapsed.contains("user;user-exec "), "{collapsed}");
+        assert!(!p.top_table(5).is_empty());
+        assert!(!p.epochs().is_empty());
+    }
+
+    #[test]
+    fn profiling_a_run_without_telemetry_keeps_metrics_empty() {
+        let mut cfg = small(PolicyKind::HardwarePredictor { threshold: 500 }, 1_000);
+        cfg.profiling = true;
+        let (_, telemetry, profile) = Simulation::new(cfg).run_full_observed();
+        assert!(telemetry.metrics.metrics().is_empty());
+        assert!(telemetry.events.is_empty());
+        assert!(profile.enabled);
+        assert!(profile.attributed_total() > 0);
     }
 
     #[test]

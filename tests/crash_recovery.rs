@@ -157,6 +157,102 @@ fn resume_from_scratch_and_failed_rows_round_trip() {
     let _ = std::fs::remove_file(&journal);
 }
 
+/// Journal restore rebuilds every report field for field — including
+/// `cycle_breakdown` and the per-OS-core arrays, which a resume must
+/// carry losslessly rather than default to zeroes.
+#[test]
+fn restored_reports_round_trip_cycle_breakdown_and_per_core_arrays() {
+    let plan = seeded_plan();
+    let journal = temp_journal("roundtrip");
+    let full = run_plan(
+        &plan,
+        &RunnerOptions {
+            journal: Some(journal.clone()),
+            ..canonical(1)
+        },
+    );
+    assert_eq!(full.failures().count(), 0);
+    let loaded = osoffload::runner::journal::load(&journal).expect("journal loads");
+    assert_eq!(loaded.rows.len(), plan.len());
+    for restored in &loaded.rows {
+        let fresh = &full.rows[restored.index];
+        let (Outcome::Ok(a), Outcome::Ok(b)) = (&restored.outcome, &fresh.outcome) else {
+            panic!("expected ok rows on both sides");
+        };
+        assert!(
+            a.cycle_breakdown.base > 0 && a.cycle_breakdown.migration > 0,
+            "the fixture must exercise the breakdown"
+        );
+        assert_eq!(a.cycle_breakdown, b.cycle_breakdown);
+        assert_eq!(a.os_core_busy_cycles, b.os_core_busy_cycles);
+        // Float fields are archived at six decimals; the utilisation
+        // array round-trips exactly at that (serialised) precision.
+        let six = |xs: &[f64]| xs.iter().map(|x| format!("{x:.6}")).collect::<Vec<_>>();
+        assert_eq!(six(&a.os_core_utilisation), six(&b.os_core_utilisation));
+        assert_eq!(a.to_json(), b.to_json(), "every field round-trips");
+    }
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// `--resume-retry-failed` re-attempts journaled failed rows on resume
+/// instead of restoring the failure verbatim; once the cause is fixed,
+/// the resumed archive equals an uninterrupted healthy run's.
+#[test]
+fn resume_retry_failed_reattempts_failed_rows() {
+    let plan = seeded_plan();
+    let journal = temp_journal("retry");
+    let failing = |p: &osoffload::runner::Point| {
+        if p.index == 2 {
+            panic!("synthetic failure at {}", p.id);
+        }
+        osoffload::system::Simulation::new(p.config.clone()).run()
+    };
+    let first = run_plan_with(
+        &plan,
+        &RunnerOptions {
+            resume: Some(journal.clone()),
+            ..canonical(2)
+        },
+        failing,
+    );
+    assert_eq!(first.failures().count(), 1);
+
+    // A plain resume restores the failure verbatim…
+    let plain = run_plan(
+        &plan,
+        &RunnerOptions {
+            resume: Some(journal.clone()),
+            ..canonical(2)
+        },
+    );
+    assert_eq!(plain.failures().count(), 1);
+
+    // …while --resume-retry-failed re-evaluates the point (here with the
+    // healthy default evaluator), and the re-run row is re-journaled.
+    let retried = run_plan(
+        &plan,
+        &RunnerOptions {
+            resume: Some(journal.clone()),
+            resume_retry_failed: true,
+            ..canonical(2)
+        },
+    );
+    assert_eq!(retried.failures().count(), 0);
+    let clean = run_plan(&plan, &canonical(2));
+    assert_eq!(retried.to_json(), clean.to_json());
+
+    // The fresh row is durable: a later plain resume restores it.
+    let after = run_plan(
+        &plan,
+        &RunnerOptions {
+            resume: Some(journal.clone()),
+            ..canonical(2)
+        },
+    );
+    assert_eq!(after.to_json(), clean.to_json());
+    let _ = std::fs::remove_file(&journal);
+}
+
 /// A resume must refuse a journal that belongs to a different campaign
 /// rather than silently mixing results.
 #[test]
