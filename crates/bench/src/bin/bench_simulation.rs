@@ -2,17 +2,20 @@
 //!
 //! Times reference Figure 4 / Table III configurations best-of-N plus the
 //! whole Figure 4 quick sweep (sequential, single-threaded, so numbers are
-//! comparable across commits), prints a table, and archives
-//! `results/BENCH_simulation.json`.
+//! comparable across commits) — scalar and through the lane engine
+//! (`run_lanes` at the runner's auto width) — prints a table, and archives
+//! `results/BENCH_simulation.json`. Scalar and lane sweep reps are
+//! interleaved so ambient machine drift hits both sides equally instead
+//! of biasing the reported speedup.
 //!
 //! Modes:
 //!
 //! * `bench_simulation [quick|full|paper]` — measure and archive.
 //! * `--before=PATH` — embed a previous run's numbers as the "before"
 //!   section and report speedups against them.
-//! * `--check=PATH` — CI gate: compare the measured sweep time against the
-//!   `baseline_ms` recorded in PATH and exit non-zero on a >20%
-//!   regression.
+//! * `--check=PATH` — CI gate: compare the measured *lane* sweep time
+//!   (the path the runner actually takes) against the `baseline_ms`
+//!   recorded in PATH and exit non-zero on a >20% regression.
 //!
 //! No external dependencies: timing via `std::time::Instant`, JSON written
 //! and scanned by hand.
@@ -21,7 +24,7 @@ use osoffload_bench::render_table;
 use osoffload_system::experiments::{
     fig4_grid_with, simulate, single_config, Scale, FIG4_LATENCIES, FIG4_THRESHOLDS,
 };
-use osoffload_system::PolicyKind;
+use osoffload_system::{run_lanes, PolicyKind, SystemConfig};
 use osoffload_workload::Profile;
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -155,7 +158,7 @@ fn scan_point_ms(json: &str, name: &str) -> Option<f64> {
 fn main() {
     let args = parse_args();
     let point_reps = 5;
-    let sweep_reps = if args.scale_word == "quick" { 2 } else { 3 };
+    let sweep_reps = 3;
 
     eprintln!(
         "[bench_simulation] scale={} point_reps={point_reps} sweep_reps={sweep_reps}",
@@ -177,11 +180,52 @@ fn main() {
         point_ms.push(ms);
     }
 
-    let sweep_ms = best_of_ms(sweep_reps, || {
-        fig4_grid_with(args.scale, FIG4_LATENCIES, FIG4_THRESHOLDS, &mut simulate)
-    });
+    // Record the sweep's configurations once (untimed) so the lane side
+    // replays exactly the grid the scalar driver runs. The recording
+    // pass evaluates a truncated stand-in per point only to satisfy the
+    // driver's report plumbing.
+    let mut grid: Vec<SystemConfig> = Vec::new();
+    {
+        let mut record = |cfg: SystemConfig| {
+            grid.push(cfg.clone());
+            simulate(SystemConfig {
+                instructions: 1_000,
+                warmup: 0,
+                ..cfg
+            })
+        };
+        let _ = fig4_grid_with(args.scale, FIG4_LATENCIES, FIG4_THRESHOLDS, &mut record);
+    }
+
+    // Interleaved best-of: one warm pass each, then scalar/lane pairs
+    // back to back, so a noisy neighbour slows both sides of the ratio.
+    const LANE_WIDTH: usize = 4;
+    let mut sweep_ms = f64::INFINITY;
+    let mut lanes_ms = f64::INFINITY;
+    black_box(fig4_grid_with(
+        args.scale,
+        FIG4_LATENCIES,
+        FIG4_THRESHOLDS,
+        &mut simulate,
+    ));
+    black_box(run_lanes(&grid, LANE_WIDTH).expect("grid configs are valid"));
+    for _ in 0..sweep_reps {
+        let start = Instant::now();
+        black_box(fig4_grid_with(
+            args.scale,
+            FIG4_LATENCIES,
+            FIG4_THRESHOLDS,
+            &mut simulate,
+        ));
+        sweep_ms = sweep_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        black_box(run_lanes(&grid, LANE_WIDTH).expect("grid configs are valid"));
+        lanes_ms = lanes_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let speedup_lanes = sweep_ms / lanes_ms;
     eprintln!(
-        "[bench_simulation] fig4_{}_sweep: {sweep_ms:.1} ms",
+        "[bench_simulation] fig4_{}_sweep: scalar {sweep_ms:.1} ms, \
+         lanes={LANE_WIDTH} {lanes_ms:.1} ms ({speedup_lanes:.2}x)",
         args.scale_word
     );
 
@@ -207,6 +251,12 @@ fn main() {
         before_sweep.map_or_else(|| "-".into(), |b| format!("{b:.1}")),
         format!("{sweep_ms:.1}"),
         before_sweep.map_or_else(|| "-".into(), |b| format!("{:.2}x", b / sweep_ms)),
+    ]);
+    rows.push(vec![
+        format!("fig4_{}_sweep_lanes{LANE_WIDTH}", args.scale_word),
+        "-".into(),
+        format!("{lanes_ms:.1}"),
+        format!("{speedup_lanes:.2}x vs scalar"),
     ]);
     println!(
         "{}",
@@ -256,7 +306,15 @@ fn main() {
     json.push_str(&section(&current, sweep_ms));
     json.push_str(",\n");
     json.push_str(&format!(
-        "  \"gate\": {{\"metric\": \"fig4_quick_sweep_ms\", \"baseline_ms\": {sweep_ms:.3}, \"max_regression_factor\": {MAX_REGRESSION_FACTOR}}}\n}}\n"
+        "  \"lanes\": {{\"width\": {LANE_WIDTH}, \"fig4_quick_sweep_lanes_ms\": {lanes_ms:.3}, \"speedup_lanes_vs_scalar\": {speedup_lanes:.3}}},\n"
+    ));
+    json.push_str(
+        "  \"notes\": \"scalar and lane sweep reps interleaved to cancel ambient drift; \
+         executor claim index / watchdog slots cache-line padded (false-sharing fix) — \
+         single-worker sweep time unchanged within noise, padding is for multi-worker hosts\",\n",
+    );
+    json.push_str(&format!(
+        "  \"gate\": {{\"metric\": \"fig4_quick_sweep_lanes_ms\", \"baseline_ms\": {lanes_ms:.3}, \"max_regression_factor\": {MAX_REGRESSION_FACTOR}}}\n}}\n"
     ));
 
     std::fs::create_dir_all(&args.out_dir).expect("create out dir");
@@ -277,15 +335,15 @@ fn main() {
                 std::process::exit(1);
             });
         let limit = baseline * MAX_REGRESSION_FACTOR;
-        if sweep_ms > limit {
+        if lanes_ms > limit {
             eprintln!(
-                "[bench_simulation] GATE FAIL: sweep {sweep_ms:.1} ms > {limit:.1} ms \
+                "[bench_simulation] GATE FAIL: lane sweep {lanes_ms:.1} ms > {limit:.1} ms \
                  (baseline {baseline:.1} ms x {MAX_REGRESSION_FACTOR})"
             );
             std::process::exit(1);
         }
         eprintln!(
-            "[bench_simulation] gate ok: sweep {sweep_ms:.1} ms <= {limit:.1} ms \
+            "[bench_simulation] gate ok: lane sweep {lanes_ms:.1} ms <= {limit:.1} ms \
              (baseline {baseline:.1} ms x {MAX_REGRESSION_FACTOR})"
         );
     }

@@ -10,8 +10,11 @@
 //!   archived with failed rows — across any number of artefacts.
 //! - `diff` emits report-level deltas (IPC, cycle-breakdown components,
 //!   queue-delay percentiles, per-OS-core utilisation) between two
-//!   runs, and with `--gate=PCT` exits non-zero when the headline
-//!   deltas exceed the gate: a generalized perf gate.
+//!   runs — plus runner wall-clock and points-per-second deltas when
+//!   both artefacts carry timing (canonical archives zero `wall_ms`, so
+//!   canonical diffs stay byte-stable without these lines) — and with
+//!   `--gate=PCT` exits non-zero when the headline deltas exceed the
+//!   gate: a generalized perf gate.
 //!
 //! Everything here is read-only and deterministic: the same inputs
 //! produce byte-identical output (`diff --canonical` additionally omits
@@ -37,6 +40,8 @@ struct Row {
     digest: String,
     config: String,
     report: Option<Value>,
+    /// Runner wall-clock for the point; 0 in canonical artefacts.
+    wall_ms: f64,
 }
 
 /// A loaded artefact.
@@ -84,6 +89,7 @@ fn load(path: &str) -> Result<Artefact, String> {
                         Outcome::Ok(rep) => jsonv::parse(&rep.to_json()).ok(),
                         _ => None,
                     },
+                    wall_ms: r.wall_ms,
                 }
             })
             .collect();
@@ -195,6 +201,7 @@ fn parse_archive_row(text: &str) -> Option<Row> {
         digest: format!("{:016x}", fnv1a64(config.as_bytes())),
         config,
         report: v.get("report").cloned(),
+        wall_ms: v.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
     })
 }
 
@@ -427,6 +434,25 @@ fn render_diff(a: &str, b: &str, canonical: bool) -> Result<(String, f64), Strin
     };
     let (rows_a, rows_b) = (ok_rows(&doc_a), ok_rows(&doc_b));
     let _ = writeln!(out, "rows: {} vs {} ok", rows_a.len(), rows_b.len());
+    // Wall-clock / throughput deltas, only when both sides carry real
+    // timing: canonical artefacts zero every row's wall_ms, so a
+    // canonical diff emits no timing lines and stays byte-stable.
+    let wall = |doc: &Artefact| -> f64 { doc.rows().iter().map(|r| r.wall_ms).sum() };
+    let (wall_a, wall_b) = (wall(&doc_a), wall(&doc_b));
+    if wall_a > 0.0 && wall_b > 0.0 {
+        let _ = writeln!(
+            out,
+            "wall: {wall_a:.1} -> {wall_b:.1} ms  {:+.3}%",
+            pct(wall_a, wall_b)
+        );
+        let rate = |rows: usize, wall: f64| rows as f64 * 1e3 / wall;
+        let (rate_a, rate_b) = (rate(rows_a.len(), wall_a), rate(rows_b.len(), wall_b));
+        let _ = writeln!(
+            out,
+            "throughput: {rate_a:.2} -> {rate_b:.2} points/sec  {:+.3}%",
+            pct(rate_a, rate_b)
+        );
+    }
     let mut compared = 0usize;
     let mut max_headline = 0.0f64;
     for (index, id, rep_a) in &rows_a {
@@ -657,6 +683,38 @@ mod tests {
         assert!(out.contains("cycle_breakdown.base"), "{out}");
         assert!(out.contains("queue.p95_delay"), "{out}");
         assert!(out.contains("os_core_utilisation[0]"), "{out}");
+    }
+
+    #[test]
+    fn timed_artefacts_get_wall_and_throughput_deltas() {
+        // Canonical fixtures zero wall_ms: no timing lines, so the
+        // byte-stability of canonical diffs is untouched.
+        let (out, _) =
+            render_diff(&fixture("mini_base.json"), &fixture("mini_slow.json"), true).unwrap();
+        assert!(!out.contains("wall:"), "{out}");
+        assert!(!out.contains("points/sec"), "{out}");
+        // Rewrite the rows with real wall-clock on both sides: the diff
+        // gains wall and points/sec lines.
+        let dir = std::env::temp_dir().join(format!("osoff-inspect-wall-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let timed = |src: &str, ms: f64, name: &str| {
+            let text = std::fs::read_to_string(fixture(src)).unwrap();
+            let path = dir.join(name);
+            let timed_text = text
+                .replace("\"wall_ms\":0.000", &format!("\"wall_ms\":{ms:.3}"))
+                .replace("\"wall_ms\":0.0,", &format!("\"wall_ms\":{ms:.1},"));
+            std::fs::write(&path, timed_text).unwrap();
+            path
+        };
+        let a = timed("mini_base.json", 50.0, "a.json");
+        let b = timed("mini_slow.json", 25.0, "b.json");
+        let (out, _) = render_diff(a.to_str().unwrap(), b.to_str().unwrap(), true).unwrap();
+        assert!(out.contains("wall: 100.0 -> 50.0 ms  -50.000%"), "{out}");
+        assert!(
+            out.contains("throughput: 20.00 -> 40.00 points/sec  +100.000%"),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

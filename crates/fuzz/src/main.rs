@@ -68,7 +68,8 @@ OPTIONS:
     --master-seed <SEED>  campaign seed (default 0)
     --oracle <NAMES>      comma-separated subset of:
                           differential,predictor,invariants,telemetry,alloc,
-                          crash-recovery,profile (repeatable; default: all)
+                          crash-recovery,profile,lane-stepper
+                          (repeatable; default: all)
     --corpus-dir <DIR>    repro archive directory (default fuzz/corpus)
     -h, --help            this text";
 

@@ -1,4 +1,4 @@
-//! The seven oracles a case is judged by.
+//! The eight oracles a case is judged by.
 //!
 //! Each oracle runs the case (or a stream derived from it) and checks a
 //! property that must hold for *every* valid configuration:
@@ -26,14 +26,20 @@
 //! 7. **profile** — enabling the cycle-attribution profiler must not
 //!    change the report, and the per-phase totals it collects must
 //!    reconcile exactly with the report's own cycle accounting
-//!    (decision overhead, migration, queue wait, throttle).
+//!    (decision overhead, migration, queue wait, throttle);
+//! 8. **lane-stepper** — replaying the case through the lane engine
+//!    ([`LaneStepper`]) at widths 1, 2, 4 and 8, co-resident with
+//!    policy/latency variants of itself (so lanes diverge in offload
+//!    decisions and rejoin on shared tape positions), must produce a
+//!    report byte-identical to the scalar [`Simulation::run`] for every
+//!    lane.
 
 use crate::case::FuzzCase;
 use crate::json;
 use osoffload_core::{AState, CamPredictor, ReferenceCamPredictor, RunLengthPredictor};
 use osoffload_obs::TelemetryMode;
 use osoffload_sim::alloc_audit;
-use osoffload_system::{Phase, PolicyKind, SimReport, Simulation};
+use osoffload_system::{LaneStepper, Phase, PolicyKind, SimReport, Simulation};
 use osoffload_workload::{Segment, ThreadWorkload};
 
 /// Which oracle to run.
@@ -55,11 +61,15 @@ pub enum OracleKind {
     /// Profiling-on vs profiling-off report identity, plus the profile's
     /// phase totals reconciling with the report's cycle accounting.
     Profile,
+    /// Lane-engine replay at widths 1/2/4/8, mixed with co-resident
+    /// variants, vs memoised scalar runs: every lane's report must be
+    /// byte-identical to [`Simulation::run`].
+    LaneStepper,
 }
 
 impl OracleKind {
     /// Every oracle, in canonical run order.
-    pub const ALL: [OracleKind; 7] = [
+    pub const ALL: [OracleKind; 8] = [
         OracleKind::Differential,
         OracleKind::Predictor,
         OracleKind::Invariants,
@@ -67,6 +77,7 @@ impl OracleKind {
         OracleKind::Alloc,
         OracleKind::CrashRecovery,
         OracleKind::Profile,
+        OracleKind::LaneStepper,
     ];
 
     /// Stable CLI / corpus-file name.
@@ -79,6 +90,7 @@ impl OracleKind {
             OracleKind::Alloc => "alloc",
             OracleKind::CrashRecovery => "crash-recovery",
             OracleKind::Profile => "profile",
+            OracleKind::LaneStepper => "lane-stepper",
         }
     }
 
@@ -180,6 +192,7 @@ pub fn check(case: &FuzzCase, oracle: OracleKind) -> Result<(), OracleFailure> {
             Ok(())
         }
         OracleKind::CrashRecovery => check_crash_recovery(case).map_err(fail),
+        OracleKind::LaneStepper => check_lane_stepper(case).map_err(fail),
         OracleKind::Profile => {
             let base = Simulation::new(cfg.clone()).run();
             let mut prof_cfg = cfg.clone();
@@ -352,6 +365,72 @@ fn check_crash_recovery(case: &FuzzCase) -> Result<(), String> {
     })();
     let _ = std::fs::remove_dir_all(&dir);
     result
+}
+
+/// Lane-engine differential check: the case and three co-resident
+/// variants of it (a different threshold, an always-offload lane, and a
+/// different migration latency — all [`tape_compatible`] with the
+/// original, none identical in behaviour) are packed into lanes at
+/// widths 1, 2, 4 and 8 and compared against memoised scalar runs.
+/// Mixing variants makes the lanes *diverge* (different offload
+/// decisions at the same tape position) and *rejoin* (identical drawn
+/// segments either side), which is exactly the sharing the tape replay
+/// must never let leak between lanes.
+///
+/// [`tape_compatible`]: osoffload_system::tape_compatible
+fn check_lane_stepper(case: &FuzzCase) -> Result<(), String> {
+    // Clamp to oracle scale: the property under test is lane/scalar
+    // identity, not simulation scale.
+    let mut base = case.clone();
+    base.instructions = base.instructions.clamp(2_000, 30_000);
+    base.warmup = base.warmup.min(base.instructions / 4);
+
+    // Co-resident variants sharing the base case's workload shape.
+    // Variants that fail to lower (a policy the rest of the case
+    // rejects) are skipped; the base case itself must lower.
+    let mut variant_cases = vec![base.clone()];
+    variant_cases.push(FuzzCase {
+        policy: crate::case::PolicySpec::Always,
+        ..base.clone()
+    });
+    variant_cases.push(FuzzCase {
+        policy: crate::case::PolicySpec::Hi { threshold: 100 },
+        ..base.clone()
+    });
+    variant_cases.push(FuzzCase {
+        migration_one_way: base.migration_one_way / 2 + 1,
+        ..base.clone()
+    });
+    base.to_config()
+        .map_err(|e| format!("clamped case invalid: {e}"))?;
+    let variants: Vec<osoffload_system::SystemConfig> = variant_cases
+        .iter()
+        .filter_map(|c| c.to_config().ok())
+        .collect();
+
+    // Memoised scalar references, one per variant, computed on first
+    // use (width 1 only ever needs the first).
+    let mut scalar: Vec<Option<SimReport>> = vec![None; variants.len()];
+    for width in [1usize, 2, 4, 8] {
+        let configs: Vec<_> = (0..width)
+            .map(|i| variants[i % variants.len()].clone())
+            .collect();
+        let reports = LaneStepper::new(configs)
+            .map_err(|e| format!("width {width}: stepper rejected configs: {e}"))?
+            .run();
+        for (lane, report) in reports.iter().enumerate() {
+            let v = lane % variants.len();
+            let reference =
+                scalar[v].get_or_insert_with(|| Simulation::new(variants[v].clone()).run());
+            if report != reference {
+                return Err(format!(
+                    "width {width}, lane {lane} (variant {v}) differs from scalar: {}",
+                    report_diff(report, reference)
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Runs `case` through every oracle, collecting all failures.

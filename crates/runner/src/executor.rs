@@ -67,6 +67,15 @@ pub struct RunnerOptions {
     pub fault_seed: Option<u64>,
     /// An explicit fault plan (takes precedence over `fault_seed`).
     pub fault_plan: Option<FaultPlan>,
+    /// Lane-pack width for the lane-parallel sweep engine: `0` = auto
+    /// (currently 4), `1` forces the scalar per-point path, `N > 1`
+    /// packs up to N tape-compatible points per [`LaneStepper`] run.
+    /// Reports are bit-identical either way; telemetry, profiling,
+    /// fault-injection, and deadline sweeps always take the scalar
+    /// path.
+    ///
+    /// [`LaneStepper`]: osoffload_system::LaneStepper
+    pub lanes: usize,
 }
 
 impl Default for RunnerOptions {
@@ -87,6 +96,7 @@ impl Default for RunnerOptions {
             canonical: false,
             fault_seed: None,
             fault_plan: None,
+            lanes: 0,
         }
     }
 }
@@ -99,8 +109,8 @@ impl RunnerOptions {
     /// `--out=DIR`, `--telemetry`, `--trace-out=DIR` (implies
     /// `--telemetry`), `--profile`, `--journal=FILE`, `--resume=FILE`,
     /// `--resume-retry-failed`, `--deadline-ms=N`, `--backoff-ms=N`,
-    /// `--canonical`, and `--inject-faults=SEED`. Malformed values
-    /// abort with a message on stderr.
+    /// `--canonical`, `--inject-faults=SEED`, and `--lanes=N` (0 =
+    /// auto). Malformed values abort with a message on stderr.
     pub fn parse_flags(args: &[String]) -> (RunnerOptions, Vec<String>) {
         let mut opts = RunnerOptions::default();
         let mut rest = Vec::new();
@@ -148,6 +158,8 @@ impl RunnerOptions {
                 opts.canonical = true;
             } else if let Some(v) = arg.strip_prefix("--inject-faults=") {
                 opts.fault_seed = Some(parse_u64("--inject-faults", v));
+            } else if let Some(v) = arg.strip_prefix("--lanes=") {
+                opts.lanes = parse_num("--lanes", v);
             } else {
                 rest.push(arg.clone());
             }
@@ -498,6 +510,15 @@ pub(crate) fn sanitize_id(id: &str) -> String {
         .collect()
 }
 
+/// Pads and aligns its contents to a 64-byte cache line. The executor's
+/// hot shared state — the claim index, the watchdog arm slots, the
+/// shutdown flags — is declared together, so without padding it lands
+/// on one or two lines and every `fetch_add` on the claim index
+/// invalidates the line a sibling worker (or the watchdog poller) is
+/// reading: classic false sharing. Padded, each counter owns its line.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
 /// Per-attempt context handed to [`run_plan_ctx`] evaluators.
 #[derive(Debug, Clone)]
 pub struct EvalCtx {
@@ -523,6 +544,15 @@ pub fn run_plan(plan: &ExperimentPlan, opts: &RunnerOptions) -> SweepResult {
     // The cancellation token is only installed when a watchdog can
     // raise it, keeping deadline-free runs on the token-free path.
     let armed = opts.deadline_ms.is_some();
+    if crate::lane_exec::eligible(opts) {
+        // Lane path: points are served from lane packs (see
+        // `lane_exec`), each report bit-identical to the scalar
+        // evaluation below.
+        let width = crate::lane_exec::effective_lanes(opts);
+        let packs = crate::lane_exec::LanePacks::build(plan.points(), width);
+        let points = plan.points();
+        return run_plan_ctx(plan, opts, move |p, _ctx| packs.eval(points, p));
+    }
     if !opts.telemetry && !opts.profile {
         return run_plan_ctx(plan, opts, |p, ctx| {
             let sim = Simulation::new(p.config.clone());
@@ -694,14 +724,18 @@ pub fn run_plan_ctx(
         }
     }
 
-    let next = AtomicUsize::new(0);
+    let next = CachePadded(AtomicUsize::new(0));
     let start = Instant::now();
     // One arm slot per worker: the attempt's start time and its token,
-    // scanned by the watchdog thread.
-    type ArmSlot = Mutex<Option<(Instant, CancelToken)>>;
-    let watch: Vec<ArmSlot> = (0..workers).map(|_| Mutex::new(None)).collect();
-    let active_workers = AtomicUsize::new(workers);
-    let stop_watchdog = AtomicBool::new(false);
+    // scanned by the watchdog thread. Each slot is padded to its own
+    // cache line so arming/disarming one worker's slot does not contend
+    // with the watchdog polling its neighbours'.
+    type ArmSlot = CachePadded<Mutex<Option<(Instant, CancelToken)>>>;
+    let watch: Vec<ArmSlot> = (0..workers)
+        .map(|_| CachePadded(Mutex::new(None)))
+        .collect();
+    let active_workers = CachePadded(AtomicUsize::new(workers));
+    let stop_watchdog = CachePadded(AtomicBool::new(false));
 
     std::thread::scope(|scope| {
         if let Some(ms) = deadline {
@@ -710,10 +744,11 @@ pub fn run_plan_ctx(
             scope.spawn(move || {
                 let poll = Duration::from_millis((ms / 4).clamp(1, 50));
                 let limit = Duration::from_millis(ms);
-                while !stop.load(Ordering::Relaxed) {
+                while !stop.0.load(Ordering::Relaxed) {
                     std::thread::sleep(poll);
                     for slot in watch {
-                        if let Some((armed_at, token)) = &*slot.lock().expect("watch slot poisoned")
+                        if let Some((armed_at, token)) =
+                            &*slot.0.lock().expect("watch slot poisoned")
                         {
                             if armed_at.elapsed() >= limit {
                                 token.cancel();
@@ -735,7 +770,7 @@ pub fn run_plan_ctx(
             let stop_watchdog = &stop_watchdog;
             scope.spawn(move || {
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let i = next.0.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
@@ -763,7 +798,7 @@ pub fn run_plan_ctx(
                         let attempt_start = Instant::now();
                         let token = CancelToken::new();
                         if deadline.is_some() {
-                            *watch[worker].lock().expect("watch slot poisoned") =
+                            *watch[worker].0.lock().expect("watch slot poisoned") =
                                 Some((attempt_start, token.clone()));
                         }
                         let ctx = EvalCtx {
@@ -785,7 +820,7 @@ pub fn run_plan_ctx(
                             eval(point, &ctx)
                         }));
                         if deadline.is_some() {
-                            *watch[worker].lock().expect("watch slot poisoned") = None;
+                            *watch[worker].0.lock().expect("watch slot poisoned") = None;
                         }
                         attempt_ms.push(attempt_start.elapsed().as_secs_f64() * 1e3);
                         match result {
@@ -864,8 +899,8 @@ pub fn run_plan_ctx(
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
                     progress.point_done(&point.id, ok);
                 }
-                if active_workers.fetch_sub(1, Ordering::Relaxed) == 1 {
-                    stop_watchdog.store(true, Ordering::Relaxed);
+                if active_workers.0.fetch_sub(1, Ordering::Relaxed) == 1 {
+                    stop_watchdog.0.store(true, Ordering::Relaxed);
                 }
             });
         }
@@ -956,6 +991,49 @@ mod tests {
     }
 
     #[test]
+    fn lane_path_rows_match_scalar_path() {
+        // Real simulations, two shapes (seeds), mixed policies: the
+        // lane path must reproduce the scalar rows bit-for-bit.
+        let mut plan = ExperimentPlan::new("lane-int", 5);
+        for (i, (threshold, seed)) in [(100u64, 1u64), (5_000, 2), (900, 1), (100, 2)]
+            .iter()
+            .enumerate()
+        {
+            plan.push_pinned(
+                format!("p{i}"),
+                SystemConfig::builder()
+                    .profile(Profile::apache())
+                    .policy(PolicyKind::HardwarePredictor {
+                        threshold: *threshold,
+                    })
+                    .instructions(20_000)
+                    .warmup(5_000)
+                    .seed(*seed)
+                    .build(),
+            );
+        }
+        let quiet = RunnerOptions {
+            quiet: true,
+            workers: 2,
+            canonical: true,
+            ..RunnerOptions::default()
+        };
+        let scalar = run_plan(
+            &plan,
+            &RunnerOptions {
+                lanes: 1,
+                ..quiet.clone()
+            },
+        );
+        let lanes = run_plan(&plan, &RunnerOptions { lanes: 4, ..quiet });
+        assert_eq!(scalar.failures().count(), 0);
+        assert_eq!(lanes.failures().count(), 0);
+        let a: Vec<String> = scalar.rows.iter().map(|r| r.row_json()).collect();
+        let b: Vec<String> = lanes.rows.iter().map(|r| r.row_json()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn panicking_point_is_isolated() {
         let plan = plan(6);
         let opts = RunnerOptions {
@@ -1029,6 +1107,7 @@ mod tests {
             "--inject-faults=99",
             "--profile",
             "--resume-retry-failed",
+            "--lanes=3",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -1052,6 +1131,7 @@ mod tests {
         assert!(opts.profile);
         assert_eq!(opts.profile_dir(), std::path::PathBuf::from("tmp/profile"));
         assert!(opts.resume_retry_failed);
+        assert_eq!(opts.lanes, 3);
         assert_eq!(rest, vec!["quick".to_string()]);
     }
 

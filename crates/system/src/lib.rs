@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod lanes;
 pub mod metrics;
 pub mod migration;
 pub mod profile;
@@ -35,6 +36,7 @@ pub mod topology;
 pub mod trace;
 
 pub use config::{ConfigError, PolicyKind, SystemConfig, SystemConfigBuilder};
+pub use lanes::{run_lanes, tape_compatible, LaneStepper, TapeRegistry};
 pub use metrics::{BinaryPoint, CycleBreakdown, PredictorReport, QueueReport, SimReport};
 pub use migration::{MigrationModel, OffloadMechanism, OsCoreQueue};
 pub use profile::{CycleProfile, Phase, ProfileEntry, ProfileEpoch};

@@ -39,12 +39,69 @@ use osoffload_obs::{Event, EventKind, MetricId, MetricsRegistry, RunTelemetry, T
 use osoffload_sim::{
     alloc_audit, CancelToken, Cancelled, Counter, Cycle, EpochClock, EpochEvent, Instret, Rng64,
 };
-#[cfg(feature = "reference-stepper")]
-use osoffload_workload::InstrSpec;
-use osoffload_workload::{OsInvocation, Segment, ThreadWorkload};
+use osoffload_workload::{
+    InstrSpec, OsInvocation, Segment, SharedTape, TapeCursor, TapedInstr, ThreadWorkload,
+};
+
+/// Where a thread's draw stream comes from: a live generator (the
+/// scalar path) or a cursor into a shared [`WorkloadTape`]
+/// (the lane path, where K co-resident simulations replay one
+/// generation). Both produce bit-identical streams; see
+/// [`osoffload_workload::tape`].
+///
+/// [`WorkloadTape`]: osoffload_workload::WorkloadTape
+// Boxing the live generator would put a pointer chase on every draw in
+// the scalar hot loop; the enum lives in a per-thread Vec sized at
+// construction, so the size skew costs nothing.
+#[allow(clippy::large_enum_variant)]
+enum DrawSource {
+    Live(ThreadWorkload),
+    Tape(TapeCursor),
+}
+
+impl DrawSource {
+    #[inline]
+    fn next_segment(&mut self) -> Segment {
+        match self {
+            DrawSource::Live(wl) => wl.next_segment(),
+            DrawSource::Tape(c) => c.next_segment(),
+        }
+    }
+
+    /// Instruction `j` of the current segment of `source`.
+    #[inline]
+    fn instr(&mut self, source: InstrSource, j: u64) -> InstrSpec {
+        match self {
+            DrawSource::Live(wl) => match source {
+                InstrSource::User => wl.user_instr(),
+                InstrSource::Os(inv) => wl.os_instr(inv, j),
+            },
+            DrawSource::Tape(c) => c.instr(j),
+        }
+    }
+
+    /// For a tape source, the current segment's location — the shared
+    /// tape plus the `(thread, first, end)` span — so the hot loop can
+    /// read the whole segment through one borrow as a contiguous
+    /// slice. `None` for live sources.
+    fn tape_span(&self) -> Option<(SharedTape, (usize, usize, usize))> {
+        match self {
+            DrawSource::Live(_) => None,
+            DrawSource::Tape(c) => Some((c.tape().clone(), c.span())),
+        }
+    }
+
+    /// Tape consumption depth (0 for live sources).
+    fn depth(&self) -> usize {
+        match self {
+            DrawSource::Live(_) => 0,
+            DrawSource::Tape(c) => c.depth(),
+        }
+    }
+}
 
 struct ThreadCtx {
-    wl: ThreadWorkload,
+    src: DrawSource,
     arch: ArchState,
     clock: Cycle,
     user_core: usize,
@@ -173,6 +230,19 @@ impl Simulation {
     }
 
     fn build_validated(cfg: SystemConfig) -> Self {
+        Self::build_with_source(cfg, None)
+    }
+
+    /// Builds a validated simulation whose threads replay `tape`
+    /// instead of generating live. The tape must have been built for
+    /// this configuration's (profile, phases, thread-count, seed)
+    /// shape; [`LaneStepper`](crate::lanes::LaneStepper) guarantees
+    /// that by keying tapes on exactly those fields.
+    pub(crate) fn build_on_tape(cfg: SystemConfig, tape: SharedTape) -> Self {
+        Self::build_with_source(cfg, Some(tape))
+    }
+
+    fn build_with_source(cfg: SystemConfig, tape: Option<SharedTape>) -> Self {
         let mut mem_cfg = cfg.mem_config();
         mem_cfg.seed ^= cfg.seed;
         let l1_latency = mem_cfg.l1_latency;
@@ -191,15 +261,21 @@ impl Simulation {
         let mut master = Rng64::seed_from(cfg.seed);
         let threads = (0..cfg.thread_count())
             .map(|i| ThreadCtx {
-                wl: if cfg.phases.is_empty() {
-                    ThreadWorkload::new(cfg.profile.clone(), i, master.split().next_u64())
+                src: if let Some(tape) = &tape {
+                    DrawSource::Tape(TapeCursor::new(tape.clone(), i))
+                } else if cfg.phases.is_empty() {
+                    DrawSource::Live(ThreadWorkload::new(
+                        cfg.profile.clone(),
+                        i,
+                        master.split().next_u64(),
+                    ))
                 } else {
-                    ThreadWorkload::with_phases(
+                    DrawSource::Live(ThreadWorkload::with_phases(
                         cfg.profile.clone(),
                         cfg.phases.clone(),
                         i,
                         master.split().next_u64(),
-                    )
+                    ))
                 },
                 arch: ArchState::new(),
                 clock: Cycle::ZERO,
@@ -289,6 +365,21 @@ impl Simulation {
         if self.cfg.warmup > 0 {
             self.execute(Instret::new(self.cfg.warmup));
         }
+        let measured_start = self.begin_measured();
+        alloc_audit::region_enter();
+        self.execute(Instret::new(self.cfg.instructions));
+        alloc_audit::region_exit();
+        measured_start
+    }
+
+    /// The warm-up → measured transition: snapshots the warm-up
+    /// privileged fraction, resets statistics, rebuilds the trace,
+    /// arms the tuner and observation, and returns the cycle the
+    /// measured region starts at. All allocating setup happens here,
+    /// *before* the caller enters the allocation-audited region — the
+    /// lane stepper relies on that split to run one audited region
+    /// across many co-resident simulations.
+    pub(crate) fn begin_measured(&mut self) -> Cycle {
         let warmup_priv_frac = if self.retired_total > Instret::ZERO {
             self.retired_priv.as_f64() / self.retired_total.as_f64()
         } else {
@@ -298,11 +389,7 @@ impl Simulation {
         self.trace = InvocationTrace::new(self.cfg.trace_capacity);
         self.start_tuner(warmup_priv_frac);
         self.start_observation();
-        let measured_start = self.max_clock();
-        alloc_audit::region_enter();
-        self.execute(Instret::new(self.cfg.instructions));
-        alloc_audit::region_exit();
-        measured_start
+        self.max_clock()
     }
 
     /// Arms observation (telemetry and/or the profiler) for the
@@ -407,12 +494,39 @@ impl Simulation {
     fn execute(&mut self, target: Instret) {
         let start = self.retired_total;
         while self.retired_total - start < target {
-            let t = self.next_thread();
-            match self.threads[t].wl.next_segment() {
-                Segment::User { len } => self.run_user_burst(t, len),
-                Segment::Os(inv) => self.run_invocation(t, inv),
-            }
+            self.step_segment();
         }
+    }
+
+    /// Advances the lowest-clock thread by exactly one segment (a user
+    /// burst or a whole privileged invocation) — the quantum the lane
+    /// stepper interleaves across co-resident simulations.
+    pub(crate) fn step_segment(&mut self) {
+        let t = self.next_thread();
+        match self.threads[t].src.next_segment() {
+            Segment::User { len } => self.run_user_burst(t, len),
+            Segment::Os(inv) => self.run_invocation(t, inv),
+        }
+    }
+
+    /// Instructions retired since the last statistics reset.
+    pub(crate) fn retired(&self) -> Instret {
+        self.retired_total
+    }
+
+    /// Thread `t`'s tape consumption depth (the spec index one past
+    /// its cursor's current segment; 0 for live sources). Used by the
+    /// lane stepper to size the pre-extension that keeps the measured
+    /// region allocation-free.
+    pub(crate) fn tape_depth(&self, t: usize) -> usize {
+        self.threads[t].src.depth()
+    }
+
+    /// Finalises a lane: builds the report for a measured region that
+    /// started at `measured_start` (as returned by
+    /// [`begin_measured`](Self::begin_measured)).
+    pub(crate) fn finish(self, measured_start: Cycle) -> SimReport {
+        self.build_report(measured_start)
     }
 
     fn next_thread(&self) -> usize {
@@ -457,10 +571,20 @@ impl Simulation {
         let l1_latency = self.l1_latency;
         let mut elapsed = 0u64;
         let (mut acc_tlb, mut acc_fetch, mut acc_data, mut acc_branch) = (0u64, 0u64, 0u64, 0u64);
+        // On the lane path the whole segment is already materialised in
+        // the shared tape: borrow it once and walk the contiguous spec
+        // slice, instead of paying a shared-state access per
+        // instruction. Live sources draw per instruction as before.
+        let tape_span = self.threads[t].src.tape_span();
+        let guard = tape_span.as_ref().map(|(tape, _)| tape.borrow());
+        let feed: Option<&[TapedInstr]> = match (&guard, &tape_span) {
+            (Some(g), Some((_, (th, first, end)))) => Some(g.specs(*th, *first, *end)),
+            _ => None,
+        };
         for j in 0..len {
-            let spec = match source {
-                InstrSource::User => self.threads[t].wl.user_instr(),
-                InstrSource::Os(inv) => self.threads[t].wl.os_instr(inv, j),
+            let spec = match feed {
+                Some(specs) => specs[j as usize].unpack(),
+                None => self.threads[t].src.instr(source, j),
             };
             let mut cost = 1u64;
             let tlb_i = self.cores[core_idx].tlb_mut().translate(spec.pc).as_u64();
@@ -517,10 +641,7 @@ impl Simulation {
     ) -> Cycle {
         let mut elapsed = 0u64;
         for j in 0..len {
-            let spec = match source {
-                InstrSource::User => self.threads[t].wl.user_instr(),
-                InstrSource::Os(inv) => self.threads[t].wl.os_instr(inv, j),
-            };
+            let spec = self.threads[t].src.instr(source, j);
             let cost = self.exec_instr(core_idx, &spec);
             elapsed += if scale_milli == 1_000 {
                 cost

@@ -38,6 +38,7 @@ pub mod catalog;
 pub mod generator;
 pub mod invocation;
 pub mod profile;
+pub mod tape;
 pub mod validation;
 
 #[cfg(test)]
@@ -48,4 +49,5 @@ pub use catalog::{OsClass, OsSyscallCount, SyscallId, SyscallSpec, CATALOG, OS_S
 pub use generator::{InstrSpec, MemRef, Segment, ThreadWorkload};
 pub use invocation::OsInvocation;
 pub use profile::{Profile, ProfileError, ProfileKind};
+pub use tape::{SharedTape, TapeCursor, TapedInstr, WorkloadTape};
 pub use validation::{validate, ProfileValidation};

@@ -29,7 +29,11 @@ pub enum ProfileKind {
 }
 
 /// A complete statistical description of one benchmark.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every calibrated parameter; the lane engine
+/// uses it to decide when two configurations draw identical workload
+/// streams and may share one generation tape.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Benchmark name as used in the paper's figures.
     pub name: &'static str,
