@@ -20,6 +20,8 @@ pub enum Command {
     Trace(RunArgs),
     /// `osoffload inspect …` — run analytics over `results/` artefacts.
     Inspect(InspectArgs),
+    /// `osoffload serve …` — the cached experiment service.
+    Serve(ServeArgs),
     /// `osoffload list` — available profiles and policies.
     List,
     /// `osoffload help` (or `-h`/`--help`).
@@ -109,6 +111,59 @@ pub enum InspectArgs {
         /// Omit file paths from the output so it is byte-stable across
         /// directories.
         canonical: bool,
+    },
+}
+
+/// What `osoffload serve` should do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeArgs {
+    /// `serve start …` — boot the daemon (foreground).
+    Start {
+        /// Listening port (`0` = ephemeral; the daemon prints the bound
+        /// address).
+        port: u16,
+        /// Cache WAL path.
+        cache: String,
+        /// Output directory for archives and metrics.
+        out: String,
+        /// Worker threads per sweep (`0` = auto).
+        workers: usize,
+        /// Lane-pack width (`0` = auto).
+        lanes: usize,
+        /// Retries per failing point.
+        retries: u32,
+        /// Maximum cached entries (`0` = unbounded).
+        cache_max: usize,
+        /// Fault-injection seed (chaos testing).
+        inject_faults: Option<u64>,
+        /// Suppress stderr chatter.
+        quiet: bool,
+    },
+    /// `serve submit …` — submit the fig4 sweep and stream progress.
+    Submit {
+        /// Daemon port.
+        port: u16,
+        /// fig4 scale: `quick`, `full`, or `paper`.
+        fig4: String,
+        /// Exit 4 unless every point was served from cache.
+        require_cached: bool,
+        /// Suppress per-point progress lines.
+        quiet: bool,
+    },
+    /// `serve ping` — liveness check.
+    Ping {
+        /// Daemon port.
+        port: u16,
+    },
+    /// `serve stats` — cache/counter totals.
+    Stats {
+        /// Daemon port.
+        port: u16,
+    },
+    /// `serve stop` — ask the daemon to shut down.
+    Stop {
+        /// Daemon port.
+        port: u16,
     },
 }
 
@@ -245,6 +300,115 @@ fn parse_inspect_args(args: &[String]) -> Result<InspectArgs, ParseArgsError> {
     }
 }
 
+fn parse_eq_u64(arg: &str, flag: &str) -> Result<u64, ParseArgsError> {
+    let v = arg
+        .strip_prefix(flag)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| err(format!("{flag} needs =VALUE")))?;
+    v.replace('_', "")
+        .parse()
+        .map_err(|_| err(format!("{flag}: '{v}' is not a number")))
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseArgsError> {
+    let port_flag = |arg: &str| -> Result<u16, ParseArgsError> {
+        let n = parse_eq_u64(arg, "--port")?;
+        u16::try_from(n).map_err(|_| err(format!("--port: {n} is not a TCP port")))
+    };
+    match args.first().map(String::as_str) {
+        Some("start") => {
+            let mut port = 7411u16;
+            let mut cache = "results/serve/cache.wal".to_string();
+            let mut out = "results/serve".to_string();
+            let (mut workers, mut lanes, mut retries, mut cache_max) =
+                (0usize, 0usize, 0u32, 0usize);
+            let mut inject_faults = None;
+            let mut quiet = false;
+            for arg in &args[1..] {
+                if arg.starts_with("--port") {
+                    port = port_flag(arg)?;
+                } else if let Some(v) = arg.strip_prefix("--cache=") {
+                    cache = v.to_string();
+                } else if let Some(v) = arg.strip_prefix("--out=") {
+                    out = v.to_string();
+                } else if arg.starts_with("--workers") {
+                    workers = parse_eq_u64(arg, "--workers")? as usize;
+                } else if arg.starts_with("--lanes") {
+                    lanes = parse_eq_u64(arg, "--lanes")? as usize;
+                } else if arg.starts_with("--retries") {
+                    retries = parse_eq_u64(arg, "--retries")? as u32;
+                } else if arg.starts_with("--cache-max") {
+                    cache_max = parse_eq_u64(arg, "--cache-max")? as usize;
+                } else if arg.starts_with("--inject-faults") {
+                    inject_faults = Some(parse_eq_u64(arg, "--inject-faults")?);
+                } else if arg == "--quiet" {
+                    quiet = true;
+                } else {
+                    return Err(err(format!("serve start: unknown flag '{arg}'")));
+                }
+            }
+            Ok(ServeArgs::Start {
+                port,
+                cache,
+                out,
+                workers,
+                lanes,
+                retries,
+                cache_max,
+                inject_faults,
+                quiet,
+            })
+        }
+        Some("submit") => {
+            let mut port = 7411u16;
+            let mut fig4 = None;
+            let mut require_cached = false;
+            let mut quiet = false;
+            for arg in &args[1..] {
+                if arg.starts_with("--port") {
+                    port = port_flag(arg)?;
+                } else if let Some(v) = arg.strip_prefix("--fig4=") {
+                    if !matches!(v, "quick" | "full" | "paper") {
+                        return Err(err(format!("--fig4: '{v}' is not quick|full|paper")));
+                    }
+                    fig4 = Some(v.to_string());
+                } else if arg == "--require-cached" {
+                    require_cached = true;
+                } else if arg == "--quiet" {
+                    quiet = true;
+                } else {
+                    return Err(err(format!("serve submit: unknown flag '{arg}'")));
+                }
+            }
+            Ok(ServeArgs::Submit {
+                port,
+                fig4: fig4.ok_or_else(|| err("serve submit needs --fig4=quick|full|paper"))?,
+                require_cached,
+                quiet,
+            })
+        }
+        Some(op @ ("ping" | "stats" | "stop")) => {
+            let mut port = 7411u16;
+            for arg in &args[1..] {
+                if arg.starts_with("--port") {
+                    port = port_flag(arg)?;
+                } else {
+                    return Err(err(format!("serve {op}: unknown flag '{arg}'")));
+                }
+            }
+            Ok(match op {
+                "ping" => ServeArgs::Ping { port },
+                "stats" => ServeArgs::Stats { port },
+                _ => ServeArgs::Stop { port },
+            })
+        }
+        Some(other) => Err(err(format!(
+            "unknown serve subcommand '{other}' (expected start|submit|ping|stats|stop)"
+        ))),
+        None => Err(err("usage: serve <start|submit|ping|stats|stop> …")),
+    }
+}
+
 fn parse_run_args(args: &[String]) -> Result<RunArgs, ParseArgsError> {
     let mut out = RunArgs::default();
     let mut explicit_warmup = false;
@@ -316,8 +480,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         Some("sweep") => Ok(Command::Sweep(parse_run_args(&args[1..])?)),
         Some("trace") => Ok(Command::Trace(parse_run_args(&args[1..])?)),
         Some("inspect") => Ok(Command::Inspect(parse_inspect_args(&args[1..])?)),
+        Some("serve") => Ok(Command::Serve(parse_serve_args(&args[1..])?)),
         Some(other) => Err(err(format!(
-            "unknown subcommand '{other}' (expected run|compare|sweep|trace|inspect|list|help)"
+            "unknown subcommand '{other}' (expected run|compare|sweep|trace|inspect|serve|list|help)"
         ))),
     }
 }
@@ -327,7 +492,7 @@ pub const USAGE: &str = "\
 osoffload — selective off-loading of OS functionality (Nellans et al., WIOSCA 2010)
 
 USAGE:
-    osoffload <run|compare|sweep|trace|inspect|list|help> [flags]
+    osoffload <run|compare|sweep|trace|inspect|serve|list|help> [flags]
 
 SUBCOMMANDS:
     run       simulate one configuration and print the full report
@@ -335,6 +500,7 @@ SUBCOMMANDS:
     sweep     sweep the off-load threshold N for one workload/latency
     trace     per-invocation CSV trace to stdout (summary on stderr)
     inspect   analytics over results/ artefacts (archives, journals)
+    serve     cached experiment service (daemon + client; see SERVING.md)
     list      available workload profiles and policy specs
     help      this text
 
@@ -371,6 +537,19 @@ INSPECT SUBCOMMANDS (see TELEMETRY.md, \"Profiling & inspection\"):
                                             |dcycles| exceeds PCT percent;
                                             --canonical omits file paths so
                                             output is byte-stable
+
+SERVE SUBCOMMANDS (see SERVING.md):
+    serve start [--port=N] [--cache=FILE] [--out=DIR] [--workers=N]
+                [--lanes=N] [--retries=N] [--cache-max=N]
+                [--inject-faults=SEED] [--quiet]
+                                            boot the daemon in the foreground
+                                            (port 7411; 0 = ephemeral)
+    serve submit --fig4=quick|full|paper [--port=N] [--require-cached]
+                [--quiet]                   submit the fig4 sweep, stream
+                                            per-point progress; with
+                                            --require-cached, exit 4 unless
+                                            every point came from cache
+    serve ping|stats|stop [--port=N]        liveness / totals / shutdown
 
 EXAMPLES:
     osoffload run -p apache --policy hi:500 -l 1000 --energy
@@ -518,6 +697,50 @@ mod tests {
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("run -n 0")).is_err());
         assert!(parse(&argv("run --cores 0")).is_err());
+    }
+
+    #[test]
+    fn serve_args_parse() {
+        let cmd = parse(&argv(
+            "serve start --port=0 --cache=c.wal --out=o --workers=2 --lanes=1 \
+             --retries=3 --cache-max=10 --inject-faults=7 --quiet",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs::Start {
+                port: 0,
+                cache: "c.wal".into(),
+                out: "o".into(),
+                workers: 2,
+                lanes: 1,
+                retries: 3,
+                cache_max: 10,
+                inject_faults: Some(7),
+                quiet: true,
+            })
+        );
+        let cmd = parse(&argv(
+            "serve submit --fig4=quick --port=7500 --require-cached",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs::Submit {
+                port: 7500,
+                fig4: "quick".into(),
+                require_cached: true,
+                quiet: false,
+            })
+        );
+        assert_eq!(
+            parse(&argv("serve ping")).unwrap(),
+            Command::Serve(ServeArgs::Ping { port: 7411 })
+        );
+        assert!(parse(&argv("serve submit")).is_err(), "submit needs --fig4");
+        assert!(parse(&argv("serve submit --fig4=huge")).is_err());
+        assert!(parse(&argv("serve start --port=70000")).is_err());
+        assert!(parse(&argv("serve frobnicate")).is_err());
     }
 
     #[test]

@@ -66,6 +66,12 @@ impl Artefact {
 fn load(path: &str) -> Result<Artefact, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
     if text.starts_with("{\"fnv\":\"") {
+        // Envelope-format files are either runner journals or serve
+        // caches; the header line says which.
+        let first = text.lines().next().unwrap_or("");
+        if journal::unwrap_envelope(first) == Some(osoffload_serve::cache::HEADER_BODY) {
+            return load_serve_cache(path);
+        }
         let loaded = journal::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
         let rows = loaded
             .rows
@@ -125,6 +131,43 @@ fn load(path: &str) -> Result<Artefact, String> {
         return Ok(Artefact::Sweep { summary, rows });
     }
     Ok(Artefact::Other(doc))
+}
+
+/// Loads a serve result cache (read-only — inspection never heals or
+/// compacts the artefact) as one row per surviving entry, so `show`
+/// summarises it and `find --digest` searches it like any journal.
+fn load_serve_cache(path: &str) -> Result<Artefact, String> {
+    let (entries, warnings) = osoffload_serve::cache::read_entries(Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    for warning in &warnings {
+        eprintln!("warning: {warning}");
+    }
+    let rows = entries
+        .iter()
+        .map(|e| Row {
+            index: e.row.index,
+            id: e.row.id.clone(),
+            status: "ok".to_string(),
+            detail: String::new(),
+            digest: e.digest.clone(),
+            config: e.row.config_json.clone(),
+            report: match &e.row.outcome {
+                Outcome::Ok(rep) => jsonv::parse(&rep.to_json()).ok(),
+                _ => None,
+            },
+            wall_ms: e.row.wall_ms,
+        })
+        .collect();
+    let summary = format!(
+        "serve cache: entries={}{}",
+        entries.len(),
+        if warnings.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} records skipped)", warnings.len())
+        }
+    );
+    Ok(Artefact::Journal { summary, rows })
 }
 
 /// Slices the verbatim row objects out of an archive's `"rows":[…]`
@@ -607,6 +650,57 @@ mod tests {
         let (out, found) = render_find("0000000000000000", &[path]).unwrap();
         assert!(!found);
         assert!(out.contains("no matching point"), "{out}");
+    }
+
+    #[test]
+    fn find_and_show_search_serve_caches_too() {
+        use osoffload_runner::{record_plan, run_plan, RunnerOptions};
+        use osoffload_serve::cache::ResultCache;
+        use osoffload_serve::wire;
+        use osoffload_system::experiments::{single_config, Scale};
+
+        let dir = std::env::temp_dir().join(format!("osoff-inspect-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let scale = Scale {
+            instructions: 30_000,
+            warmup: 10_000,
+            seed: 5,
+            compute_profiles: 1,
+        };
+        let plan = record_plan("inspect-cache", scale.seed, |ev| {
+            ev(single_config(
+                osoffload_workload::Profile::apache(),
+                osoffload_system::PolicyKind::Baseline,
+                0,
+                1,
+                scale,
+            ));
+        });
+        let sweep = run_plan(
+            &plan,
+            &RunnerOptions {
+                quiet: true,
+                canonical: true,
+                out_dir: dir.clone(),
+                ..RunnerOptions::default()
+            },
+        );
+        let row = &sweep.rows[0];
+        let cache_path = dir.join("cache.wal");
+        let mut cache = ResultCache::open(&cache_path, 0).unwrap();
+        let wire_text = wire::config_to_json(&plan.points()[0].config).unwrap();
+        assert!(cache.insert(&wire_text, row).unwrap());
+        drop(cache);
+
+        let path = cache_path.to_str().unwrap().to_string();
+        let text = render_show(&path).expect("loads");
+        assert!(text.starts_with("serve cache: entries=1"), "{text}");
+        let (out, found) = render_find(&row.config_digest(), std::slice::from_ref(&path)).unwrap();
+        assert!(found, "inspect find must search serve caches: {out}");
+        assert!(out.contains(&row.id), "{out}");
+        let (_, found) = render_find("0000000000000000", &[path]).unwrap();
+        assert!(!found);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

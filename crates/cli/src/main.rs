@@ -5,6 +5,7 @@
 mod args;
 mod commands;
 mod inspect;
+mod serve;
 
 use args::Command;
 
@@ -21,6 +22,7 @@ fn main() {
         Ok(Command::Sweep(a)) => commands::sweep(&a),
         Ok(Command::Trace(a)) => commands::trace(&a),
         Ok(Command::Inspect(a)) => inspect::inspect(&a),
+        Ok(Command::Serve(a)) => serve::serve(&a),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run 'osoffload help' for usage");

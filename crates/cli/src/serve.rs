@@ -1,0 +1,126 @@
+//! The `osoffload serve` subcommand: daemon and client front ends for
+//! the cached experiment service (see `SERVING.md`).
+
+use crate::args::ServeArgs;
+use osoffload_runner::record_plan;
+use osoffload_serve::client;
+use osoffload_serve::daemon::{Daemon, ServeOptions};
+use osoffload_system::experiments::{fig4_grid_with, Scale, FIG4_LATENCIES, FIG4_THRESHOLDS};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Exit code of `serve submit --require-cached` when any point had to
+/// be computed fresh.
+pub const EXIT_NOT_CACHED: i32 = 4;
+
+/// Runs one `serve` subcommand, returning the process exit code.
+pub fn serve(args: &ServeArgs) -> i32 {
+    match args {
+        ServeArgs::Start {
+            port,
+            cache,
+            out,
+            workers,
+            lanes,
+            retries,
+            cache_max,
+            inject_faults,
+            quiet,
+        } => {
+            let opts = ServeOptions {
+                port: *port,
+                cache: PathBuf::from(cache),
+                out_dir: PathBuf::from(out),
+                cache_capacity: *cache_max,
+                workers: *workers,
+                lanes: *lanes,
+                retries: *retries,
+                fault_seed: *inject_faults,
+                quiet: *quiet,
+            };
+            let mut daemon = match Daemon::bind(opts) {
+                Ok(d) => d,
+                Err(why) => {
+                    eprintln!("error: {why}");
+                    return 1;
+                }
+            };
+            // The smoke scripts wait for this line before submitting;
+            // flush so it is visible even through a pipe.
+            println!("serve: listening on {}", daemon.local_addr());
+            let _ = std::io::stdout().flush();
+            match daemon.run() {
+                Ok(()) => {
+                    println!("serve: shutdown");
+                    0
+                }
+                Err(why) => {
+                    eprintln!("error: {why}");
+                    1
+                }
+            }
+        }
+        ServeArgs::Submit {
+            port,
+            fig4,
+            require_cached,
+            quiet,
+        } => {
+            let scale = Scale::from_arg(fig4).expect("validated by the parser");
+            let plan = record_plan("fig4", scale.seed, |ev| {
+                fig4_grid_with(scale, FIG4_LATENCIES, FIG4_THRESHOLDS, ev)
+            });
+            let request = match client::submit_request_line(&plan) {
+                Ok(line) => line,
+                Err(why) => {
+                    eprintln!("error: {why}");
+                    return 1;
+                }
+            };
+            let outcome = client::submit(*port, &request, |event| {
+                if !quiet {
+                    println!("{event}");
+                }
+            });
+            match outcome {
+                Ok(o) => {
+                    eprintln!(
+                        "serve submit: {} points, {} hits, {} misses, {} failed -> {}",
+                        o.points, o.hits, o.misses, o.failed, o.archive
+                    );
+                    if o.failed > 0 {
+                        1
+                    } else if *require_cached && o.misses > 0 {
+                        eprintln!(
+                            "serve submit: --require-cached but {} points were computed fresh",
+                            o.misses
+                        );
+                        EXIT_NOT_CACHED
+                    } else {
+                        0
+                    }
+                }
+                Err(why) => {
+                    eprintln!("error: {why}");
+                    1
+                }
+            }
+        }
+        ServeArgs::Ping { port } => one_shot(client::ping(*port)),
+        ServeArgs::Stats { port } => one_shot(client::stats(*port)),
+        ServeArgs::Stop { port } => one_shot(client::stop(*port)),
+    }
+}
+
+fn one_shot(response: Result<String, String>) -> i32 {
+    match response {
+        Ok(line) => {
+            println!("{line}");
+            0
+        }
+        Err(why) => {
+            eprintln!("error: {why}");
+            1
+        }
+    }
+}

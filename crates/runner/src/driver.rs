@@ -83,6 +83,24 @@ fn point_id(index: usize, cfg: &SystemConfig) -> String {
     )
 }
 
+/// The record pass alone: runs `driver` once with a capturing evaluator
+/// and returns the plan [`run_driver`] would execute — identical ids,
+/// pinned seeds, and configurations. `osoffload serve`'s client uses
+/// this to submit a bench sweep whose canonical archive is
+/// byte-comparable to the direct runner's.
+pub fn record_plan<R>(
+    name: &str,
+    master_seed: u64,
+    driver: impl Fn(Evaluator<'_>) -> R,
+) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new(name, master_seed);
+    driver(&mut |cfg: SystemConfig| {
+        plan.push_pinned(point_id(plan.len(), &cfg), cfg);
+        placeholder_report()
+    });
+    plan
+}
+
 /// Runs an experiment driver with its simulation points executed in
 /// parallel.
 ///
@@ -100,11 +118,7 @@ pub fn run_driver<R>(
     driver: impl Fn(Evaluator<'_>) -> R,
 ) -> (Option<R>, SweepResult) {
     // Record pass: capture the configurations in request order.
-    let mut plan = ExperimentPlan::new(name, master_seed);
-    driver(&mut |cfg: SystemConfig| {
-        plan.push_pinned(point_id(plan.len(), &cfg), cfg);
-        placeholder_report()
-    });
+    let plan = record_plan(name, master_seed, &driver);
 
     // Execute the plan on the parallel executor.
     let sweep = run_plan(&plan, opts);

@@ -519,6 +519,45 @@ pub(crate) fn sanitize_id(id: &str) -> String {
 #[repr(align(64))]
 struct CachePadded<T>(T);
 
+/// Per-completion callback for [`ExecHooks`]: the finished row, plus
+/// `true` when it was served without evaluation (prefilled or
+/// journal-restored) and `false` when freshly computed this run.
+pub type PointCallback<'a> = &'a (dyn Fn(&PointResult, bool) + Sync);
+
+/// Embedding hooks for [`run_plan_hooked`]: rows the caller already
+/// has (e.g. `osoffload serve`'s digest-keyed cache hits) plus a
+/// per-completion callback, so a scheduling layer can observe hit/miss
+/// per point while the sweep runs.
+#[derive(Default)]
+pub struct ExecHooks<'a> {
+    /// Rows to install before any worker starts, indexed by plan
+    /// position (`prefill[i]` fills point `i`; `None` entries and
+    /// entries beyond the plan length are ignored). A prefilled point
+    /// is never evaluated — exactly like a journal-restored one.
+    pub prefill: Vec<Option<PointResult>>,
+    /// Called once per row as it becomes final, from whichever thread
+    /// produced it.
+    pub on_point: Option<PointCallback<'a>>,
+}
+
+impl std::fmt::Debug for ExecHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecHooks")
+            .field(
+                "prefill",
+                &self.prefill.iter().filter(|p| p.is_some()).count(),
+            )
+            .field("on_point", &self.on_point.is_some())
+            .finish()
+    }
+}
+
+impl ExecHooks<'_> {
+    fn has_prefill(&self) -> bool {
+        self.prefill.iter().any(Option::is_some)
+    }
+}
+
 /// Per-attempt context handed to [`run_plan_ctx`] evaluators.
 #[derive(Debug, Clone)]
 pub struct EvalCtx {
@@ -541,20 +580,34 @@ pub struct EvalCtx {
 /// are observational, so the result rows stay bit-identical to a plain
 /// sweep of the same plan.
 pub fn run_plan(plan: &ExperimentPlan, opts: &RunnerOptions) -> SweepResult {
+    run_plan_hooked(plan, opts, ExecHooks::default())
+}
+
+/// [`run_plan`] with embedding hooks: `hooks.prefill` rows are
+/// installed before any worker starts (those points are never
+/// evaluated), and `hooks.on_point` observes every row as it becomes
+/// final. Prefilled sweeps take the scalar path — lane packs would
+/// straddle already-served points — but rows are bit-identical either
+/// way, so a cached archive still compares bytes-equal to a lane run.
+pub fn run_plan_hooked(
+    plan: &ExperimentPlan,
+    opts: &RunnerOptions,
+    hooks: ExecHooks<'_>,
+) -> SweepResult {
     // The cancellation token is only installed when a watchdog can
     // raise it, keeping deadline-free runs on the token-free path.
     let armed = opts.deadline_ms.is_some();
-    if crate::lane_exec::eligible(opts) {
+    if !hooks.has_prefill() && crate::lane_exec::eligible(opts) {
         // Lane path: points are served from lane packs (see
         // `lane_exec`), each report bit-identical to the scalar
         // evaluation below.
         let width = crate::lane_exec::effective_lanes(opts);
         let packs = crate::lane_exec::LanePacks::build(plan.points(), width);
         let points = plan.points();
-        return run_plan_ctx(plan, opts, move |p, _ctx| packs.eval(points, p));
+        return run_plan_ctx_hooked(plan, opts, hooks, move |p, _ctx| packs.eval(points, p));
     }
     if !opts.telemetry && !opts.profile {
-        return run_plan_ctx(plan, opts, |p, ctx| {
+        return run_plan_ctx_hooked(plan, opts, hooks, |p, ctx| {
             let sim = Simulation::new(p.config.clone());
             let sim = if armed {
                 sim.with_cancel(ctx.cancel.clone())
@@ -566,7 +619,7 @@ pub fn run_plan(plan: &ExperimentPlan, opts: &RunnerOptions) -> SweepResult {
     }
     let telemetry_dir = opts.telemetry_dir().join(plan.name());
     let profile_dir = opts.profile_dir().join(plan.name());
-    run_plan_ctx(plan, opts, |p, ctx| {
+    run_plan_ctx_hooked(plan, opts, hooks, |p, ctx| {
         let mut cfg = p.config.clone();
         if opts.telemetry {
             cfg.telemetry = osoffload_obs::TelemetryMode::Full;
@@ -631,6 +684,18 @@ pub fn run_plan_with(
 pub fn run_plan_ctx(
     plan: &ExperimentPlan,
     opts: &RunnerOptions,
+    eval: impl Fn(&Point, &EvalCtx) -> SimReport + Sync,
+) -> SweepResult {
+    run_plan_ctx_hooked(plan, opts, ExecHooks::default(), eval)
+}
+
+/// [`run_plan_ctx`] with embedding hooks (see [`ExecHooks`] and
+/// [`run_plan_hooked`]). Journal restore wins over a prefilled row for
+/// the same point; either way the point is served, not evaluated.
+pub fn run_plan_ctx_hooked(
+    plan: &ExperimentPlan,
+    opts: &RunnerOptions,
+    hooks: ExecHooks<'_>,
     eval: impl Fn(&Point, &EvalCtx) -> SimReport + Sync,
 ) -> SweepResult {
     let points = plan.points();
@@ -710,10 +775,39 @@ pub fn run_plan_ctx(
     };
     let journal_writer = Mutex::new(journal_writer);
 
+    // Install caller-supplied rows (cache hits) into still-empty slots.
+    // A journal-restored row for the same point wins: it is this
+    // campaign's own record.
+    let mut prefilled_ok = 0usize;
+    let mut prefilled_failed = 0usize;
+    for (i, row) in hooks.prefill.iter().enumerate().take(n) {
+        let Some(row) = row else { continue };
+        let mut slot = slots[i].lock().expect("result slot poisoned");
+        if slot.is_some() {
+            continue;
+        }
+        assert_eq!(row.index, i, "prefilled row index mismatch");
+        assert_eq!(
+            row.config_json,
+            config_json(&points[i].config),
+            "prefilled row {i} does not match the plan's configuration"
+        );
+        if row.is_ok() {
+            prefilled_ok += 1;
+        } else {
+            prefilled_failed += 1;
+        }
+        *slot = Some(row.clone());
+    }
+    let on_point = hooks.on_point;
+
     let progress = Progress::new(plan.name(), n, opts.quiet);
-    if restored_ok + restored_failed > 0 {
-        progress.skip(restored_ok, restored_failed);
-        if !opts.quiet {
+    if restored_ok + restored_failed + prefilled_ok + prefilled_failed > 0 {
+        progress.skip(
+            restored_ok + prefilled_ok,
+            restored_failed + prefilled_failed,
+        );
+        if !opts.quiet && restored_ok + restored_failed > 0 {
             eprintln!(
                 "[{}] resumed {}/{} points from journal ({} failed)",
                 plan.name(),
@@ -721,6 +815,15 @@ pub fn run_plan_ctx(
                 n,
                 restored_failed
             );
+        }
+    }
+    // Every pre-served row (journal or prefill) is announced before the
+    // workers start, so `on_point` sees each point exactly once.
+    if let Some(cb) = on_point {
+        for slot in &slots {
+            if let Some(row) = slot.lock().expect("result slot poisoned").as_ref() {
+                cb(row, true);
+            }
         }
     }
 
@@ -765,6 +868,7 @@ pub fn run_plan_ctx(
             let eval = &eval;
             let fault_plan = &fault_plan;
             let journal_writer = &journal_writer;
+            let on_point = &on_point;
             let watch = &watch;
             let active_workers = &active_workers;
             let stop_watchdog = &stop_watchdog;
@@ -894,6 +998,9 @@ pub fn run_plan_ctx(
                                 }
                             }
                         }
+                    }
+                    if let Some(cb) = on_point {
+                        cb(&result, false);
                     }
                     let ok = result.is_ok();
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
@@ -1227,6 +1334,50 @@ mod tests {
             a.to_json(),
             b.to_json(),
             "canonical archives are bytes-equal"
+        );
+    }
+
+    #[test]
+    fn prefilled_rows_are_served_not_evaluated() {
+        let plan = plan(5);
+        let opts = RunnerOptions {
+            workers: 2,
+            quiet: true,
+            ..RunnerOptions::default()
+        };
+        // First run computes everything; its rows prefill a second run
+        // with one hole left to evaluate.
+        let first = run_plan_with(&plan, &opts, fake_report);
+        let mut prefill: Vec<Option<PointResult>> =
+            first.rows.iter().map(|r| Some(r.clone())).collect();
+        prefill[2] = None;
+        let seen: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
+        let evaluated = AtomicUsize::new(0);
+        let cb = |row: &PointResult, served: bool| {
+            seen.lock().unwrap().push((row.index, served));
+        };
+        let hooks = ExecHooks {
+            prefill,
+            on_point: Some(&cb),
+        };
+        let second = run_plan_ctx_hooked(&plan, &opts, hooks, |p, _ctx| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            fake_report(p)
+        });
+        assert_eq!(
+            evaluated.load(Ordering::Relaxed),
+            1,
+            "only the unfilled point runs"
+        );
+        let a: Vec<String> = first.rows.iter().map(|r| r.stable_json()).collect();
+        let b: Vec<String> = second.rows.iter().map(|r| r.stable_json()).collect();
+        assert_eq!(a, b, "served rows are byte-identical to computed ones");
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![(0, true), (1, true), (2, false), (3, true), (4, true)],
+            "every point announced exactly once with its hit/miss flag"
         );
     }
 

@@ -64,7 +64,9 @@ impl JournalHeader {
     }
 }
 
-fn envelope(body: &str) -> String {
+/// Wraps one record body as a checksummed, newline-terminated envelope
+/// line — the journal's (and the serve cache's) on-disk line format.
+pub fn envelope(body: &str) -> String {
     format!(
         "{{\"fnv\":\"{:016x}\",\"body\":{body}}}\n",
         fnv1a64(body.as_bytes())
@@ -181,7 +183,7 @@ pub fn load(path: &Path) -> Result<LoadedJournal, String> {
 
 /// Validates one envelope line and returns the body slice, or `None`
 /// when the line is malformed or fails its checksum.
-fn unwrap_envelope(line: &str) -> Option<&str> {
+pub fn unwrap_envelope(line: &str) -> Option<&str> {
     const PREFIX: &str = "{\"fnv\":\"";
     const MID: &str = "\",\"body\":";
     let rest = line.strip_prefix(PREFIX)?;
@@ -224,18 +226,7 @@ fn restore_row(body: &str) -> Option<PointResult> {
     let v = jsonv::parse(body).ok()?;
     let stable = jsonv::parse(stable_text).ok()?;
     let config_json = extract_config(stable_text)?;
-    let outcome = match stable.get("status").and_then(Value::as_str)? {
-        "ok" => Outcome::Ok(Box::new(restore_report(stable.get("report")?)?)),
-        "failed" => Outcome::Failed {
-            panic: stable.get("panic").and_then(Value::as_str)?.to_string(),
-            attempts: stable.get("attempts").and_then(Value::as_u32)?,
-        },
-        "timeout" => Outcome::TimedOut {
-            deadline_ms: stable.get("deadline_ms").and_then(Value::as_u64)?,
-            attempts: stable.get("attempts").and_then(Value::as_u32)?,
-        },
-        _ => return None,
-    };
+    let outcome = parse_outcome(&stable)?;
     Some(PointResult {
         index: v.get("index").and_then(Value::as_usize)?,
         id: stable.get("id").and_then(Value::as_str)?.to_string(),
@@ -254,6 +245,70 @@ fn restore_row(body: &str) -> Option<PointResult> {
             .collect::<Option<Vec<f64>>>()?,
         injected_faults: v.get("injected_faults").and_then(Value::as_u32)?,
         restored: Some(stable_text.to_string()),
+    })
+}
+
+/// Parses the outcome encoded in a stable-row's `status` (+ payload)
+/// fields.
+fn parse_outcome(stable: &Value) -> Option<Outcome> {
+    Some(match stable.get("status").and_then(Value::as_str)? {
+        "ok" => Outcome::Ok(Box::new(restore_report(stable.get("report")?)?)),
+        "failed" => Outcome::Failed {
+            panic: stable.get("panic").and_then(Value::as_str)?.to_string(),
+            attempts: stable.get("attempts").and_then(Value::as_u32)?,
+        },
+        "timeout" => Outcome::TimedOut {
+            deadline_ms: stable.get("deadline_ms").and_then(Value::as_u64)?,
+            attempts: stable.get("attempts").and_then(Value::as_u32)?,
+        },
+        _ => return None,
+    })
+}
+
+/// Restores a result row from a stable-row text alone — the form the
+/// serve cache stores. The outcome (including the full report) is
+/// parsed out of the text, the non-deterministic fields are set to
+/// their canonical zeros (`attempts` 1, one zero attempt), and the
+/// verbatim text is retained so archives re-emit it byte-for-byte, the
+/// same contract journal resume relies on.
+pub fn restore_from_stable(stable_text: &str) -> Option<PointResult> {
+    let stable = jsonv::parse(stable_text).ok()?;
+    let config_json = extract_config(stable_text)?;
+    Some(PointResult {
+        index: stable.get("index").and_then(Value::as_usize)?,
+        id: stable.get("id").and_then(Value::as_str)?.to_string(),
+        seed: stable.get("seed").and_then(Value::as_u64)?,
+        config_json,
+        outcome: parse_outcome(&stable)?,
+        wall_ms: 0.0,
+        start_ms: 0.0,
+        worker: 0,
+        attempts: 1,
+        attempt_ms: vec![0.0],
+        injected_faults: 0,
+        restored: Some(stable_text.to_string()),
+    })
+}
+
+/// Re-keys a stable-row text to a new plan position: the `index`, `id`,
+/// and `seed` prefix is replaced and everything from `"config":` on —
+/// the configuration and the outcome — carries over byte-for-byte. This
+/// is how a serve-cache row recorded at one sweep position is replayed
+/// verbatim at another without re-serialising the report.
+pub fn rekey_stable(stable: &str, index: usize, id: &str, seed: u64) -> Option<String> {
+    let bytes = stable.as_bytes();
+    let mut pos = expect_str(stable, 0, "{\"index\":")?;
+    pos = skip_number(bytes, pos)?;
+    pos = expect_str(stable, pos, ",\"id\":")?;
+    pos = skip_string(bytes, pos)?;
+    pos = expect_str(stable, pos, ",\"seed\":")?;
+    pos = skip_number(bytes, pos)?;
+    stable[pos..].starts_with(",\"config\":").then(|| {
+        format!(
+            "{{\"index\":{index},\"id\":\"{}\",\"seed\":{seed}{}",
+            json_escape(id),
+            &stable[pos..]
+        )
     })
 }
 
@@ -583,6 +638,29 @@ mod tests {
         assert_eq!(loaded.rows.len(), 1);
         assert_eq!(loaded.rows[0].attempts, 9);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_from_stable_round_trips_and_rekeys() {
+        let row = sample_row(3);
+        let stable = row.stable_json();
+        let restored = restore_from_stable(&stable).expect("restore");
+        assert_eq!(restored.index, row.index);
+        assert_eq!(restored.id, row.id);
+        assert_eq!(restored.seed, row.seed);
+        assert_eq!(restored.config_json, row.config_json);
+        assert_eq!(restored.stable_json(), stable, "verbatim text retained");
+        assert_eq!(restored.attempts, 1, "non-deterministic fields zeroed");
+        assert_eq!(restored.attempt_ms, vec![0.0]);
+        // Re-keying to a new position rewrites the prefix only.
+        let rekeyed = rekey_stable(&stable, 7, "moved \"id\"", 42).expect("rekey");
+        let moved = restore_from_stable(&rekeyed).expect("restore rekeyed");
+        assert_eq!(moved.index, 7);
+        assert_eq!(moved.id, "moved \"id\"");
+        assert_eq!(moved.seed, 42);
+        assert_eq!(moved.config_json, row.config_json);
+        assert_eq!(moved.stable_json(), rekeyed);
+        assert!(rekey_stable("{\"nope\":1}", 0, "x", 0).is_none());
     }
 
     #[test]

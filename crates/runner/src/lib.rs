@@ -56,10 +56,10 @@ pub mod plan;
 mod progress;
 pub mod report;
 
-pub use driver::run_driver;
+pub use driver::{record_plan, run_driver};
 pub use executor::{
-    backoff_delay_ms, run_plan, run_plan_ctx, run_plan_with, EvalCtx, Outcome, PointResult,
-    RunnerOptions, SweepResult, WorkerProfile,
+    backoff_delay_ms, run_plan, run_plan_ctx, run_plan_ctx_hooked, run_plan_hooked, run_plan_with,
+    EvalCtx, ExecHooks, Outcome, PointResult, RunnerOptions, SweepResult, WorkerProfile,
 };
 pub use fault::{FaultConfig, FaultPlan, InjectedPanic, PointFaults};
 pub use journal::{fnv1a64, Journal, JournalHeader, LoadedJournal};

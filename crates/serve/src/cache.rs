@@ -1,0 +1,344 @@
+//! Digest-keyed result cache with the runner's checksummed journal
+//! format as its write-ahead log.
+//!
+//! The cache file reuses the envelope line format of
+//! [`osoffload_runner::journal`]: line one is a header
+//! (`{"journal":"osoffload-serve-cache","version":1}`), and every
+//! subsequent line records one completed point as
+//! `{"digest":"<16-hex>","config":<wire config>,"stable":<stable row>}`
+//! — the `stable` key deliberately last, like the runner's journal, so
+//! the original archive text can be sliced back out byte-for-byte.
+//! Every insert is an fsynced append, so a killed daemon restarts warm
+//! with everything it ever acknowledged.
+//!
+//! Two deliberate differences from the runner's journal loader:
+//!
+//! - **Corrupt lines are skipped, not fatal.** `journal::load` stops at
+//!   the first bad line because later records may depend on a prefix; a
+//!   cache is content-addressed, so a record that fails its checksum or
+//!   its digest recomputation is dropped with a warning and the rest of
+//!   the file stays usable. A torn, unterminated tail (the classic
+//!   `kill -9` artefact) is discarded silently, exactly as the runner's
+//!   `--resume` does.
+//! - **Records store the full wire configuration.** The 64-bit digest
+//!   keys the index, but the archive-side `config_json` it hashes omits
+//!   topology fields, so colliding configurations are possible. Lookup
+//!   therefore requires digest *and* wire-config equality: a collision
+//!   recomputes rather than ever serving the wrong row.
+//!
+//! Duplicate digests are last-wins (a re-inserted row supersedes the
+//! old one and counts as freshest for eviction). When the loader had to
+//! drop anything, or eviction trims the cache, the file is compacted
+//! through [`osoffload_obs::atomic_write`] — temp file, fsync, rename —
+//! so a crash mid-compaction leaves either the old or the new cache,
+//! never a mangled hybrid.
+
+use osoffload_obs::atomic_write;
+use osoffload_runner::journal::{envelope, restore_from_stable, unwrap_envelope, Journal};
+use osoffload_runner::jsonv;
+use osoffload_runner::PointResult;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Header body of a serve cache file (line one, enveloped).
+pub const HEADER_BODY: &str = "{\"journal\":\"osoffload-serve-cache\",\"version\":1}";
+
+/// One cached point: its digest key, the full wire configuration the
+/// digest was computed from, and the restored result row (whose
+/// `stable_json` is the verbatim archive text).
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// 16-hex-digit FNV-1a digest of the point's archive `config_json`.
+    pub digest: String,
+    /// The point's full wire configuration (collision guard).
+    pub config: String,
+    /// The cached row, restored as if resumed from a journal.
+    pub row: PointResult,
+}
+
+impl CacheEntry {
+    fn body(&self) -> String {
+        format!(
+            "{{\"digest\":\"{}\",\"config\":{},\"stable\":{}}}",
+            self.digest,
+            self.config,
+            self.row.stable_json()
+        )
+    }
+}
+
+/// A persistent digest-keyed result cache.
+///
+/// Entries are held oldest-first; the in-memory index maps digests to
+/// positions. All mutation goes through the WAL before it is visible.
+#[derive(Debug)]
+pub struct ResultCache {
+    path: PathBuf,
+    capacity: usize,
+    entries: Vec<CacheEntry>,
+    index: HashMap<String, usize>,
+    writer: Option<Journal>,
+    warnings: Vec<String>,
+}
+
+fn parse_record(body: &str) -> Result<CacheEntry, String> {
+    let rest = body
+        .strip_prefix("{\"digest\":\"")
+        .ok_or("record does not start with a digest")?;
+    let digest = rest.get(..16).ok_or("record digest truncated")?;
+    if !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("record digest {digest:?} is not hex"));
+    }
+    let rest = rest[16..]
+        .strip_prefix("\",\"config\":")
+        .ok_or("record missing config")?;
+    let stable_at = rest
+        .find(",\"stable\":")
+        .ok_or("record missing stable row")?;
+    let config = &rest[..stable_at];
+    jsonv::parse(config).map_err(|e| format!("record config unparsable: {e}"))?;
+    let stable = rest[stable_at + ",\"stable\":".len()..]
+        .strip_suffix('}')
+        .ok_or("record not brace-terminated")?;
+    let row = restore_from_stable(stable).ok_or("record stable row does not restore")?;
+    if !row.is_ok() {
+        return Err("record row is not a completed point".into());
+    }
+    if row.config_digest() != digest {
+        return Err(format!(
+            "record digest {digest} does not match its row ({})",
+            row.config_digest()
+        ));
+    }
+    Ok(CacheEntry {
+        digest: digest.to_string(),
+        config: config.to_string(),
+        row,
+    })
+}
+
+fn load_entries(path: &Path) -> Result<(Vec<CacheEntry>, Vec<String>), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read cache {}: {e}", path.display()))?;
+    let mut lines = Vec::new();
+    let mut rest = text.as_str();
+    // Only newline-terminated lines are records; an unterminated tail is
+    // a torn in-flight append and is discarded without comment.
+    while let Some(nl) = rest.find('\n') {
+        lines.push(&rest[..nl]);
+        rest = &rest[nl + 1..];
+    }
+    let header = lines
+        .first()
+        .ok_or_else(|| format!("cache {} has no header line", path.display()))?;
+    if unwrap_envelope(header) != Some(HEADER_BODY) {
+        return Err(format!(
+            "cache {} has an unrecognised header; refusing to treat it as a serve cache",
+            path.display()
+        ));
+    }
+    let mut entries: Vec<CacheEntry> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut warnings = Vec::new();
+    for (lineno, line) in lines.iter().enumerate().skip(1) {
+        let parsed = unwrap_envelope(line)
+            .ok_or_else(|| "bad envelope or checksum".to_string())
+            .and_then(parse_record);
+        match parsed {
+            Ok(entry) => {
+                if let Some(&old) = index.get(&entry.digest) {
+                    // Last-wins: drop the superseded record and shift
+                    // the index left over the removed slot.
+                    entries.remove(old);
+                    for pos in index.values_mut() {
+                        if *pos > old {
+                            *pos -= 1;
+                        }
+                    }
+                }
+                index.insert(entry.digest.clone(), entries.len());
+                entries.push(entry);
+            }
+            Err(why) => warnings.push(format!(
+                "cache {} line {}: {why}; record skipped",
+                path.display(),
+                lineno + 1
+            )),
+        }
+    }
+    Ok((entries, warnings))
+}
+
+/// Reads a cache file without opening it for writing or healing it:
+/// the surviving entries (duplicates already collapsed last-wins) plus
+/// warnings for skipped records. This is the read-only loader
+/// `osoffload inspect` uses, so inspection never mutates an artefact.
+pub fn read_entries(path: &Path) -> Result<(Vec<CacheEntry>, Vec<String>), String> {
+    load_entries(path)
+}
+
+impl ResultCache {
+    /// Opens (or creates) the cache at `path`. `capacity` bounds the
+    /// entry count (`0` = unbounded). Unreadable records are skipped
+    /// with warnings (see [`ResultCache::warnings`]) and the file is
+    /// compacted to drop them; a file that is not a serve cache at all
+    /// is an error rather than silently overwritten.
+    pub fn open(path: &Path, capacity: usize) -> Result<ResultCache, String> {
+        let (entries, warnings) = if path.exists() {
+            load_entries(path)?
+        } else {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+                }
+            }
+            atomic_write(path, envelope(HEADER_BODY).as_bytes())
+                .map_err(|e| format!("cannot create cache {}: {e}", path.display()))?;
+            (Vec::new(), Vec::new())
+        };
+        let index = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.digest.clone(), i))
+            .collect();
+        let mut cache = ResultCache {
+            path: path.to_path_buf(),
+            capacity,
+            entries,
+            index,
+            writer: None,
+            warnings,
+        };
+        // Heal: rewrite the file whenever replay dropped anything (bad
+        // records, torn tail, superseded duplicates) so damage cannot
+        // accumulate across restarts.
+        if cache.canonical_bytes() != std::fs::read(path).unwrap_or_default() {
+            cache.compact()?;
+        }
+        cache.enforce_capacity()?;
+        cache.writer = Some(
+            Journal::open_append(path)
+                .map_err(|e| format!("cannot append to cache {}: {e}", path.display()))?,
+        );
+        Ok(cache)
+    }
+
+    /// Warnings emitted while replaying the WAL (skipped records).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[CacheEntry] {
+        &self.entries
+    }
+
+    /// The entry for `digest` — only if its stored wire configuration is
+    /// byte-equal to `config` (the digest-collision guard).
+    pub fn lookup(&self, digest: &str, config: &str) -> Option<&CacheEntry> {
+        let entry = &self.entries[*self.index.get(digest)?];
+        (entry.config == config).then_some(entry)
+    }
+
+    /// Serves a cached row re-keyed to a new plan position: the stored
+    /// verbatim stable text gets `index`/`id`/`seed` spliced in, then is
+    /// restored like a journal resume — so the served row's archive text
+    /// is byte-identical to a fresh computation at that position.
+    pub fn serve(
+        &self,
+        digest: &str,
+        config: &str,
+        index: usize,
+        id: &str,
+        seed: u64,
+    ) -> Option<PointResult> {
+        let entry = self.lookup(digest, config)?;
+        let rekeyed =
+            osoffload_runner::journal::rekey_stable(&entry.row.stable_json(), index, id, seed)?;
+        restore_from_stable(&rekeyed)
+    }
+
+    /// Inserts a completed row under its configuration digest, appending
+    /// it to the WAL (fsynced) before it becomes visible. Returns `true`
+    /// if the row was cached, `false` if it was refused (failed rows are
+    /// never cached). A duplicate digest supersedes the old entry.
+    pub fn insert(&mut self, config: &str, row: &PointResult) -> Result<bool, String> {
+        if !row.is_ok() {
+            return Ok(false);
+        }
+        let entry = CacheEntry {
+            digest: row.config_digest(),
+            config: config.to_string(),
+            row: row.clone(),
+        };
+        self.writer
+            .as_mut()
+            .expect("cache writer is open outside compaction")
+            .append(&entry.body())
+            .map_err(|e| format!("cache append failed: {e}"))?;
+        if let Some(&old) = self.index.get(&entry.digest) {
+            self.entries.remove(old);
+            for pos in self.index.values_mut() {
+                if *pos > old {
+                    *pos -= 1;
+                }
+            }
+        }
+        self.index.insert(entry.digest.clone(), self.entries.len());
+        self.entries.push(entry);
+        Ok(true)
+    }
+
+    /// Evicts oldest entries beyond the configured capacity, compacting
+    /// the file if anything was dropped. Returns the eviction count.
+    pub fn enforce_capacity(&mut self) -> Result<usize, String> {
+        if self.capacity == 0 || self.entries.len() <= self.capacity {
+            return Ok(0);
+        }
+        let evict = self.entries.len() - self.capacity;
+        self.entries.drain(..evict);
+        self.index = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.digest.clone(), i))
+            .collect();
+        self.compact()?;
+        Ok(evict)
+    }
+
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut bytes = envelope(HEADER_BODY).into_bytes();
+        for entry in &self.entries {
+            bytes.extend_from_slice(envelope(&entry.body()).as_bytes());
+        }
+        bytes
+    }
+
+    /// Rewrites the cache file to exactly the in-memory entries, via an
+    /// atomic temp-file + fsync + rename, and reopens the append handle
+    /// on the new file.
+    pub fn compact(&mut self) -> Result<(), String> {
+        // Drop the append handle first: after the rename it would point
+        // at the unlinked old inode and appends would vanish.
+        self.writer = None;
+        atomic_write(&self.path, &self.canonical_bytes())
+            .map_err(|e| format!("cache compaction failed: {e}"))?;
+        self.writer = Some(
+            Journal::open_append(&self.path)
+                .map_err(|e| format!("cannot reopen cache {}: {e}", self.path.display()))?,
+        );
+        Ok(())
+    }
+}

@@ -1,0 +1,136 @@
+//! Client side of the serve protocol: build request lines from an
+//! [`ExperimentPlan`], submit them, and stream the daemon's events.
+
+use crate::wire;
+use osoffload_obs::json_escape;
+use osoffload_runner::jsonv::{self, Value};
+use osoffload_runner::ExperimentPlan;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn connect(port: u16) -> Result<TcpStream, String> {
+    TcpStream::connect(("127.0.0.1", port))
+        .map_err(|e| format!("cannot connect to 127.0.0.1:{port}: {e}"))
+}
+
+fn one_shot(port: u16, request: &str) -> Result<String, String> {
+    let mut stream = connect(port)?;
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    if line.is_empty() {
+        return Err("daemon closed the connection without responding".into());
+    }
+    Ok(line.trim_end().to_string())
+}
+
+/// Sends `{"op":"ping"}`; returns the daemon's response line.
+pub fn ping(port: u16) -> Result<String, String> {
+    one_shot(port, "{\"op\":\"ping\"}\n")
+}
+
+/// Sends `{"op":"stats"}`; returns the daemon's response line.
+pub fn stats(port: u16) -> Result<String, String> {
+    one_shot(port, "{\"op\":\"stats\"}\n")
+}
+
+/// Sends `{"op":"shutdown"}`; returns the daemon's acknowledgement.
+pub fn stop(port: u16) -> Result<String, String> {
+    one_shot(port, "{\"op\":\"shutdown\"}\n")
+}
+
+/// Renders a plan as a single `submit` request line (newline included).
+/// Fails if any point's configuration is not expressible on the wire.
+pub fn submit_request_line(plan: &ExperimentPlan) -> Result<String, String> {
+    let mut points = Vec::with_capacity(plan.len());
+    for p in plan.points() {
+        let wire_text = wire::config_to_json(&p.config)
+            .map_err(|why| format!("point {} ({}): {why}", p.index, p.id))?;
+        points.push(format!(
+            "{{\"id\":\"{}\",\"config\":{wire_text}}}",
+            json_escape(&p.id)
+        ));
+    }
+    Ok(format!(
+        "{{\"op\":\"submit\",\"experiment\":\"{}\",\"master_seed\":{},\"points\":[{}]}}\n",
+        json_escape(plan.name()),
+        plan.master_seed(),
+        points.join(",")
+    ))
+}
+
+/// Totals reported by the daemon's final `done` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// Points in the sweep.
+    pub points: u64,
+    /// Points served from the cache.
+    pub hits: u64,
+    /// Points computed fresh.
+    pub misses: u64,
+    /// Points that failed or timed out.
+    pub failed: u64,
+    /// Entries evicted after this submission.
+    pub evicted: u64,
+    /// Path of the canonical archive the daemon wrote.
+    pub archive: String,
+}
+
+/// Submits a pre-rendered request line (see [`submit_request_line`]) and
+/// streams response lines. `on_event` sees every event line (including
+/// the final `done`); the parsed totals are returned.
+pub fn submit(
+    port: u16,
+    request: &str,
+    mut on_event: impl FnMut(&str),
+) -> Result<SubmitOutcome, String> {
+    let mut stream = connect(port)?;
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("lost the daemon mid-sweep: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection before the done event".into());
+        }
+        let text = line.trim_end();
+        on_event(text);
+        let event = jsonv::parse(text).map_err(|e| format!("bad event line: {e}"))?;
+        if event.get("ok").map(|v| matches!(v, Value::Bool(false))) == Some(true) {
+            let why = event
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown error");
+            return Err(format!("daemon refused the request: {why}"));
+        }
+        if event.get("event").and_then(Value::as_str) == Some("done") {
+            let field = |key: &str| {
+                event
+                    .get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("done event missing {key}"))
+            };
+            return Ok(SubmitOutcome {
+                points: field("points")?,
+                hits: field("hits")?,
+                misses: field("misses")?,
+                failed: field("failed")?,
+                evicted: field("evicted")?,
+                archive: event
+                    .get("archive")
+                    .and_then(Value::as_str)
+                    .ok_or("done event missing archive")?
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The serve daemon: a localhost TCP accept loop scheduling submitted
+//! sweeps on the runner behind the result cache.
+//!
+//! The protocol is newline-delimited JSON over one connection per
+//! request. A client connects, writes a single request line, and reads
+//! response lines until the connection closes:
+//!
+//! - `{"op":"ping"}` → one `{"ok":true,...}` line.
+//! - `{"op":"stats"}` → one line of cache/counter totals.
+//! - `{"op":"shutdown"}` → one acknowledgement line; the daemon then
+//!   exits its accept loop.
+//! - `{"op":"submit","experiment":..,"master_seed":..,"points":[..]}` →
+//!   an `accepted` event, one `point` event per point as it completes
+//!   (cached points first, announced before any computation starts),
+//!   and a final `done` event carrying hit/miss totals and the archive
+//!   path.
+//!
+//! Every submitted configuration is rebuilt through
+//! [`wire::config_from_json`] — and therefore through
+//! `SystemConfig::try_build` — before it can reach the executor, so a
+//! malformed or hostile request gets an error line, never a panic.
+//! Completed points are appended to the cache WAL as they finish
+//! (fsynced, inside the executor's completion callback), which is what
+//! makes a `kill -9` mid-campaign recoverable: the restarted daemon
+//! replays the WAL and serves every acknowledged point from cache.
+//!
+//! Sweeps always run in canonical mode, and the daemon additionally
+//! normalises the run-shape fields (`attempts`, `attempt_ms`,
+//! `injected_faults`) of every row before archiving. A sweep served
+//! from cache, recomputed after a crash, or retried under fault
+//! injection therefore produces a byte-identical archive to a clean
+//! direct `--canonical` run of the same plan.
+
+use crate::cache::ResultCache;
+use crate::wire;
+use osoffload_obs::{atomic_write, json_escape, MetricId, MetricsRegistry};
+use osoffload_runner::jsonv::{self, Value};
+use osoffload_runner::report::write_sweep;
+use osoffload_runner::{run_plan_hooked, ExecHooks, ExperimentPlan, Outcome, RunnerOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default TCP port of the serve daemon.
+pub const DEFAULT_PORT: u16 = 7411;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Port to listen on (localhost only); `0` picks an ephemeral port.
+    pub port: u16,
+    /// Path of the cache WAL file.
+    pub cache: PathBuf,
+    /// Directory archives and metrics are written into.
+    pub out_dir: PathBuf,
+    /// Maximum cached entries (`0` = unbounded); oldest evicted first.
+    pub cache_capacity: usize,
+    /// Worker threads per sweep (`0` = one per hardware thread).
+    pub workers: usize,
+    /// Lane-pack width (`0` = auto; only used for sweeps with no cached
+    /// points, since lane packs would straddle served rows).
+    pub lanes: usize,
+    /// Retries per failing point.
+    pub retries: u32,
+    /// Fault-injection seed (chaos testing; see `ROBUSTNESS.md`).
+    pub fault_seed: Option<u64>,
+    /// Suppresses stderr chatter.
+    pub quiet: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            port: DEFAULT_PORT,
+            cache: PathBuf::from("results/serve/cache.wal"),
+            out_dir: PathBuf::from("results/serve"),
+            cache_capacity: 0,
+            workers: 0,
+            lanes: 0,
+            retries: 0,
+            fault_seed: None,
+            quiet: false,
+        }
+    }
+}
+
+/// Totals across the daemon's lifetime, exported as epoch-sampled
+/// metrics after every submission.
+#[derive(Debug, Default, Clone, Copy)]
+struct Totals {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    submissions: u64,
+}
+
+struct Metrics {
+    registry: MetricsRegistry,
+    hits: MetricId,
+    misses: MetricId,
+    evictions: MetricId,
+    entries: MetricId,
+    submissions: MetricId,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let mut registry = MetricsRegistry::new();
+        let hits = registry.register_counter("serve.cache.hits");
+        let misses = registry.register_counter("serve.cache.misses");
+        let evictions = registry.register_counter("serve.cache.evictions");
+        let entries = registry.register_gauge("serve.cache.entries");
+        let submissions = registry.register_counter("serve.submissions");
+        Metrics {
+            registry,
+            hits,
+            misses,
+            evictions,
+            entries,
+            submissions,
+        }
+    }
+}
+
+/// A bound serve daemon, ready to [`run`](Daemon::run).
+pub struct Daemon {
+    listener: TcpListener,
+    cache: ResultCache,
+    opts: ServeOptions,
+    totals: Totals,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("cache_entries", &self.cache.len())
+            .finish()
+    }
+}
+
+fn err_line(why: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}\n", json_escape(why))
+}
+
+fn valid_experiment_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// One lowered, validated submission point.
+struct SubmitPoint {
+    id: String,
+    wire: String,
+    digest: String,
+    config: osoffload_system::SystemConfig,
+}
+
+impl Daemon {
+    /// Opens the cache and binds the listener on `127.0.0.1`.
+    pub fn bind(opts: ServeOptions) -> Result<Daemon, String> {
+        let cache = ResultCache::open(&opts.cache, opts.cache_capacity)?;
+        for warning in cache.warnings() {
+            eprintln!("serve: {warning}");
+        }
+        let listener = TcpListener::bind(("127.0.0.1", opts.port))
+            .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+        Ok(Daemon {
+            listener,
+            cache,
+            opts,
+            totals: Totals::default(),
+            metrics: Metrics::new(),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener.local_addr().expect("listener is bound")
+    }
+
+    /// Cached entry count.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Serves connections until a `shutdown` request arrives.
+    pub fn run(&mut self) -> Result<(), String> {
+        loop {
+            let (stream, _) = self
+                .listener
+                .accept()
+                .map_err(|e| format!("accept failed: {e}"))?;
+            match self.handle(stream) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(why) => eprintln!("serve: connection error: {why}"),
+            }
+        }
+    }
+
+    /// Handles one connection; `Ok(true)` means shutdown was requested.
+    fn handle(&mut self, stream: TcpStream) -> Result<bool, String> {
+        // A wedged client must not hang the daemon forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+        let mut line = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        let mut out = &stream;
+        let request = match jsonv::parse(line.trim_end()) {
+            Ok(v) => v,
+            Err(why) => {
+                let _ = out.write_all(err_line(&format!("bad request: {why}")).as_bytes());
+                return Ok(false);
+            }
+        };
+        match request.get("op").and_then(Value::as_str) {
+            Some("ping") => {
+                let _ =
+                    out.write_all(b"{\"ok\":true,\"service\":\"osoffload-serve\",\"version\":1}\n");
+                Ok(false)
+            }
+            Some("stats") => {
+                let t = self.totals;
+                let _ = out.write_all(
+                    format!(
+                        "{{\"ok\":true,\"entries\":{},\"hits\":{},\"misses\":{},\
+                         \"evictions\":{},\"submissions\":{}}}\n",
+                        self.cache.len(),
+                        t.hits,
+                        t.misses,
+                        t.evictions,
+                        t.submissions
+                    )
+                    .as_bytes(),
+                );
+                Ok(false)
+            }
+            Some("shutdown") => {
+                let _ = out.write_all(b"{\"ok\":true,\"stopping\":true}\n");
+                Ok(true)
+            }
+            Some("submit") => {
+                if let Err(why) = self.handle_submit(&request, out) {
+                    let _ = out.write_all(err_line(&why).as_bytes());
+                }
+                Ok(false)
+            }
+            _ => {
+                let _ = out.write_all(err_line("unknown op").as_bytes());
+                Ok(false)
+            }
+        }
+    }
+
+    fn lower_submit(&self, request: &Value) -> Result<(String, u64, Vec<SubmitPoint>), String> {
+        let experiment = request
+            .get("experiment")
+            .and_then(Value::as_str)
+            .ok_or("submit missing experiment")?;
+        if !valid_experiment_name(experiment) {
+            return Err(format!(
+                "experiment name {experiment:?} must be 1-64 chars of [A-Za-z0-9._-]"
+            ));
+        }
+        let master_seed = request
+            .get("master_seed")
+            .and_then(Value::as_u64)
+            .ok_or("submit missing master_seed")?;
+        let raw_points = request
+            .get("points")
+            .and_then(Value::as_arr)
+            .ok_or("submit missing points")?;
+        if raw_points.is_empty() {
+            return Err("submit has no points".into());
+        }
+        let mut points = Vec::with_capacity(raw_points.len());
+        for (i, p) in raw_points.iter().enumerate() {
+            let id = p
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("point {i}: missing id"))?;
+            let config = wire::config_from_json(
+                p.get("config")
+                    .ok_or_else(|| format!("point {i}: missing config"))?,
+            )
+            .map_err(|why| format!("point {i}: {why}"))?;
+            // Re-canonicalise: cache comparisons use the daemon's own
+            // rendering, never client-supplied bytes.
+            let wire_text =
+                wire::config_to_json(&config).map_err(|why| format!("point {i}: {why}"))?;
+            points.push(SubmitPoint {
+                id: id.to_string(),
+                digest: wire::digest(&config),
+                wire: wire_text,
+                config,
+            });
+        }
+        Ok((experiment.to_string(), master_seed, points))
+    }
+
+    fn handle_submit(&mut self, request: &Value, out: &TcpStream) -> Result<(), String> {
+        let (experiment, master_seed, points) = self.lower_submit(request)?;
+        let mut plan = ExperimentPlan::new(&experiment, master_seed);
+        let mut prefill = Vec::with_capacity(points.len());
+        for p in &points {
+            let index = plan.push_pinned(p.id.clone(), p.config.clone());
+            prefill.push(
+                self.cache
+                    .serve(&p.digest, &p.wire, index, &p.id, p.config.seed),
+            );
+        }
+        let mut writer = out;
+        let _ = writer.write_all(
+            format!("{{\"event\":\"accepted\",\"points\":{}}}\n", points.len()).as_bytes(),
+        );
+
+        let ropts = RunnerOptions {
+            workers: self.opts.workers,
+            lanes: self.opts.lanes,
+            retries: self.opts.retries,
+            quiet: true,
+            canonical: true,
+            out_dir: self.opts.out_dir.clone(),
+            fault_seed: self.opts.fault_seed,
+            ..RunnerOptions::default()
+        };
+
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+        let cache = Mutex::new(&mut self.cache);
+        let stream = Mutex::new(out);
+        let wires: Vec<&str> = points.iter().map(|p| p.wire.as_str()).collect();
+        let digests: Vec<&str> = points.iter().map(|p| p.digest.as_str()).collect();
+        let on_point = |row: &osoffload_runner::PointResult, cached: bool| {
+            if cached {
+                hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                misses.fetch_add(1, Ordering::Relaxed);
+                // Cache the fresh row before acknowledging it: after a
+                // kill -9 the WAL holds everything the client saw done.
+                match cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(wires[row.index], row)
+                {
+                    Ok(_) => {}
+                    Err(why) => eprintln!("serve: {why}"),
+                }
+            }
+            let status = match &row.outcome {
+                Outcome::Ok(_) => "ok",
+                Outcome::Failed { .. } => "failed",
+                Outcome::TimedOut { .. } => "timeout",
+            };
+            let line = format!(
+                "{{\"event\":\"point\",\"index\":{},\"id\":\"{}\",\"digest\":\"{}\",\
+                 \"cached\":{},\"status\":\"{}\"}}\n",
+                row.index,
+                json_escape(&row.id),
+                digests[row.index],
+                cached,
+                status
+            );
+            // A vanished client must not abort the sweep: results still
+            // land in the cache for the next submission.
+            let mut s = stream.lock().expect("stream lock");
+            let _ = (&mut *s).write_all(line.as_bytes());
+        };
+        let hooks = ExecHooks {
+            prefill,
+            on_point: Some(&on_point),
+        };
+        let mut sweep = run_plan_hooked(&plan, &ropts, hooks);
+
+        // Normalise run-shape fields so retried / fault-injected /
+        // cache-served sweeps archive byte-identically to a clean
+        // direct canonical run.
+        for row in &mut sweep.rows {
+            row.wall_ms = 0.0;
+            row.start_ms = 0.0;
+            row.worker = 0;
+            row.attempts = 1;
+            row.attempt_ms = vec![0.0];
+            row.injected_faults = 0;
+        }
+        let archive = write_sweep(&sweep, &self.opts.out_dir)
+            .map_err(|e| format!("cannot write archive: {e}"))?;
+
+        let hits = hits.into_inner();
+        let misses = misses.into_inner();
+        let failed = sweep.rows.iter().filter(|r| !r.is_ok()).count();
+        let evicted = self.cache.enforce_capacity()? as u64;
+
+        self.totals.hits += hits;
+        self.totals.misses += misses;
+        self.totals.evictions += evicted;
+        self.totals.submissions += 1;
+        self.export_metrics();
+        if !self.opts.quiet {
+            eprintln!(
+                "serve: {experiment}: {} points, {hits} hits, {misses} misses, {failed} failed",
+                sweep.rows.len()
+            );
+        }
+
+        let _ = writer.write_all(
+            format!(
+                "{{\"event\":\"done\",\"ok\":true,\"points\":{},\"hits\":{hits},\
+                 \"misses\":{misses},\"failed\":{failed},\"evicted\":{evicted},\
+                 \"archive\":\"{}\"}}\n",
+                sweep.rows.len(),
+                json_escape(&archive.display().to_string())
+            )
+            .as_bytes(),
+        );
+        Ok(())
+    }
+
+    /// Commits one epoch sample (epoch = submission ordinal) and writes
+    /// `serve-metrics.csv` / `serve-metrics.json` atomically.
+    fn export_metrics(&mut self) {
+        let m = &mut self.metrics;
+        let t = self.totals;
+        m.registry.set(m.hits, t.hits as f64);
+        m.registry.set(m.misses, t.misses as f64);
+        m.registry.set(m.evictions, t.evictions as f64);
+        m.registry.set(m.entries, self.cache.len() as f64);
+        m.registry.set(m.submissions, t.submissions as f64);
+        m.registry.commit_sample(t.submissions, 0, 0);
+        let csv = self.opts.out_dir.join("serve-metrics.csv");
+        let json = self.opts.out_dir.join("serve-metrics.json");
+        if let Err(e) = atomic_write(&csv, self.metrics.registry.to_csv().as_bytes())
+            .and_then(|()| atomic_write(&json, self.metrics.registry.to_json().as_bytes()))
+        {
+            eprintln!("serve: cannot write metrics: {e}");
+        }
+    }
+}

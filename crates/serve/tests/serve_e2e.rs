@@ -1,0 +1,277 @@
+//! End-to-end proofs for the serve daemon: a resubmitted sweep is
+//! served entirely from cache with a byte-identical canonical archive,
+//! a restarted daemon comes back warm (torn WAL tails tolerated), and
+//! cached rows re-key to new plan positions.
+
+use osoffload_runner::{record_plan, report, run_plan, RunnerOptions};
+use osoffload_serve::client;
+use osoffload_serve::daemon::{Daemon, ServeOptions};
+use osoffload_system::experiments::{single_config, Evaluator, Scale};
+use osoffload_system::PolicyKind;
+use osoffload_workload::Profile;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "osoffload_serve_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn tiny() -> Scale {
+    Scale {
+        instructions: 40_000,
+        warmup: 10_000,
+        seed: 3,
+        compute_profiles: 1,
+    }
+}
+
+/// Three distinct configurations — enough to exercise plan order,
+/// rekeying, and per-point cache traffic while staying fast.
+fn full_driver(ev: Evaluator<'_>) {
+    let scale = tiny();
+    ev(single_config(
+        Profile::apache(),
+        PolicyKind::Baseline,
+        0,
+        1,
+        scale,
+    ));
+    ev(single_config(
+        Profile::apache(),
+        PolicyKind::HardwarePredictor { threshold: 500 },
+        1_000,
+        1,
+        scale,
+    ));
+    ev(single_config(
+        Profile::specjbb(),
+        PolicyKind::HardwarePredictor { threshold: 500 },
+        100,
+        1,
+        scale,
+    ));
+}
+
+/// The same configurations as [`full_driver`] indices 2 and 0, in that
+/// order — new plan positions and ids for known-cached work.
+fn subset_driver(ev: Evaluator<'_>) {
+    let scale = tiny();
+    ev(single_config(
+        Profile::specjbb(),
+        PolicyKind::HardwarePredictor { threshold: 500 },
+        100,
+        1,
+        scale,
+    ));
+    ev(single_config(
+        Profile::apache(),
+        PolicyKind::Baseline,
+        0,
+        1,
+        scale,
+    ));
+}
+
+/// Runs `driver`'s plan directly on the runner in canonical mode and
+/// returns the archive bytes — the reference every served archive must
+/// match byte for byte.
+fn direct_archive(name: &str, dir: &Path, driver: impl Fn(Evaluator<'_>)) -> Vec<u8> {
+    let plan = record_plan(name, tiny().seed, |ev| driver(ev));
+    let opts = RunnerOptions {
+        workers: 2,
+        quiet: true,
+        canonical: true,
+        out_dir: dir.to_path_buf(),
+        ..RunnerOptions::default()
+    };
+    let sweep = run_plan(&plan, &opts);
+    let path = report::write_sweep(&sweep, dir).expect("write direct archive");
+    std::fs::read(path).expect("read direct archive")
+}
+
+fn start_daemon(opts: ServeOptions) -> (u16, JoinHandle<Result<(), String>>) {
+    let mut daemon = Daemon::bind(opts).expect("bind daemon");
+    let port = daemon.local_addr().port();
+    (port, std::thread::spawn(move || daemon.run()))
+}
+
+fn serve_opts(dir: &Path) -> ServeOptions {
+    ServeOptions {
+        port: 0,
+        cache: dir.join("cache.wal"),
+        out_dir: dir.join("served"),
+        workers: 2,
+        quiet: true,
+        ..ServeOptions::default()
+    }
+}
+
+fn submit(port: u16, name: &str, driver: impl Fn(Evaluator<'_>)) -> client::SubmitOutcome {
+    let plan = record_plan(name, tiny().seed, |ev| driver(ev));
+    let request = client::submit_request_line(&plan).expect("render request");
+    client::submit(port, &request, |_| {}).expect("submit")
+}
+
+#[test]
+fn resubmitted_sweep_is_all_hits_and_byte_identical() {
+    let dir = scratch("warm");
+    let direct = direct_archive("e2e-warm", &dir.join("direct"), full_driver);
+    let (port, handle) = start_daemon(serve_opts(&dir));
+
+    let cold = submit(port, "e2e-warm", full_driver);
+    assert_eq!(
+        (cold.points, cold.hits, cold.misses, cold.failed),
+        (3, 0, 3, 0)
+    );
+    let served = std::fs::read(&cold.archive).expect("read served archive");
+    assert_eq!(
+        served, direct,
+        "cold served archive != direct canonical archive"
+    );
+
+    let warm = submit(port, "e2e-warm", full_driver);
+    assert_eq!(
+        (warm.points, warm.hits, warm.misses, warm.failed),
+        (3, 3, 0, 0),
+        "resubmission must be served entirely from cache"
+    );
+    assert_eq!(
+        std::fs::read(&warm.archive).expect("read rewarmed archive"),
+        direct,
+        "warm served archive != direct canonical archive"
+    );
+
+    let stats = client::stats(port).expect("stats");
+    assert!(stats.contains("\"entries\":3"), "{stats}");
+    assert!(stats.contains("\"hits\":3"), "{stats}");
+    assert!(stats.contains("\"misses\":3"), "{stats}");
+    assert!(stats.contains("\"submissions\":2"), "{stats}");
+    assert!(client::ping(port)
+        .expect("ping")
+        .contains("osoffload-serve"));
+
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+
+    let metrics =
+        std::fs::read_to_string(dir.join("served/serve-metrics.csv")).expect("metrics exported");
+    assert!(metrics.contains("serve.cache.hits"), "{metrics}");
+}
+
+#[test]
+fn restarted_daemon_is_warm_despite_torn_tail() {
+    let dir = scratch("restart");
+    let direct = direct_archive("e2e-restart", &dir.join("direct"), full_driver);
+
+    let (port, handle) = start_daemon(serve_opts(&dir));
+    let cold = submit(port, "e2e-restart", full_driver);
+    assert_eq!(cold.misses, 3);
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+
+    // The classic kill -9 artefact: a torn, unterminated append.
+    let cache = dir.join("cache.wal");
+    let mut bytes = std::fs::read(&cache).expect("read cache");
+    bytes.extend_from_slice(b"{\"fnv\":\"0123456789abcdef\",\"body\":{\"digest\":\"tor");
+    std::fs::write(&cache, bytes).expect("tear cache tail");
+
+    let (port, handle) = start_daemon(serve_opts(&dir));
+    let warm = submit(port, "e2e-restart", full_driver);
+    assert_eq!(
+        (warm.hits, warm.misses),
+        (3, 0),
+        "restart must replay the WAL and serve everything from cache"
+    );
+    assert_eq!(
+        std::fs::read(&warm.archive).expect("read archive"),
+        direct,
+        "post-restart archive != direct canonical archive"
+    );
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+}
+
+#[test]
+fn cached_rows_rekey_to_new_plan_positions() {
+    let dir = scratch("rekey");
+    let direct_subset = direct_archive("e2e-rekey", &dir.join("direct"), subset_driver);
+
+    let (port, handle) = start_daemon(serve_opts(&dir));
+    // Warm the cache with the full plan, then submit a permuted subset:
+    // the same configurations at different indices under different ids.
+    let cold = submit(port, "e2e-full", full_driver);
+    assert_eq!(cold.misses, 3);
+    let subset = submit(port, "e2e-rekey", subset_driver);
+    assert_eq!(
+        (subset.points, subset.hits, subset.misses),
+        (2, 2, 0),
+        "every subset point was cached under another plan position"
+    );
+    assert_eq!(
+        std::fs::read(&subset.archive).expect("read archive"),
+        direct_subset,
+        "rekeyed archive != direct canonical archive of the subset plan"
+    );
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+}
+
+#[test]
+fn fault_injected_sweep_still_archives_byte_identically() {
+    let dir = scratch("faults");
+    let direct = direct_archive("e2e-faults", &dir.join("direct"), full_driver);
+
+    let opts = ServeOptions {
+        retries: 5,
+        fault_seed: Some(9),
+        ..serve_opts(&dir)
+    };
+    let (port, handle) = start_daemon(opts);
+    let outcome = submit(port, "e2e-faults", full_driver);
+    assert_eq!(outcome.failed, 0, "retries must absorb the injected faults");
+    assert_eq!(
+        std::fs::read(&outcome.archive).expect("read archive"),
+        direct,
+        "fault-injected archive != clean direct canonical archive"
+    );
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+}
+
+#[test]
+fn hostile_requests_get_errors_not_panics() {
+    let dir = scratch("hostile");
+    let (port, handle) = start_daemon(serve_opts(&dir));
+
+    for request in [
+        "this is not json\n",
+        "{\"op\":\"frobnicate\"}\n",
+        "{\"op\":\"submit\"}\n",
+        "{\"op\":\"submit\",\"experiment\":\"../etc\",\"master_seed\":1,\"points\":[]}\n",
+        // Config that would trip a builder assertion if range checks
+        // did not run first.
+        "{\"op\":\"submit\",\"experiment\":\"x\",\"master_seed\":1,\"points\":[{\"id\":\"p\",\
+         \"config\":{\"profile\":\"apache\",\"phases\":[],\"policy\":{\"kind\":\"baseline\"},\
+         \"mechanism\":\"thread-migration\",\"migration_one_way\":0,\
+         \"os_core_slowdown_milli\":0,\"os_core_contexts\":1,\"os_cores\":1,\
+         \"dispatch\":\"least-loaded\",\"os_cold_penalty\":0,\"resource_adaptation\":null,\
+         \"user_cores\":1,\"instructions\":1000,\"warmup\":100,\"seed\":1,\"tuner\":null,\
+         \"half_l2_cores\":null}}]}\n",
+    ] {
+        let err = client::submit(port, request, |_| {}).expect_err("must be refused");
+        assert!(err.contains("refused") || err.contains("closed"), "{err}");
+    }
+
+    // The daemon survives all of it.
+    assert!(client::ping(port).expect("ping").contains("\"ok\":true"));
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+}
