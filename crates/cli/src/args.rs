@@ -134,6 +134,22 @@ pub enum ServeArgs {
         retries: u32,
         /// Maximum cached entries (`0` = unbounded).
         cache_max: usize,
+        /// Cache entry TTL in virtual seconds (`0` = no age limit).
+        cache_ttl_secs: u64,
+        /// Concurrent submissions executed at once.
+        submit_slots: usize,
+        /// Submissions allowed to queue behind the running ones.
+        admit_queue: usize,
+        /// Connection-handling threads (`0` = auto).
+        conn_workers: usize,
+        /// Socket read timeout in milliseconds (positive).
+        read_timeout_ms: u64,
+        /// Socket write timeout in milliseconds (positive).
+        write_timeout_ms: u64,
+        /// Per-request deadline in milliseconds (`0` = none).
+        request_deadline_ms: u64,
+        /// Maximum request line length in bytes (positive).
+        max_line_bytes: usize,
         /// Fault-injection seed (chaos testing).
         inject_faults: Option<u64>,
         /// Suppress stderr chatter.
@@ -147,8 +163,27 @@ pub enum ServeArgs {
         fig4: String,
         /// Exit 4 unless every point was served from cache.
         require_cached: bool,
+        /// Retries of retryable refusals (`overloaded`/`draining`) and
+        /// transport failures.
+        retries: u32,
+        /// Base backoff between retries in milliseconds.
+        backoff_ms: u64,
         /// Suppress per-point progress lines.
         quiet: bool,
+    },
+    /// `serve proxy …` — run the chaos fault-injection proxy in the
+    /// foreground (CI harness; see `ROBUSTNESS.md`).
+    Proxy {
+        /// Proxy listening port (`0` = ephemeral; printed on boot).
+        port: u16,
+        /// Daemon port the proxy forwards to.
+        upstream: u16,
+        /// Fault-plan master seed.
+        seed: u64,
+        /// Per-direction fault probability, in percent.
+        fault_pct: u32,
+        /// Fault log file (one line per injected fault).
+        log: Option<String>,
     },
     /// `serve ping` — liveness check.
     Ping {
@@ -315,6 +350,15 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseArgsError> {
         let n = parse_eq_u64(arg, "--port")?;
         u16::try_from(n).map_err(|_| err(format!("--port: {n} is not a TCP port")))
     };
+    // Flags that configure a duration or size where `0` would disable
+    // the protection entirely are rejected at parse time.
+    let positive = |arg: &str, flag: &str| -> Result<u64, ParseArgsError> {
+        let n = parse_eq_u64(arg, flag)?;
+        if n == 0 {
+            return Err(err(format!("{flag} must be positive")));
+        }
+        Ok(n)
+    };
     match args.first().map(String::as_str) {
         Some("start") => {
             let mut port = 7411u16;
@@ -322,6 +366,11 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseArgsError> {
             let mut out = "results/serve".to_string();
             let (mut workers, mut lanes, mut retries, mut cache_max) =
                 (0usize, 0usize, 0u32, 0usize);
+            let mut cache_ttl_secs = 0u64;
+            let (mut submit_slots, mut admit_queue, mut conn_workers) = (2usize, 4usize, 0usize);
+            let (mut read_timeout_ms, mut write_timeout_ms) = (60_000u64, 60_000u64);
+            let mut request_deadline_ms = 0u64;
+            let mut max_line_bytes = 1usize << 20;
             let mut inject_faults = None;
             let mut quiet = false;
             for arg in &args[1..] {
@@ -339,6 +388,22 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseArgsError> {
                     retries = parse_eq_u64(arg, "--retries")? as u32;
                 } else if arg.starts_with("--cache-max") {
                     cache_max = parse_eq_u64(arg, "--cache-max")? as usize;
+                } else if arg.starts_with("--cache-ttl-secs") {
+                    cache_ttl_secs = parse_eq_u64(arg, "--cache-ttl-secs")?;
+                } else if arg.starts_with("--submit-slots") {
+                    submit_slots = positive(arg, "--submit-slots")? as usize;
+                } else if arg.starts_with("--admit-queue") {
+                    admit_queue = parse_eq_u64(arg, "--admit-queue")? as usize;
+                } else if arg.starts_with("--conn-workers") {
+                    conn_workers = parse_eq_u64(arg, "--conn-workers")? as usize;
+                } else if arg.starts_with("--read-timeout-ms") {
+                    read_timeout_ms = positive(arg, "--read-timeout-ms")?;
+                } else if arg.starts_with("--write-timeout-ms") {
+                    write_timeout_ms = positive(arg, "--write-timeout-ms")?;
+                } else if arg.starts_with("--request-deadline-ms") {
+                    request_deadline_ms = parse_eq_u64(arg, "--request-deadline-ms")?;
+                } else if arg.starts_with("--max-line-bytes") {
+                    max_line_bytes = positive(arg, "--max-line-bytes")? as usize;
                 } else if arg.starts_with("--inject-faults") {
                     inject_faults = Some(parse_eq_u64(arg, "--inject-faults")?);
                 } else if arg == "--quiet" {
@@ -355,6 +420,14 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseArgsError> {
                 lanes,
                 retries,
                 cache_max,
+                cache_ttl_secs,
+                submit_slots,
+                admit_queue,
+                conn_workers,
+                read_timeout_ms,
+                write_timeout_ms,
+                request_deadline_ms,
+                max_line_bytes,
                 inject_faults,
                 quiet,
             })
@@ -363,6 +436,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseArgsError> {
             let mut port = 7411u16;
             let mut fig4 = None;
             let mut require_cached = false;
+            let mut retries = 5u32;
+            let mut backoff_ms = 50u64;
             let mut quiet = false;
             for arg in &args[1..] {
                 if arg.starts_with("--port") {
@@ -374,6 +449,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseArgsError> {
                     fig4 = Some(v.to_string());
                 } else if arg == "--require-cached" {
                     require_cached = true;
+                } else if arg.starts_with("--retries") {
+                    retries = parse_eq_u64(arg, "--retries")? as u32;
+                } else if arg.starts_with("--backoff-ms") {
+                    backoff_ms = positive(arg, "--backoff-ms")?;
                 } else if arg == "--quiet" {
                     quiet = true;
                 } else {
@@ -384,7 +463,46 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, ParseArgsError> {
                 port,
                 fig4: fig4.ok_or_else(|| err("serve submit needs --fig4=quick|full|paper"))?,
                 require_cached,
+                retries,
+                backoff_ms,
                 quiet,
+            })
+        }
+        Some("proxy") => {
+            let mut port = 0u16;
+            let mut upstream = None;
+            let mut seed = 0xC4A05u64;
+            let mut fault_pct = 50u32;
+            let mut log = None;
+            for arg in &args[1..] {
+                if arg.starts_with("--port") {
+                    port = port_flag(arg)?;
+                } else if arg.starts_with("--upstream") {
+                    let n = parse_eq_u64(arg, "--upstream")?;
+                    upstream = Some(
+                        u16::try_from(n)
+                            .map_err(|_| err(format!("--upstream: {n} is not a TCP port")))?,
+                    );
+                } else if arg.starts_with("--seed") {
+                    seed = parse_eq_u64(arg, "--seed")?;
+                } else if arg.starts_with("--fault-pct") {
+                    let n = parse_eq_u64(arg, "--fault-pct")?;
+                    if n > 100 {
+                        return Err(err(format!("--fault-pct: {n} is not a percentage")));
+                    }
+                    fault_pct = n as u32;
+                } else if let Some(v) = arg.strip_prefix("--log=") {
+                    log = Some(v.to_string());
+                } else {
+                    return Err(err(format!("serve proxy: unknown flag '{arg}'")));
+                }
+            }
+            Ok(ServeArgs::Proxy {
+                port,
+                upstream: upstream.ok_or_else(|| err("serve proxy needs --upstream=PORT"))?,
+                seed,
+                fault_pct,
+                log,
             })
         }
         Some(op @ ("ping" | "stats" | "stop")) => {
@@ -541,15 +659,31 @@ INSPECT SUBCOMMANDS (see TELEMETRY.md, \"Profiling & inspection\"):
 SERVE SUBCOMMANDS (see SERVING.md):
     serve start [--port=N] [--cache=FILE] [--out=DIR] [--workers=N]
                 [--lanes=N] [--retries=N] [--cache-max=N]
-                [--inject-faults=SEED] [--quiet]
+                [--cache-ttl-secs=N] [--submit-slots=N] [--admit-queue=N]
+                [--conn-workers=N] [--read-timeout-ms=N]
+                [--write-timeout-ms=N] [--request-deadline-ms=N]
+                [--max-line-bytes=N] [--inject-faults=SEED] [--quiet]
                                             boot the daemon in the foreground
-                                            (port 7411; 0 = ephemeral)
+                                            (port 7411; 0 = ephemeral);
+                                            --submit-slots concurrent sweeps
+                                            with --admit-queue waiters, the
+                                            rest shed with 'overloaded'
+                                            (see SERVING.md, overload & drain)
     serve submit --fig4=quick|full|paper [--port=N] [--require-cached]
-                [--quiet]                   submit the fig4 sweep, stream
-                                            per-point progress; with
-                                            --require-cached, exit 4 unless
-                                            every point came from cache
+                [--retries=N] [--backoff-ms=N] [--quiet]
+                                            submit the fig4 sweep, stream
+                                            per-point progress; retries
+                                            overloaded/draining/transport
+                                            failures with jittered backoff;
+                                            with --require-cached, exit 4
+                                            unless every point came from cache
+    serve proxy --upstream=PORT [--port=N] [--seed=N] [--fault-pct=N]
+                [--log=FILE]                deterministic fault-injecting TCP
+                                            proxy for chaos testing: torn
+                                            writes, stalls, disconnects at
+                                            seeded byte offsets
     serve ping|stats|stop [--port=N]        liveness / totals / shutdown
+                                            (stop drains gracefully)
 
 EXAMPLES:
     osoffload run -p apache --policy hi:500 -l 1000 --energy
@@ -703,7 +837,10 @@ mod tests {
     fn serve_args_parse() {
         let cmd = parse(&argv(
             "serve start --port=0 --cache=c.wal --out=o --workers=2 --lanes=1 \
-             --retries=3 --cache-max=10 --inject-faults=7 --quiet",
+             --retries=3 --cache-max=10 --cache-ttl-secs=3600 --submit-slots=3 \
+             --admit-queue=8 --conn-workers=12 --read-timeout-ms=5000 \
+             --write-timeout-ms=4000 --request-deadline-ms=30000 \
+             --max-line-bytes=65536 --inject-faults=7 --quiet",
         ))
         .unwrap();
         assert_eq!(
@@ -716,12 +853,20 @@ mod tests {
                 lanes: 1,
                 retries: 3,
                 cache_max: 10,
+                cache_ttl_secs: 3600,
+                submit_slots: 3,
+                admit_queue: 8,
+                conn_workers: 12,
+                read_timeout_ms: 5000,
+                write_timeout_ms: 4000,
+                request_deadline_ms: 30000,
+                max_line_bytes: 65536,
                 inject_faults: Some(7),
                 quiet: true,
             })
         );
         let cmd = parse(&argv(
-            "serve submit --fig4=quick --port=7500 --require-cached",
+            "serve submit --fig4=quick --port=7500 --require-cached --retries=2 --backoff-ms=10",
         ))
         .unwrap();
         assert_eq!(
@@ -730,7 +875,23 @@ mod tests {
                 port: 7500,
                 fig4: "quick".into(),
                 require_cached: true,
+                retries: 2,
+                backoff_ms: 10,
                 quiet: false,
+            })
+        );
+        let cmd = parse(&argv(
+            "serve proxy --upstream=7411 --port=7500 --seed=9 --fault-pct=30 --log=f.log",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs::Proxy {
+                port: 7500,
+                upstream: 7411,
+                seed: 9,
+                fault_pct: 30,
+                log: Some("f.log".into()),
             })
         );
         assert_eq!(
@@ -741,6 +902,15 @@ mod tests {
         assert!(parse(&argv("serve submit --fig4=huge")).is_err());
         assert!(parse(&argv("serve start --port=70000")).is_err());
         assert!(parse(&argv("serve frobnicate")).is_err());
+        // Zero would disable the corresponding protection entirely —
+        // rejected at parse time, not silently accepted.
+        assert!(parse(&argv("serve start --submit-slots=0")).is_err());
+        assert!(parse(&argv("serve start --read-timeout-ms=0")).is_err());
+        assert!(parse(&argv("serve start --write-timeout-ms=0")).is_err());
+        assert!(parse(&argv("serve start --max-line-bytes=0")).is_err());
+        assert!(parse(&argv("serve submit --fig4=quick --backoff-ms=0")).is_err());
+        assert!(parse(&argv("serve proxy")).is_err(), "proxy needs upstream");
+        assert!(parse(&argv("serve proxy --upstream=7411 --fault-pct=101")).is_err());
     }
 
     #[test]

@@ -147,6 +147,68 @@ pub struct LoadedJournal {
     pub rows: Vec<PointResult>,
 }
 
+/// How [`scan_envelope_lines`] treats a line that fails envelope
+/// validation. Both modes silently drop an unterminated final fragment
+/// — the torn in-flight append a crash leaves behind — because it was
+/// never acknowledged to anyone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Stop at the first bad line, keeping everything before it. This
+    /// is the journal-resume contract: a journal is a prefix-ordered
+    /// log, so nothing after damage can be trusted to belong to the
+    /// same run.
+    Strict,
+    /// Skip bad lines (each recorded as a [`ScanIssue`]) and keep
+    /// scanning. This is the serve-cache contract: entries are
+    /// content-addressed and independent, so damage to one record never
+    /// invalidates its neighbours.
+    Tolerant,
+}
+
+/// One line [`scan_envelope_lines`] could not validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanIssue {
+    /// 1-based line number in the scanned text.
+    pub lineno: usize,
+    /// What was wrong with the line.
+    pub why: String,
+}
+
+/// Splits `text` into newline-terminated lines and validates each as a
+/// checksummed envelope, returning `(lineno, body)` pairs for the lines
+/// that pass plus an issue per line that does not. The shared reader
+/// beneath both [`load`] (strict) and the serve cache's loader
+/// (tolerant); the mode semantics are documented in `ROBUSTNESS.md`.
+pub fn scan_envelope_lines(text: &str, mode: ScanMode) -> (Vec<(usize, &str)>, Vec<ScanIssue>) {
+    let mut bodies = Vec::new();
+    let mut issues = Vec::new();
+    let mut rest = text;
+    let mut lineno = 0usize;
+    // Only '\n'-terminated lines are complete; an unterminated tail is
+    // a torn in-flight append and is discarded without comment.
+    while let Some(nl) = rest.find('\n') {
+        let line = &rest[..nl];
+        rest = &rest[nl + 1..];
+        lineno += 1;
+        if line.is_empty() {
+            continue;
+        }
+        match unwrap_envelope(line) {
+            Some(body) => bodies.push((lineno, body)),
+            None => {
+                issues.push(ScanIssue {
+                    lineno,
+                    why: "bad envelope or checksum".to_string(),
+                });
+                if mode == ScanMode::Strict {
+                    break;
+                }
+            }
+        }
+    }
+    (bodies, issues)
+}
+
 /// Reads a journal back, tolerating the torn/corrupt tail a crash
 /// leaves behind: parsing stops at the first line that is unterminated,
 /// fails its checksum, or does not parse — everything before it is
@@ -154,23 +216,14 @@ pub struct LoadedJournal {
 /// missing or invalid (such a file cannot safely seed a resume).
 pub fn load(path: &Path) -> Result<LoadedJournal, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
-    // Only '\n'-terminated lines are complete; a crash mid-append leaves
-    // an unterminated fragment, which is discarded here.
-    let complete = match text.rfind('\n') {
-        Some(end) => &text[..end],
-        None => "",
-    };
-    let mut lines = complete.split('\n').filter(|l| !l.is_empty());
-    let header_line = lines.next().ok_or("empty journal (no header line)")?;
-    let header_body = unwrap_envelope(header_line).ok_or("corrupt journal header line")?;
+    let (lines, _issues) = scan_envelope_lines(&text, ScanMode::Strict);
+    let mut lines = lines.into_iter();
+    let (_, header_body) = lines.next().ok_or("empty journal or corrupt header line")?;
     let header = parse_header(header_body)?;
     let mut rows: Vec<PointResult> = Vec::new();
-    for line in lines {
-        let Some(body) = unwrap_envelope(line) else {
-            break; // torn or corrupt: keep everything before it
-        };
+    for (_, body) in lines {
         let Some(row) = restore_row(body) else {
-            break;
+            break; // unrestorable record: keep everything before it
         };
         if let Some(existing) = rows.iter_mut().find(|r| r.index == row.index) {
             *existing = row;
@@ -611,6 +664,42 @@ mod tests {
         std::fs::write(&path, &garbage).expect("write");
         assert_eq!(load(&path).expect("load").rows.len(), 2);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn strict_and_tolerant_scans_differ_only_after_the_first_bad_line() {
+        // One fixture, both modes: header, good record, corrupt record
+        // (checksum flip), garbage, good record, torn unterminated tail.
+        let good1 = envelope("{\"a\":1}");
+        let corrupt = envelope("{\"b\":2}").replacen('0', "1", 1);
+        let good2 = envelope("{\"c\":3}");
+        let fixture = format!(
+            "{}{good1}{corrupt}not an envelope at all\n\n{good2}{}",
+            envelope("{\"hdr\":true}"),
+            &envelope("{\"torn\":true}")[..9]
+        );
+
+        let (strict, strict_issues) = scan_envelope_lines(&fixture, ScanMode::Strict);
+        assert_eq!(
+            strict,
+            vec![(1, "{\"hdr\":true}"), (2, "{\"a\":1}")],
+            "strict keeps only the prefix before the first bad line"
+        );
+        assert_eq!(strict_issues.len(), 1, "{strict_issues:?}");
+        assert_eq!(strict_issues[0].lineno, 3);
+
+        let (tolerant, tolerant_issues) = scan_envelope_lines(&fixture, ScanMode::Tolerant);
+        assert_eq!(
+            tolerant,
+            vec![(1, "{\"hdr\":true}"), (2, "{\"a\":1}"), (6, "{\"c\":3}")],
+            "tolerant skips bad lines and keeps later good ones"
+        );
+        assert_eq!(
+            tolerant_issues.iter().map(|i| i.lineno).collect::<Vec<_>>(),
+            vec![3, 4],
+            "one issue per skipped line; blank lines and the torn tail \
+             are dropped silently in both modes: {tolerant_issues:?}"
+        );
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub use executor::{
     EvalCtx, ExecHooks, Outcome, PointResult, RunnerOptions, SweepResult, WorkerProfile,
 };
 pub use fault::{FaultConfig, FaultPlan, InjectedPanic, PointFaults};
-pub use journal::{fnv1a64, Journal, JournalHeader, LoadedJournal};
+pub use journal::{
+    fnv1a64, scan_envelope_lines, Journal, JournalHeader, LoadedJournal, ScanIssue, ScanMode,
+};
 pub use plan::{ExperimentPlan, Point};
 
 // Re-exported so downstream callers name configs without an extra

@@ -5,13 +5,17 @@
 //! [`osoffload_runner::journal`]: line one is a header
 //! (`{"journal":"osoffload-serve-cache","version":1}`), and every
 //! subsequent line records one completed point as
-//! `{"digest":"<16-hex>","config":<wire config>,"stable":<stable row>}`
+//! `{"digest":"<16-hex>","stamp":N,"config":<wire config>,"stable":<stable row>}`
 //! — the `stable` key deliberately last, like the runner's journal, so
 //! the original archive text can be sliced back out byte-for-byte.
 //! Every insert is an fsynced append, so a killed daemon restarts warm
 //! with everything it ever acknowledged.
 //!
-//! Two deliberate differences from the runner's journal loader:
+//! Both files share one line reader,
+//! [`osoffload_runner::journal::scan_envelope_lines`]; the cache runs
+//! it in [`ScanMode::Tolerant`] where the journal runs it in strict
+//! mode. Two deliberate differences from the runner's journal loader
+//! follow from that:
 //!
 //! - **Corrupt lines are skipped, not fatal.** `journal::load` stops at
 //!   the first bad line because later records may depend on a prefix; a
@@ -26,6 +30,14 @@
 //!   therefore requires digest *and* wire-config equality: a collision
 //!   recomputes rather than ever serving the wrong row.
 //!
+//! Each record carries a monotone **stamp** — virtual seconds since the
+//! cache was first created, never wall-clock time, so replaying a WAL
+//! is deterministic. A freshly opened cache resumes its clock from the
+//! largest stamp on disk and advances it with a monotonic timer; when a
+//! TTL is configured ([`ResultCache::open_limited`]), entries whose age
+//! exceeds it are evicted durably at open/compaction time. Records
+//! written before stamps existed load as stamp `0` (maximally old).
+//!
 //! Duplicate digests are last-wins (a re-inserted row supersedes the
 //! old one and counts as freshest for eviction). When the loader had to
 //! drop anything, or eviction trims the cache, the file is compacted
@@ -34,11 +46,14 @@
 //! never a mangled hybrid.
 
 use osoffload_obs::atomic_write;
-use osoffload_runner::journal::{envelope, restore_from_stable, unwrap_envelope, Journal};
+use osoffload_runner::journal::{
+    envelope, restore_from_stable, scan_envelope_lines, Journal, ScanMode,
+};
 use osoffload_runner::jsonv;
 use osoffload_runner::PointResult;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Header body of a serve cache file (line one, enveloped).
 pub const HEADER_BODY: &str = "{\"journal\":\"osoffload-serve-cache\",\"version\":1}";
@@ -50,6 +65,8 @@ pub const HEADER_BODY: &str = "{\"journal\":\"osoffload-serve-cache\",\"version\
 pub struct CacheEntry {
     /// 16-hex-digit FNV-1a digest of the point's archive `config_json`.
     pub digest: String,
+    /// Monotone insertion stamp (virtual seconds, not wall clock).
+    pub stamp: u64,
     /// The point's full wire configuration (collision guard).
     pub config: String,
     /// The cached row, restored as if resumed from a journal.
@@ -59,8 +76,9 @@ pub struct CacheEntry {
 impl CacheEntry {
     fn body(&self) -> String {
         format!(
-            "{{\"digest\":\"{}\",\"config\":{},\"stable\":{}}}",
+            "{{\"digest\":\"{}\",\"stamp\":{},\"config\":{},\"stable\":{}}}",
             self.digest,
+            self.stamp,
             self.config,
             self.row.stable_json()
         )
@@ -75,6 +93,9 @@ impl CacheEntry {
 pub struct ResultCache {
     path: PathBuf,
     capacity: usize,
+    ttl_secs: u64,
+    stamp_base: u64,
+    opened: Instant,
     entries: Vec<CacheEntry>,
     index: HashMap<String, usize>,
     writer: Option<Journal>,
@@ -89,9 +110,22 @@ fn parse_record(body: &str) -> Result<CacheEntry, String> {
     if !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
         return Err(format!("record digest {digest:?} is not hex"));
     }
-    let rest = rest[16..]
-        .strip_prefix("\",\"config\":")
-        .ok_or("record missing config")?;
+    // The stamp is optional: records written before cache TTLs existed
+    // omit it and load as maximally old.
+    let mut stamp = 0u64;
+    let rest = if let Some(after) = rest[16..].strip_prefix("\",\"stamp\":") {
+        let digits = after.bytes().take_while(u8::is_ascii_digit).count();
+        stamp = after[..digits]
+            .parse()
+            .map_err(|_| "record stamp is not a number".to_string())?;
+        after[digits..]
+            .strip_prefix(",\"config\":")
+            .ok_or("record missing config")?
+    } else {
+        rest[16..]
+            .strip_prefix("\",\"config\":")
+            .ok_or("record missing config")?
+    };
     let stable_at = rest
         .find(",\"stable\":")
         .ok_or("record missing stable row")?;
@@ -112,6 +146,7 @@ fn parse_record(body: &str) -> Result<CacheEntry, String> {
     }
     Ok(CacheEntry {
         digest: digest.to_string(),
+        stamp,
         config: config.to_string(),
         row,
     })
@@ -120,18 +155,11 @@ fn parse_record(body: &str) -> Result<CacheEntry, String> {
 fn load_entries(path: &Path) -> Result<(Vec<CacheEntry>, Vec<String>), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read cache {}: {e}", path.display()))?;
-    let mut lines = Vec::new();
-    let mut rest = text.as_str();
-    // Only newline-terminated lines are records; an unterminated tail is
-    // a torn in-flight append and is discarded without comment.
-    while let Some(nl) = rest.find('\n') {
-        lines.push(&rest[..nl]);
-        rest = &rest[nl + 1..];
-    }
-    let header = lines
-        .first()
-        .ok_or_else(|| format!("cache {} has no header line", path.display()))?;
-    if unwrap_envelope(header) != Some(HEADER_BODY) {
+    let (lines, issues) = scan_envelope_lines(&text, ScanMode::Tolerant);
+    let Some(&(header_lineno, header_body)) = lines.first() else {
+        return Err(format!("cache {} has no header line", path.display()));
+    };
+    if header_lineno != 1 || header_body != HEADER_BODY {
         return Err(format!(
             "cache {} has an unrecognised header; refusing to treat it as a serve cache",
             path.display()
@@ -139,12 +167,19 @@ fn load_entries(path: &Path) -> Result<(Vec<CacheEntry>, Vec<String>), String> {
     }
     let mut entries: Vec<CacheEntry> = Vec::new();
     let mut index: HashMap<String, usize> = HashMap::new();
-    let mut warnings = Vec::new();
-    for (lineno, line) in lines.iter().enumerate().skip(1) {
-        let parsed = unwrap_envelope(line)
-            .ok_or_else(|| "bad envelope or checksum".to_string())
-            .and_then(parse_record);
-        match parsed {
+    let mut warnings: Vec<String> = issues
+        .iter()
+        .map(|i| {
+            format!(
+                "cache {} line {}: {}; record skipped",
+                path.display(),
+                i.lineno,
+                i.why
+            )
+        })
+        .collect();
+    for &(lineno, body) in &lines[1..] {
+        match parse_record(body) {
             Ok(entry) => {
                 if let Some(&old) = index.get(&entry.digest) {
                     // Last-wins: drop the superseded record and shift
@@ -160,9 +195,8 @@ fn load_entries(path: &Path) -> Result<(Vec<CacheEntry>, Vec<String>), String> {
                 entries.push(entry);
             }
             Err(why) => warnings.push(format!(
-                "cache {} line {}: {why}; record skipped",
-                path.display(),
-                lineno + 1
+                "cache {} line {lineno}: {why}; record skipped",
+                path.display()
             )),
         }
     }
@@ -184,6 +218,17 @@ impl ResultCache {
     /// compacted to drop them; a file that is not a serve cache at all
     /// is an error rather than silently overwritten.
     pub fn open(path: &Path, capacity: usize) -> Result<ResultCache, String> {
+        ResultCache::open_limited(path, capacity, 0)
+    }
+
+    /// [`ResultCache::open`] with an additional age limit: entries whose
+    /// stamp age exceeds `ttl_secs` (`0` = no limit) are evicted — and
+    /// the file compacted — before the cache is usable.
+    pub fn open_limited(
+        path: &Path,
+        capacity: usize,
+        ttl_secs: u64,
+    ) -> Result<ResultCache, String> {
         let (entries, warnings) = if path.exists() {
             load_entries(path)?
         } else {
@@ -202,9 +247,13 @@ impl ResultCache {
             .enumerate()
             .map(|(i, e)| (e.digest.clone(), i))
             .collect();
+        let stamp_base = entries.iter().map(|e| e.stamp).max().unwrap_or(0);
         let mut cache = ResultCache {
             path: path.to_path_buf(),
             capacity,
+            ttl_secs,
+            stamp_base,
+            opened: Instant::now(),
             entries,
             index,
             writer: None,
@@ -216,6 +265,7 @@ impl ResultCache {
         if cache.canonical_bytes() != std::fs::read(path).unwrap_or_default() {
             cache.compact()?;
         }
+        cache.evict_expired()?;
         cache.enforce_capacity()?;
         cache.writer = Some(
             Journal::open_append(path)
@@ -242,6 +292,13 @@ impl ResultCache {
     /// All entries, oldest first.
     pub fn entries(&self) -> &[CacheEntry] {
         &self.entries
+    }
+
+    /// The cache's current monotone stamp: virtual seconds resumed from
+    /// the largest stamp on disk and advanced by a monotonic timer —
+    /// never wall-clock time, so WAL replay stays deterministic.
+    pub fn now_stamp(&self) -> u64 {
+        self.stamp_base + self.opened.elapsed().as_secs()
     }
 
     /// The entry for `digest` — only if its stored wire configuration is
@@ -274,11 +331,23 @@ impl ResultCache {
     /// if the row was cached, `false` if it was refused (failed rows are
     /// never cached). A duplicate digest supersedes the old entry.
     pub fn insert(&mut self, config: &str, row: &PointResult) -> Result<bool, String> {
+        self.insert_stamped(config, row, self.now_stamp())
+    }
+
+    /// [`ResultCache::insert`] with an explicit stamp instead of the
+    /// cache's current one — how TTL tests plant entries of known age.
+    pub fn insert_stamped(
+        &mut self,
+        config: &str,
+        row: &PointResult,
+        stamp: u64,
+    ) -> Result<bool, String> {
         if !row.is_ok() {
             return Ok(false);
         }
         let entry = CacheEntry {
             digest: row.config_digest(),
+            stamp,
             config: config.to_string(),
             row: row.clone(),
         };
@@ -300,6 +369,25 @@ impl ResultCache {
         Ok(true)
     }
 
+    /// Evicts entries older than the configured TTL (no-op when the TTL
+    /// is `0`), compacting the file if anything was dropped. Returns the
+    /// eviction count.
+    pub fn evict_expired(&mut self) -> Result<usize, String> {
+        if self.ttl_secs == 0 {
+            return Ok(0);
+        }
+        let now = self.now_stamp();
+        let ttl = self.ttl_secs;
+        let before = self.entries.len();
+        self.entries.retain(|e| now.saturating_sub(e.stamp) <= ttl);
+        let evicted = before - self.entries.len();
+        if evicted > 0 {
+            self.rebuild_index();
+            self.compact()?;
+        }
+        Ok(evicted)
+    }
+
     /// Evicts oldest entries beyond the configured capacity, compacting
     /// the file if anything was dropped. Returns the eviction count.
     pub fn enforce_capacity(&mut self) -> Result<usize, String> {
@@ -308,14 +396,25 @@ impl ResultCache {
         }
         let evict = self.entries.len() - self.capacity;
         self.entries.drain(..evict);
+        self.rebuild_index();
+        self.compact()?;
+        Ok(evict)
+    }
+
+    /// Applies both eviction policies — age first, then capacity — and
+    /// returns the total eviction count. The daemon calls this after
+    /// every submission.
+    pub fn enforce_limits(&mut self) -> Result<usize, String> {
+        Ok(self.evict_expired()? + self.enforce_capacity()?)
+    }
+
+    fn rebuild_index(&mut self) {
         self.index = self
             .entries
             .iter()
             .enumerate()
             .map(|(i, e)| (e.digest.clone(), i))
             .collect();
-        self.compact()?;
-        Ok(evict)
     }
 
     fn canonical_bytes(&self) -> Vec<u8> {

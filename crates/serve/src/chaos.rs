@@ -1,0 +1,306 @@
+//! Deterministic fault-injecting TCP proxy — the socket-level chaos
+//! harness for the serve daemon.
+//!
+//! The proxy sits between a client and the daemon on loopback and
+//! injects faults at **planned byte offsets**: torn writes (a prefix is
+//! forwarded, then the connection is cut), stalls (forwarding pauses
+//! mid-frame), and mid-stream disconnects. Every connection's fault
+//! plan derives from a [`SeedSequence`] in accept order, the same
+//! deterministic seeding discipline the runner's `FaultPlan` uses — so
+//! a chaos campaign replays the same fault schedule for the same seed,
+//! and a CI failure names the seed that reproduces it.
+//!
+//! What the harness proves (see `tests/serve_chaos.rs` and the nightly
+//! `serve-chaos` CI job): whatever the proxy does to the byte streams,
+//! the daemon's cache WAL stays well-formed, every acknowledged point
+//! is fully journaled or absent, and a clean resubmission serves the
+//! whole plan from cache with a byte-identical canonical archive.
+
+use osoffload_sim::{Rng64, SeedSequence};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of the fault planner.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Probability that one direction of a connection gets a fault.
+    pub fault_rate: f64,
+    /// How long a stall fault pauses forwarding, in milliseconds.
+    pub stall_ms: u64,
+    /// Fault offsets are drawn uniformly from `0..max_offset` bytes.
+    pub max_offset: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            fault_rate: 0.5,
+            stall_ms: 50,
+            max_offset: 2_048,
+        }
+    }
+}
+
+/// One planned fault on one direction of a proxied connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Pause forwarding for `ms` once `at` bytes have been relayed.
+    Stall {
+        /// Byte offset the stall triggers at.
+        at: u64,
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Forward exactly `at` bytes of the stream, then cut the
+    /// connection — the canonical torn write.
+    TornWrite {
+        /// Bytes forwarded before the cut.
+        at: u64,
+    },
+    /// Cut the connection once `at` bytes have been relayed, without
+    /// forwarding the chunk that crossed the offset.
+    Disconnect {
+        /// Byte offset the cut triggers at.
+        at: u64,
+    },
+}
+
+impl Fault {
+    fn offset(&self) -> u64 {
+        match *self {
+            Fault::Stall { at, .. } | Fault::TornWrite { at } | Fault::Disconnect { at } => at,
+        }
+    }
+}
+
+/// Derives the fault plan for one connection: one optional fault per
+/// direction (`[client→server, server→client]`), deterministically from
+/// the connection's seed.
+pub fn plan_connection(seed: u64, cfg: &ChaosConfig) -> [Option<Fault>; 2] {
+    let mut rng = Rng64::seed_from(seed);
+    let mut plan_dir = || {
+        if !rng.gen_bool(cfg.fault_rate) {
+            return None;
+        }
+        let at = rng.gen_range(0..cfg.max_offset.max(1));
+        Some(match rng.gen_range(0..3) {
+            0 => Fault::Stall {
+                at,
+                ms: cfg.stall_ms,
+            },
+            1 => Fault::TornWrite { at },
+            _ => Fault::Disconnect { at },
+        })
+    };
+    [plan_dir(), plan_dir()]
+}
+
+struct ProxyState {
+    stop: AtomicBool,
+    injected: AtomicU64,
+    log: Mutex<Vec<String>>,
+    log_file: Mutex<Option<std::fs::File>>,
+}
+
+impl ProxyState {
+    fn record(&self, line: String) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        if let Some(file) = self.log_file.lock().expect("log file lock").as_mut() {
+            let _ = writeln!(file, "{line}");
+            let _ = file.flush();
+        }
+        self.log.lock().expect("fault log lock").push(line);
+    }
+}
+
+/// A running chaos proxy; dropping it without [`ChaosProxy::stop`]
+/// leaves the accept thread parked until the process exits.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    state: Arc<ProxyState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ChaosProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosProxy")
+            .field("addr", &self.addr)
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on loopback `port` (`0` = ephemeral) forwarding
+    /// to `upstream`. Connection fault plans derive from `seed`;
+    /// injected faults are appended to `log_path` (one line each) when
+    /// given.
+    pub fn start(
+        port: u16,
+        upstream: SocketAddr,
+        seed: u64,
+        cfg: ChaosConfig,
+        log_path: Option<&std::path::Path>,
+    ) -> Result<ChaosProxy, String> {
+        let listener = TcpListener::bind(("127.0.0.1", port))
+            .map_err(|e| format!("chaos proxy cannot bind: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("chaos proxy address: {e}"))?;
+        let log_file = match log_path {
+            Some(path) => Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("chaos proxy cannot open log {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+        let state = Arc::new(ProxyState {
+            stop: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+            log_file: Mutex::new(log_file),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::spawn(move || {
+            let mut seeds = SeedSequence::new(seed);
+            let mut conn = 0u64;
+            loop {
+                let (client, _) = match listener.accept() {
+                    Ok(pair) => pair,
+                    Err(_) => break,
+                };
+                if accept_state.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                conn += 1;
+                let conn_seed = seeds.next_seed();
+                let plan = plan_connection(conn_seed, &cfg);
+                let server = match TcpStream::connect(upstream) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        accept_state.record(format!(
+                            "conn={conn} seed={conn_seed:#018x} upstream unreachable: {e}"
+                        ));
+                        continue;
+                    }
+                };
+                let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+                    continue;
+                };
+                for (src, dst, fault, dir) in [
+                    (client, server, plan[0], "c2s"),
+                    (server2, client2, plan[1], "s2c"),
+                ] {
+                    let state = Arc::clone(&accept_state);
+                    std::thread::spawn(move || {
+                        pump(src, dst, fault, &state, conn, conn_seed, dir);
+                    });
+                }
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's loopback address — point clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The proxy's port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// How many faults (or upstream failures) were injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the fault log so far, one line per injected fault.
+    pub fn fault_log(&self) -> Vec<String> {
+        self.state.log.lock().expect("fault log lock").clone()
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// In-flight pump threads finish on their own as streams close.
+    pub fn stop(mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Forwards bytes `src` → `dst`, applying at most one planned fault,
+/// then half-closes the destination so EOF propagates.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    mut fault: Option<Fault>,
+    state: &ProxyState,
+    conn: u64,
+    seed: u64,
+    dir: &str,
+) {
+    let mut pos = 0u64;
+    let mut buf = [0u8; 512];
+    loop {
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        let chunk = &buf[..n];
+        let crossed = fault.map(|f| f.offset() < pos + n as u64).unwrap_or(false);
+        if crossed {
+            let f = fault.take().expect("fault present when crossed");
+            let cut = (f.offset().saturating_sub(pos)) as usize;
+            let relayed = match f {
+                Fault::Disconnect { .. } => pos,
+                _ => pos + cut as u64,
+            };
+            state.record(format!(
+                "conn={conn} seed={seed:#018x} dir={dir} fault={f:?} relayed={relayed}"
+            ));
+            match f {
+                Fault::Stall { ms, .. } => {
+                    if dst.write_all(&chunk[..cut]).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(ms));
+                    if dst.write_all(&chunk[cut..]).is_err() {
+                        break;
+                    }
+                }
+                Fault::TornWrite { .. } => {
+                    let _ = dst.write_all(&chunk[..cut]);
+                    let _ = dst.shutdown(Shutdown::Both);
+                    let _ = src.shutdown(Shutdown::Both);
+                    return;
+                }
+                Fault::Disconnect { .. } => {
+                    let _ = dst.shutdown(Shutdown::Both);
+                    let _ = src.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        } else if dst.write_all(chunk).is_err() {
+            break;
+        }
+        pos += n as u64;
+    }
+    let _ = dst.shutdown(Shutdown::Write);
+}

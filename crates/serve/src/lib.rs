@@ -23,10 +23,15 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod daemon;
 pub mod wire;
 
 pub use cache::{CacheEntry, ResultCache};
-pub use client::{submit, submit_request_line, SubmitOutcome};
+pub use chaos::{ChaosConfig, ChaosProxy, Fault};
+pub use client::{
+    submit, submit_once, submit_request_line, submit_with_retry, RetryPolicy, SubmitError,
+    SubmitOutcome,
+};
 pub use daemon::{Daemon, ServeOptions, DEFAULT_PORT};

@@ -302,6 +302,89 @@ fn foreign_envelope_files_are_refused() {
 }
 
 #[test]
+fn ttl_eviction_is_by_stamp_age_and_durable() {
+    let rows = sample_rows();
+    let dir = scratch("ttl");
+    let path = dir.join("cache.wal");
+    // Plant entries of known virtual ages via explicit stamps; the
+    // cache clock itself never consults wall time.
+    let mut cache = ResultCache::open(&path, 0).expect("open");
+    for ((wire_text, row), stamp) in rows.iter().zip([0u64, 1_000, 1_990]) {
+        assert!(cache
+            .insert_stamped(wire_text, row, stamp)
+            .expect("insert stamped"));
+    }
+    assert_eq!(cache.len(), 3);
+    drop(cache);
+
+    // Reopen with a TTL: the clock resumes from the largest stamp on
+    // disk (1990), so ages are 1990, 990, and 0 — only the newest entry
+    // survives a 100-second limit.
+    let cache = ResultCache::open_limited(&path, 0, 100).expect("reopen with ttl");
+    assert_eq!(cache.len(), 1, "stale entries must be evicted on open");
+    assert!(cache
+        .lookup(&rows[2].1.config_digest(), &rows[2].0)
+        .is_some());
+    drop(cache);
+
+    // The eviction compacted the WAL: even a TTL-free reopen sees only
+    // the survivor, and the file replays without warnings.
+    let (entries, warnings) = read_entries(&path).expect("read");
+    assert!(warnings.is_empty(), "{warnings:?}");
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].stamp, 1_990);
+    let unlimited = ResultCache::open(&path, 0).expect("reopen unlimited");
+    assert_eq!(unlimited.len(), 1, "TTL eviction must be durable");
+}
+
+#[test]
+fn stampless_legacy_records_load_as_maximally_old() {
+    let rows = sample_rows();
+    let dir = scratch("legacy");
+    let path = dir.join("cache.wal");
+    // A record written before stamps existed: no "stamp" key at all.
+    let (wire_text, row) = &rows[0];
+    let legacy_body = format!(
+        "{{\"digest\":\"{}\",\"config\":{},\"stable\":{}}}",
+        row.config_digest(),
+        wire_text,
+        row.stable_json()
+    );
+    std::fs::write(
+        &path,
+        format!("{}{}", envelope(HEADER_BODY), envelope(&legacy_body)),
+    )
+    .expect("write legacy cache");
+
+    let mut cache = ResultCache::open(&path, 0).expect("open legacy");
+    assert!(cache.warnings().is_empty(), "{:?}", cache.warnings());
+    assert_eq!(cache.len(), 1);
+    assert_eq!(
+        cache.entries()[0].stamp,
+        0,
+        "stampless records are maximally old"
+    );
+    assert!(
+        cache.lookup(&row.config_digest(), wire_text).is_some(),
+        "legacy records stay servable"
+    );
+
+    // Advance the cache clock by inserting a newer entry, then apply a
+    // TTL: the legacy record (age 500) expires, the fresh one survives.
+    let (new_wire, new_row) = &rows[1];
+    assert!(cache
+        .insert_stamped(new_wire, new_row, 500)
+        .expect("insert newer"));
+    drop(cache);
+    let aged = ResultCache::open_limited(&path, 0, 100).expect("reopen with ttl");
+    assert_eq!(aged.len(), 1);
+    assert!(
+        aged.lookup(&new_row.config_digest(), new_wire).is_some(),
+        "only the fresh entry survives the TTL"
+    );
+}
+
+#[test]
 fn failed_rows_are_never_cached() {
     let rows = sample_rows();
     let dir = scratch("failed");

@@ -1,17 +1,23 @@
 //! End-to-end proofs for the serve daemon: a resubmitted sweep is
 //! served entirely from cache with a byte-identical canonical archive,
-//! a restarted daemon comes back warm (torn WAL tails tolerated), and
-//! cached rows re-key to new plan positions.
+//! a restarted daemon comes back warm (torn WAL tails tolerated),
+//! cached rows re-key to new plan positions, overload is shed with a
+//! structured retryable refusal, shutdown drains gracefully, and
+//! hostile framing (oversized lines, garbage, vanishing clients,
+//! slow-loris) gets errors or silence — never a panic or a hang.
 
 use osoffload_runner::{record_plan, report, run_plan, RunnerOptions};
-use osoffload_serve::client;
+use osoffload_serve::client::{self, RetryPolicy, SubmitError};
 use osoffload_serve::daemon::{Daemon, ServeOptions};
 use osoffload_system::experiments::{single_config, Evaluator, Scale};
 use osoffload_system::PolicyKind;
 use osoffload_workload::Profile;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 fn scratch(tag: &str) -> PathBuf {
     static N: AtomicU64 = AtomicU64::new(0);
@@ -115,9 +121,47 @@ fn serve_opts(dir: &Path) -> ServeOptions {
 }
 
 fn submit(port: u16, name: &str, driver: impl Fn(Evaluator<'_>)) -> client::SubmitOutcome {
+    client::submit(port, &request_line(name, driver), |_| {}).expect("submit")
+}
+
+fn request_line(name: &str, driver: impl Fn(Evaluator<'_>)) -> String {
     let plan = record_plan(name, tiny().seed, |ev| driver(ev));
-    let request = client::submit_request_line(&plan).expect("render request");
-    client::submit(port, &request, |_| {}).expect("submit")
+    client::submit_request_line(&plan).expect("render request")
+}
+
+/// One point big enough (~1.5 s) to hold a submit slot while the test
+/// provokes the admission gate from other connections.
+fn slow_driver(ev: Evaluator<'_>) {
+    ev(single_config(
+        Profile::apache(),
+        PolicyKind::HardwarePredictor { threshold: 500 },
+        1_000,
+        1,
+        Scale {
+            instructions: 15_000_000,
+            warmup: 1_000_000,
+            seed: 3,
+            compute_profiles: 1,
+        },
+    ));
+}
+
+/// Polls `stats` until `pred` holds (the admission gate's state is only
+/// observable through it), failing the test after a generous timeout.
+fn wait_stats(port: u16, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(stats) = client::stats(port) {
+            if pred(&stats) {
+                return stats;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for stats to show {what}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }
 
 #[test]
@@ -242,6 +286,254 @@ fn fault_injected_sweep_still_archives_byte_identically() {
         direct,
         "fault-injected archive != clean direct canonical archive"
     );
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+}
+
+#[test]
+fn overload_is_shed_with_retry_hint_then_absorbed_by_backoff() {
+    let dir = scratch("overload");
+    let opts = ServeOptions {
+        submit_slots: 1,
+        admit_queue: 0,
+        ..serve_opts(&dir)
+    };
+    let (port, handle) = start_daemon(opts);
+
+    // Fill the only slot with a slow sweep, then provoke the gate.
+    let slow = request_line("e2e-slow", slow_driver);
+    let runner = std::thread::spawn(move || client::submit(port, &slow, |_| {}));
+    wait_stats(port, "running=1", |s| s.contains("\"running\":1"));
+
+    let fast = request_line("e2e-fast", full_driver);
+    let refusal = client::submit_once(port, &fast, |_| {}).expect_err("must be shed");
+    match &refusal {
+        SubmitError::Refused {
+            error,
+            retry_after_ms,
+        } => {
+            assert_eq!(error, "overloaded");
+            assert!(
+                retry_after_ms.is_some(),
+                "overloaded refusals carry a backoff hint"
+            );
+        }
+        other => panic!("expected an overloaded refusal, got {other:?}"),
+    }
+    assert!(refusal.is_retryable(), "overload must be marked retryable");
+
+    // The resilient client path rides the backoff until the slot frees.
+    let policy = RetryPolicy {
+        retries: 60,
+        backoff_ms: 20,
+        seed: 7,
+    };
+    let absorbed =
+        client::submit_with_retry(port, &fast, policy, |_| {}).expect("backoff absorbs overload");
+    assert_eq!((absorbed.points, absorbed.failed), (3, 0));
+    let slow_outcome = runner.join().expect("slow thread").expect("slow submit");
+    assert_eq!(slow_outcome.failed, 0);
+
+    // Shedding is observable: in the stats line and the metric export.
+    let stats = client::stats(port).expect("stats");
+    assert!(
+        !stats.contains("\"shed\":0,"),
+        "at least one shed must be counted: {stats}"
+    );
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+    let metrics =
+        std::fs::read_to_string(dir.join("served/serve-metrics.csv")).expect("metrics exported");
+    assert!(metrics.contains("serve.queue.shed"), "{metrics}");
+    assert!(metrics.contains("serve.queue.depth"), "{metrics}");
+}
+
+#[test]
+fn shutdown_drains_running_and_refuses_queued() {
+    let dir = scratch("drain");
+    let opts = ServeOptions {
+        submit_slots: 1,
+        admit_queue: 2,
+        ..serve_opts(&dir)
+    };
+    let (port, handle) = start_daemon(opts);
+
+    let slow = request_line("e2e-drain-slow", slow_driver);
+    let running = std::thread::spawn(move || client::submit(port, &slow, |_| {}));
+    wait_stats(port, "running=1", |s| s.contains("\"running\":1"));
+    let queued_req = request_line("e2e-drain-queued", full_driver);
+    let queued = std::thread::spawn(move || client::submit(port, &queued_req, |_| {}));
+    wait_stats(port, "queued=1", |s| s.contains("\"queued\":1"));
+
+    // Drain: the running sweep finishes, the queued one is refused, and
+    // the acknowledgement only arrives once both are settled.
+    let ack = client::stop(port).expect("graceful stop");
+    assert!(ack.contains("\"drained\":true"), "{ack}");
+    let finished = running.join().expect("running thread").expect("running");
+    assert_eq!(
+        (finished.points, finished.failed),
+        (1, 0),
+        "the in-flight sweep must finish, not be aborted"
+    );
+    let refused = queued.join().expect("queued thread").expect_err("refused");
+    assert!(refused.contains("draining"), "{refused}");
+    handle.join().expect("daemon thread").expect("daemon exit");
+
+    // The drained daemon journaled its sweep: a restart serves it warm.
+    let (port, handle) = start_daemon(ServeOptions {
+        submit_slots: 1,
+        admit_queue: 2,
+        ..serve_opts(&dir)
+    });
+    let warm = submit(port, "e2e-drain-slow", slow_driver);
+    assert_eq!((warm.hits, warm.misses), (1, 0));
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+}
+
+#[test]
+fn queued_submissions_respect_the_request_deadline() {
+    let dir = scratch("deadline");
+    let opts = ServeOptions {
+        submit_slots: 1,
+        admit_queue: 2,
+        request_deadline_ms: 300,
+        ..serve_opts(&dir)
+    };
+    let (port, handle) = start_daemon(opts);
+
+    let slow = request_line("e2e-deadline-slow", slow_driver);
+    let running = std::thread::spawn(move || client::submit(port, &slow, |_| {}));
+    wait_stats(port, "running=1", |s| s.contains("\"running\":1"));
+
+    // This submission queues behind the slow one and must be bounced
+    // once its 300 ms budget is gone — not parked indefinitely.
+    let bounced = client::submit_once(
+        port,
+        &request_line("e2e-deadline-fast", full_driver),
+        |_| {},
+    )
+    .expect_err("deadline must fire");
+    match &bounced {
+        SubmitError::Refused { error, .. } => assert_eq!(error, "deadline"),
+        other => panic!("expected a deadline refusal, got {other:?}"),
+    }
+    assert!(
+        !bounced.is_retryable(),
+        "a blown deadline is the caller's problem, not a retry hint"
+    );
+
+    // The slow sweep itself ran under the same deadline, so its point
+    // was cut off by the runner's watchdog rather than running forever.
+    let slow_outcome = running.join().expect("slow thread").expect("slow submit");
+    assert_eq!(
+        slow_outcome.failed, 1,
+        "the watchdog must bound execution to the remaining budget"
+    );
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+}
+
+/// Writes raw bytes as one request and returns the response line (empty
+/// when the daemon hangs up without answering).
+fn raw_request(port: u16, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream.write_all(bytes).expect("send");
+    let mut line = String::new();
+    let _ = BufReader::new(&stream).read_line(&mut line);
+    line
+}
+
+#[test]
+fn oversized_and_garbage_frames_are_bounced_within_limits() {
+    let dir = scratch("framing");
+    let opts = ServeOptions {
+        max_line_bytes: 1024,
+        ..serve_opts(&dir)
+    };
+    let (port, handle) = start_daemon(opts);
+
+    // An 8 KiB line against a 1 KiB bound: refused by length, buffered
+    // bounded — never accumulated until memory or patience runs out.
+    let mut oversized = vec![b'a'; 8 * 1024];
+    oversized.push(b'\n');
+    let answer = raw_request(port, &oversized);
+    assert!(answer.contains("exceeds 1024 bytes"), "{answer}");
+
+    // Bytes that are not UTF-8 at all.
+    let answer = raw_request(port, b"{\"op\":\"\xff\xfe\"}\n");
+    assert!(answer.contains("not UTF-8"), "{answer}");
+
+    // Valid UTF-8, but NUL-riddled garbage mid-frame.
+    let answer = raw_request(port, b"{\"op\":\"sub\x00mit\"}\n");
+    assert!(answer.contains("\"ok\":false"), "{answer}");
+
+    // The daemon survives all of it.
+    assert!(client::ping(port).expect("ping").contains("\"ok\":true"));
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+}
+
+#[test]
+fn client_vanishing_after_accepted_still_journals_every_point() {
+    let dir = scratch("vanish");
+    let direct = direct_archive("e2e-vanish", &dir.join("direct"), full_driver);
+    let (port, handle) = start_daemon(serve_opts(&dir));
+
+    // Submit, read only the `accepted` event, then vanish mid-stream.
+    {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        (&stream)
+            .write_all(request_line("e2e-vanish", full_driver).as_bytes())
+            .expect("send");
+        let mut accepted = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut accepted)
+            .expect("read accepted");
+        assert!(accepted.contains("\"event\":\"accepted\""), "{accepted}");
+        drop(stream);
+    }
+
+    // The sweep must run to completion and journal everything anyway.
+    wait_stats(port, "the orphaned sweep to finish", |s| {
+        s.contains("\"submissions\":1") && s.contains("\"misses\":3")
+    });
+    let warm = submit(port, "e2e-vanish", full_driver);
+    assert_eq!(
+        (warm.points, warm.hits, warm.misses, warm.failed),
+        (3, 3, 0, 0),
+        "every point the vanished client submitted must have been cached"
+    );
+    assert_eq!(
+        std::fs::read(&warm.archive).expect("read archive"),
+        direct,
+        "archive after an abandoned submission != direct canonical archive"
+    );
+    client::stop(port).expect("stop");
+    handle.join().expect("daemon thread").expect("daemon exit");
+}
+
+#[test]
+fn slow_loris_is_timed_out_without_wedging_the_daemon() {
+    let dir = scratch("loris");
+    let opts = ServeOptions {
+        read_timeout_ms: 200,
+        ..serve_opts(&dir)
+    };
+    let (port, handle) = start_daemon(opts);
+
+    // Half a request, then silence: the read timeout must reclaim the
+    // connection instead of letting it pin a worker forever.
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream.write_all(b"{\"op\":\"pi").expect("send half");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut buf = [0u8; 64];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "a timed-out half-frame gets silence, not an answer");
+
+    assert!(client::ping(port).expect("ping").contains("\"ok\":true"));
     client::stop(port).expect("stop");
     handle.join().expect("daemon thread").expect("daemon exit");
 }
